@@ -1,0 +1,34 @@
+// Command bugstudy regenerates the paper's Table 1 and Figure 1 from the
+// structured bug corpus (experiments E1 and E2).
+//
+// Usage:
+//
+//	bugstudy [-table1] [-fig1]
+//
+// With no flags, both artifacts are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bugstudy"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 only")
+	fig1 := flag.Bool("fig1", false, "print Figure 1 only")
+	flag.Parse()
+	both := !*table1 && !*fig1
+	corpus := bugstudy.Corpus()
+	if *table1 || both {
+		fmt.Println("Table 1. Study of filesystem bugs (Linux ext4).")
+		fmt.Print(bugstudy.RenderTable1(bugstudy.Table1(corpus)))
+		det, total := bugstudy.DetectableDeterministic(corpus)
+		fmt.Printf("detectable deterministic bugs (Crash+WARN): %d/%d\n\n", det, total)
+	}
+	if *fig1 || both {
+		fmt.Println("Figure 1. Number of deterministic bugs by the year.")
+		fmt.Print(bugstudy.RenderFigure1(bugstudy.Figure1(corpus)))
+	}
+}

@@ -1,0 +1,46 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example demonstrates the headline behavior: a deterministic crash bug in
+// the base filesystem is invisible to the application.
+func Example() {
+	dev := repro.NewMemDevice(4096)
+	if _, err := repro.Format(dev); err != nil {
+		panic(err)
+	}
+
+	// Plant a deterministic kernel-panic-style bug in every mkdir of a
+	// path containing "mail".
+	bugs := repro.NewFaultRegistry(1)
+	bugs.Arm(&repro.FaultSpecimen{
+		ID: "example-bug", Class: repro.BugCrash,
+		Deterministic: true, Op: "mkdir", PathSubstr: "mail",
+	})
+
+	fs, err := repro.Mount(dev, repro.Config{Base: repro.BaseOptions{Injector: bugs}})
+	if err != nil {
+		panic(err)
+	}
+	if err := fs.Mkdir("/mailboxes", 0o755); err != nil {
+		panic(err) // never happens: the shadow masks the panic
+	}
+	fd, err := fs.Create("/mailboxes/inbox", 0o644)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("you've got mail")); err != nil {
+		panic(err)
+	}
+	data, _ := fs.ReadAt(fd, 0, 64)
+	st := fs.Stats()
+	fmt.Printf("content: %s\n", data)
+	fmt.Printf("recoveries: %d, app-visible failures: %d\n", st.Recoveries, st.AppFailures)
+	// Output:
+	// content: you've got mail
+	// recoveries: 1, app-visible failures: 0
+}

@@ -1,0 +1,51 @@
+// Availability comparison: a long-lived service keeps working across a
+// recurring deterministic bug under RAE, while the status-quo strategies
+// either surface failures to the application (crash-restart) or livelock on
+// re-execution and degrade (naive replay). This regenerates the E5
+// experiment interactively with a narrative.
+//
+//	go run ./examples/availability [-ops 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	ops := flag.Int("ops", 2000, "operations per run")
+	seed := flag.Int64("seed", 7, "workload and bug seed")
+	flag.Parse()
+
+	fmt.Printf("service workload: %d metadata-heavy operations\n", *ops)
+	fmt.Println("planted bug: deterministic kernel panic on mkdir of any mailbox directory")
+	fmt.Println("the same trace and bug stream run under three failure-handling strategies:")
+	fmt.Println()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tcorrect outcomes\tapp failures\trecoveries\tdegraded\tfds lost\tdowntime")
+	for _, mode := range []core.Mode{core.ModeRAE, core.ModeCrashRestart, core.ModeNaiveReplay} {
+		r, err := experiments.Availability(mode, *ops, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "availability: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\t%d/%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.Mode, r.Completed, r.Ops, r.AppFailures, r.Recoveries,
+			r.Degradations, r.FDsLost, r.Downtime)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println(" - rae: every operation returns the specification outcome; the bug is invisible")
+	fmt.Println(" - crash-restart: the first crash invalidates descriptors and loses buffered")
+	fmt.Println("   files, so the application's subsequent operations diverge from its view")
+	fmt.Println(" - naive-replay: re-executing the recorded prefix re-triggers the deterministic")
+	fmt.Println("   bug (the §2.2 conflict), so every recovery degrades to crash-restart")
+}

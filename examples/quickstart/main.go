@@ -1,0 +1,76 @@
+// Quickstart: mount an RAE-supervised filesystem through the public API,
+// use it like any filesystem, plant a deterministic kernel-crash bug, and
+// watch the shadow mask it transparently.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. A 64 MiB in-memory device, formatted with the shared layout.
+	dev := repro.NewMemDevice(16384)
+	if _, err := repro.Format(dev); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Plant a bug: every rename of a path containing "invoice" panics in
+	// the base filesystem, deterministically — re-running it would panic
+	// again, which is exactly the case crash-and-retry cannot handle.
+	bugs := repro.NewFaultRegistry(42)
+	bugs.Arm(&repro.FaultSpecimen{
+		ID:            "quickstart-npe",
+		Class:         repro.BugCrash,
+		Deterministic: true,
+		Op:            "rename",
+		PathSubstr:    "invoice",
+	})
+
+	// 3. Mount under RAE supervision.
+	fs, err := repro.Mount(dev, repro.Config{Base: repro.BaseOptions{Injector: bugs}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Ordinary use.
+	must(fs.Mkdir("/inbox", 0o755))
+	fd, err := fs.Create("/inbox/invoice-draft.txt", 0o644)
+	must(err)
+	_, err = fs.WriteAt(fd, 0, []byte("Total due: $42\n"))
+	must(err)
+	must(fs.Close(fd))
+
+	// 5. This rename triggers the planted panic inside the base. The
+	// application — this program — just sees it succeed.
+	must(fs.Rename("/inbox/invoice-draft.txt", "/inbox/invoice-final.txt"))
+	fmt.Println("rename succeeded (the base filesystem panicked; the shadow completed it)")
+
+	// 6. The result is real: read the file back through its new name.
+	fd, err = fs.Open("/inbox/invoice-final.txt")
+	must(err)
+	data, err := fs.ReadAt(fd, 0, 100)
+	must(err)
+	must(fs.Close(fd))
+	fmt.Printf("content after recovery: %q\n", data)
+
+	st := fs.Stats()
+	fmt.Printf("recoveries: %d, panics contained: %d, app-visible failures: %d\n",
+		st.Recoveries, st.PanicsCaught, st.AppFailures)
+
+	must(fs.Unmount())
+	if rep := repro.Check(dev); !rep.Clean() {
+		log.Fatal("image unclean after unmount")
+	}
+	fmt.Println("unmounted cleanly; image passes fsck")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

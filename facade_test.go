@@ -1,0 +1,92 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIRoundTrip exercises the library exactly as the README's
+// quickstart presents it: format, mount supervised, plant a deterministic
+// bug, operate across it, verify, unmount, fsck.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	dev := repro.NewMemDevice(4096)
+	if _, err := repro.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	bugs := repro.NewFaultRegistry(7)
+	bugs.Arm(&repro.FaultSpecimen{
+		ID: "api-crash", Class: repro.BugCrash,
+		Deterministic: true, Op: "mkdir", PathSubstr: "boom",
+	})
+	fs, err := repro.Mount(dev, repro.Config{Base: repro.BaseOptions{Injector: bugs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := fs.Create("/file", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("public api")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/boom-dir", 0o755); err != nil {
+		t.Fatalf("deterministic crash not masked: %v", err)
+	}
+	st := fs.Stats()
+	if st.Recoveries != 1 || st.AppFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got, err := fs.ReadAt(fd, 0, 100)
+	if err != nil || string(got) != "public api" {
+		t.Fatalf("read after recovery = (%q, %v)", got, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.Readdir("/")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("readdir = (%v, %v)", entries, err)
+	}
+	var stat repro.Stat
+	stat, err = fs.Stat("/boom-dir")
+	if err != nil || stat.Nlink != 2 {
+		t.Fatalf("stat = (%+v, %v)", stat, err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := repro.Check(dev); !rep.Clean() {
+		t.Fatalf("post-unmount fsck: %v", rep.Err())
+	}
+}
+
+// TestPublicAPIBaselineModes checks the exported mode constants select the
+// baseline behaviors.
+func TestPublicAPIBaselineModes(t *testing.T) {
+	dev := repro.NewMemDevice(4096)
+	if _, err := repro.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	bugs := repro.NewFaultRegistry(9)
+	bugs.Arm(&repro.FaultSpecimen{
+		ID: "api-crash", Class: repro.BugCrash,
+		Deterministic: true, Op: "unlink",
+	})
+	fs, err := repro.Mount(dev, repro.Config{
+		Mode: repro.ModeCrashRestart,
+		Base: repro.BaseOptions{Injector: bugs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+	fd, _ := fs.Create("/f", 0o644)
+	fs.Close(fd)
+	if err := fs.Unlink("/f"); err == nil {
+		t.Fatal("crash-restart masked a failure it should surface")
+	}
+	if fs.Stats().AppFailures == 0 {
+		t.Error("no app failure recorded")
+	}
+}

@@ -1,0 +1,52 @@
+package basefs
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/handoff"
+)
+
+// Absorb is the base's metadata-downloading interface (§3.2): it re-verifies
+// the shadow's update and places every block into the buffer cache marked
+// dirty, restores the descriptor table, and continues the logical clock. It
+// "reuses existing logic to place them into its cache" — Install is the same
+// entry point every internal path uses — so the trusted surface stays small.
+//
+// Absorb is called on a freshly mounted instance during recovery, before any
+// new operations are admitted.
+func (fs *FS) Absorb(u *handoff.Update) error {
+	if err := u.Verify(); err != nil {
+		return fmt.Errorf("basefs: absorb rejected: %w", err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, blk := range u.SortedBlocks() {
+		if blk == 0 || blk >= fs.sb.NumBlocks {
+			return fmt.Errorf("basefs: absorb block %d out of range: %w", blk, fserr.ErrCorrupt)
+		}
+		if blk >= fs.sb.JournalStart && blk < fs.sb.JournalStart+fs.sb.JournalLen {
+			return fmt.Errorf("basefs: absorb block %d targets the journal region: %w", blk, fserr.ErrCorrupt)
+		}
+		fs.bc.Install(blk, u.Blocks[blk], u.Meta[blk])
+	}
+	// Restore descriptors. Each inode must decode and be allocated in the
+	// absorbed state; that read goes through the just-installed buffers.
+	fs.fds = make(map[fsapi.FD]*fdEntry, len(u.FDs))
+	for _, e := range u.FDs {
+		ci, err := fs.getAllocInode(e.Ino)
+		if err != nil {
+			return fmt.Errorf("basefs: absorb fd %d -> inode %d: %w", e.FD, e.Ino, err)
+		}
+		if ci.Inode.IsDir() {
+			return fmt.Errorf("basefs: absorb fd %d maps to a directory: %w", e.FD, fserr.ErrCorrupt)
+		}
+		fs.fds[e.FD] = &fdEntry{ino: e.Ino}
+		ci.Opens++
+	}
+	if u.Clock > fs.clock.Load() {
+		fs.clock.Store(u.Clock)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package basefs is the performance-oriented base filesystem: the complex,
+// concurrent, cached, journaled implementation that handles all requests in
+// the common case — and that contains the bugs RAE recovers from.
+//
+// Architecturally it is the left side of the paper's Figure 2: a VFS-style
+// operation layer over a dentry cache, an inode cache, a write-back buffer
+// cache, a write-ahead journal for metadata, and an asynchronous multi-queue
+// block layer. Runtime checks are minimal by default ("due to performance
+// concerns, runtime checks are commonly disabled in the base", §2.3); the
+// few cheap ones that exist (inode checksums on decode, block-pointer bounds
+// before IO, and pre-persist sync validation) are the error detectors that
+// hand control to the RAE supervisor.
+//
+// The package also implements the base-side half of the RAE contract:
+//   - fault-injection seams on every operation path (see Seams),
+//   - Kill, the abrupt teardown a contained reboot starts with, and
+//   - Absorb/SetFDTable, the "metadata downloading" interface that installs
+//     the shadow's output into the caches as dirty state (§3.2).
+package basefs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+	"repro/internal/cache"
+	"repro/internal/disklayout"
+	"repro/internal/faultinject"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/journal"
+	"repro/internal/mkfs"
+)
+
+// Options tunes the base filesystem's performance machinery.
+type Options struct {
+	// CacheBlocks bounds clean buffers in the buffer cache (default 1024).
+	CacheBlocks int
+	// CacheInodes bounds the inode cache (default 1024).
+	CacheInodes int
+	// CacheDentries bounds the dentry cache (default 4096).
+	CacheDentries int
+	// QueueWorkers is the async block layer's worker count (default 4).
+	QueueWorkers int
+	// QueueDepth is the submission queue depth (default 64).
+	QueueDepth int
+	// CachePolicy selects the buffer-cache replacement policy: "" or "lru"
+	// for plain LRU, "2q" for the scan-resistant 2Q policy the paper names
+	// among the base's sophisticated caching machinery.
+	CachePolicy string
+	// ExtraChecks enables the expensive validations the base normally skips
+	// (pointer validation on every inode load, dirent re-validation on every
+	// scan). Used for ablations; the shadow always checks.
+	ExtraChecks bool
+	// Injector is the armed bug registry; nil plants no bugs.
+	Injector *faultinject.Registry
+	// OnWarn, when set, receives every WARN record as it is emitted.
+	OnWarn func(w Warning)
+	// PrePersist, when set, runs inside Sync after validation and before the
+	// first device write. Returning an error aborts the sync with the disk
+	// still at the previous durable point; the RAE supervisor uses this to
+	// enforce detection-before-persist for escalated WARNs.
+	PrePersist func() error
+}
+
+func (o *Options) fill() {
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 1024
+	}
+	if o.CacheInodes == 0 {
+		o.CacheInodes = 1024
+	}
+	if o.CacheDentries == 0 {
+		o.CacheDentries = 4096
+	}
+	if o.QueueWorkers == 0 {
+		o.QueueWorkers = 4
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+}
+
+// Warning is a kernel-style WARN record: the base hit a condition worth
+// reporting but chose to continue (the Linux "do not crash the kernel"
+// discipline the paper cites).
+type Warning struct {
+	Seq int
+	Msg string
+}
+
+// fdEntry is one open descriptor.
+type fdEntry struct {
+	ino uint32
+}
+
+// FS is the base filesystem. It implements fsapi.FS.
+type FS struct {
+	// mu is the namespace lock: exclusive for mutations, shared for lookups
+	// and data-path operations (which further serialize per inode).
+	mu    sync.RWMutex
+	dev   blockdev.Device
+	queue *blockdev.Queue
+	sb    *disklayout.Superblock
+	bc    *cache.BufferCache
+	ic    *cache.InodeCache
+	dc    *cache.DentryCache
+	jnl   *journal.Journal
+
+	// allocMu serializes bitmap scans so concurrent data-path allocations
+	// don't double-allocate.
+	allocMu sync.Mutex
+
+	fds   map[fsapi.FD]*fdEntry
+	clock atomic.Uint64
+
+	warnMu sync.Mutex
+	warns  []Warning
+
+	opts   Options
+	killed atomic.Bool
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// Mount replays the journal, marks the filesystem dirty, and brings up the
+// performance machinery. This same path serves the contained reboot: the
+// supervisor calls Kill on the faulty instance and Mount on a fresh one.
+func Mount(dev blockdev.Device, opts Options) (*FS, error) {
+	opts.fill()
+	sb, _, err := mkfs.Recover(dev)
+	if err != nil {
+		return nil, fmt.Errorf("basefs: mount recovery: %w", err)
+	}
+	sb.Clean = 0
+	sb.Generation++
+	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
+		return nil, fmt.Errorf("basefs: mount superblock: %w", err)
+	}
+	if err := dev.Flush(); err != nil {
+		return nil, fmt.Errorf("basefs: mount flush: %w", err)
+	}
+	q := blockdev.NewQueue(dev, opts.QueueWorkers, opts.QueueDepth)
+	bc := cache.NewBufferCache(q, opts.CacheBlocks)
+	if opts.CachePolicy == "2q" {
+		bc.SetPolicy(cache.NewTwoQ(opts.CacheBlocks))
+	}
+	fs := &FS{
+		dev:   dev,
+		queue: q,
+		sb:    sb,
+		bc:    bc,
+		ic:    cache.NewInodeCache(opts.CacheInodes),
+		dc:    cache.NewDentryCache(opts.CacheDentries),
+		jnl:   journal.New(dev, sb),
+		fds:   make(map[fsapi.FD]*fdEntry),
+		opts:  opts,
+	}
+	fs.clock.Store(sb.LastClock)
+	return fs, nil
+}
+
+// Superblock returns the mounted superblock (read-only use).
+func (fs *FS) Superblock() *disklayout.Superblock { return fs.sb }
+
+// Unmount closes every remaining descriptor (releasing any open-unlinked
+// orphans, as a kernel does at shutdown), syncs everything, marks the
+// filesystem clean, and stops the block queue. The filesystem must not be
+// used afterwards.
+func (fs *FS) Unmount() error {
+	for fd := range fs.OpenFDs() {
+		if err := fs.Close(fd); err != nil {
+			return err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.sb.Clean = 1
+	if err := fs.dev.WriteBlock(0, disklayout.EncodeSuperblock(fs.sb)); err != nil {
+		return fmt.Errorf("basefs: unmount superblock: %w", err)
+	}
+	if err := fs.dev.Flush(); err != nil {
+		return fmt.Errorf("basefs: unmount flush: %w", err)
+	}
+	fs.killed.Store(true)
+	fs.queue.Close()
+	return nil
+}
+
+// Kill abandons the instance without syncing: caches, fd table, and dirty
+// state are discarded, exactly as a contained reboot requires ("all the
+// states in the base filesystem's memory is not trusted, so we need to reset
+// them", §2.2). On-disk state is left as the last durable point plus
+// whatever the journal holds.
+func (fs *FS) Kill() {
+	if fs.killed.Swap(true) {
+		return
+	}
+	fs.bcPurge()
+	fs.queue.Close()
+}
+
+func (fs *FS) bcPurge() {
+	fs.ic.Purge()
+	fs.dc.Purge()
+}
+
+// Warnf records a kernel-style WARN. Bug specimens of class Warn land here,
+// as do the base's own defensive checks.
+func (fs *FS) Warnf(format string, args ...any) {
+	fs.warnMu.Lock()
+	w := Warning{Seq: len(fs.warns), Msg: fmt.Sprintf(format, args...)}
+	fs.warns = append(fs.warns, w)
+	cb := fs.opts.OnWarn
+	fs.warnMu.Unlock()
+	if cb != nil {
+		cb(w)
+	}
+}
+
+// Warnings returns all WARN records emitted so far.
+func (fs *FS) Warnings() []Warning {
+	fs.warnMu.Lock()
+	defer fs.warnMu.Unlock()
+	out := make([]Warning, len(fs.warns))
+	copy(out, fs.warns)
+	return out
+}
+
+// fire invokes the fault-injection seam (op, point). It is a no-op without
+// an armed registry.
+func (fs *FS) fire(site *faultinject.Site) error {
+	if fs.opts.Injector == nil {
+		return nil
+	}
+	if site.Warnf == nil {
+		site.Warnf = fs.Warnf
+	}
+	return fs.opts.Injector.Fire(site)
+}
+
+// tick advances the deterministic logical clock shared (in policy) with the
+// model and the shadow: one tick per mutating operation.
+func (fs *FS) tick() uint64 { return fs.clock.Add(1) }
+
+// Clock returns the current logical time, used when seeding the shadow's
+// clock during recovery.
+func (fs *FS) Clock() uint64 { return fs.clock.Load() }
+
+// SetClock forces the logical clock, used when absorbing recovered state.
+func (fs *FS) SetClock(v uint64) { fs.clock.Store(v) }
+
+// CacheStats reports hit rates of the three caches, for the throughput
+// experiments contrasting base and shadow.
+func (fs *FS) CacheStats() (bufHits, bufMiss, inoHits, inoMiss, dentHits, dentMiss int64) {
+	bufHits, bufMiss = fs.bc.HitRate()
+	inoHits, inoMiss = fs.ic.HitRate()
+	dentHits, dentMiss = fs.dc.HitRate()
+	return
+}
+
+// OpenFDs returns the sorted list of open descriptors and their inodes,
+// which the supervisor snapshots at stable points.
+func (fs *FS) OpenFDs() map[fsapi.FD]uint32 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[fsapi.FD]uint32, len(fs.fds))
+	for fd, e := range fs.fds {
+		out[fd] = e.ino
+	}
+	return out
+}
+
+// errBadFD wraps fserr.ErrBadFD with the descriptor for diagnostics.
+func errBadFD(fd fsapi.FD) error {
+	return fmt.Errorf("basefs: fd %d: %w", fd, fserr.ErrBadFD)
+}

@@ -1,0 +1,201 @@
+package basefs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/disklayout"
+	"repro/internal/faultinject"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/journal"
+)
+
+// Fsync implements fsapi.FS. Like ext3/4's journaled metadata, fsync commits
+// the running transaction, which persists all pending metadata — so every
+// fsync is a global stable point the supervisor can truncate the operation
+// log at.
+func (fs *FS) Fsync(fd fsapi.FD) error {
+	fs.mu.RLock()
+	_, ok := fs.fds[fd]
+	fs.mu.RUnlock()
+	if !ok {
+		return errBadFD(fd)
+	}
+	return fs.Sync()
+}
+
+// Sync implements fsapi.FS: ordered-mode write-back. Data blocks go straight
+// home through the async queue; metadata blocks are validated, journaled,
+// committed, then checkpointed home. After Sync returns nil the on-disk
+// image equals the in-memory state, which is the supervisor's cue to
+// discard recorded operations.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncLocked()
+}
+
+func (fs *FS) syncLocked() error {
+	if err := fs.fire(&faultinject.Site{Op: "sync", Point: "entry"}); err != nil {
+		return err
+	}
+	// 1. Fold dirty inodes into their table blocks.
+	for _, ci := range fs.ic.DirtyInodes() {
+		if err := fs.validateInodeForPersist(ci); err != nil {
+			return err
+		}
+		if err := fs.writeInodeBack(ci); err != nil {
+			return err
+		}
+		ci.Dirty = false
+	}
+
+	// 2. Partition dirty buffers.
+	dirty := fs.bc.DirtyBlocks()
+	var data, meta []*cache.Buf
+	for _, b := range dirty {
+		if b.Meta {
+			meta = append(meta, b)
+		} else {
+			data = append(data, b)
+		}
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].Blk < data[j].Blk })
+	sort.Slice(meta, func(i, j int) bool { return meta[i].Blk < meta[j].Blk })
+
+	// 3. Sync-validate: the fault model assumes errors are detected before
+	// being persisted (§3.1, citing Recon/WAFL-style validation on sync).
+	if err := fs.validateMetaForPersist(meta); err != nil {
+		return err
+	}
+
+	// 3b. Pre-persist barrier: the supervisor's last chance to veto the
+	// write-out (e.g. an escalated WARN emitted earlier in this operation).
+	// Everything up to here touched only memory, so a veto leaves the disk
+	// exactly at the previous stable point — the property recovery relies on.
+	if fs.opts.PrePersist != nil {
+		if err := fs.opts.PrePersist(); err != nil {
+			return err
+		}
+	}
+
+	// 4. Ordered mode: data first.
+	var reqs []*struct {
+		buf *cache.Buf
+		req interface{ Wait() error }
+	}
+	for _, b := range data {
+		r := fs.queue.WriteAsync(b.Blk, b.Data)
+		reqs = append(reqs, &struct {
+			buf *cache.Buf
+			req interface{ Wait() error }
+		}{b, r})
+	}
+	for _, r := range reqs {
+		if err := r.req.Wait(); err != nil {
+			return fmt.Errorf("basefs: sync data write-back: %w", err)
+		}
+		fs.bc.MarkClean(r.buf)
+	}
+	if len(data) > 0 {
+		if err := fs.queue.Flush(); err != nil {
+			return fmt.Errorf("basefs: sync data flush: %w", err)
+		}
+	}
+
+	// 5. Journal + checkpoint metadata in capacity-bounded transactions.
+	for len(meta) > 0 {
+		chunk := meta
+		if cap := fs.jnl.Capacity(); len(chunk) > cap {
+			chunk = meta[:cap]
+		}
+		meta = meta[len(chunk):]
+		tx := &journal.Tx{}
+		for _, b := range chunk {
+			tx.Add(b.Blk, b.Data)
+		}
+		if err := fs.jnl.Commit(tx); err != nil {
+			return fmt.Errorf("basefs: journal commit: %w", err)
+		}
+		// Checkpoint: write home locations, then retire the transaction.
+		for _, b := range chunk {
+			if err := fs.queue.Write(b.Blk, b.Data); err != nil {
+				return fmt.Errorf("basefs: checkpoint block %d: %w", b.Blk, err)
+			}
+			fs.bc.MarkClean(b)
+		}
+		if err := fs.queue.Flush(); err != nil {
+			return fmt.Errorf("basefs: checkpoint flush: %w", err)
+		}
+		if err := fs.jnl.Reset(); err != nil {
+			return err
+		}
+	}
+
+	// 6. Persist the logical clock so timestamps continue monotonically
+	// across remounts and contained reboots.
+	if clk := fs.clock.Load(); clk != fs.sb.LastClock {
+		fs.sb.LastClock = clk
+		if err := fs.queue.Write(0, disklayout.EncodeSuperblock(fs.sb)); err != nil {
+			return fmt.Errorf("basefs: sync superblock: %w", err)
+		}
+		if err := fs.queue.Flush(); err != nil {
+			return fmt.Errorf("basefs: sync superblock flush: %w", err)
+		}
+	}
+	// No exit seam here: a bug firing after the persist would be detected
+	// after the disk moved past the stable point, which the fault model
+	// excludes ("we assume that errors are detected before being persisted
+	// to disk", §3.1). Sync bugs are modeled at the entry seam.
+	return nil
+}
+
+// validateInodeForPersist runs the pre-persist semantic checks on one dirty
+// inode. These are cheap and always on: they are the detection mechanism
+// ("validating upon sync") that keeps corrupt metadata off the disk.
+func (fs *FS) validateInodeForPersist(ci *cache.CachedInode) error {
+	ino := &ci.Inode
+	if t := ino.Type(); t > disklayout.TypeSym {
+		return fmt.Errorf("basefs: sync-validate inode %d: type %d: %w", ci.Ino, t, fserr.ErrCorrupt)
+	}
+	if ino.Size < 0 || ino.Size > disklayout.MaxFileSize {
+		return fmt.Errorf("basefs: sync-validate inode %d: size %d: %w", ci.Ino, ino.Size, fserr.ErrCorrupt)
+	}
+	if !ino.IsFree() {
+		if err := ino.ValidatePointers(fs.sb); err != nil {
+			return fmt.Errorf("basefs: sync-validate inode %d: %w", ci.Ino, err)
+		}
+	}
+	if ino.IsDir() && ino.Size%disklayout.BlockSize != 0 {
+		return fmt.Errorf("basefs: sync-validate inode %d: directory size %d not block-aligned: %w",
+			ci.Ino, ino.Size, fserr.ErrCorrupt)
+	}
+	return nil
+}
+
+// validateMetaForPersist checks dirty metadata blocks structurally before
+// they can reach the journal: inode-table blocks must hold checksummed
+// records with sane fields.
+func (fs *FS) validateMetaForPersist(meta []*cache.Buf) error {
+	tableStart := fs.sb.InodeTableStart
+	tableEnd := tableStart + fs.sb.InodeTableLen
+	for _, b := range meta {
+		if b.Blk >= tableStart && b.Blk < tableEnd {
+			for i := 0; i < disklayout.InodesPerBlock; i++ {
+				rec := b.Data[i*disklayout.InodeSize : (i+1)*disklayout.InodeSize]
+				ino, err := disklayout.DecodeInode(rec)
+				if err != nil {
+					return fmt.Errorf("basefs: sync-validate table block %d record %d: %w", b.Blk, i, err)
+				}
+				if !ino.IsFree() {
+					if err := ino.ValidatePointers(fs.sb); err != nil {
+						return fmt.Errorf("basefs: sync-validate table block %d record %d: %w", b.Blk, i, err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

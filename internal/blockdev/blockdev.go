@@ -1,0 +1,402 @@
+// Package blockdev provides the block-device substrate under both
+// filesystems.
+//
+// The paper's architecture (Figure 2) gives the base filesystem an
+// asynchronous, queued block layer while the shadow performs simple
+// synchronous reads through a direct path that bypasses the base's IO
+// machinery (§4.1 suggests a user-space NVMe driver; here the direct path is
+// the analogous bypass). The package also hosts the hardware-fault injection
+// hooks used to exercise the shadow's runtime checks: transient read
+// corruption, torn writes, and IO errors.
+package blockdev
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+)
+
+// Device is the minimal synchronous block interface. Offsets are block
+// numbers; every transfer is exactly one block.
+type Device interface {
+	// ReadBlock reads block blk into a fresh buffer of BlockSize bytes.
+	ReadBlock(blk uint32) ([]byte, error)
+	// WriteBlock writes one block. The buffer must be BlockSize bytes.
+	WriteBlock(blk uint32, data []byte) error
+	// NumBlocks returns the device capacity in blocks.
+	NumBlocks() uint32
+	// Flush makes all completed writes durable.
+	Flush() error
+}
+
+// Stats counts device traffic, split by path so experiments can show the
+// base and shadow exercising different IO machinery.
+type Stats struct {
+	Reads       atomic.Int64
+	Writes      atomic.Int64
+	Flushes     atomic.Int64
+	ReadErrors  atomic.Int64
+	WriteErrors atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:       s.Reads.Load(),
+		Writes:      s.Writes.Load(),
+		Flushes:     s.Flushes.Load(),
+		ReadErrors:  s.ReadErrors.Load(),
+		WriteErrors: s.WriteErrors.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Reads, Writes, Flushes, ReadErrors, WriteErrors int64
+}
+
+// FaultPlan describes device-level fault injection. The zero value injects
+// nothing. Faults model the transient hardware errors the paper's runtime
+// checks defend against (silent corruption, torn writes, EIO).
+type FaultPlan struct {
+	mu sync.Mutex
+	// Seed drives the deterministic pseudo-random fault stream.
+	rng *rand.Rand
+	// CorruptReadProb is the probability that a read returns a buffer with
+	// one flipped bit (silent data corruption).
+	CorruptReadProb float64
+	// ReadErrProb is the probability a read fails with ErrIO.
+	ReadErrProb float64
+	// WriteErrProb is the probability a write fails with ErrIO.
+	WriteErrProb float64
+	// TornWriteProb is the probability a write persists only the first half
+	// of the block (a torn sector), while reporting success.
+	TornWriteProb float64
+	// CorruptBlocks pinpoints blocks whose reads are always corrupted, for
+	// deterministic crafted-fault tests.
+	CorruptBlocks map[uint32]bool
+	// ReadLatency and WriteLatency add a fixed service time per IO,
+	// simulating a real device. The base's multi-queue layer overlaps these
+	// across workers; the shadow's synchronous path pays them serially.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+// NewFaultPlan returns a fault plan with the given deterministic seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *FaultPlan) roll(prob float64) bool {
+	if p == nil || prob <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(0))
+	}
+	return p.rng.Float64() < prob
+}
+
+func (p *FaultPlan) pick(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(0))
+	}
+	return p.rng.Intn(n)
+}
+
+// Mem is a memory-backed Device with fault injection, the primary substrate
+// for experiments. It is safe for concurrent use.
+type Mem struct {
+	mu      sync.RWMutex
+	blocks  [][]byte
+	faults  *FaultPlan
+	stats   Stats
+	onWrite func(blk uint32)
+}
+
+// SetWriteHook installs a callback invoked after every successful write,
+// outside the device lock. Crash-consistency harnesses use it to snapshot
+// the device at every possible crash point.
+func (d *Mem) SetWriteHook(f func(blk uint32)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onWrite = f
+}
+
+// NewMem creates a zero-filled in-memory device of n blocks.
+func NewMem(n uint32) *Mem {
+	return &Mem{blocks: make([][]byte, n)}
+}
+
+// SetFaults installs (or removes, with nil) the device's fault plan.
+func (d *Mem) SetFaults(p *FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = p
+}
+
+// Stats returns the device's traffic counters.
+func (d *Mem) Stats() *Stats { return &d.stats }
+
+// NumBlocks returns the device capacity in blocks.
+func (d *Mem) NumBlocks() uint32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return uint32(len(d.blocks))
+}
+
+// ReadBlock implements Device.
+func (d *Mem) ReadBlock(blk uint32) ([]byte, error) {
+	d.mu.RLock()
+	faults := d.faults
+	if int(blk) >= len(d.blocks) {
+		d.mu.RUnlock()
+		d.stats.ReadErrors.Add(1)
+		return nil, fmt.Errorf("blockdev: read of block %d beyond device end %d: %w", blk, len(d.blocks), fserr.ErrIO)
+	}
+	buf := make([]byte, disklayout.BlockSize)
+	if d.blocks[blk] != nil {
+		copy(buf, d.blocks[blk])
+	}
+	d.mu.RUnlock()
+
+	d.stats.Reads.Add(1)
+	if faults != nil {
+		if faults.ReadLatency > 0 {
+			time.Sleep(faults.ReadLatency)
+		}
+		if faults.roll(faults.ReadErrProb) {
+			d.stats.ReadErrors.Add(1)
+			return nil, fmt.Errorf("blockdev: injected read error on block %d: %w", blk, fserr.ErrIO)
+		}
+		corrupt := faults.roll(faults.CorruptReadProb)
+		if !corrupt {
+			faults.mu.Lock()
+			corrupt = faults.CorruptBlocks[blk]
+			faults.mu.Unlock()
+		}
+		if corrupt {
+			bit := faults.pick(disklayout.BlockSize * 8)
+			buf[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+	return buf, nil
+}
+
+// WriteBlock implements Device.
+func (d *Mem) WriteBlock(blk uint32, data []byte) error {
+	if len(data) != disklayout.BlockSize {
+		return fmt.Errorf("blockdev: write of %d bytes, want %d: %w", len(data), disklayout.BlockSize, fserr.ErrInvalid)
+	}
+	d.mu.Lock()
+	faults := d.faults
+	if int(blk) >= len(d.blocks) {
+		d.mu.Unlock()
+		d.stats.WriteErrors.Add(1)
+		return fmt.Errorf("blockdev: write of block %d beyond device end %d: %w", blk, len(d.blocks), fserr.ErrIO)
+	}
+	if faults != nil && faults.WriteLatency > 0 {
+		d.mu.Unlock()
+		time.Sleep(faults.WriteLatency)
+		d.mu.Lock()
+		if int(blk) >= len(d.blocks) {
+			d.mu.Unlock()
+			return fmt.Errorf("blockdev: write of block %d beyond device end %d: %w", blk, len(d.blocks), fserr.ErrIO)
+		}
+	}
+	if faults != nil && faults.roll(faults.WriteErrProb) {
+		d.mu.Unlock()
+		d.stats.WriteErrors.Add(1)
+		return fmt.Errorf("blockdev: injected write error on block %d: %w", blk, fserr.ErrIO)
+	}
+	buf := make([]byte, disklayout.BlockSize)
+	copy(buf, data)
+	if faults != nil && faults.roll(faults.TornWriteProb) {
+		// Persist only the first half; the rest keeps its previous contents.
+		if old := d.blocks[blk]; old != nil {
+			copy(buf[disklayout.BlockSize/2:], old[disklayout.BlockSize/2:])
+		} else {
+			for i := disklayout.BlockSize / 2; i < disklayout.BlockSize; i++ {
+				buf[i] = 0
+			}
+		}
+	}
+	d.blocks[blk] = buf
+	hook := d.onWrite
+	d.mu.Unlock()
+	d.stats.Writes.Add(1)
+	if hook != nil {
+		hook(blk)
+	}
+	return nil
+}
+
+// Flush implements Device. Memory devices are always durable.
+func (d *Mem) Flush() error {
+	d.stats.Flushes.Add(1)
+	return nil
+}
+
+// Snapshot returns a deep copy of the device contents, used by crash-
+// simulation tests to capture "the disk at the moment of the crash".
+func (d *Mem) Snapshot() *Mem {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	cp := &Mem{blocks: make([][]byte, len(d.blocks))}
+	for i, b := range d.blocks {
+		if b != nil {
+			nb := make([]byte, disklayout.BlockSize)
+			copy(nb, b)
+			cp.blocks[i] = nb
+		}
+	}
+	return cp
+}
+
+// CorruptBlock flips the byte at off in block blk in place, bypassing the
+// write path. Tests use it to plant silent on-disk corruption.
+func (d *Mem) CorruptBlock(blk uint32, off int, xor byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(blk) >= len(d.blocks) {
+		return fserr.ErrInvalid
+	}
+	if d.blocks[blk] == nil {
+		d.blocks[blk] = make([]byte, disklayout.BlockSize)
+	}
+	d.blocks[blk][off%disklayout.BlockSize] ^= xor
+	return nil
+}
+
+// File is a file-backed Device so images created by cmd/mkfs can live on the
+// host filesystem. It is safe for concurrent use.
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	n    uint32
+	stat Stats
+}
+
+// OpenFile opens (or creates, when create is true) a file-backed device of n
+// blocks at path.
+func OpenFile(path string, n uint32, create bool) (*File, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockdev: open %s: %w", path, err)
+	}
+	if create {
+		if err := f.Truncate(int64(n) * disklayout.BlockSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("blockdev: truncate %s: %w", path, err)
+		}
+	} else {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("blockdev: stat %s: %w", path, err)
+		}
+		n = uint32(fi.Size() / disklayout.BlockSize)
+	}
+	return &File{f: f, n: n}, nil
+}
+
+// NumBlocks returns the device capacity in blocks.
+func (d *File) NumBlocks() uint32 { return d.n }
+
+// Stats returns the device's traffic counters.
+func (d *File) Stats() *Stats { return &d.stat }
+
+// ReadBlock implements Device.
+func (d *File) ReadBlock(blk uint32) ([]byte, error) {
+	if blk >= d.n {
+		d.stat.ReadErrors.Add(1)
+		return nil, fmt.Errorf("blockdev: read of block %d beyond device end %d: %w", blk, d.n, fserr.ErrIO)
+	}
+	buf := make([]byte, disklayout.BlockSize)
+	d.mu.Lock()
+	_, err := d.f.ReadAt(buf, int64(blk)*disklayout.BlockSize)
+	d.mu.Unlock()
+	if err != nil {
+		d.stat.ReadErrors.Add(1)
+		return nil, fmt.Errorf("blockdev: read block %d: %v: %w", blk, err, fserr.ErrIO)
+	}
+	d.stat.Reads.Add(1)
+	return buf, nil
+}
+
+// WriteBlock implements Device.
+func (d *File) WriteBlock(blk uint32, data []byte) error {
+	if len(data) != disklayout.BlockSize {
+		return fmt.Errorf("blockdev: write of %d bytes, want %d: %w", len(data), disklayout.BlockSize, fserr.ErrInvalid)
+	}
+	if blk >= d.n {
+		d.stat.WriteErrors.Add(1)
+		return fmt.Errorf("blockdev: write of block %d beyond device end %d: %w", blk, d.n, fserr.ErrIO)
+	}
+	d.mu.Lock()
+	_, err := d.f.WriteAt(data, int64(blk)*disklayout.BlockSize)
+	d.mu.Unlock()
+	if err != nil {
+		d.stat.WriteErrors.Add(1)
+		return fmt.Errorf("blockdev: write block %d: %v: %w", blk, err, fserr.ErrIO)
+	}
+	d.stat.Writes.Add(1)
+	return nil
+}
+
+// Flush implements Device.
+func (d *File) Flush() error {
+	d.mu.Lock()
+	err := d.f.Sync()
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("blockdev: fsync: %v: %w", err, fserr.ErrIO)
+	}
+	d.stat.Flushes.Add(1)
+	return nil
+}
+
+// Close releases the underlying file.
+func (d *File) Close() error { return d.f.Close() }
+
+// ReadOnly wraps a Device and rejects all mutation, enforcing the shadow's
+// "never writes to the disk" property (§3.2). A write through this handle is
+// a bug in the shadow itself and surfaces as ErrReadOnly, which the
+// supervisor reports as a shadow fault.
+type ReadOnly struct {
+	dev Device
+}
+
+// NewReadOnly wraps dev in a write-rejecting handle.
+func NewReadOnly(dev Device) *ReadOnly { return &ReadOnly{dev: dev} }
+
+// ReadBlock implements Device.
+func (r *ReadOnly) ReadBlock(blk uint32) ([]byte, error) { return r.dev.ReadBlock(blk) }
+
+// WriteBlock implements Device and always fails.
+func (r *ReadOnly) WriteBlock(blk uint32, data []byte) error {
+	return fmt.Errorf("blockdev: shadow attempted write to block %d: %w", blk, fserr.ErrReadOnly)
+}
+
+// NumBlocks implements Device.
+func (r *ReadOnly) NumBlocks() uint32 { return r.dev.NumBlocks() }
+
+// Flush implements Device and always fails: flushing is meaningless without
+// writes and indicates a shadow bug.
+func (r *ReadOnly) Flush() error {
+	return fmt.Errorf("blockdev: shadow attempted flush: %w", fserr.ErrReadOnly)
+}

@@ -1,0 +1,137 @@
+package blockdev
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fserr"
+)
+
+// Queue is the asynchronous, multi-queue block layer the base filesystem
+// drives (the blk-mq analogue in Figure 2). Requests are submitted to
+// per-CPU-style submission queues and completed by worker goroutines; the
+// shadow never touches this path.
+type Queue struct {
+	dev     Device
+	reqs    chan *Request
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	inFlite sync.WaitGroup
+}
+
+// OpKind distinguishes queued request types.
+type OpKind int
+
+// Request kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpFlush
+)
+
+// Request is one queued block IO.
+type Request struct {
+	Kind OpKind
+	Blk  uint32
+	Data []byte // payload for writes; result buffer for reads
+	Err  error
+	done chan struct{}
+}
+
+// Wait blocks until the request completes and returns its error.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.Err
+}
+
+// NewQueue starts a queue over dev with the given number of worker
+// goroutines and queue depth.
+func NewQueue(dev Device, workers, depth int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	q := &Queue{dev: dev, reqs: make(chan *Request, depth)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for r := range q.reqs {
+		switch r.Kind {
+		case OpRead:
+			r.Data, r.Err = q.dev.ReadBlock(r.Blk)
+		case OpWrite:
+			r.Err = q.dev.WriteBlock(r.Blk, r.Data)
+		case OpFlush:
+			r.Err = q.dev.Flush()
+		}
+		close(r.done)
+		q.inFlite.Done()
+	}
+}
+
+// Submit enqueues a request; the caller later calls Wait on it. Submitting
+// to a closed queue fails the request immediately.
+func (q *Queue) Submit(r *Request) *Request {
+	r.done = make(chan struct{})
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		r.Err = fmt.Errorf("blockdev: queue closed: %w", fserr.ErrIO)
+		close(r.done)
+		return r
+	}
+	q.inFlite.Add(1)
+	q.reqs <- r
+	q.mu.Unlock()
+	return r
+}
+
+// Read performs a synchronous read via the queue.
+func (q *Queue) Read(blk uint32) ([]byte, error) {
+	r := q.Submit(&Request{Kind: OpRead, Blk: blk})
+	if err := r.Wait(); err != nil {
+		return nil, err
+	}
+	return r.Data, nil
+}
+
+// Write performs a synchronous write via the queue.
+func (q *Queue) Write(blk uint32, data []byte) error {
+	return q.Submit(&Request{Kind: OpWrite, Blk: blk, Data: data}).Wait()
+}
+
+// WriteAsync enqueues a write and returns without waiting; the base's
+// write-back path uses this to overlap IO.
+func (q *Queue) WriteAsync(blk uint32, data []byte) *Request {
+	return q.Submit(&Request{Kind: OpWrite, Blk: blk, Data: data})
+}
+
+// Flush drains all in-flight requests and issues a device flush.
+func (q *Queue) Flush() error {
+	q.inFlite.Wait()
+	r := q.Submit(&Request{Kind: OpFlush})
+	return r.Wait()
+}
+
+// Close drains and stops the workers. The queue cannot be reused.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.inFlite.Wait()
+	close(q.reqs)
+	q.wg.Wait()
+}

@@ -1,0 +1,189 @@
+package bugstudy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faultinject"
+)
+
+// TestTable1Counts is experiment E1: classifying the corpus must reproduce
+// the paper's Table 1 exactly.
+func TestTable1Counts(t *testing.T) {
+	got := Table1(Corpus())
+	if got != Table1Want {
+		t.Fatalf("Table 1 mismatch:\n got %v\nwant %v", got, Table1Want)
+	}
+}
+
+func TestCorpusSize(t *testing.T) {
+	c := Corpus()
+	if len(c) != 256 {
+		t.Fatalf("corpus has %d records, want 256 (paper: 256 bugs since 2013)", len(c))
+	}
+}
+
+// TestFigure1Counts is experiment E2: the deterministic-bugs-by-year series
+// must match the reconstructed figure and sum to the Table 1 deterministic
+// row.
+func TestFigure1Counts(t *testing.T) {
+	got := Figure1(Corpus())
+	if len(got) != len(Figure1Want) {
+		t.Fatalf("years: got %d, want %d", len(got), len(Figure1Want))
+	}
+	for y, want := range Figure1Want {
+		if got[y] != want {
+			t.Errorf("year %d: got %v, want %v", y, got[y], want)
+		}
+	}
+	// Cross-foot: figure sums equal Table 1's deterministic row.
+	var sums [4]int
+	for _, c := range got {
+		sums[0] += c[0] // Crash
+		sums[1] += c[1] // WARN
+		sums[2] += c[2] // NoCrash
+		sums[3] += c[3] // Unknown
+	}
+	if sums[0] != Table1Want[0][1] || sums[1] != Table1Want[0][2] ||
+		sums[2] != Table1Want[0][0] || sums[3] != Table1Want[0][3] {
+		t.Errorf("figure sums %v do not cross-foot Table 1 deterministic row %v", sums, Table1Want[0])
+	}
+}
+
+// TestHeadlineRatio checks the paper's "89/165" detectability claim falls
+// out of the corpus.
+func TestHeadlineRatio(t *testing.T) {
+	detectable, deterministic := DetectableDeterministic(Corpus())
+	if deterministic != 165 {
+		t.Errorf("deterministic = %d, want 165", deterministic)
+	}
+	if detectable != 89 {
+		t.Errorf("detectable = %d, want 89 (78 Crash + 11 WARN)", detectable)
+	}
+}
+
+func TestCorpusDeterministicGeneration(t *testing.T) {
+	a, b := Corpus(), Corpus()
+	if len(a) != len(b) {
+		t.Fatal("corpus length varies")
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("record %d differs between generations", i)
+		}
+	}
+}
+
+func TestClassifyRules(t *testing.T) {
+	cases := []struct {
+		name  string
+		r     Record
+		wantD Determinism
+		wantC Consequence
+	}{
+		{"reproducible crash", Record{DeterminismKnowable: true, HasReproducer: true, Symptom: SymptomCrash}, Deterministic, Crash},
+		{"no reproducer", Record{DeterminismKnowable: true, HasReproducer: false, Symptom: SymptomCrash}, NonDeterministic, Crash},
+		{"io interaction", Record{DeterminismKnowable: true, HasReproducer: true, IOInteraction: true, Symptom: SymptomWarn}, NonDeterministic, WARN},
+		{"threading", Record{DeterminismKnowable: true, HasReproducer: true, Threading: true, Symptom: SymptomNoCrash}, NonDeterministic, NoCrash},
+		{"unknowable", Record{DeterminismKnowable: false, HasReproducer: true, Symptom: SymptomNone}, UnknownDeterminism, UnknownConsequence},
+	}
+	for _, tc := range cases {
+		d, c := Classify(&tc.r)
+		if d != tc.wantD || c != tc.wantC {
+			t.Errorf("%s: got (%v,%v), want (%v,%v)", tc.name, d, c, tc.wantD, tc.wantC)
+		}
+	}
+}
+
+// TestClassifyTotalProperty: for any record, classification lands in exactly
+// one cell and the axes are independent of each other's inputs.
+func TestClassifyTotalProperty(t *testing.T) {
+	f := func(hasRepro, io, thr, knowable bool, symRaw uint8) bool {
+		r := &Record{
+			HasReproducer:       hasRepro,
+			IOInteraction:       io,
+			Threading:           thr,
+			DeterminismKnowable: knowable,
+			Symptom:             Symptom(symRaw % 4),
+		}
+		d, c := Classify(r)
+		if d < Deterministic || d > UnknownDeterminism || c < NoCrash || c > UnknownConsequence {
+			return false
+		}
+		// Determinism must not depend on the symptom, and vice versa.
+		r2 := *r
+		r2.Symptom = Symptom((symRaw + 1) % 4)
+		d2, _ := Classify(&r2)
+		return d2 == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToSpecimenClasses(t *testing.T) {
+	seen := map[faultinject.Consequence]int{}
+	deterministic := 0
+	for _, r := range Corpus() {
+		s := ToSpecimen(r, "create")
+		seen[s.Class]++
+		if s.Deterministic {
+			deterministic++
+			if s.Prob != 1 {
+				t.Errorf("deterministic specimen %s with prob %v", s.ID, s.Prob)
+			}
+		}
+	}
+	if deterministic != 165 {
+		t.Errorf("deterministic specimens = %d, want 165", deterministic)
+	}
+	for _, class := range []faultinject.Consequence{
+		faultinject.Crash, faultinject.Warn, faultinject.SilentCorrupt,
+		faultinject.Freeze, faultinject.ErrReturn,
+	} {
+		if seen[class] == 0 {
+			t.Errorf("no specimen of class %v in the executable corpus", class)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1(Table1(Corpus()))
+	for _, want := range []string{"Deterministic", "Non-Deterministic", "165", "83", "256", "No Crash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	out := RenderFigure1(Figure1(Corpus()))
+	for _, want := range []string{"2013", "2023", "legend", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// The trend the paper highlights: more deterministic bugs fixed in the
+	// last four years than the first four.
+	fig := Figure1(Corpus())
+	early := fig[2013][0] + fig[2013][2] + fig[2014][0] + fig[2014][2] +
+		fig[2015][0] + fig[2015][2] + fig[2016][0] + fig[2016][2]
+	late := fig[2020][0] + fig[2020][2] + fig[2021][0] + fig[2021][2] +
+		fig[2022][0] + fig[2022][2] + fig[2023][0] + fig[2023][2]
+	if late <= early {
+		t.Errorf("figure trend inverted: early %d, late %d", early, late)
+	}
+}
+
+func TestYearsSortedAndComplete(t *testing.T) {
+	ys := Years()
+	if len(ys) != 11 || ys[0] != 2013 || ys[len(ys)-1] != 2023 {
+		t.Errorf("Years() = %v", ys)
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] != ys[i-1]+1 {
+			t.Errorf("Years() not contiguous: %v", ys)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package cache implements the performance-oriented in-memory components of
+// the base filesystem: a write-back buffer cache for disk blocks, an inode
+// cache, and a dentry (name-lookup) cache.
+//
+// These are exactly the components the paper's Figure 2 places on the
+// "common path (performance)" side and excludes from the shadow: "the shadow
+// does not use a dentry cache ... does not utilize the concurrent inode and
+// data block caches; instead, it uses a simple data structure" (§3.3). They
+// are also where the base keeps the erroneous state that a contained reboot
+// must discard: the RAE supervisor throws away the entire cache layer and
+// re-mounts from disk.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+)
+
+// Buf is one cached block. Callers mutate Data only between Get and Release
+// while holding the buffer pinned, and must call MarkDirty after mutating.
+type Buf struct {
+	Blk  uint32
+	Data []byte
+	// Meta marks the block as filesystem metadata (inode table, bitmaps,
+	// directory and indirect blocks). The sync path journals dirty metadata
+	// blocks and writes dirty data blocks straight home (ordered mode).
+	Meta  bool
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// BufferCache is a write-back block cache with LRU eviction of clean,
+// unpinned buffers. Dirty buffers are never evicted; they leave the cache
+// only through FlushDirty (checkpointing) or Invalidate (contained reboot).
+type BufferCache struct {
+	mu       sync.Mutex
+	queue    *blockdev.Queue
+	bufs     map[uint32]*Buf
+	lru      *list.List // least-recently-used at the front
+	maxClean int
+	hits     int64
+	misses   int64
+	// policy, when set, drives admission/eviction (2Q); the LRU list remains
+	// the backstop bound. Policy victims are honored only when clean and
+	// unpinned.
+	policy *TwoQ
+}
+
+// SetPolicy installs a 2Q replacement policy (nil reverts to plain LRU).
+func (c *BufferCache) SetPolicy(p *TwoQ) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// touchPolicyLocked routes a reference through the policy and applies its
+// eviction decisions to evictable buffers.
+func (c *BufferCache) touchPolicyLocked(blk uint32) {
+	if c.policy == nil {
+		return
+	}
+	for _, victim := range c.policy.Touch(blk) {
+		if b, ok := c.bufs[victim]; ok && !b.dirty && b.pins == 0 {
+			if b.elem != nil {
+				c.lru.Remove(b.elem)
+				b.elem = nil
+			}
+			delete(c.bufs, victim)
+		}
+	}
+}
+
+// NewBufferCache creates a cache over the async block queue holding at most
+// maxClean clean buffers (dirty buffers are unbounded; sync policy bounds
+// them in practice).
+func NewBufferCache(queue *blockdev.Queue, maxClean int) *BufferCache {
+	if maxClean < 8 {
+		maxClean = 8
+	}
+	return &BufferCache{
+		queue:    queue,
+		bufs:     make(map[uint32]*Buf),
+		lru:      list.New(),
+		maxClean: maxClean,
+	}
+}
+
+// Get returns the cached buffer for blk, reading through the async queue on
+// a miss. The buffer is returned pinned; the caller must Release it.
+func (c *BufferCache) Get(blk uint32) (*Buf, error) {
+	c.mu.Lock()
+	if b, ok := c.bufs[blk]; ok {
+		b.pins++
+		if b.elem != nil {
+			c.lru.MoveToBack(b.elem)
+		}
+		c.hits++
+		c.touchPolicyLocked(blk)
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Read outside the lock so concurrent misses overlap their IO.
+	data, err := c.queue.Read(blk)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.bufs[blk]; ok {
+		// Another goroutine cached it first; prefer theirs (it may be dirty).
+		b.pins++
+		return b, nil
+	}
+	b := &Buf{Blk: blk, Data: data, pins: 1}
+	c.bufs[blk] = b
+	c.touchPolicyLocked(blk)
+	c.evictLocked()
+	return b, nil
+}
+
+// GetZero returns a pinned buffer for blk initialized to zeros without
+// reading the device, for freshly allocated blocks.
+func (c *BufferCache) GetZero(blk uint32) *Buf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.bufs[blk]; ok {
+		b.pins++
+		for i := range b.Data {
+			b.Data[i] = 0
+		}
+		return b
+	}
+	b := &Buf{Blk: blk, Data: make([]byte, disklayout.BlockSize), pins: 1}
+	c.bufs[blk] = b
+	c.touchPolicyLocked(blk)
+	c.evictLocked()
+	return b
+}
+
+// MarkDirty flags a pinned buffer as modified. Dirty buffers are exempt from
+// eviction until flushed.
+func (c *BufferCache) MarkDirty(b *Buf) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.dirty = true
+	if b.elem != nil {
+		c.lru.Remove(b.elem)
+		b.elem = nil
+	}
+}
+
+// Release unpins a buffer. Clean, unpinned buffers become eviction
+// candidates.
+func (c *BufferCache) Release(b *Buf) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b.pins <= 0 {
+		panic(fmt.Sprintf("cache: release of unpinned buffer %d", b.Blk))
+	}
+	b.pins--
+	if b.pins == 0 && !b.dirty && b.elem == nil {
+		b.elem = c.lru.PushBack(b)
+		c.evictLocked()
+	}
+}
+
+func (c *BufferCache) evictLocked() {
+	for c.lru.Len() > c.maxClean {
+		front := c.lru.Front()
+		b := front.Value.(*Buf)
+		c.lru.Remove(front)
+		b.elem = nil
+		delete(c.bufs, b.Blk)
+	}
+}
+
+// DirtyBlocks returns a snapshot of all dirty buffers, ordered by block
+// number upstream if the caller sorts. The buffers stay dirty; the sync path
+// clears them with MarkClean after committing.
+func (c *BufferCache) DirtyBlocks() []*Buf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Buf
+	for _, b := range c.bufs {
+		if b.dirty {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// MarkClean clears the dirty flag after the buffer's contents have been made
+// durable, returning it to LRU circulation if unpinned.
+func (c *BufferCache) MarkClean(b *Buf) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !b.dirty {
+		return
+	}
+	b.dirty = false
+	if b.pins == 0 && b.elem == nil {
+		b.elem = c.lru.PushBack(b)
+		c.evictLocked()
+	}
+}
+
+// Install places externally produced block contents (the shadow's metadata
+// download) into the cache as a dirty buffer, replacing any cached version.
+// This is the base's "metadata downloading" absorption point (§3.2). meta
+// tags the block for the journaled sync path.
+func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bufs[blk]
+	if !ok {
+		b = &Buf{Blk: blk}
+		c.bufs[blk] = b
+	}
+	if b.elem != nil {
+		c.lru.Remove(b.elem)
+		b.elem = nil
+	}
+	b.Data = make([]byte, disklayout.BlockSize)
+	copy(b.Data, data)
+	b.Meta = meta
+	b.dirty = true
+}
+
+// Drop removes a block from the cache regardless of state (used when a block
+// is freed).
+func (c *BufferCache) Drop(blk uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.policy != nil {
+		c.policy.Forget(blk)
+	}
+	if b, ok := c.bufs[blk]; ok {
+		if b.elem != nil {
+			c.lru.Remove(b.elem)
+		}
+		delete(c.bufs, blk)
+	}
+}
+
+// Len returns the number of cached buffers.
+func (c *BufferCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bufs)
+}
+
+// HitRate returns cache hits and misses since creation.
+func (c *BufferCache) HitRate() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

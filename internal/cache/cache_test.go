@@ -1,0 +1,300 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+)
+
+func newBC(t *testing.T, blocks uint32, maxClean int) (*BufferCache, *blockdev.Mem, *blockdev.Queue) {
+	t.Helper()
+	dev := blockdev.NewMem(blocks)
+	q := blockdev.NewQueue(dev, 2, 16)
+	t.Cleanup(q.Close)
+	return NewBufferCache(q, maxClean), dev, q
+}
+
+func fill(dev *blockdev.Mem, blk uint32, b byte) {
+	data := make([]byte, disklayout.BlockSize)
+	for i := range data {
+		data[i] = b
+	}
+	_ = dev.WriteBlock(blk, data)
+}
+
+func TestBufferCacheReadThrough(t *testing.T) {
+	c, dev, _ := newBC(t, 16, 8)
+	fill(dev, 3, 0x33)
+	b, err := c.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Data[0] != 0x33 {
+		t.Error("read-through returned wrong data")
+	}
+	c.Release(b)
+	// Second get must hit.
+	b2, _ := c.Get(3)
+	c.Release(b2)
+	hits, misses := c.HitRate()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hit/miss = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestBufferCacheEvictsCleanLRU(t *testing.T) {
+	c, _, _ := newBC(t, 64, 8)
+	for i := uint32(0); i < 20; i++ {
+		b, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release(b)
+	}
+	if c.Len() > 8 {
+		t.Errorf("cache holds %d buffers, max 8", c.Len())
+	}
+}
+
+func TestBufferCacheDirtyNeverEvicted(t *testing.T) {
+	c, _, _ := newBC(t, 64, 8)
+	b, _ := c.Get(0)
+	b.Data[0] = 0xEE
+	c.MarkDirty(b)
+	c.Release(b)
+	for i := uint32(1); i < 30; i++ {
+		x, _ := c.Get(i)
+		c.Release(x)
+	}
+	b2, _ := c.Get(0)
+	defer c.Release(b2)
+	if b2.Data[0] != 0xEE {
+		t.Error("dirty buffer was evicted and reread from disk")
+	}
+	if len(c.DirtyBlocks()) != 1 {
+		t.Errorf("DirtyBlocks = %d, want 1", len(c.DirtyBlocks()))
+	}
+}
+
+func TestBufferCachePinnedNotEvicted(t *testing.T) {
+	c, dev, _ := newBC(t, 64, 8)
+	fill(dev, 5, 0x55)
+	pinned, _ := c.Get(5)
+	for i := uint32(10); i < 40; i++ {
+		x, _ := c.Get(i)
+		c.Release(x)
+	}
+	// The pinned buffer must still be the same object.
+	again, _ := c.Get(5)
+	if again != pinned {
+		t.Error("pinned buffer was evicted")
+	}
+	c.Release(again)
+	c.Release(pinned)
+}
+
+func TestBufferCacheMarkCleanReturnsToLRU(t *testing.T) {
+	c, _, _ := newBC(t, 64, 8)
+	b, _ := c.Get(0)
+	c.MarkDirty(b)
+	c.Release(b)
+	c.MarkClean(b)
+	for i := uint32(1); i < 30; i++ {
+		x, _ := c.Get(i)
+		c.Release(x)
+	}
+	if c.Len() > 8 {
+		t.Errorf("clean buffer not evictable: len=%d", c.Len())
+	}
+}
+
+func TestBufferCacheInstall(t *testing.T) {
+	c, dev, _ := newBC(t, 16, 8)
+	fill(dev, 2, 0x22)
+	data := make([]byte, disklayout.BlockSize)
+	data[0] = 0x99
+	c.Install(2, data, true)
+	b, _ := c.Get(2)
+	defer c.Release(b)
+	if b.Data[0] != 0x99 {
+		t.Error("Install did not override device contents")
+	}
+	if !b.dirty {
+		t.Error("installed buffer is not dirty")
+	}
+	// Install copies: mutating the source must not reach the cache.
+	data[0] = 0x11
+	if b.Data[0] != 0x99 {
+		t.Error("Install aliases caller's buffer")
+	}
+}
+
+func TestBufferCacheGetZero(t *testing.T) {
+	c, dev, _ := newBC(t, 16, 8)
+	fill(dev, 7, 0x77)
+	b := c.GetZero(7)
+	defer c.Release(b)
+	if b.Data[0] != 0 {
+		t.Error("GetZero returned non-zero data")
+	}
+	if _, misses := c.HitRate(); misses != 0 {
+		t.Error("GetZero read the device")
+	}
+}
+
+func TestBufferCacheDrop(t *testing.T) {
+	c, _, _ := newBC(t, 16, 8)
+	b, _ := c.Get(1)
+	c.MarkDirty(b)
+	c.Release(b)
+	c.Drop(1)
+	if c.Len() != 0 {
+		t.Error("Drop left the buffer cached")
+	}
+}
+
+func TestBufferCacheReleaseUnpinnedPanics(t *testing.T) {
+	c, _, _ := newBC(t, 16, 8)
+	b, _ := c.Get(0)
+	c.Release(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	c.Release(b)
+}
+
+func TestBufferCacheConcurrentGets(t *testing.T) {
+	c, dev, _ := newBC(t, 128, 32)
+	for i := uint32(0); i < 128; i++ {
+		fill(dev, i, byte(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				blk := uint32((g*37 + i) % 128)
+				b, err := c.Get(blk)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if b.Data[0] != byte(blk) {
+					t.Errorf("block %d has wrong data %#x", blk, b.Data[0])
+					c.Release(b)
+					return
+				}
+				c.Release(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDentryCacheBasics(t *testing.T) {
+	dc := NewDentryCache(100)
+	if _, _, found := dc.Lookup(1, "a"); found {
+		t.Error("empty cache reported a hit")
+	}
+	dc.Add(1, "a", 42)
+	ino, neg, found := dc.Lookup(1, "a")
+	if !found || neg || ino != 42 {
+		t.Errorf("Lookup = (%d,%v,%v)", ino, neg, found)
+	}
+	dc.AddNegative(1, "ghost")
+	_, neg, found = dc.Lookup(1, "ghost")
+	if !found || !neg {
+		t.Error("negative entry not cached")
+	}
+	dc.Invalidate(1, "a")
+	if _, _, found := dc.Lookup(1, "a"); found {
+		t.Error("Invalidate left the entry")
+	}
+}
+
+func TestDentryCacheInvalidateDir(t *testing.T) {
+	dc := NewDentryCache(100)
+	dc.Add(1, "a", 2)
+	dc.Add(1, "b", 3)
+	dc.Add(9, "c", 4)
+	dc.InvalidateDir(1)
+	if _, _, found := dc.Lookup(1, "a"); found {
+		t.Error("entry under invalidated dir survives")
+	}
+	if _, _, found := dc.Lookup(9, "c"); !found {
+		t.Error("entry under other dir was dropped")
+	}
+}
+
+func TestDentryCacheBoundAndPurge(t *testing.T) {
+	dc := NewDentryCache(16)
+	for i := 0; i < 100; i++ {
+		dc.Add(1, string(rune('a'+i%26))+string(rune('0'+i/26)), uint32(i))
+	}
+	if dc.Len() > 16 {
+		t.Errorf("cache exceeded bound: %d", dc.Len())
+	}
+	dc.Purge()
+	if dc.Len() != 0 {
+		t.Error("Purge left entries")
+	}
+}
+
+func TestInodeCacheBasics(t *testing.T) {
+	ic := NewInodeCache(100)
+	if ic.Get(5) != nil {
+		t.Error("empty cache returned an inode")
+	}
+	ci := &CachedInode{Ino: 5}
+	got := ic.Put(ci)
+	if got != ci {
+		t.Error("Put returned a different object")
+	}
+	if ic.Get(5) != ci {
+		t.Error("Get after Put missed")
+	}
+	// Concurrent double insert: first wins.
+	ci2 := &CachedInode{Ino: 5}
+	if got := ic.Put(ci2); got != ci {
+		t.Error("second Put replaced the first inode")
+	}
+}
+
+func TestInodeCacheEvictionSparesDirtyAndOpen(t *testing.T) {
+	ic := NewInodeCache(16)
+	dirty := &CachedInode{Ino: 1, Dirty: true}
+	open := &CachedInode{Ino: 2, Opens: 1}
+	ic.Put(dirty)
+	ic.Put(open)
+	for i := uint32(10); i < 100; i++ {
+		ic.Put(&CachedInode{Ino: i})
+	}
+	if ic.Get(1) == nil {
+		t.Error("dirty inode evicted")
+	}
+	if ic.Get(2) == nil {
+		t.Error("open inode evicted")
+	}
+	if len(ic.DirtyInodes()) != 1 {
+		t.Errorf("DirtyInodes = %d, want 1", len(ic.DirtyInodes()))
+	}
+}
+
+func TestInodeCacheDropAndPurge(t *testing.T) {
+	ic := NewInodeCache(16)
+	ic.Put(&CachedInode{Ino: 3, Dirty: true})
+	ic.Drop(3)
+	if ic.Get(3) != nil {
+		t.Error("Drop left the inode")
+	}
+	ic.Put(&CachedInode{Ino: 4, Dirty: true, Opens: 2})
+	ic.Purge()
+	if ic.Len() != 0 {
+		t.Error("Purge left inodes (contained reboot must drop everything)")
+	}
+}

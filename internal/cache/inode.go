@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/disklayout"
+)
+
+// CachedInode is the in-memory, decoded form of an on-disk inode plus the
+// runtime state the base filesystem tracks for it.
+type CachedInode struct {
+	// Mu serializes data-path operations on this inode; namespace operations
+	// are serialized by the filesystem-wide lock instead.
+	Mu sync.Mutex
+	// Ino is the inode number.
+	Ino uint32
+	// Inode is the decoded on-disk record. Guarded by Mu for data fields and
+	// by the filesystem lock for namespace fields.
+	Inode disklayout.Inode
+	// Dirty reports that Inode differs from the inode table block.
+	Dirty bool
+	// Opens counts open file descriptors referencing this inode; an inode
+	// with Nlink==0 is deallocated when Opens drops to zero.
+	Opens int
+}
+
+// InodeCache caches decoded inodes by number. Clean, unopened inodes are
+// evicted wholesale at the bound; dirty or open inodes are pinned by
+// definition.
+type InodeCache struct {
+	mu     sync.Mutex
+	inodes map[uint32]*CachedInode
+	max    int
+	hits   int64
+	misses int64
+}
+
+// NewInodeCache creates an inode cache bounded at roughly max clean entries.
+func NewInodeCache(max int) *InodeCache {
+	if max < 16 {
+		max = 16
+	}
+	return &InodeCache{inodes: make(map[uint32]*CachedInode), max: max}
+}
+
+// Get returns the cached inode or nil on a miss. The caller loads misses
+// from the buffer cache and inserts with Put.
+func (c *InodeCache) Get(ino uint32) *CachedInode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ci := c.inodes[ino]
+	if ci != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ci
+}
+
+// Put inserts a decoded inode, returning the winner if another goroutine
+// inserted the same number concurrently.
+func (c *InodeCache) Put(ci *CachedInode) *CachedInode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.inodes[ci.Ino]; ok {
+		return existing
+	}
+	if len(c.inodes) >= c.max {
+		c.evictLocked()
+	}
+	c.inodes[ci.Ino] = ci
+	return ci
+}
+
+func (c *InodeCache) evictLocked() {
+	for ino, ci := range c.inodes {
+		if !ci.Dirty && ci.Opens == 0 {
+			delete(c.inodes, ino)
+			if len(c.inodes) < c.max {
+				return
+			}
+		}
+	}
+}
+
+// Drop removes an inode from the cache (deallocation).
+func (c *InodeCache) Drop(ino uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inodes, ino)
+}
+
+// DirtyInodes returns all dirty cached inodes for the sync path.
+func (c *InodeCache) DirtyInodes() []*CachedInode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*CachedInode
+	for _, ci := range c.inodes {
+		if ci.Dirty {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// Purge empties the cache (contained reboot). Open and dirty inodes are
+// dropped too: after an error nothing in memory is trusted.
+func (c *InodeCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inodes = make(map[uint32]*CachedInode)
+}
+
+// Len returns the number of cached inodes.
+func (c *InodeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inodes)
+}
+
+// HitRate returns hits and misses since creation.
+func (c *InodeCache) HitRate() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

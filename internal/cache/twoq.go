@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// TwoQ implements the 2Q admission policy over block numbers, the cache
+// policy the paper names among the base's "sophisticated caching structures
+// and policies (e.g., LRU 2Q)" (§2.3). It decides *which* clean buffers to
+// evict; the BufferCache owns the buffers themselves.
+//
+// Classic simplified 2Q: a block seen once sits in the FIFO probation queue
+// (A1in). If it is referenced again while there — or while its ghost lingers
+// in A1out after eviction — it is promoted to the protected LRU main queue
+// (Am). Scans touch each block once, so they wash through A1in without
+// displacing the hot set in Am.
+type TwoQ struct {
+	mu sync.Mutex
+	// a1in is the probation FIFO of resident one-timers.
+	a1in    *list.List
+	a1inMap map[uint32]*list.Element
+	// a1out is the ghost FIFO of recently evicted one-timers (numbers only).
+	a1out    *list.List
+	a1outMap map[uint32]*list.Element
+	// am is the protected LRU (front = least recent).
+	am    *list.List
+	amMap map[uint32]*list.Element
+
+	capA1in  int
+	capA1out int
+	capAm    int
+}
+
+// NewTwoQ creates a 2Q policy for a cache of total resident capacity; the
+// classic split reserves a quarter for probation and half the total for
+// ghosts.
+func NewTwoQ(capacity int) *TwoQ {
+	if capacity < 8 {
+		capacity = 8
+	}
+	capA1in := capacity / 4
+	if capA1in < 2 {
+		capA1in = 2
+	}
+	return &TwoQ{
+		a1in: list.New(), a1inMap: make(map[uint32]*list.Element),
+		a1out: list.New(), a1outMap: make(map[uint32]*list.Element),
+		am: list.New(), amMap: make(map[uint32]*list.Element),
+		capA1in:  capA1in,
+		capA1out: capacity / 2,
+		capAm:    capacity - capA1in,
+	}
+}
+
+// Touch records a reference to blk and returns the block numbers the policy
+// evicts from residency as a result (possibly none).
+func (q *TwoQ) Touch(blk uint32) (evicted []uint32) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.amMap[blk]; ok {
+		q.am.MoveToBack(e) // hot and stays hot
+		return nil
+	}
+	if _, ok := q.a1inMap[blk]; ok {
+		// Second reference while on probation: promote.
+		q.removeA1in(blk)
+		return q.insertAm(blk)
+	}
+	if _, ok := q.a1outMap[blk]; ok {
+		// Referenced again shortly after eviction: it deserved better.
+		q.removeA1out(blk)
+		return q.insertAm(blk)
+	}
+	// First sighting: probation.
+	q.a1inMap[blk] = q.a1in.PushBack(blk)
+	for q.a1in.Len() > q.capA1in {
+		front := q.a1in.Front()
+		victim := front.Value.(uint32)
+		q.a1in.Remove(front)
+		delete(q.a1inMap, victim)
+		// Remember the ghost.
+		q.a1outMap[victim] = q.a1out.PushBack(victim)
+		for q.a1out.Len() > q.capA1out {
+			g := q.a1out.Front()
+			q.a1out.Remove(g)
+			delete(q.a1outMap, g.Value.(uint32))
+		}
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+func (q *TwoQ) insertAm(blk uint32) (evicted []uint32) {
+	q.amMap[blk] = q.am.PushBack(blk)
+	for q.am.Len() > q.capAm {
+		front := q.am.Front()
+		victim := front.Value.(uint32)
+		q.am.Remove(front)
+		delete(q.amMap, victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+func (q *TwoQ) removeA1in(blk uint32) {
+	if e, ok := q.a1inMap[blk]; ok {
+		q.a1in.Remove(e)
+		delete(q.a1inMap, blk)
+	}
+}
+
+func (q *TwoQ) removeA1out(blk uint32) {
+	if e, ok := q.a1outMap[blk]; ok {
+		q.a1out.Remove(e)
+		delete(q.a1outMap, blk)
+	}
+}
+
+// Forget removes blk from all queues (the block was freed or force-dropped).
+func (q *TwoQ) Forget(blk uint32) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.removeA1in(blk)
+	q.removeA1out(blk)
+	if e, ok := q.amMap[blk]; ok {
+		q.am.Remove(e)
+		delete(q.amMap, blk)
+	}
+}
+
+// Resident reports whether the policy currently counts blk as cached.
+func (q *TwoQ) Resident(blk uint32) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, in := q.a1inMap[blk]
+	_, hot := q.amMap[blk]
+	return in || hot
+}
+
+// Lens returns the three queue lengths (probation, ghost, protected), for
+// tests and instrumentation.
+func (q *TwoQ) Lens() (a1in, a1out, am int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.a1in.Len(), q.a1out.Len(), q.am.Len()
+}

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoQPromotionOnSecondReference(t *testing.T) {
+	q := NewTwoQ(16)
+	q.Touch(7)
+	a1, _, am := q.Lens()
+	if a1 != 1 || am != 0 {
+		t.Fatalf("after first touch: a1in=%d am=%d", a1, am)
+	}
+	q.Touch(7)
+	a1, _, am = q.Lens()
+	if a1 != 0 || am != 1 {
+		t.Fatalf("after second touch: a1in=%d am=%d", a1, am)
+	}
+	if !q.Resident(7) {
+		t.Error("promoted block not resident")
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	q := NewTwoQ(32) // capA1in=8, capAm=24
+	// Build a hot set by touching each block twice.
+	for _, blk := range []uint32{1, 2, 3, 4} {
+		q.Touch(blk)
+		q.Touch(blk)
+	}
+	// A long sequential scan: each block touched exactly once.
+	for blk := uint32(100); blk < 300; blk++ {
+		q.Touch(blk)
+	}
+	// The hot set survived the scan.
+	for _, blk := range []uint32{1, 2, 3, 4} {
+		if !q.Resident(blk) {
+			t.Errorf("hot block %d evicted by a one-touch scan", blk)
+		}
+	}
+	a1, _, _ := q.Lens()
+	if a1 > 8 {
+		t.Errorf("probation queue exceeded its capacity: %d", a1)
+	}
+}
+
+func TestTwoQGhostPromotion(t *testing.T) {
+	q := NewTwoQ(16) // capA1in=4
+	// Push block 1 through probation and out (4 more one-timers evict it).
+	q.Touch(1)
+	for blk := uint32(10); blk < 15; blk++ {
+		q.Touch(blk)
+	}
+	if q.Resident(1) {
+		t.Fatal("block 1 should have been evicted from probation")
+	}
+	// A reference while its ghost is remembered goes straight to protected.
+	q.Touch(1)
+	_, _, am := q.Lens()
+	if am != 1 || !q.Resident(1) {
+		t.Fatalf("ghost hit not promoted: am=%d", am)
+	}
+}
+
+func TestTwoQForget(t *testing.T) {
+	q := NewTwoQ(16)
+	q.Touch(5)
+	q.Touch(5)
+	q.Forget(5)
+	if q.Resident(5) {
+		t.Error("forgotten block still resident")
+	}
+	// Forgetting again is a no-op.
+	q.Forget(5)
+}
+
+func TestTwoQEvictionsAreResidentBlocksProperty(t *testing.T) {
+	// Property: every evicted block was resident before the touch, and
+	// residency never exceeds the configured capacity.
+	f := func(touches []uint16) bool {
+		q := NewTwoQ(24)
+		resident := map[uint32]bool{}
+		for _, raw := range touches {
+			blk := uint32(raw % 64)
+			ev := q.Touch(blk)
+			resident[blk] = true
+			for _, v := range ev {
+				if !resident[v] {
+					return false
+				}
+				delete(resident, v)
+			}
+			if len(resident) > 24+1 {
+				return false
+			}
+		}
+		for blk := range resident {
+			if !q.Resident(blk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package core implements Robust Alternative Execution (RAE), the paper's
+// primary contribution: a supervisor that runs a performance-oriented base
+// filesystem in the common case and, when a runtime error is detected,
+// masks it by a contained reboot plus re-execution on the shadow filesystem.
+//
+// The supervisor wraps the base behind the shared fsapi.FS interface and:
+//
+//  1. records every state-changing operation and its outcome in the
+//     operation log, truncating at durable points (§3.2);
+//  2. detects runtime errors: panics in base code (contained with recover),
+//     kernel-style WARNs (escalation configurable), internal corruption
+//     (ErrCorrupt/ErrIO results, including pre-persist sync validation
+//     failures), and freezes (per-operation watchdog);
+//  3. performs the contained reboot: the faulty base instance is discarded
+//     wholesale — caches, fd table, dirty state — and a fresh instance is
+//     mounted from trusted on-disk state via journal replay;
+//  4. launches the shadow over the same device (read-only, fsck-verified),
+//     replays the recorded sequence in constrained mode and the in-flight
+//     operation in autonomous mode;
+//  5. hands the shadow's sealed metadata update to the rebooted base
+//     (metadata download) and returns the in-flight operation's result to
+//     the application, which never observes the failure.
+//
+// The package also hosts the baselines the experiments compare against:
+// crash-restart (fail everything back to the application), naive replay
+// (Membrane-style re-execution on the base itself, which re-triggers
+// deterministic bugs), and 3-version voting (NVP).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/faultinject"
+	"repro/internal/fsapi"
+	"repro/internal/oplog"
+)
+
+// Mode selects the failure-handling strategy.
+type Mode int
+
+// Modes.
+const (
+	// ModeRAE is the paper's system: contained reboot + shadow re-execution.
+	ModeRAE Mode = iota
+	// ModeCrashRestart remounts from disk and fails the in-flight operation
+	// and all open descriptors back to the application (the status quo the
+	// paper argues against).
+	ModeCrashRestart
+	// ModeNaiveReplay remounts and re-executes the recorded sequence on the
+	// base itself (Membrane-style); deterministic bugs re-trigger (§2.2's
+	// fundamental conflict).
+	ModeNaiveReplay
+)
+
+// String names the mode in experiment tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeRAE:
+		return "rae"
+	case ModeCrashRestart:
+		return "crash-restart"
+	case ModeNaiveReplay:
+		return "naive-replay"
+	}
+	return "unknown"
+}
+
+// Config tunes the supervisor.
+type Config struct {
+	// Base configures the base filesystem instances (cache sizes, the bug
+	// injector, extra checks).
+	Base basefs.Options
+	// Mode selects RAE or a baseline strategy.
+	Mode Mode
+	// EscalateWarns treats WARN records as detected errors that trigger
+	// recovery (Table 1 counts WARNs among detectable consequences). When
+	// false WARNs are logged and execution continues.
+	EscalateWarns bool
+	// Watchdog bounds each operation's execution; 0 disables freeze
+	// detection.
+	Watchdog time.Duration
+	// StopOnDiscrepancy aborts recovery when the shadow's constrained replay
+	// disagrees with a recorded outcome, degrading to crash-restart.
+	StopOnDiscrepancy bool
+	// MaxReplayRetries bounds naive replay's re-execution attempts before it
+	// degrades to crash-restart.
+	MaxReplayRetries int
+	// SkipFsckInRecovery skips the shadow's image check during recovery (for
+	// phase-isolating benchmarks only).
+	SkipFsckInRecovery bool
+}
+
+func (c *Config) fill() {
+	if c.MaxReplayRetries == 0 {
+		c.MaxReplayRetries = 3
+	}
+}
+
+// RecoveryPhases breaks one recovery's latency into the paper's steps.
+type RecoveryPhases struct {
+	Reboot time.Duration // kill + journal replay + fresh mount
+	Fsck   time.Duration // shadow's image validation
+	Replay time.Duration // shadow constrained + autonomous execution
+	Absorb time.Duration // metadata download into the base
+}
+
+// Total returns the end-to-end recovery latency.
+func (p RecoveryPhases) Total() time.Duration {
+	return p.Reboot + p.Fsck + p.Replay + p.Absorb
+}
+
+// Stats aggregates supervisor activity for the experiments.
+type Stats struct {
+	OpsExecuted    int64
+	OpsRecorded    int64
+	StablePoints   int64
+	Recoveries     int64
+	Degradations   int64 // recoveries that fell back to crash-restart
+	PanicsCaught   int64
+	WarnsSeen      int64
+	WarnsEscalated int64
+	Freezes        int64
+	FaultResults   int64 // ErrCorrupt/ErrIO outcomes intercepted
+	FDsInvalidated int64 // descriptors lost to crash-restart semantics
+	AppFailures    int64 // operations that surfaced a failure to the app
+	OpsReplayed    int64
+	Discrepancies  int64
+	TotalDowntime  time.Duration
+	Phases         []RecoveryPhases
+	PeakLogLen     int
+}
+
+// FS is the RAE-supervised filesystem. It implements fsapi.FS; applications
+// use it exactly like the base.
+type FS struct {
+	mu   sync.Mutex
+	dev  blockdev.Device
+	base *basefs.FS
+	// fence is the current base instance's device handle; raised at the
+	// start of every contained reboot so abandoned operations cannot touch
+	// the device the recovery works from.
+	fence        *fencedDevice
+	log          *oplog.Log
+	cfg          Config
+	stats        Stats
+	warns        warnCounter
+	opStartWarns atomic.Int64
+
+	// lastDisc keeps the most recent recovery's discrepancy reports for
+	// post-mortem inspection (§4.3: "reporting the discrepancies is
+	// necessary").
+	lastDisc []difftest.Discrepancy
+}
+
+var _ fsapi.FS = (*FS)(nil)
+
+// Mount brings up a supervised filesystem over a formatted device.
+func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
+	cfg.fill()
+	fs := &FS{dev: dev, log: oplog.NewLog(), cfg: cfg}
+	fs.warns.next = cfg.Base.OnWarn
+	base, fence, err := fs.mountBase()
+	if err != nil {
+		return nil, err
+	}
+	fs.base, fs.fence = base, fence
+	fs.log.Stable(base.OpenFDs(), base.Clock())
+	return fs, nil
+}
+
+// Unmount syncs and stops the supervised filesystem.
+func (r *FS) Unmount() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base.Unmount()
+}
+
+// Kill abandons the supervised filesystem without syncing (tests).
+func (r *FS) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base.Kill()
+}
+
+// Stats returns a copy of the supervisor's counters.
+func (r *FS) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.PeakLogLen = r.log.PeakLen()
+	s.Phases = append([]RecoveryPhases(nil), r.stats.Phases...)
+	return s
+}
+
+// LastDiscrepancies returns the constrained-replay disagreements from the
+// most recent recovery.
+func (r *FS) LastDiscrepancies() []difftest.Discrepancy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]difftest.Discrepancy(nil), r.lastDisc...)
+}
+
+// Base exposes the current base instance for experiment instrumentation
+// (cache hit rates). The instance changes across recoveries.
+func (r *FS) Base() *basefs.FS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base
+}
+
+// LogLen returns the current recorded-operation count (recovery cost driver).
+func (r *FS) LogLen() int { return r.log.Len() }
+
+// DumpLog serializes the current recovery input — the recorded sequence,
+// the stable-point descriptor table, and the clock — in the wire format a
+// shadow process consumes. cmd/shadowreplay replays such dumps offline as
+// the §4.3 post-error testing tool.
+func (r *FS) DumpLog() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops, fds, clk := r.log.Snapshot()
+	return oplog.EncodeSequence(ops, fds, clk)
+}
+
+// Injector returns the registry shared with the base, if any.
+func (r *FS) Injector() *faultinject.Registry { return r.cfg.Base.Injector }
+
+// --- fsapi.FS facade: every method funnels into do() ---
+
+// Mkdir implements fsapi.FS.
+func (r *FS) Mkdir(path string, perm uint16) error {
+	op := &oplog.Op{Kind: oplog.KMkdir, Path: path, Perm: perm}
+	r.do(op)
+	return op.Err()
+}
+
+// Rmdir implements fsapi.FS.
+func (r *FS) Rmdir(path string) error {
+	op := &oplog.Op{Kind: oplog.KRmdir, Path: path}
+	r.do(op)
+	return op.Err()
+}
+
+// Create implements fsapi.FS.
+func (r *FS) Create(path string, perm uint16) (fsapi.FD, error) {
+	op := &oplog.Op{Kind: oplog.KCreate, Path: path, Perm: perm}
+	r.do(op)
+	return op.RetFD, op.Err()
+}
+
+// Open implements fsapi.FS.
+func (r *FS) Open(path string) (fsapi.FD, error) {
+	op := &oplog.Op{Kind: oplog.KOpen, Path: path}
+	r.do(op)
+	return op.RetFD, op.Err()
+}
+
+// Close implements fsapi.FS.
+func (r *FS) Close(fd fsapi.FD) error {
+	op := &oplog.Op{Kind: oplog.KClose, FD: fd}
+	r.do(op)
+	return op.Err()
+}
+
+// ReadAt implements fsapi.FS. Reads are not recorded, but they run under the
+// same detection envelope: a read that trips a bug triggers recovery and is
+// satisfied by the shadow.
+func (r *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &oplog.Op{Kind: oplog.KReadProbe, FD: fd, Off: off, Size: int64(n)}
+	data, fault := r.execRead(fd, off, n)
+	if fault == nil {
+		return data, nil
+	}
+	r.recoverFrom(fault, op)
+	if op.Errno != 0 {
+		return nil, op.Err()
+	}
+	// The shadow executed the in-flight read during recovery; its bytes are
+	// the authoritative result.
+	return op.RetData, nil
+}
+
+// WriteAt implements fsapi.FS.
+func (r *FS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
+	op := &oplog.Op{Kind: oplog.KWrite, FD: fd, Off: off, Data: data}
+	r.do(op)
+	return op.RetN, op.Err()
+}
+
+// Truncate implements fsapi.FS.
+func (r *FS) Truncate(path string, size int64) error {
+	op := &oplog.Op{Kind: oplog.KTruncate, Path: path, Size: size}
+	r.do(op)
+	return op.Err()
+}
+
+// Unlink implements fsapi.FS.
+func (r *FS) Unlink(path string) error {
+	op := &oplog.Op{Kind: oplog.KUnlink, Path: path}
+	r.do(op)
+	return op.Err()
+}
+
+// Rename implements fsapi.FS.
+func (r *FS) Rename(oldPath, newPath string) error {
+	op := &oplog.Op{Kind: oplog.KRename, Path: oldPath, Path2: newPath}
+	r.do(op)
+	return op.Err()
+}
+
+// Link implements fsapi.FS.
+func (r *FS) Link(oldPath, newPath string) error {
+	op := &oplog.Op{Kind: oplog.KLink, Path: oldPath, Path2: newPath}
+	r.do(op)
+	return op.Err()
+}
+
+// Symlink implements fsapi.FS.
+func (r *FS) Symlink(target, linkPath string) error {
+	op := &oplog.Op{Kind: oplog.KSymlink, Path: linkPath, Path2: target}
+	r.do(op)
+	return op.Err()
+}
+
+// Readlink implements fsapi.FS.
+func (r *FS) Readlink(path string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var target string
+	var ferr error
+	base := r.base
+	fault := r.capture(func() error {
+		var err error
+		target, err = base.Readlink(path)
+		ferr = err
+		return err
+	})
+	if fault == nil {
+		return target, ferr
+	}
+	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
+	r.recoverFrom(fault, op)
+	if op.Errno != 0 {
+		return "", op.Err()
+	}
+	// Re-read through the recovered base with injection gated so a
+	// deterministic specimen cannot re-fire inside the retry.
+	var target2 string
+	var ferr2 error
+	r.withInjectionDisabled(func() { target2, ferr2 = r.base.Readlink(path) })
+	return target2, ferr2
+}
+
+// Stat implements fsapi.FS.
+func (r *FS) Stat(path string) (fsapi.Stat, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st fsapi.Stat
+	var serr error
+	base := r.base
+	fault := r.capture(func() error {
+		var err error
+		st, err = base.Stat(path)
+		serr = err
+		return err
+	})
+	if fault == nil {
+		return st, serr
+	}
+	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
+	r.recoverFrom(fault, op)
+	if op.Errno != 0 {
+		return fsapi.Stat{}, op.Err()
+	}
+	var st2 fsapi.Stat
+	var serr2 error
+	r.withInjectionDisabled(func() { st2, serr2 = r.base.Stat(path) })
+	return st2, serr2
+}
+
+// Fstat implements fsapi.FS.
+func (r *FS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base.Fstat(fd)
+}
+
+// Readdir implements fsapi.FS.
+func (r *FS) Readdir(path string) ([]fsapi.DirEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ents []fsapi.DirEntry
+	var derr error
+	base := r.base
+	fault := r.capture(func() error {
+		var err error
+		ents, err = base.Readdir(path)
+		derr = err
+		return err
+	})
+	if fault == nil {
+		return ents, derr
+	}
+	op := &oplog.Op{Kind: oplog.KReadDirProbe, Path: path}
+	r.recoverFrom(fault, op)
+	if op.Errno != 0 {
+		return nil, op.Err()
+	}
+	var ents2 []fsapi.DirEntry
+	var derr2 error
+	r.withInjectionDisabled(func() { ents2, derr2 = r.base.Readdir(path) })
+	return ents2, derr2
+}
+
+// SetPerm implements fsapi.FS.
+func (r *FS) SetPerm(path string, perm uint16) error {
+	op := &oplog.Op{Kind: oplog.KSetPerm, Path: path, Perm: perm}
+	r.do(op)
+	return op.Err()
+}
+
+// Fsync implements fsapi.FS.
+func (r *FS) Fsync(fd fsapi.FD) error {
+	op := &oplog.Op{Kind: oplog.KFsync, FD: fd}
+	r.do(op)
+	return op.Err()
+}
+
+// Sync implements fsapi.FS.
+func (r *FS) Sync() error {
+	op := &oplog.Op{Kind: oplog.KSync}
+	r.do(op)
+	return op.Err()
+}

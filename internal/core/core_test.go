@@ -1,0 +1,476 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/disklayout"
+	"repro/internal/faultinject"
+	"repro/internal/fserr"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+func newSupervised(t *testing.T, cfg Config) (*FS, *blockdev.Mem, *disklayout.Superblock) {
+	t.Helper()
+	dev := blockdev.NewMem(16384)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fs.Kill)
+	return fs, dev, sb
+}
+
+func TestPlainOperationNoBugs(t *testing.T) {
+	fs, _, _ := newSupervised(t, Config{})
+	fd, err := fs.Create("/hello", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAt(fd, 0, 10)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("ReadAt = (%q, %v)", got, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.Recoveries != 0 || st.AppFailures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.StablePoints != 1 {
+		t.Errorf("StablePoints = %d, want 1", st.StablePoints)
+	}
+	if fs.LogLen() != 0 {
+		t.Errorf("log not truncated at stable point: %d", fs.LogLen())
+	}
+}
+
+// runAgainstModel drives the same trace into a supervised filesystem and the
+// specification model (which has no bugs), comparing every outcome and the
+// final state. With RAE this must be a perfect match even with bugs armed:
+// the application never observes the faults.
+func runAgainstModel(t *testing.T, fs *FS, sb *disklayout.Superblock, trace []*oplog.Op) (outcomeDiffs, stateDiffs []difftest.Discrepancy) {
+	t.Helper()
+	m := model.New(sb)
+	for _, rec := range trace {
+		oracle := rec.Clone()
+		oracle.Errno, oracle.RetFD, oracle.RetIno, oracle.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(m, oracle)
+		got := rec.Clone()
+		got.Errno, got.RetFD, got.RetIno, got.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(fs, got)
+		outcomeDiffs = append(outcomeDiffs, difftest.CompareOutcome(got, oracle)...)
+	}
+	gotState, err := difftest.DumpState(fs)
+	if err != nil {
+		t.Fatalf("dump supervised state: %v", err)
+	}
+	wantState, err := difftest.DumpState(m)
+	if err != nil {
+		t.Fatalf("dump model state: %v", err)
+	}
+	stateDiffs = difftest.CompareStates(gotState, wantState)
+	return outcomeDiffs, stateDiffs
+}
+
+func trigger(kind faultinject.Consequence, op string, deterministic bool) *faultinject.Specimen {
+	return &faultinject.Specimen{
+		ID:            "spec-" + kind.String() + "-" + op,
+		Class:         kind,
+		Deterministic: deterministic,
+		Prob:          1.0,
+		Op:            op,
+		Point:         "entry",
+		PathSubstr:    "trigger",
+	}
+}
+
+// TestRAEMasksDeterministicCrash is the headline behavior: a deterministic
+// null-deref-style crash in create is masked; the application sees only
+// successful outcomes identical to the bug-free specification.
+func TestRAEMasksDeterministicCrash(t *testing.T) {
+	reg := faultinject.NewRegistry(1)
+	reg.Arm(trigger(faultinject.Crash, "create", true))
+	fs, _, sb := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+
+	var trace []*oplog.Op
+	trace = append(trace, &oplog.Op{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755})
+	trace = append(trace, &oplog.Op{Kind: oplog.KCreate, Path: "/d/before", Perm: 0o644})
+	trace = append(trace, &oplog.Op{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("pre-bug data")})
+	trace = append(trace, &oplog.Op{Kind: oplog.KCreate, Path: "/d/trigger-file", Perm: 0o644})
+	trace = append(trace, &oplog.Op{Kind: oplog.KWrite, FD: 1, Off: 0, Data: []byte("post-bug data")})
+	trace = append(trace, &oplog.Op{Kind: oplog.KClose, FD: 0})
+	trace = append(trace, &oplog.Op{Kind: oplog.KClose, FD: 1})
+	trace = append(trace, &oplog.Op{Kind: oplog.KStatProbe, Path: "/d/trigger-file"})
+
+	outcome, state := runAgainstModel(t, fs, sb, trace)
+	for _, d := range outcome {
+		t.Errorf("outcome: %s", d)
+	}
+	for _, d := range state {
+		t.Errorf("state: %s", d)
+	}
+	st := fs.Stats()
+	if st.Recoveries == 0 {
+		t.Fatal("no recovery happened; the bug never fired?")
+	}
+	if st.PanicsCaught == 0 {
+		t.Error("crash specimen did not panic")
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("application saw %d failures", st.AppFailures)
+	}
+	if len(reg.Fired()) == 0 {
+		t.Error("specimen never fired")
+	}
+}
+
+// TestRAEMasksEveryBugClass arms one specimen per Table 1 consequence class
+// and checks recovery masks each (experiment E9).
+func TestRAEMasksEveryBugClass(t *testing.T) {
+	classes := []struct {
+		name string
+		spec *faultinject.Specimen
+		cfg  func(*Config)
+	}{
+		{"deterministic-crash-mkdir", trigger(faultinject.Crash, "mkdir", true), nil},
+		{"deterministic-crash-unlink", trigger(faultinject.Crash, "unlink", true), nil},
+		{"deterministic-crash-rename", trigger(faultinject.Crash, "rename", true), nil},
+		{"transient-crash-write", &faultinject.Specimen{
+			ID: "transient-crash", Class: faultinject.Crash,
+			Deterministic: false, Prob: 1.0, MaxFires: 1, Op: "writeat",
+		}, nil},
+		{"warn-escalated", &faultinject.Specimen{
+			ID: "warn-bug", Class: faultinject.Warn,
+			Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "trigger",
+		}, func(c *Config) { c.EscalateWarns = true }},
+		{"freeze-watchdog", &faultinject.Specimen{
+			ID: "freeze-bug", Class: faultinject.Freeze,
+			Deterministic: true, Op: "truncate", Point: "entry", PathSubstr: "trigger",
+			FreezeFor: 80 * time.Millisecond, MaxFires: 2,
+		}, func(c *Config) { c.Watchdog = 15 * time.Millisecond }},
+		{"injected-eio", &faultinject.Specimen{
+			ID: "eio-bug", Class: faultinject.ErrReturn,
+			Deterministic: true, Op: "unlink", Point: "entry", PathSubstr: "trigger",
+		}, nil},
+	}
+	for _, tc := range classes {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := faultinject.NewRegistry(7)
+			reg.Arm(tc.spec)
+			cfg := Config{Base: basefs.Options{Injector: reg}}
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			fs, _, sb := newSupervised(t, cfg)
+			trace := []*oplog.Op{
+				{Kind: oplog.KMkdir, Path: "/trigger-dir", Perm: 0o755},
+				{Kind: oplog.KCreate, Path: "/trigger-dir/a", Perm: 0o644},
+				{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("alpha")},
+				{Kind: oplog.KCreate, Path: "/plain", Perm: 0o644},
+				{Kind: oplog.KWrite, FD: 1, Off: 0, Data: []byte("beta")},
+				{Kind: oplog.KTruncate, Path: "/trigger-dir/a", Size: 2},
+				{Kind: oplog.KLink, Path: "/plain", Path2: "/trigger-link"},
+				{Kind: oplog.KUnlink, Path: "/trigger-link"},
+				{Kind: oplog.KRename, Path: "/trigger-dir/a", Path2: "/trigger-dir/b"},
+				{Kind: oplog.KClose, FD: 0},
+				{Kind: oplog.KClose, FD: 1},
+				{Kind: oplog.KReadDirProbe, Path: "/trigger-dir"},
+			}
+			outcome, state := runAgainstModel(t, fs, sb, trace)
+			for _, d := range outcome {
+				t.Errorf("outcome: %s", d)
+			}
+			for _, d := range state {
+				t.Errorf("state: %s", d)
+			}
+			st := fs.Stats()
+			if len(reg.Fired()) == 0 {
+				t.Fatal("specimen never fired; test exercised nothing")
+			}
+			if st.Recoveries == 0 {
+				t.Error("no recovery despite armed specimen")
+			}
+			if st.AppFailures != 0 {
+				t.Errorf("application saw %d failures; stats %+v", st.AppFailures, st)
+			}
+		})
+	}
+}
+
+// TestRAEMasksSilentCorruptionAtSync: a NoCrash corruption specimen scribbles
+// a block pointer; pre-persist validation catches it at Sync, and recovery
+// reconstructs correct state from the log.
+func TestRAEMasksSilentCorruptionAtSync(t *testing.T) {
+	reg := faultinject.NewRegistry(3)
+	reg.Arm(&faultinject.Specimen{
+		ID: "silent-corrupt", Class: faultinject.SilentCorrupt,
+		Deterministic: true, Op: "writeat", Point: "inode", MaxFires: 1,
+	})
+	fs, _, sb := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	trace := []*oplog.Op{
+		{Kind: oplog.KCreate, Path: "/victim", Perm: 0o644},
+		{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("clean data")},
+		{Kind: oplog.KSync},
+		{Kind: oplog.KClose, FD: 0},
+		{Kind: oplog.KStatProbe, Path: "/victim"},
+	}
+	outcome, state := runAgainstModel(t, fs, sb, trace)
+	for _, d := range outcome {
+		t.Errorf("outcome: %s", d)
+	}
+	for _, d := range state {
+		t.Errorf("state: %s", d)
+	}
+	st := fs.Stats()
+	if st.Recoveries == 0 {
+		t.Fatal("corruption was never detected")
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("application saw %d failures", st.AppFailures)
+	}
+	// The file's content must be intact after recovery + re-sync.
+	fd, err := fs.Open("/victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAt(fd, 0, 100)
+	if err != nil || string(got) != "clean data" {
+		t.Errorf("content = (%q, %v)", got, err)
+	}
+}
+
+// TestRAERecoveryPreservesDescriptorsAcrossStablePoint: descriptors opened
+// before a sync survive a later recovery via the fd snapshot + hand-off.
+func TestRAERecoveryPreservesDescriptorsAcrossStablePoint(t *testing.T) {
+	reg := faultinject.NewRegistry(11)
+	reg.Arm(trigger(faultinject.Crash, "mkdir", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, err := fs.Create("/longlived", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // stable point with fd open
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 7, []byte(" and buffered")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/trigger", 0o755); err != nil { // crash + recovery
+		t.Fatal(err)
+	}
+	if fs.Stats().Recoveries == 0 {
+		t.Fatal("no recovery")
+	}
+	// The descriptor still works and sees both writes.
+	got, err := fs.ReadAt(fd, 0, 100)
+	if err != nil || string(got) != "durable and buffered" {
+		t.Fatalf("post-recovery read = (%q, %v)", got, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRestartLosesStateButStaysUp: the baseline surfaces failures and
+// invalidates descriptors, losing buffered updates.
+func TestCrashRestartLosesStateButStaysUp(t *testing.T) {
+	reg := faultinject.NewRegistry(5)
+	reg.Arm(trigger(faultinject.Crash, "mkdir", true))
+	fs, _, _ := newSupervised(t, Config{Mode: ModeCrashRestart, Base: basefs.Options{Injector: reg}})
+	fd, _ := fs.Create("/f", 0o644)
+	fs.WriteAt(fd, 0, []byte("buffered only"))
+	err := fs.Mkdir("/trigger", 0o755)
+	if !errors.Is(err, fserr.ErrIO) {
+		t.Fatalf("crash-restart returned %v, want EIO", err)
+	}
+	st := fs.Stats()
+	if st.AppFailures == 0 || st.FDsInvalidated == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Buffered file is gone (never synced), system still up.
+	if _, err := fs.Open("/f"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("unsynced file after crash-restart: %v", err)
+	}
+	if _, err := fs.Create("/new", 0o644); err != nil {
+		t.Errorf("system down after crash-restart: %v", err)
+	}
+}
+
+// TestNaiveReplayRefiresDeterministicBug: Membrane-style replay re-executes
+// the recorded sequence on the buggy base, so a deterministic bug in the
+// recorded prefix re-fires on every retry and the baseline degrades.
+func TestNaiveReplayRefiresDeterministicBug(t *testing.T) {
+	reg := faultinject.NewRegistry(5)
+	// Fires on every matching call from the second one on: the first create
+	// of /trigger-x succeeds, a later re-execution... Simpler: deterministic
+	// crash on the create of a specific path, AfterN=0 — the op never
+	// completes on the base, so it is the in-flight op. To plant the bug in
+	// the *recorded prefix*, use a specimen on write that fires from the
+	// second write onward: the first write is recorded successfully, the
+	// second faults, and replaying the recorded first write re-fires it.
+	reg.Arm(&faultinject.Specimen{
+		ID: "det-write", Class: faultinject.Crash,
+		Deterministic: true, Op: "writeat", Point: "entry", AfterN: 1,
+	})
+	fs, _, _ := newSupervised(t, Config{Mode: ModeNaiveReplay, MaxReplayRetries: 3,
+		Base: basefs.Options{Injector: reg}})
+	fd, err := fs.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Second write faults; naive replay re-executes create+write, and the
+	// replayed write is match #2 for the (re-armed) specimen... the specimen
+	// state persists across reboots (the bug is in the code), so the replay
+	// write faults again.
+	_, err = fs.WriteAt(fd, 5, []byte("second"))
+	if !errors.Is(err, fserr.ErrIO) {
+		t.Fatalf("naive replay returned %v, want degraded EIO", err)
+	}
+	st := fs.Stats()
+	if st.Degradations == 0 {
+		t.Errorf("naive replay did not degrade: %+v", st)
+	}
+}
+
+// TestNaiveReplayHandlesTransientBug: with a fires-once transient fault and
+// no open descriptors at the stable point, naive replay succeeds.
+func TestNaiveReplayHandlesTransientBug(t *testing.T) {
+	reg := faultinject.NewRegistry(5)
+	reg.Arm(&faultinject.Specimen{
+		ID: "transient", Class: faultinject.Crash,
+		Deterministic: false, Prob: 1.0, MaxFires: 1, Op: "mkdir", PathSubstr: "trigger",
+	})
+	fs, _, _ := newSupervised(t, Config{Mode: ModeNaiveReplay, Base: basefs.Options{Injector: reg}})
+	if err := fs.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/trigger-b", 0o755); err != nil {
+		t.Fatalf("transient bug not recovered by replay: %v", err)
+	}
+	if _, err := fs.Stat("/a"); err != nil {
+		t.Errorf("pre-fault state lost: %v", err)
+	}
+	if _, err := fs.Stat("/trigger-b"); err != nil {
+		t.Errorf("in-flight op lost: %v", err)
+	}
+	if fs.Stats().AppFailures != 0 {
+		t.Errorf("app failures: %+v", fs.Stats())
+	}
+}
+
+// TestRAESurvivesWorkloadWithPeriodicBugs runs a full workload with a
+// deterministic crash specimen firing periodically; every outcome and the
+// final state must still match the specification.
+func TestRAESurvivesWorkloadWithPeriodicBugs(t *testing.T) {
+	reg := faultinject.NewRegistry(13)
+	reg.Arm(&faultinject.Specimen{
+		ID: "periodic-crash", Class: faultinject.Crash,
+		Deterministic: false, Prob: 0.02, Op: "", Point: "entry",
+	})
+	fs, _, sb := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	trace := workload.Generate(workload.Config{
+		Profile: workload.Soup, Seed: 31, NumOps: 600, Superblock: sb, SyncEvery: 40,
+	})
+	outcome, state := runAgainstModel(t, fs, sb, trace)
+	for i, d := range outcome {
+		if i > 10 {
+			break
+		}
+		t.Errorf("outcome: %s", d)
+	}
+	for i, d := range state {
+		if i > 10 {
+			break
+		}
+		t.Errorf("state: %s", d)
+	}
+	st := fs.Stats()
+	if st.Recoveries == 0 {
+		t.Fatal("probabilistic specimen never fired in 600 ops")
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("app saw %d failures across %d recoveries", st.AppFailures, st.Recoveries)
+	}
+	t.Logf("stats: recoveries=%d panics=%d replayed=%d downtime=%v",
+		st.Recoveries, st.PanicsCaught, st.OpsReplayed, st.TotalDowntime)
+}
+
+// TestRecoveryPhasesRecorded checks the phase breakdown used by the
+// recovery-latency experiment.
+func TestRecoveryPhasesRecorded(t *testing.T) {
+	reg := faultinject.NewRegistry(1)
+	reg.Arm(trigger(faultinject.Crash, "create", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, _ := fs.Create("/pre", 0o644)
+	fs.WriteAt(fd, 0, []byte("x"))
+	if _, err := fs.Create("/trigger", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if len(st.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(st.Phases))
+	}
+	ph := st.Phases[0]
+	if ph.Total() <= 0 || ph.Reboot <= 0 || ph.Replay <= 0 {
+		t.Errorf("phase breakdown = %+v", ph)
+	}
+}
+
+// TestStablePointBoundsReplay: after sync, recovery replays only post-sync
+// operations.
+func TestStablePointBoundsReplay(t *testing.T) {
+	reg := faultinject.NewRegistry(1)
+	reg.Arm(trigger(faultinject.Crash, "rmdir", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	for i := 0; i < 50; i++ {
+		if err := fs.Mkdir("/d"+string(rune('A'+i%26))+string(rune('0'+i/26)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/after", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/trigger-me", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir("/trigger-me"); err != nil { // fires
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", st.Recoveries)
+	}
+	// Only the 2 post-sync mkdirs (plus the in-flight rmdir in autonomous
+	// mode) should have been replayed, not the 50 pre-sync ones.
+	if st.OpsReplayed > 5 {
+		t.Errorf("OpsReplayed = %d; stable point not honored", st.OpsReplayed)
+	}
+}

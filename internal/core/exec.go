@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/oplog"
+)
+
+// fault classifies one detected runtime error (§2: "all errors that can be
+// detected are handled by the shadow").
+type fault struct {
+	// kind is "panic", "warn", "freeze", or "result".
+	kind string
+	// err carries the result error or the recovered panic value.
+	err error
+}
+
+func (f *fault) String() string { return fmt.Sprintf("%s: %v", f.kind, f.err) }
+
+// warnCounter is shared with every base instance the supervisor mounts.
+type warnCounter struct {
+	n    atomic.Int64
+	next func(basefs.Warning)
+}
+
+// mountBase mounts a fresh base instance behind a new IO fence, wired to
+// the supervisor's WARN counter and pre-persist barrier.
+func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
+	opts := r.cfg.Base
+	opts.OnWarn = func(w basefs.Warning) {
+		r.warns.n.Add(1)
+		if r.warns.next != nil {
+			r.warns.next(w)
+		}
+	}
+	if r.cfg.EscalateWarns {
+		// Detection-before-persist: if an escalated WARN was emitted during
+		// the current operation, veto the sync's write-out so the disk stays
+		// at the previous stable point and recovery replays from it.
+		opts.PrePersist = func() error {
+			if r.warns.n.Load() > r.opStartWarns.Load() {
+				return fmt.Errorf("core: escalated WARN pending before persist: %w", fserr.ErrCorrupt)
+			}
+			return nil
+		}
+	}
+	fence := newFence(r.dev)
+	base, err := basefs.Mount(fence, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, fence, nil
+}
+
+// capture runs f under the supervisor's full detection envelope: panics are
+// contained, WARN emission is observed, results are classified, and the
+// watchdog bounds execution time. It returns nil when the operation
+// completed without a detectable error (including ordinary user-level error
+// returns, which are legitimate outcomes).
+func (r *FS) capture(f func() error) *fault {
+	warnsBefore := r.warns.n.Load()
+	r.opStartWarns.Store(warnsBefore)
+
+	type outcome struct {
+		err      error
+		panicked bool
+		pval     any
+	}
+	run := func() (out outcome) {
+		defer func() {
+			if p := recover(); p != nil {
+				out.panicked = true
+				out.pval = p
+			}
+		}()
+		out.err = f()
+		return out
+	}
+
+	var out outcome
+	if r.cfg.Watchdog > 0 {
+		ch := make(chan outcome, 1)
+		go func() { ch <- run() }()
+		select {
+		case out = <-ch:
+		case <-time.After(r.cfg.Watchdog):
+			r.stats.Freezes++
+			return &fault{kind: "freeze", err: fmt.Errorf("core: operation exceeded watchdog %v: %w",
+				r.cfg.Watchdog, fserr.ErrIO)}
+		}
+	} else {
+		out = run()
+	}
+
+	if out.panicked {
+		r.stats.PanicsCaught++
+		return &fault{kind: "panic", err: fmt.Errorf("core: contained panic: %v", out.pval)}
+	}
+	if delta := r.warns.n.Load() - warnsBefore; delta > 0 {
+		r.stats.WarnsSeen += delta
+		if r.cfg.EscalateWarns {
+			r.stats.WarnsEscalated++
+			return &fault{kind: "warn", err: fmt.Errorf("core: WARN escalated to recovery")}
+		}
+	}
+	if fserr.IsFault(out.err) {
+		r.stats.FaultResults++
+		return &fault{kind: "result", err: out.err}
+	}
+	return nil
+}
+
+// do executes one operation with recording and recovery. The op's outcome
+// fields are filled either by the base (common case) or by recovery.
+func (r *FS) do(op *oplog.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.OpsExecuted++
+	// Execute on a clone: if the watchdog abandons a frozen operation, the
+	// stuck goroutine keeps mutating only the clone, never the op whose
+	// outcome recovery decides.
+	attempt := op.Clone()
+	base := r.base // snapshot: an abandoned frozen goroutine must keep using
+	// the instance it started on, not the one recovery installs
+	flt := r.capture(func() error { return oplog.Apply(base, attempt) })
+	if flt != nil {
+		r.recoverFrom(flt, op)
+		return
+	}
+	op.Errno, op.RetFD, op.RetIno, op.RetN = attempt.Errno, attempt.RetFD, attempt.RetIno, attempt.RetN
+	op.RetData = attempt.RetData
+	r.afterSuccess(op)
+}
+
+// afterSuccess records a completed operation and advances the stable point
+// on durable syncs.
+func (r *FS) afterSuccess(op *oplog.Op) {
+	if op.Kind.Mutating() {
+		r.log.Append(op)
+		r.stats.OpsRecorded++
+	}
+	if (op.Kind == oplog.KSync || op.Kind == oplog.KFsync) && op.Errno == 0 {
+		r.log.Stable(r.base.OpenFDs(), r.base.Clock())
+		r.stats.StablePoints++
+	}
+}
+
+// execRead runs a read under the detection envelope, returning the data or
+// the fault.
+func (r *FS) execRead(fd fsapi.FD, off int64, n int) ([]byte, *fault) {
+	var data []byte
+	base := r.base
+	flt := r.capture(func() error {
+		var err error
+		data, err = base.ReadAt(fd, off, n)
+		return err
+	})
+	if flt != nil {
+		return nil, flt
+	}
+	return data, nil
+}
+
+// withInjectionDisabled runs supervisor support code with the bug registry
+// gated off, so a deterministic specimen cannot re-fire inside the recovery
+// machinery itself (the error-avoidance guarantee of §2.2 applied to the
+// supervisor's own re-reads).
+func (r *FS) withInjectionDisabled(f func()) {
+	if inj := r.cfg.Base.Injector; inj != nil {
+		inj.SetEnabled(false)
+		defer inj.SetEnabled(true)
+	}
+	f()
+}

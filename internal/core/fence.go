@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+	"repro/internal/fserr"
+)
+
+// fencedDevice is the IO fence between a base instance and the device. A
+// contained reboot "must reset the interactions with these components"
+// (§4.1): before mounting the replacement instance, the supervisor raises
+// the fence on the old instance's handle, so an operation abandoned by the
+// watchdog (a frozen sync that wakes up mid-recovery, for example) can
+// never write to the device the shadow and the new base are working from.
+type fencedDevice struct {
+	dev blockdev.Device
+	off atomic.Bool
+}
+
+var _ blockdev.Device = (*fencedDevice)(nil)
+
+func newFence(dev blockdev.Device) *fencedDevice { return &fencedDevice{dev: dev} }
+
+// raise cuts the old instance off from the device.
+func (f *fencedDevice) raise() { f.off.Store(true) }
+
+func (f *fencedDevice) guard(what string) error {
+	if f.off.Load() {
+		return fmt.Errorf("core: %s through fenced device handle: %w", what, fserr.ErrIO)
+	}
+	return nil
+}
+
+// ReadBlock implements blockdev.Device.
+func (f *fencedDevice) ReadBlock(blk uint32) ([]byte, error) {
+	if err := f.guard("read"); err != nil {
+		return nil, err
+	}
+	return f.dev.ReadBlock(blk)
+}
+
+// WriteBlock implements blockdev.Device.
+func (f *fencedDevice) WriteBlock(blk uint32, data []byte) error {
+	if err := f.guard("write"); err != nil {
+		return err
+	}
+	return f.dev.WriteBlock(blk, data)
+}
+
+// NumBlocks implements blockdev.Device.
+func (f *fencedDevice) NumBlocks() uint32 { return f.dev.NumBlocks() }
+
+// Flush implements blockdev.Device.
+func (f *fencedDevice) Flush() error {
+	if err := f.guard("flush"); err != nil {
+		return err
+	}
+	return f.dev.Flush()
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/faultinject"
+	"repro/internal/fserr"
+	"repro/internal/model"
+	"repro/internal/oplog"
+)
+
+func TestFencedDeviceBlocksAfterRaise(t *testing.T) {
+	dev := blockdev.NewMem(16)
+	f := newFence(dev)
+	buf := make([]byte, 4096)
+	if err := f.WriteBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	f.raise()
+	if err := f.WriteBlock(1, buf); !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("write after fence: %v", err)
+	}
+	if _, err := f.ReadBlock(1); !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("read after fence: %v", err)
+	}
+	if err := f.Flush(); !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("flush after fence: %v", err)
+	}
+	if f.NumBlocks() != 16 {
+		t.Error("NumBlocks gated; it should not be")
+	}
+}
+
+// TestAbandonedFrozenSyncCannotPersist is the fence's reason to exist: a
+// sync frozen past the watchdog is abandoned; when it wakes up mid- or
+// post-recovery it must not be able to write the device underneath the
+// recovered filesystem. The recovered state must equal the specification.
+func TestAbandonedFrozenSyncCannotPersist(t *testing.T) {
+	reg := faultinject.NewRegistry(31)
+	reg.Arm(&faultinject.Specimen{
+		ID: "frozen-sync", Class: faultinject.Freeze,
+		Deterministic: true, Op: "sync", Point: "entry",
+		FreezeFor: 60 * time.Millisecond, MaxFires: 1,
+	})
+	fs, _, sb := newSupervised(t, Config{
+		Base:     basefs.Options{Injector: reg},
+		Watchdog: 10 * time.Millisecond,
+	})
+	m := model.New(sb)
+	seq := []*oplog.Op{
+		{Kind: oplog.KCreate, Path: "/a", Perm: 0o644},
+		{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("payload-a")},
+		{Kind: oplog.KSync}, // freezes; watchdog abandons; recovery runs
+		{Kind: oplog.KCreate, Path: "/b", Perm: 0o644},
+		{Kind: oplog.KWrite, FD: 1, Off: 0, Data: []byte("payload-b")},
+		{Kind: oplog.KClose, FD: 0},
+		{Kind: oplog.KClose, FD: 1},
+		{Kind: oplog.KSync},
+	}
+	for _, rec := range seq {
+		oracle := rec.Clone()
+		_ = oplog.Apply(m, oracle)
+		got := rec.Clone()
+		_ = oplog.Apply(fs, got)
+		for _, d := range difftest.CompareOutcome(got, oracle) {
+			t.Errorf("discrepancy at %s: %s", rec, d)
+		}
+	}
+	// Give the abandoned goroutine time to wake and bounce off the fence.
+	time.Sleep(80 * time.Millisecond)
+	st := fs.Stats()
+	if st.Freezes != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("app failures: %d", st.AppFailures)
+	}
+	gotState, err := difftest.DumpState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := difftest.DumpState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range difftest.CompareStates(gotState, wantState) {
+		t.Errorf("state: %s", d)
+	}
+}
+
+// TestWarnDuringSyncVetoesPersist pins the detection-before-persist
+// behavior the soak test uncovered: a WARN emitted at the sync entry seam
+// must abort the sync before any write-out, and recovery must reconstruct —
+// not double-apply — the buffered operations.
+func TestWarnDuringSyncVetoesPersist(t *testing.T) {
+	reg := faultinject.NewRegistry(32)
+	reg.Arm(&faultinject.Specimen{
+		ID: "warn-in-sync", Class: faultinject.Warn,
+		Deterministic: true, Op: "sync", Point: "entry", MaxFires: 1,
+	})
+	fs, _, sb := newSupervised(t, Config{
+		Base:          basefs.Options{Injector: reg},
+		EscalateWarns: true,
+	})
+	m := model.New(sb)
+	seq := []*oplog.Op{
+		{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755},
+		{Kind: oplog.KCreate, Path: "/d/f", Perm: 0o644},
+		{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("buffered")},
+		{Kind: oplog.KSync}, // WARN fires pre-persist; recovery; re-synced
+		{Kind: oplog.KCreate, Path: "/d/g", Perm: 0o644},
+		{Kind: oplog.KClose, FD: 0},
+		{Kind: oplog.KClose, FD: 1},
+	}
+	for _, rec := range seq {
+		oracle := rec.Clone()
+		_ = oplog.Apply(m, oracle)
+		got := rec.Clone()
+		_ = oplog.Apply(fs, got)
+		for _, d := range difftest.CompareOutcome(got, oracle) {
+			t.Errorf("discrepancy at %s: %s", rec, d)
+		}
+	}
+	st := fs.Stats()
+	if st.WarnsEscalated != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("app failures: %d", st.AppFailures)
+	}
+	gotState, err := difftest.DumpState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := difftest.DumpState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range difftest.CompareStates(gotState, wantState) {
+		t.Errorf("state: %s", d)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/faultinject"
+)
+
+// TestFigure3Scenario reenacts the paper's Figure 3 end to end:
+//
+//	S0 --Op0..Op3--> S4 --Op4--> error detected
+//
+// Op0..Op3 complete and their effects are visible to the application (Op3's
+// return value has been consumed); Op4 triggers the error in the base.
+// The three problems must be solved exactly as annotated:
+//
+//	① contained reboot   — the machine (process) survives; erroneous
+//	                       in-memory state is discarded;
+//	② state reconstruction — essential states (on-disk structures, file
+//	                       descriptor numbers, inode numbers) are identical
+//	                       for completed operations, and the in-flight Op4
+//	                       completes;
+//	③ error avoidance    — the deterministic error's manifestation path is
+//	                       circumvented (the base never re-executes the
+//	                       sequence), so S5 is reached.
+//
+// Unessential state (cache contents) is explicitly allowed to differ.
+func TestFigure3Scenario(t *testing.T) {
+	reg := faultinject.NewRegistry(73)
+	reg.Arm(&faultinject.Specimen{
+		ID: "fig3-op4", Class: faultinject.Crash,
+		Deterministic: true, Op: "create", Point: "alloc", PathSubstr: "op4",
+	})
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+
+	// S0: the durable starting state.
+	if err := fs.Mkdir("/dir", 0o755); err != nil { // Op0
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Op1..Op3: completed operations whose outcomes the application holds.
+	fd1, err := fs.Create("/dir/op1", 0o644) // Op1: the app keeps this descriptor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd1, 0, []byte("op2 bytes")); err != nil { // Op2
+		t.Fatal(err)
+	}
+	st3, err := fs.Stat("/dir/op1") // Op3: the app consumed this inode number
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-essential state before the error: warm caches.
+	bufHitsBefore, _, _, _, dentHitsBefore, _ := fs.Base().CacheStats()
+	_ = bufHitsBefore
+	_ = dentHitsBefore
+
+	// Op4: triggers a deterministic crash mid-operation (after allocation).
+	fd4, err := fs.Create("/dir/op4", 0o644)
+	if err != nil { // ③: the app must not see the error
+		t.Fatalf("Op4 surfaced the error: %v", err)
+	}
+	if fs.Stats().Recoveries != 1 {
+		t.Fatal("① no contained reboot happened")
+	}
+	if fs.Stats().AppFailures != 0 {
+		t.Fatal("① the error propagated to the application")
+	}
+
+	// ② Essential state: Op1's descriptor still works and reads Op2's bytes.
+	got, err := fs.ReadAt(fd1, 0, 100)
+	if err != nil || string(got) != "op2 bytes" {
+		t.Fatalf("completed ops' effects lost: (%q, %v)", got, err)
+	}
+	// ② Essential state: Op3's consumed inode number still names the file.
+	st, err := fs.Stat("/dir/op1")
+	if err != nil || st.Ino != st3.Ino {
+		t.Fatalf("inode number changed across recovery: %d -> %d", st3.Ino, st.Ino)
+	}
+	// ② Op4 completed: its file exists and its descriptor works.
+	if _, err := fs.WriteAt(fd4, 0, []byte("op4 completes")); err != nil {
+		t.Fatalf("in-flight op's descriptor unusable: %v", err)
+	}
+
+	// Unessential state may differ: the rebooted base starts with cold
+	// caches (hit counters reset with the new instance).
+	bufHitsAfter, _, _, _, _, _ := fs.Base().CacheStats()
+	if bufHitsAfter > bufHitsBefore {
+		t.Log("note: cache counters did not reset; acceptable but unexpected")
+	}
+
+	// S5 and beyond: the system keeps running; the deterministic bug keeps
+	// firing on matching paths and keeps being masked.
+	if _, err := fs.Create("/dir/op4-again", 0o644); err != nil {
+		t.Fatalf("second firing not masked: %v", err)
+	}
+	if fs.Stats().Recoveries != 2 {
+		t.Errorf("recoveries = %d, want 2", fs.Stats().Recoveries)
+	}
+	if err := fs.Close(fd1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/faultinject"
+	"repro/internal/fsck"
+	"repro/internal/mkfs"
+)
+
+// TestEndToEndOnFileBackedDevice runs the full RAE stack — mkfs, supervised
+// mount, bug firing, recovery, unmount, reopen, fsck — over a real file on
+// the host filesystem, the same substrate cmd/mkfs and cmd/fsck use.
+func TestEndToEndOnFileBackedDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	dev, err := blockdev.OpenFile(path, 2048, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mkfs.Format(dev, mkfs.Options{NumInodes: 256, JournalBlocks: 32}); err != nil {
+		t.Fatal(err)
+	}
+	reg := faultinject.NewRegistry(41)
+	reg.Arm(&faultinject.Specimen{
+		ID: "file-crash", Class: faultinject.Crash,
+		Deterministic: true, Op: "unlink", Point: "entry", PathSubstr: "trigger",
+	})
+	fs, err := Mount(dev, Config{Base: basefs.Options{Injector: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := fs.Create("/trigger-file", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("on a real file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/trigger-file"); err != nil { // fires, recovers
+		t.Fatal(err)
+	}
+	if fs.Stats().Recoveries != 1 {
+		t.Fatal("no recovery on file-backed device")
+	}
+	fd2, err := fs.Create("/survivor", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteAt(fd2, 0, []byte("durable"))
+	fs.Close(fd2)
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the image file cold, as cmd/fsck would.
+	dev2, err := blockdev.OpenFile(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	if rep := fsck.Check(dev2); !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("%s", p)
+		}
+	}
+	base, err := basefs.Mount(dev2, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Kill()
+	fd3, err := base.Open("/survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := base.ReadAt(fd3, 0, 100)
+	if string(got) != "durable" {
+		t.Errorf("content = %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+	"repro/internal/shadowfs"
+)
+
+// NVP3 is the classic N-version-programming baseline the paper contrasts
+// RAE against (§2.1): three independently developed versions of the
+// filesystem — the base, the shadow run as a primary, and the specification
+// model — execute every operation, and the result is decided by majority
+// vote. It demonstrates NVP's two documented drawbacks: "maintaining and
+// executing multiple versions (often, at least three) incurs excessive
+// overhead", and a panic in one version is masked only as long as the other
+// two agree.
+//
+// Simplifications relative to a production NVP deployment (documented in
+// DESIGN.md): the outvoted minority version is not resynchronized — after
+// its first divergence its votes are ignored — and the versions run
+// sequentially rather than on independent nodes, which makes the measured
+// ~3x common-case cost a lower bound.
+type NVP3 struct {
+	versions [3]fsapi.FS
+	name     [3]string
+	// dead marks versions excluded after a panic or divergence.
+	dead  [3]bool
+	stats NVPStats
+}
+
+// NVPStats counts the voting baseline's activity.
+type NVPStats struct {
+	Ops          int64
+	Disagreement int64 // votes that were not unanimous
+	PanicsMasked int64
+	VersionsDead int
+}
+
+// NewNVP3 builds the three versions over three *independent* images of the
+// same geometry (NVP executes full replicas, which is part of its cost).
+func NewNVP3(blocks uint32, baseOpts basefs.Options) (*NVP3, error) {
+	mkImage := func() (blockdev.Device, *disklayout.Superblock, error) {
+		dev := blockdev.NewMem(blocks)
+		sb, err := mkfs.Format(dev, mkfs.Options{})
+		return dev, sb, err
+	}
+	baseDev, _, err := mkImage()
+	if err != nil {
+		return nil, err
+	}
+	base, err := basefs.Mount(baseDev, baseOpts)
+	if err != nil {
+		return nil, err
+	}
+	shadowDev, sb, err := mkImage()
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shadowfs.New(shadowDev, shadowfs.Options{SkipFsck: true})
+	if err != nil {
+		return nil, err
+	}
+	n := &NVP3{}
+	n.versions = [3]fsapi.FS{base, sh, model.New(sb)}
+	n.name = [3]string{"base", "shadow", "model"}
+	return n, nil
+}
+
+// Stats returns the voting counters.
+func (n *NVP3) Stats() NVPStats { return n.stats }
+
+// vote describes one version's outcome for an operation.
+type vote struct {
+	errno, n int
+	fd       fsapi.FD
+	ino      uint32
+	panicked bool
+}
+
+func (v vote) key() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%v", v.errno, v.n, v.fd, v.ino, v.panicked)
+}
+
+// Do executes the operation on every live version and fills op's outcome
+// with the majority result. It returns fserr.ErrIO when no majority exists
+// (fewer than two agreeing live versions).
+func (n *NVP3) Do(op *oplog.Op) error {
+	n.stats.Ops++
+	var votes [3]vote
+	for i, fs := range n.versions {
+		if n.dead[i] {
+			votes[i] = vote{panicked: true}
+			continue
+		}
+		cp := op.Clone()
+		cp.Errno, cp.RetFD, cp.RetIno, cp.RetN = 0, 0, 0, 0
+		panicked := func() (p bool) {
+			defer func() {
+				if recover() != nil {
+					p = true
+				}
+			}()
+			_ = oplog.Apply(fs, cp)
+			return false
+		}()
+		if panicked {
+			n.dead[i] = true
+			n.stats.PanicsMasked++
+			n.stats.VersionsDead++
+			votes[i] = vote{panicked: true}
+			continue
+		}
+		votes[i] = vote{errno: cp.Errno, n: cp.RetN, fd: cp.RetFD, ino: cp.RetIno}
+		if i == 0 || (n.dead[0] && i == 1) {
+			// Remember a representative full outcome for the winner check.
+			op.Errno, op.RetN, op.RetFD, op.RetIno = cp.Errno, cp.RetN, cp.RetFD, cp.RetIno
+			op.RetData = cp.RetData
+		}
+	}
+	// Majority vote over live versions.
+	counts := map[string][]int{}
+	for i := range votes {
+		if n.dead[i] {
+			continue
+		}
+		k := votes[i].key()
+		counts[k] = append(counts[k], i)
+	}
+	var winner []int
+	for _, idxs := range counts {
+		if len(idxs) > len(winner) {
+			winner = idxs
+		}
+	}
+	if len(counts) > 1 {
+		n.stats.Disagreement++
+		// Versions outvoted by the majority are diverged and excluded.
+		if len(winner) >= 2 {
+			for i := range votes {
+				if n.dead[i] {
+					continue
+				}
+				if votes[i].key() != votes[winner[0]].key() {
+					n.dead[i] = true
+					n.stats.VersionsDead++
+				}
+			}
+		}
+	}
+	if len(winner) < 2 {
+		op.Errno = fserr.Errno(fserr.ErrIO)
+		return fserr.ErrIO
+	}
+	w := votes[winner[0]]
+	op.Errno, op.RetN, op.RetFD, op.RetIno = w.errno, w.n, w.fd, w.ino
+	return op.Err()
+}

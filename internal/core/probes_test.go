@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/faultinject"
+)
+
+// TestProbeRecoveryPaths: bugs firing inside read-only operations (stat,
+// readdir, readlink) are masked too — the probe is re-served after recovery
+// with injection gated for the retry.
+func TestProbeRecoveryPaths(t *testing.T) {
+	reg := faultinject.NewRegistry(51)
+	reg.Arm(&faultinject.Specimen{
+		ID: "stat-crash", Class: faultinject.Crash,
+		Deterministic: true, Op: "readdir", Point: "entry", PathSubstr: "probe",
+	})
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	if err := fs.Mkdir("/probe-dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/target", "/probe-dir/ln"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.Readdir("/probe-dir") // fires, recovers, re-serves
+	if err != nil || len(ents) != 1 || ents[0].Name != "ln" {
+		t.Fatalf("readdir after recovery = (%v, %v)", ents, err)
+	}
+	if fs.Stats().Recoveries != 1 {
+		t.Fatalf("recoveries = %d", fs.Stats().Recoveries)
+	}
+	// Readlink and Stat still work; the deterministic bug keeps firing on
+	// readdir and keeps being masked.
+	target, err := fs.Readlink("/probe-dir/ln")
+	if err != nil || target != "/target" {
+		t.Errorf("readlink = (%q, %v)", target, err)
+	}
+	st, err := fs.Stat("/probe-dir")
+	if err != nil || st.Nlink != 2 {
+		t.Errorf("stat = (%+v, %v)", st, err)
+	}
+	if _, err := fs.Readdir("/probe-dir"); err != nil {
+		t.Errorf("second readdir: %v", err)
+	}
+	if got := fs.Stats().Recoveries; got != 2 {
+		t.Errorf("recoveries = %d, want 2 (deterministic readdir bug re-fires)", got)
+	}
+	if fs.Stats().AppFailures != 0 {
+		t.Errorf("app failures: %+v", fs.Stats())
+	}
+}
+
+func TestAccessorsAndModeNames(t *testing.T) {
+	reg := faultinject.NewRegistry(1)
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	if fs.Injector() != reg {
+		t.Error("Injector accessor broken")
+	}
+	if len(fs.LastDiscrepancies()) != 0 {
+		t.Error("fresh supervisor has discrepancies")
+	}
+	for _, m := range []Mode{ModeRAE, ModeCrashRestart, ModeNaiveReplay, Mode(99)} {
+		if m.String() == "" {
+			t.Errorf("empty name for mode %d", int(m))
+		}
+	}
+}

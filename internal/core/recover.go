@@ -1,0 +1,264 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/fserr"
+	"repro/internal/oplog"
+	"repro/internal/shadowfs"
+)
+
+// recoverFrom is the supervisor's response to a detected fault, dispatching
+// to the configured strategy. inflight is the operation whose return value
+// the application has not seen; on return its outcome fields carry the
+// answer the application gets.
+func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
+	r.stats.Recoveries++
+	t0 := time.Now()
+	switch r.cfg.Mode {
+	case ModeCrashRestart:
+		r.crashRestart(inflight)
+	case ModeNaiveReplay:
+		r.naiveReplay(inflight)
+	default:
+		r.raeRecover(inflight)
+	}
+	r.stats.TotalDowntime += time.Since(t0)
+}
+
+// raeRecover is the paper's recovery procedure (§3.2): contained reboot,
+// shadow re-execution, metadata download, resume.
+func (r *FS) raeRecover(inflight *oplog.Op) {
+	var ph RecoveryPhases
+
+	// 1. Contained reboot: discard all in-memory state of the base and
+	// re-mount from trusted on-disk state (journal replay inside Mount).
+	t := time.Now()
+	r.fence.raise()
+	r.base.Kill()
+	newBase, newFence, err := r.mountBase()
+	ph.Reboot = time.Since(t)
+	if err != nil {
+		// The device itself is unusable; nothing recovers this.
+		r.failOp(inflight)
+		r.stats.Degradations++
+		r.stats.Phases = append(r.stats.Phases, ph)
+		return
+	}
+
+	// 2. Launch the shadow over the recovered on-disk state. Its constructor
+	// validates the image (fsck) unless benchmarks say otherwise.
+	t = time.Now()
+	sh, err := shadowfs.New(r.dev, shadowfs.Options{SkipFsck: r.cfg.SkipFsckInRecovery})
+	ph.Fsck = time.Since(t)
+	if err != nil {
+		r.degrade(newBase, newFence, inflight, ph)
+		return
+	}
+
+	// 3. Replay: constrained for recorded operations, autonomous for the
+	// in-flight one. Syncs are never re-executed by the shadow. The recovery
+	// input crosses the shadow's isolation boundary as a serialized message
+	// (the separate-process fidelity of §3.2): encoding and re-decoding it
+	// proves the trace is self-contained, with no pointers into the dead
+	// base's memory.
+	ops, fds, clk := r.log.Snapshot()
+	wire := oplog.EncodeSequence(ops, fds, clk)
+	ops, fds, clk, err = oplog.DecodeSequence(wire)
+	if err != nil {
+		r.degrade(newBase, newFence, inflight, ph)
+		return
+	}
+	in := shadowfs.ReplayInput{
+		Ops:               ops,
+		BaseFDs:           fds,
+		StartClock:        clk,
+		StopOnDiscrepancy: r.cfg.StopOnDiscrepancy,
+	}
+	deferredSync := false
+	if inflight != nil {
+		if inflight.Kind == oplog.KFsync || inflight.Kind == oplog.KSync {
+			deferredSync = true // delegated back to the base after hand-off
+		} else {
+			in.InFlight = inflight
+		}
+	}
+	t = time.Now()
+	res, err := sh.Replay(in)
+	ph.Replay = time.Since(t)
+	if res != nil {
+		r.stats.OpsReplayed += int64(res.OpsReplayed)
+		r.stats.Discrepancies += int64(len(res.Discrepancies))
+		r.lastDisc = res.Discrepancies
+	}
+	if err != nil {
+		// The shadow itself failed (corrupt image mid-replay, divergence
+		// under StopOnDiscrepancy, or a shadow bug): degrade loudly.
+		r.degrade(newBase, newFence, inflight, ph)
+		return
+	}
+
+	// 4. Hand-off: the base absorbs the sealed update. The update is cloned
+	// at the boundary so base and shadow never share memory.
+	t = time.Now()
+	if err := newBase.Absorb(res.Update.Clone()); err != nil {
+		ph.Absorb = time.Since(t)
+		r.degrade(newBase, newFence, inflight, ph)
+		return
+	}
+	ph.Absorb = time.Since(t)
+	r.base, r.fence = newBase, newFence
+
+	// 5. Resume: answer the in-flight operation and keep the log coherent.
+	// Recorded operations stay in the log — they are still not durable.
+	if inflight != nil {
+		switch {
+		case deferredSync:
+			// "If the base fails in the middle of fsync, our current design
+			// relies on the shadow for the prefix operations and the base to
+			// perform fsync again after the hand-off" (§3.3). The WARN that
+			// vetoed the original persist was consumed by this recovery, so
+			// the pre-persist barrier starts fresh for the re-run.
+			r.opStartWarns.Store(r.warns.n.Load())
+			r.withInjectionDisabled(func() {
+				_ = oplog.Apply(r.base, inflight)
+			})
+			if inflight.Errno == 0 {
+				r.afterSuccess(inflight)
+			} else {
+				r.stats.AppFailures++
+			}
+		case res.InFlight != nil:
+			*inflight = *res.InFlight
+			r.afterSuccess(inflight)
+		}
+	}
+	r.stats.Phases = append(r.stats.Phases, ph)
+}
+
+// degrade falls back to crash-restart semantics on an already-mounted fresh
+// base: the recovery machinery could not reconstruct state, so buffered
+// updates are lost, descriptors are invalidated, and the in-flight operation
+// fails — but the system stays up on the last durable state, and the
+// failure is explicit, never silent.
+func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog.Op, ph RecoveryPhases) {
+	r.stats.Degradations++
+	r.base, r.fence = newBase, newFence
+	r.finishCrashRestart(inflight)
+	r.stats.Phases = append(r.stats.Phases, ph)
+}
+
+// crashRestart implements the status-quo baseline: remount from disk and
+// surface the failure.
+func (r *FS) crashRestart(inflight *oplog.Op) {
+	r.fence.raise()
+	r.base.Kill()
+	newBase, newFence, err := r.mountBase()
+	if err != nil {
+		r.failOp(inflight)
+		return
+	}
+	r.base, r.fence = newBase, newFence
+	r.finishCrashRestart(inflight)
+}
+
+// finishCrashRestart applies crash-restart bookkeeping against the current
+// (fresh) base: every pre-crash descriptor is gone, buffered operations are
+// lost, and the application sees the error.
+func (r *FS) finishCrashRestart(inflight *oplog.Op) {
+	_, fds, _ := r.log.Snapshot()
+	lost := int64(len(fds))
+	// Descriptors opened since the stable point are also gone; they are
+	// found in the recorded ops.
+	ops, _, _ := r.log.Snapshot()
+	for _, op := range ops {
+		switch op.Kind {
+		case oplog.KCreate, oplog.KOpen:
+			if op.Errno == 0 {
+				lost++
+			}
+		case oplog.KClose:
+			if op.Errno == 0 {
+				lost--
+			}
+		}
+	}
+	if lost < 0 {
+		lost = 0
+	}
+	r.stats.FDsInvalidated += lost
+	r.log.Stable(r.base.OpenFDs(), r.base.Clock())
+	r.failOp(inflight)
+}
+
+// failOp surfaces the failure to the application.
+func (r *FS) failOp(inflight *oplog.Op) {
+	if inflight != nil {
+		inflight.Errno = fserr.Errno(fserr.ErrIO)
+		inflight.RetFD = -1
+	}
+	r.stats.AppFailures++
+}
+
+// naiveReplay implements the Membrane-style baseline: remount and re-execute
+// the recorded sequence on the base itself. Deterministic bugs in the
+// sequence re-fire on every attempt — the fundamental conflict between state
+// reconstruction and error avoidance (§2.2) — so after MaxReplayRetries the
+// baseline degrades to crash-restart.
+func (r *FS) naiveReplay(inflight *oplog.Op) {
+	ops, fds, _ := r.log.Snapshot()
+	for attempt := 0; attempt < r.cfg.MaxReplayRetries; attempt++ {
+		r.fence.raise()
+		r.base.Kill()
+		newBase, newFence, err := r.mountBase()
+		if err != nil {
+			r.failOp(inflight)
+			return
+		}
+		r.base, r.fence = newBase, newFence
+		if len(fds) != 0 {
+			// The base has no interface for resurrecting descriptors without
+			// a shadow update; naive replay can only reopen what the log can
+			// name, which descriptors are not. This is precisely the state-
+			// reconstruction gap RAE's fd snapshot + hand-off closes. Treat
+			// pre-stable-point descriptors as lost.
+			r.stats.FDsInvalidated += int64(len(fds))
+			fds = nil
+		}
+		ok := true
+		base := r.base
+		for _, rec := range ops {
+			op := rec.Clone()
+			op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+			if flt := r.capture(func() error { return oplog.Apply(base, op) }); flt != nil {
+				ok = false // the deterministic bug re-fired
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Replay succeeded (transient fault): run the in-flight op.
+		if inflight != nil {
+			attempt := inflight.Clone()
+			if flt := r.capture(func() error { return oplog.Apply(base, attempt) }); flt != nil {
+				continue
+			}
+			*inflight = *attempt
+			r.afterSuccess(inflight)
+		}
+		return
+	}
+	// Retries exhausted: give up on the buffered state.
+	r.stats.Degradations++
+	r.fence.raise()
+	r.base.Kill()
+	newBase, newFence, err := r.mountBase()
+	if err != nil {
+		r.failOp(inflight)
+		return
+	}
+	r.base, r.fence = newBase, newFence
+	r.finishCrashRestart(inflight)
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/faultinject"
+	"repro/internal/fserr"
+	"repro/internal/oplog"
+)
+
+// TestRAEPreservesOrphanDescriptorAcrossRecovery: an open-unlinked file's
+// descriptor (the classic orphan) survives recovery via the fd snapshot,
+// the recorded unlink, and the hand-off.
+func TestRAEPreservesOrphanDescriptorAcrossRecovery(t *testing.T) {
+	reg := faultinject.NewRegistry(2)
+	reg.Arm(trigger(faultinject.Crash, "mkdir", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, err := fs.Create("/ghost", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, []byte("orphan payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // stable point: fd open, file linked
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/ghost"); err != nil { // recorded orphan-making op
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/trigger", 0o755); err != nil { // crash + recovery
+		t.Fatal(err)
+	}
+	if fs.Stats().Recoveries != 1 {
+		t.Fatal("no recovery")
+	}
+	got, err := fs.ReadAt(fd, 0, 100)
+	if err != nil || string(got) != "orphan payload" {
+		t.Fatalf("orphan read after recovery = (%q, %v)", got, err)
+	}
+	if _, err := fs.Stat("/ghost"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("unlinked name visible after recovery: %v", err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarnWithoutEscalationContinues: WARN records are observed but do not
+// trigger recovery when the policy says so.
+func TestWarnWithoutEscalationContinues(t *testing.T) {
+	reg := faultinject.NewRegistry(3)
+	reg.Arm(&faultinject.Specimen{
+		ID: "warn-only", Class: faultinject.Warn,
+		Deterministic: true, Op: "create", Point: "entry",
+	})
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}, EscalateWarns: false})
+	fd, err := fs.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close(fd)
+	st := fs.Stats()
+	if st.Recoveries != 0 {
+		t.Errorf("recovery despite EscalateWarns=false")
+	}
+	if st.WarnsSeen == 0 {
+		t.Errorf("WARN not observed")
+	}
+}
+
+// TestStopOnDiscrepancyDegrades: a poisoned log entry (outcome that cannot
+// be reproduced) aborts the shadow under StopOnDiscrepancy and the
+// supervisor degrades explicitly rather than absorbing questionable state.
+func TestStopOnDiscrepancyDegrades(t *testing.T) {
+	reg := faultinject.NewRegistry(4)
+	// First: a silent-corruption specimen that corrupts the create's
+	// recorded return... instead, inject the mismatch directly: a WARN
+	// specimen that escalates AFTER an op whose outcome the supervisor
+	// recorded from a lying base. Simplest deterministic construction: the
+	// base lies about the allocated inode via a corrupting specimen at the
+	// create seam that bumps no state but our recording trusts the base.
+	// The cleanest controllable trigger is a crash later with a log whose
+	// first entry was hand-poisoned; do that via the exported surfaces:
+	// run a create, then crash, with the log intact — and poison the log by
+	// unlinking the created file *behind the supervisor's back* through the
+	// base, so constrained replay of the later ops diverges.
+	reg.Arm(trigger(faultinject.Crash, "rmdir", true))
+	fs, _, _ := newSupervised(t, Config{
+		Base:              basefs.Options{Injector: reg},
+		StopOnDiscrepancy: true,
+	})
+	fd, err := fs.Create("/a", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close(fd)
+	// Behind the supervisor's back: remove /a directly on the base. The log
+	// still says "create /a succeeded with ino 2"; replay will allocate ino
+	// 2 for /a again (fine) — so instead create a *conflict*: make /b exist
+	// only in the log's view.
+	if err := fs.Base().Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	// Now a second create of /a through the supervisor: the base sees no
+	// /a (we unlinked it), succeeds, records it. Replay from the on-disk
+	// state will execute create(/a) twice successfully — the second must
+	// fail with EEXIST in the shadow: a discrepancy.
+	fd2, err := fs.Create("/a", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Close(fd2)
+	if err := fs.Mkdir("/trigger-dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err = fs.Rmdir("/trigger-dir") // fires the crash
+	// Recovery must have degraded: the log was unreplayable.
+	st := fs.Stats()
+	if st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", st.Recoveries)
+	}
+	if st.Degradations != 1 {
+		t.Fatalf("no degradation despite poisoned log (err=%v, disc=%v)",
+			err, fs.LastDiscrepancies())
+	}
+	if !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("degraded recovery returned %v to the app, want EIO", err)
+	}
+	// The system is still usable on the last durable state.
+	if _, err := fs.Create("/fresh", 0o644); err != nil {
+		t.Errorf("post-degradation create: %v", err)
+	}
+}
+
+// TestRecoveryWithOnDiskCorruptionDegrades: if the on-disk image itself is
+// corrupt at recovery time (outside the fault model's guarantee), the
+// shadow's fsck refuses it and the supervisor degrades explicitly.
+func TestRecoveryWithOnDiskCorruptionDegrades(t *testing.T) {
+	reg := faultinject.NewRegistry(5)
+	reg.Arm(trigger(faultinject.Crash, "mkdir", true))
+	fs, dev, sbGeom := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, _ := fs.Create("/data", 0o644)
+	fs.WriteAt(fd, 0, []byte("x"))
+	fs.Close(fd)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble on the on-disk inode table (simulating media corruption that
+	// sync-validate could not have seen).
+	blk, off := sbGeom.InodeLoc(2)
+	if err := dev.CorruptBlock(blk, off+8, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.Mkdir("/trigger", 0o755)
+	st := fs.Stats()
+	if st.Recoveries != 1 || st.Degradations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("degraded op returned %v", err)
+	}
+}
+
+// TestInFlightReadServedByShadow: a deterministic bug on the read path is
+// masked; the data the application receives comes from the shadow.
+func TestInFlightReadServedByShadow(t *testing.T) {
+	reg := faultinject.NewRegistry(6)
+	reg.Arm(&faultinject.Specimen{
+		ID: "read-crash", Class: faultinject.Crash,
+		Deterministic: true, Op: "readat", Point: "entry", AfterN: 1,
+	})
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, _ := fs.Create("/r", 0o644)
+	fs.WriteAt(fd, 0, []byte("served by the shadow"))
+	got, err := fs.ReadAt(fd, 0, 100) // match 1: passes (AfterN=1)
+	if err != nil || string(got) != "served by the shadow" {
+		t.Fatalf("first read = (%q, %v)", got, err)
+	}
+	got, err = fs.ReadAt(fd, 0, 100) // match 2: fires
+	if err != nil || string(got) != "served by the shadow" {
+		t.Fatalf("recovered read = (%q, %v)", got, err)
+	}
+	if fs.Stats().Recoveries != 1 {
+		t.Errorf("recoveries = %d", fs.Stats().Recoveries)
+	}
+}
+
+// TestFsyncFaultDelegatedToRebootedBase exercises §3.3's rule: a failure
+// inside fsync recovers the prefix via the shadow and re-runs the fsync on
+// the rebooted base.
+func TestFsyncFaultDelegatedToRebootedBase(t *testing.T) {
+	reg := faultinject.NewRegistry(7)
+	reg.Arm(&faultinject.Specimen{
+		ID: "sync-crash", Class: faultinject.Crash,
+		Deterministic: false, Prob: 1, MaxFires: 1, Op: "sync", Point: "entry",
+	})
+	fs, dev, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	fd, _ := fs.Create("/durable", 0o644)
+	fs.WriteAt(fd, 0, []byte("must survive"))
+	if err := fs.Fsync(fd); err != nil { // fires, recovers, re-syncs
+		t.Fatalf("fsync: %v", err)
+	}
+	st := fs.Stats()
+	if st.Recoveries != 1 || st.AppFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.StablePoints == 0 {
+		t.Error("re-run fsync did not create a stable point")
+	}
+	// The data is genuinely durable: crash and remount raw.
+	crash := dev.Snapshot()
+	fs.Kill()
+	base, err := basefs.Mount(crash, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Kill()
+	fd2, err := base.Open("/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := base.ReadAt(fd2, 0, 100)
+	if string(got) != "must survive" {
+		t.Errorf("durable content = %q", got)
+	}
+}
+
+// TestRecoveryWireFormatRoundTrip: the recovery input crosses the boundary
+// as bytes; a log with every op kind must survive the trip (guarded inside
+// raeRecover, surfaced here via a recovery over a rich log).
+func TestRecoveryWireFormatRoundTrip(t *testing.T) {
+	reg := faultinject.NewRegistry(8)
+	reg.Arm(trigger(faultinject.Crash, "setperm", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	ops := []*oplog.Op{
+		{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755},
+		{Kind: oplog.KCreate, Path: "/d/f", Perm: 0o644},
+		{Kind: oplog.KWrite, FD: 0, Off: 0, Data: []byte("wire")},
+		{Kind: oplog.KSymlink, Path: "/d/l", Path2: "/d/f"},
+		{Kind: oplog.KLink, Path: "/d/f", Path2: "/d/h"},
+		{Kind: oplog.KRename, Path: "/d/h", Path2: "/d/h2"},
+		{Kind: oplog.KTruncate, Path: "/d/f", Size: 2},
+		{Kind: oplog.KClose, FD: 0},
+	}
+	for _, op := range ops {
+		if err := oplog.Apply(fs, op); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	if err := fs.SetPerm("/d/trigger-x", 0o600); err == nil {
+		t.Fatal("detonation succeeded?")
+	}
+	st := fs.Stats()
+	if st.Recoveries != 1 || st.Degradations != 0 {
+		t.Fatalf("stats = %+v; wire format mangled the log?", st)
+	}
+	// Full state intact after the round trip.
+	if _, err := fs.Stat("/d/h2"); err != nil {
+		t.Errorf("hard link lost: %v", err)
+	}
+	target, err := fs.Readlink("/d/l")
+	if err != nil || target != "/d/f" {
+		t.Errorf("symlink lost: (%q, %v)", target, err)
+	}
+	st2, err := fs.Stat("/d/f")
+	if err != nil || st2.Size != 2 {
+		t.Errorf("truncate lost: %+v %v", st2, err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/faultinject"
+	"repro/internal/fsck"
+	"repro/internal/workload"
+)
+
+// TestSoakRAEAgainstModel is the long-running confidence run: thousands of
+// operations per profile with a cocktail of probabilistic bug specimens
+// (crashes, WARNs, freezes, spurious errors) firing throughout, periodic
+// syncs, and full outcome + state equivalence against the bug-free
+// specification at the end. The on-disk image must also be fsck-clean after
+// unmount.
+func TestSoakRAEAgainstModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, profile := range workload.Profiles() {
+		t.Run(profile.String(), func(t *testing.T) {
+			reg := faultinject.NewRegistry(int64(profile) + 100)
+			reg.Arm(&faultinject.Specimen{
+				ID: "soak-crash", Class: faultinject.Crash,
+				Prob: 0.004, Point: "entry",
+			})
+			reg.Arm(&faultinject.Specimen{
+				ID: "soak-warn", Class: faultinject.Warn,
+				Prob: 0.004, Point: "entry",
+			})
+			reg.Arm(&faultinject.Specimen{
+				ID: "soak-eio", Class: faultinject.ErrReturn,
+				Prob: 0.002, Point: "exit",
+			})
+			fs, dev, sb := newSupervised(t, Config{
+				Base:          basefs.Options{Injector: reg},
+				EscalateWarns: true,
+			})
+			trace := workload.Generate(workload.Config{
+				Profile: profile, Seed: 77, NumOps: 3000, Superblock: sb, SyncEvery: 150,
+			})
+			outcome, state := runAgainstModel(t, fs, sb, trace)
+			for i, d := range outcome {
+				if i >= 5 {
+					t.Errorf("... and %d more outcome diffs", len(outcome)-5)
+					break
+				}
+				t.Errorf("outcome: %s", d)
+			}
+			for i, d := range state {
+				if i >= 5 {
+					break
+				}
+				t.Errorf("state: %s", d)
+			}
+			st := fs.Stats()
+			t.Logf("%s: %d ops, %d recoveries (%d panics, %d warns escalated, %d eio), %d replayed, downtime %v",
+				profile, st.OpsExecuted, st.Recoveries, st.PanicsCaught,
+				st.WarnsEscalated, st.FaultResults, st.OpsReplayed, st.TotalDowntime)
+			if st.Recoveries == 0 {
+				t.Error("soak never triggered a recovery")
+			}
+			if st.AppFailures != 0 {
+				t.Errorf("app failures: %d", st.AppFailures)
+			}
+			if err := fs.Unmount(); err != nil {
+				t.Fatal(err)
+			}
+			if rep := fsck.Check(dev); !rep.Clean() {
+				for i, p := range rep.Problems {
+					if i >= 5 {
+						break
+					}
+					t.Errorf("fsck: %s", p)
+				}
+			}
+		})
+	}
+}

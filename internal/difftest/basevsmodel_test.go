@@ -1,0 +1,163 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// newPair builds a base filesystem and a model with identical geometry.
+func newPair(t *testing.T, blocks uint32) (*basefs.FS, *model.Model, *disklayout.Superblock) {
+	t.Helper()
+	dev := blockdev.NewMem(blocks)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fs.Kill)
+	return fs, model.New(sb), sb
+}
+
+// TestBaseMatchesModelAcrossWorkloads is the §4.3 differential campaign in
+// miniature: for every profile and several seeds, the base filesystem's
+// per-operation outcomes and final state must equal the executable
+// specification's.
+func TestBaseMatchesModelAcrossWorkloads(t *testing.T) {
+	for _, profile := range workload.Profiles() {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(profile.String()+"-"+string(rune('0'+seed)), func(t *testing.T) {
+				fs, m, sb := newPair(t, 16384)
+				trace := workload.Generate(workload.Config{
+					Profile:    profile,
+					Seed:       seed,
+					NumOps:     800,
+					Superblock: sb,
+				})
+				disc, err := VerifyEquivalence(fs, m, trace)
+				if err != nil {
+					t.Fatalf("equivalence run failed: %v", err)
+				}
+				for i, d := range disc {
+					if i >= 10 {
+						t.Errorf("... and %d more", len(disc)-10)
+						break
+					}
+					t.Errorf("discrepancy: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestBaseMatchesModelUnderENOSPC uses a tiny image so both implementations
+// exhaust space; the failure point and post-failure state must agree.
+func TestBaseMatchesModelUnderENOSPC(t *testing.T) {
+	fs, m, sb := newPair(t, 400)
+	trace := workload.Generate(workload.Config{
+		Profile:    workload.DataHeavy,
+		Seed:       99,
+		NumOps:     600,
+		Superblock: sb,
+	})
+	disc, err := VerifyEquivalence(fs, m, trace)
+	if err != nil {
+		t.Fatalf("equivalence run failed: %v", err)
+	}
+	for i, d := range disc {
+		if i >= 10 {
+			break
+		}
+		t.Errorf("discrepancy: %s", d)
+	}
+}
+
+// TestBaseMatchesModelAfterRemount checks that durability does not change
+// logical state: run half a trace, sync, remount the base, run the rest.
+func TestBaseMatchesModelAfterRemount(t *testing.T) {
+	dev := blockdev.NewMem(16384)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.New(sb)
+	trace := workload.Generate(workload.Config{
+		Profile:    workload.Soup,
+		Seed:       7,
+		NumOps:     400,
+		Superblock: sb,
+	})
+	// A remount closes all descriptors; to keep the model in lockstep we
+	// split at a point where the generator happens to hold no open fds, or
+	// force closure on both sides identically. Simpler: close all open fds
+	// via trace inspection before the split.
+	half := len(trace) / 2
+	open := map[int]bool{}
+	for _, o := range trace[:half] {
+		switch o.Kind {
+		case oplog.KCreate, oplog.KOpen:
+			if o.Errno == 0 {
+				open[int(o.RetFD)] = true
+			}
+		case oplog.KClose:
+			if o.Errno == 0 {
+				delete(open, int(o.FD))
+			}
+		}
+	}
+	run := func(ops []*oplog.Op) {
+		for _, oracle := range ops {
+			op := oracle.Clone()
+			op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+			_ = oplog.Apply(m, op)
+			got := op.Clone()
+			got.Errno, got.RetFD, got.RetIno, got.RetN = 0, 0, 0, 0
+			_ = oplog.Apply(fs, got)
+			for _, d := range CompareOutcome(got, op) {
+				t.Fatalf("discrepancy: %s", d)
+			}
+		}
+	}
+	run(trace[:half])
+	for fd := range open {
+		_ = fs.Close(fsapi.FD(fd))
+		_ = m.Close(fsapi.FD(fd))
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs, err = basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+	run(trace[half:])
+	gotState, err := DumpState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := DumpState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range CompareStates(gotState, wantState) {
+		if i >= 10 {
+			break
+		}
+		t.Errorf("state discrepancy: %s", d)
+	}
+}

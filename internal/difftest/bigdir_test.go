@@ -1,0 +1,69 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disklayout"
+	"repro/internal/oplog"
+)
+
+// TestBigDirectoryParity pushes one directory past its direct blocks (768
+// entries at 64 per block over 12 direct pointers) so insertion walks into
+// the indirect range, then removes every other entry and refills, checking
+// the base against the model throughout (slot-reuse order, sizes, ENOSPC
+// accounting with indirect overhead).
+func TestBigDirectoryParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-directory walk is slow")
+	}
+	fs, m, _ := newPair(t, 16384)
+	const entries = disklayout.DirentsPerBlock*disklayout.NumDirect + 70 // spills into indirect
+	run := func(op *oplog.Op) {
+		t.Helper()
+		oracle := op.Clone()
+		_ = oplog.Apply(m, oracle)
+		got := op.Clone()
+		_ = oplog.Apply(fs, got)
+		for _, d := range CompareOutcome(got, oracle) {
+			t.Fatalf("discrepancy: %s", d)
+		}
+	}
+	run(&oplog.Op{Kind: oplog.KMkdir, Path: "/big", Perm: 0o755})
+	for i := 0; i < entries; i++ {
+		run(&oplog.Op{Kind: oplog.KCreate, Path: fmt.Sprintf("/big/e%05d", i), Perm: 0o644})
+		run(&oplog.Op{Kind: oplog.KClose, FD: 0})
+	}
+	// The directory now spans 13+ blocks; sizes must agree.
+	run(&oplog.Op{Kind: oplog.KStatProbe, Path: "/big"})
+	st, err := fs.Stat("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size < (disklayout.NumDirect+1)*disklayout.BlockSize {
+		t.Fatalf("directory did not spill into indirect range: size %d", st.Size)
+	}
+	// Punch holes in the slot array and refill: first-free-slot reuse must
+	// match exactly (listing order is compared in the final state dump).
+	for i := 0; i < entries; i += 2 {
+		run(&oplog.Op{Kind: oplog.KUnlink, Path: fmt.Sprintf("/big/e%05d", i)})
+	}
+	for i := 0; i < 200; i++ {
+		run(&oplog.Op{Kind: oplog.KCreate, Path: fmt.Sprintf("/big/n%04d", i), Perm: 0o644})
+		run(&oplog.Op{Kind: oplog.KClose, FD: 0})
+	}
+	gotState, err := DumpState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := DumpState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range CompareStates(gotState, wantState) {
+		if i >= 5 {
+			break
+		}
+		t.Errorf("state: %s", d)
+	}
+}

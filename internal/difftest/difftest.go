@@ -1,0 +1,251 @@
+// Package difftest implements the differential testing campaign of the
+// paper's §4.3: executing the same operation sequences against multiple
+// filesystem implementations and reporting discrepancies.
+//
+// "The testing phase uses the base as a reference filesystem to test the
+// shadow by running a large volume of workloads and monitoring for
+// discrepancies. Disagreements between the base and shadow indicate bugs in
+// the base or missing conditions in the shadow." Here the executable
+// specification model joins as a third voice, so a disagreement also says
+// which side is wrong.
+//
+// Two comparison layers:
+//
+//   - Outcome comparison: each operation's errno, returned descriptor,
+//     returned inode number, and byte count must match the oracle trace.
+//   - State comparison: after the sequence, a canonical walk of the whole
+//     tree through the public API (paths, types, permissions, nlink, sizes,
+//     content hashes, symlink targets, listing order) must match.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/oplog"
+)
+
+// Discrepancy is one observed disagreement between an implementation and
+// the oracle.
+type Discrepancy struct {
+	// Op is the operation (with the oracle outcome) where behavior diverged;
+	// nil for state-level discrepancies found after the run.
+	Op *oplog.Op
+	// Field names what differed ("errno", "fd", "ino", "n", or a state path).
+	Field string
+	// Got and Want describe the divergence.
+	Got, Want string
+}
+
+// String formats the discrepancy for reports.
+func (d Discrepancy) String() string {
+	if d.Op != nil {
+		return fmt.Sprintf("%s: %s = %s, oracle says %s", d.Op, d.Field, d.Got, d.Want)
+	}
+	return fmt.Sprintf("state %s: got %s, want %s", d.Field, d.Got, d.Want)
+}
+
+// RunTrace applies an oracle trace to fs and returns every outcome
+// discrepancy. The trace is not mutated.
+func RunTrace(fs fsapi.FS, trace []*oplog.Op) []Discrepancy {
+	var out []Discrepancy
+	for _, oracle := range trace {
+		op := oracle.Clone()
+		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(fs, op)
+		out = append(out, CompareOutcome(op, oracle)...)
+	}
+	return out
+}
+
+// CompareOutcome checks one executed op against its oracle record.
+func CompareOutcome(got, oracle *oplog.Op) []Discrepancy {
+	var out []Discrepancy
+	if got.Errno != oracle.Errno {
+		out = append(out, Discrepancy{Op: oracle, Field: "errno",
+			Got: fmt.Sprint(got.Errno), Want: fmt.Sprint(oracle.Errno)})
+	}
+	// Return values are only meaningful on success.
+	if oracle.Errno != 0 {
+		return out
+	}
+	switch oracle.Kind {
+	case oplog.KCreate, oplog.KOpen:
+		if got.RetFD != oracle.RetFD {
+			out = append(out, Discrepancy{Op: oracle, Field: "fd",
+				Got: fmt.Sprint(got.RetFD), Want: fmt.Sprint(oracle.RetFD)})
+		}
+		if got.RetIno != oracle.RetIno {
+			out = append(out, Discrepancy{Op: oracle, Field: "ino",
+				Got: fmt.Sprint(got.RetIno), Want: fmt.Sprint(oracle.RetIno)})
+		}
+	case oplog.KMkdir, oplog.KStatProbe:
+		if got.RetIno != oracle.RetIno {
+			out = append(out, Discrepancy{Op: oracle, Field: "ino",
+				Got: fmt.Sprint(got.RetIno), Want: fmt.Sprint(oracle.RetIno)})
+		}
+	case oplog.KWrite, oplog.KReadProbe:
+		if got.RetN != oracle.RetN {
+			out = append(out, Discrepancy{Op: oracle, Field: "n",
+				Got: fmt.Sprint(got.RetN), Want: fmt.Sprint(oracle.RetN)})
+		}
+	}
+	return out
+}
+
+// Entry is the canonical description of one name in a state dump.
+type Entry struct {
+	Path    string
+	Type    uint16
+	Perm    uint16
+	Nlink   uint16
+	Ino     uint32
+	Size    int64
+	Mtime   uint64
+	Ctime   uint64
+	Hash    uint32 // CRC32C of file contents
+	Target  string // symlink target
+	Listing string // for dirs: child names in listing order
+}
+
+// DumpState walks the filesystem through its public API and returns the
+// canonical state map keyed by path. Content of every regular file is read
+// and hashed.
+func DumpState(fs fsapi.FS) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	var walk func(path string) error
+	walk = func(path string) error {
+		st, err := fs.Stat(path)
+		if err != nil {
+			return fmt.Errorf("difftest: stat %s: %w", path, err)
+		}
+		e := Entry{
+			Path:  path,
+			Type:  disklayout.ModeType(st.Mode),
+			Perm:  disklayout.ModePerm(st.Mode),
+			Nlink: st.Nlink,
+			Ino:   st.Ino,
+			Size:  st.Size,
+			Mtime: st.Mtime,
+			Ctime: st.Ctime,
+		}
+		switch e.Type {
+		case disklayout.TypeDir:
+			ents, err := fs.Readdir(path)
+			if err != nil {
+				return fmt.Errorf("difftest: readdir %s: %w", path, err)
+			}
+			names := make([]string, len(ents))
+			for i, de := range ents {
+				names[i] = de.Name
+			}
+			e.Listing = fmt.Sprint(names)
+			out[path] = e
+			for _, de := range ents {
+				child := path + "/" + de.Name
+				if path == "/" {
+					child = "/" + de.Name
+				}
+				if err := walk(child); err != nil {
+					return err
+				}
+			}
+			return nil
+		case disklayout.TypeFile:
+			fd, err := fs.Open(path)
+			if err != nil {
+				return fmt.Errorf("difftest: open %s: %w", path, err)
+			}
+			var content []byte
+			for off := int64(0); off < st.Size; off += 1 << 16 {
+				chunk, err := fs.ReadAt(fd, off, 1<<16)
+				if err != nil {
+					_ = fs.Close(fd)
+					return fmt.Errorf("difftest: read %s: %w", path, err)
+				}
+				content = append(content, chunk...)
+			}
+			_ = fs.Close(fd)
+			e.Hash = disklayout.Checksum(content)
+			out[path] = e
+			return nil
+		case disklayout.TypeSym:
+			target, err := fs.Readlink(path)
+			if err != nil {
+				return fmt.Errorf("difftest: readlink %s: %w", path, err)
+			}
+			e.Target = target
+			out[path] = e
+			return nil
+		}
+		out[path] = e
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompareStates diffs two canonical dumps, returning a discrepancy per
+// differing path or field.
+func CompareStates(got, want map[string]Entry) []Discrepancy {
+	var out []Discrepancy
+	var paths []string
+	seen := map[string]bool{}
+	for p := range want {
+		paths = append(paths, p)
+		seen[p] = true
+	}
+	for p := range got {
+		if !seen[p] {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		g, gok := got[p]
+		w, wok := want[p]
+		switch {
+		case !gok:
+			out = append(out, Discrepancy{Field: p, Got: "<missing>", Want: describe(w)})
+		case !wok:
+			out = append(out, Discrepancy{Field: p, Got: describe(g), Want: "<missing>"})
+		case g != w:
+			out = append(out, Discrepancy{Field: p, Got: describe(g), Want: describe(w)})
+		}
+	}
+	return out
+}
+
+func describe(e Entry) string {
+	return fmt.Sprintf("type=%d perm=%o nlink=%d ino=%d size=%d mtime=%d ctime=%d hash=%x target=%q listing=%s",
+		e.Type, e.Perm, e.Nlink, e.Ino, e.Size, e.Mtime, e.Ctime, e.Hash, e.Target, e.Listing)
+}
+
+// VerifyEquivalence runs a trace on fs and then compares both per-op
+// outcomes and final state against an oracle filesystem given the same
+// trace. It is the complete §4.3 check for one workload.
+func VerifyEquivalence(fs, oracleFS fsapi.FS, trace []*oplog.Op) ([]Discrepancy, error) {
+	// Run the oracle first to (re)fill outcomes.
+	oracleTrace := make([]*oplog.Op, len(trace))
+	for i, o := range trace {
+		op := o.Clone()
+		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(oracleFS, op)
+		oracleTrace[i] = op
+	}
+	disc := RunTrace(fs, oracleTrace)
+	gotState, err := DumpState(fs)
+	if err != nil {
+		return disc, err
+	}
+	wantState, err := DumpState(oracleFS)
+	if err != nil {
+		return disc, err
+	}
+	disc = append(disc, CompareStates(gotState, wantState)...)
+	return disc, nil
+}

@@ -1,0 +1,72 @@
+package disklayout
+
+// Bitmap operations over raw bitmap blocks. Both filesystems and fsck share
+// these so a bit means the same thing everywhere: bit i of the inode bitmap
+// covers inode i; bit i of the block bitmap covers block i (absolute block
+// numbers, so metadata blocks are permanently marked allocated by mkfs).
+
+// BitsPerBlock is the number of allocation bits stored in one bitmap block.
+const BitsPerBlock = BlockSize * 8
+
+// TestBit reports whether bit i is set in the concatenated bitmap bm.
+// Out-of-range bits read as set, so corrupted callers can never treat
+// untracked resources as free.
+func TestBit(bm []byte, i uint32) bool {
+	byteIdx := int(i / 8)
+	if byteIdx >= len(bm) {
+		return true
+	}
+	return bm[byteIdx]&(1<<(i%8)) != 0
+}
+
+// SetBit sets bit i in bm. Out-of-range sets are ignored.
+func SetBit(bm []byte, i uint32) {
+	byteIdx := int(i / 8)
+	if byteIdx >= len(bm) {
+		return
+	}
+	bm[byteIdx] |= 1 << (i % 8)
+}
+
+// ClearBit clears bit i in bm. Out-of-range clears are ignored.
+func ClearBit(bm []byte, i uint32) {
+	byteIdx := int(i / 8)
+	if byteIdx >= len(bm) {
+		return
+	}
+	bm[byteIdx] &^= 1 << (i % 8)
+}
+
+// FindFree returns the index of the first clear bit in bm at or after the
+// hint, scanning at most limit bits, wrapping to 0 if nothing is free after
+// the hint. The second result is false when everything is allocated.
+func FindFree(bm []byte, hint, limit uint32) (uint32, bool) {
+	if limit == 0 {
+		return 0, false
+	}
+	if hint >= limit {
+		hint = 0
+	}
+	for i := hint; i < limit; i++ {
+		if !TestBit(bm, i) {
+			return i, true
+		}
+	}
+	for i := uint32(0); i < hint; i++ {
+		if !TestBit(bm, i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CountSet returns the number of set bits among the first limit bits of bm.
+func CountSet(bm []byte, limit uint32) uint32 {
+	var n uint32
+	for i := uint32(0); i < limit; i++ {
+		if TestBit(bm, i) {
+			n++
+		}
+	}
+	return n
+}

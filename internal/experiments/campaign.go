@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/fsapi"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/shadowfs"
+	"repro/internal/workload"
+)
+
+// Subject selects an implementation for the campaign.
+type Subject int
+
+// Subjects.
+const (
+	// SubjectBase tests the performance-oriented base filesystem.
+	SubjectBase Subject = iota
+	// SubjectShadow tests the shadow filesystem.
+	SubjectShadow
+)
+
+// String names the subject in reports.
+func (s Subject) String() string {
+	if s == SubjectShadow {
+		return "shadow"
+	}
+	return "base"
+}
+
+// CampaignConfig parameterizes a differential testing campaign: the §4.3
+// testing phase, "running a large volume of workloads and monitoring for
+// discrepancies".
+type CampaignConfig struct {
+	// Subject is the implementation under test (the oracle is always the
+	// executable specification model).
+	Subject Subject
+	// Seeds is the number of random seeds per profile.
+	Seeds int
+	// OpsPerRun is the trace length per seed.
+	OpsPerRun int
+	// Profiles lists the workload mixes; nil selects all.
+	Profiles []workload.Profile
+	// ImageBlocks sizes the image per run (default 16384).
+	ImageBlocks uint32
+	// Injector, when non-nil, arms bugs in the base subject — campaigns
+	// against a known-buggy base must *find* the discrepancies.
+	Injector *basefs.Options
+}
+
+// CampaignResult summarizes one campaign.
+type CampaignResult struct {
+	Runs          int
+	OpsExecuted   int
+	Discrepancies []difftest.Discrepancy
+	// FirstFailure describes the first diverging run, if any.
+	FirstFailure string
+}
+
+// RunCampaign executes the campaign and returns the aggregate result.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 4
+	}
+	if cfg.OpsPerRun <= 0 {
+		cfg.OpsPerRun = 800
+	}
+	if cfg.ImageBlocks == 0 {
+		cfg.ImageBlocks = 16384
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = workload.Profiles()
+	}
+	res := &CampaignResult{}
+	for _, profile := range profiles {
+		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+			dev := blockdev.NewMem(cfg.ImageBlocks)
+			sb, err := mkfs.Format(dev, mkfs.Options{})
+			if err != nil {
+				return res, err
+			}
+			var subject fsapi.FS
+			switch cfg.Subject {
+			case SubjectShadow:
+				sh, err := shadowfs.New(dev, shadowfs.Options{SkipFsck: true})
+				if err != nil {
+					return res, err
+				}
+				subject = sh
+			default:
+				opts := basefs.Options{}
+				if cfg.Injector != nil {
+					opts = *cfg.Injector
+				}
+				base, err := basefs.Mount(dev, opts)
+				if err != nil {
+					return res, err
+				}
+				defer base.Kill()
+				subject = base
+			}
+			trace := workload.Generate(workload.Config{
+				Profile: profile, Seed: seed, NumOps: cfg.OpsPerRun, Superblock: sb,
+			})
+			disc, err := difftest.VerifyEquivalence(subject, model.New(sb), trace)
+			if err != nil {
+				// A subject whose tree cannot even be walked (reads fail with
+				// corruption) is the strongest possible discrepancy, not an
+				// infrastructure error.
+				disc = append(disc, difftest.Discrepancy{
+					Field: "state-dump",
+					Got:   err.Error(),
+					Want:  "walkable tree",
+				})
+			}
+			res.Runs++
+			res.OpsExecuted += len(trace)
+			if len(disc) > 0 && res.FirstFailure == "" {
+				res.FirstFailure = fmt.Sprintf("%s subject, %s profile, seed %d: %s",
+					cfg.Subject, profile, seed, disc[0])
+			}
+			res.Discrepancies = append(res.Discrepancies, disc...)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+func TestCampaignCleanImplementationsPass(t *testing.T) {
+	for _, subject := range []Subject{SubjectBase, SubjectShadow} {
+		res, err := RunCampaign(CampaignConfig{
+			Subject: subject, Seeds: 2, OpsPerRun: 400,
+			Profiles: []workload.Profile{workload.Soup},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", subject, err)
+		}
+		if res.Runs != 2 || res.OpsExecuted == 0 {
+			t.Errorf("%s: runs=%d ops=%d", subject, res.Runs, res.OpsExecuted)
+		}
+		if len(res.Discrepancies) != 0 {
+			t.Errorf("%s: %d discrepancies on clean implementations; first: %s",
+				subject, len(res.Discrepancies), res.FirstFailure)
+		}
+	}
+}
+
+// TestCampaignFindsSeededBaseBug is the detection half of §4.3: a campaign
+// against a base with a planted silent-corruption bug must surface
+// discrepancies ("disagreements ... indicate bugs in the base").
+func TestCampaignFindsSeededBaseBug(t *testing.T) {
+	reg := faultinject.NewRegistry(17)
+	reg.Arm(&faultinject.Specimen{
+		ID: "campaign-bug", Class: faultinject.SilentCorrupt,
+		Deterministic: true, Op: "writeat", Point: "inode", AfterN: 20,
+	})
+	res, err := RunCampaign(CampaignConfig{
+		Subject: SubjectBase, Seeds: 2, OpsPerRun: 500,
+		Profiles: []workload.Profile{workload.DataHeavy},
+		Injector: &basefs.Options{Injector: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discrepancies) == 0 {
+		t.Fatal("campaign missed the planted base bug")
+	}
+	if res.FirstFailure == "" {
+		t.Error("no first-failure description")
+	}
+	t.Logf("campaign caught: %s (%d total findings)", res.FirstFailure, len(res.Discrepancies))
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/fsapi"
+	"repro/internal/oplog"
+	"repro/internal/shadowfs"
+	"repro/internal/workload"
+)
+
+// IOResult is one row of the device-traffic comparison: how many block
+// reads and writes each implementation issues for the same workload. The
+// base's caches absorb most reads and its journal adds a bounded write
+// overhead; the shadow reads synchronously with no cache ("performs IO
+// synchronously", §2.3) and writes nothing.
+type IOResult struct {
+	System       System
+	Profile      workload.Profile
+	Ops          int
+	DeviceReads  int64
+	DeviceWrites int64
+	Flushes      int64
+}
+
+// IOAccounting measures device traffic for the base and the shadow on the
+// same trace.
+func IOAccounting(profile workload.Profile, numOps int, seed int64) ([]IOResult, error) {
+	trace := workload.Generate(workload.Config{
+		Profile: profile, Seed: seed, NumOps: numOps, SyncEvery: 200,
+	})
+	var out []IOResult
+	run := func(sys System, fs fsapi.FS, dev *blockdev.Mem, baseline blockdev.StatsSnapshot) {
+		for _, rec := range trace {
+			op := rec.Clone()
+			op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+			_ = oplog.Apply(fs, op)
+		}
+		s := dev.Stats().Snapshot()
+		out = append(out, IOResult{
+			System: sys, Profile: profile, Ops: len(trace),
+			DeviceReads:  s.Reads - baseline.Reads,
+			DeviceWrites: s.Writes - baseline.Writes,
+			Flushes:      s.Flushes - baseline.Flushes,
+		})
+	}
+
+	dev, _, err := newImage(ImageBlocks)
+	if err != nil {
+		return nil, err
+	}
+	base, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		return nil, err
+	}
+	run(SysBase, base, dev, dev.Stats().Snapshot())
+	base.Kill()
+
+	dev2, _, err := newImage(ImageBlocks)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shadowfs.New(dev2, shadowfs.Options{SkipFsck: true})
+	if err != nil {
+		return nil, err
+	}
+	baseline := dev2.Stats().Snapshot()
+	run(SysShadow, sh, dev2, baseline)
+	// Invariant, not just a report: the shadow wrote nothing.
+	final := dev2.Stats().Snapshot()
+	if final.Writes != baseline.Writes || final.Flushes != baseline.Flushes {
+		return nil, fmt.Errorf("experiments: shadow wrote to the device (%d writes)", final.Writes-baseline.Writes)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// LatencyResult captures the per-operation latency distribution of a
+// workload, the paper's §4.3 concern in measurable form: "recovery time
+// does impact the expected response time observed by applications with
+// in-flight operations". Recoveries do not fail operations under RAE — they
+// stretch the unlucky ones, which shows up in the tail, not the median.
+type LatencyResult struct {
+	Mode       core.Mode
+	BugRate    float64
+	Ops        int
+	Recoveries int64
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	Mean       time.Duration
+}
+
+// Latency runs a metadata-heavy workload under RAE with a probabilistic
+// crash specimen at the given per-op rate (0 disables) and returns the
+// latency distribution of individual operations.
+func Latency(bugRate float64, numOps int, seed int64) (LatencyResult, error) {
+	res := LatencyResult{Mode: core.ModeRAE, BugRate: bugRate, Ops: numOps}
+	dev, sb, err := newImage(ImageBlocks)
+	if err != nil {
+		return res, err
+	}
+	var reg *faultinject.Registry
+	if bugRate > 0 {
+		reg = faultinject.NewRegistry(seed)
+		reg.Arm(&faultinject.Specimen{
+			ID: "latency-crash", Class: faultinject.Crash,
+			Deterministic: false, Prob: bugRate, Point: "entry",
+		})
+	}
+	sup, err := core.Mount(dev, core.Config{Base: basefs.Options{Injector: reg}})
+	if err != nil {
+		return res, err
+	}
+	defer sup.Kill()
+	trace := workload.Generate(workload.Config{
+		Profile: workload.MetaHeavy, Seed: seed, NumOps: numOps, Superblock: sb, SyncEvery: 100,
+	})
+	lat := make([]time.Duration, 0, len(trace))
+	for _, rec := range trace {
+		op := rec.Clone()
+		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+		start := time.Now()
+		_ = oplog.Apply(sup, op)
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	res.P50, res.P95, res.P99, res.Max = pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+	res.Mean = total / time.Duration(len(lat))
+	res.Recoveries = sup.Stats().Recoveries
+	return res, nil
+}

@@ -1,0 +1,323 @@
+// Package faultinject plants executable bug specimens into the base
+// filesystem's code paths.
+//
+// The paper motivates RAE with a study of 256 real ext4 bugs (Table 1),
+// classified by determinism (deterministic / non-deterministic) and
+// consequence (Crash / WARN / NoCrash / Unknown). This package is the
+// executable counterpart of that taxonomy: each Specimen is a synthetic bug
+// of one of those classes that can be armed against a live base filesystem,
+// so end-to-end experiments exercise recovery for every class the paper
+// counts (experiment E9), not just tally them.
+//
+// The base filesystem exposes injection seams — named points inside its
+// operation paths — and calls Fire at each. A specimen whose trigger matches
+// performs its consequence: panicking (Crash), emitting a kernel-style WARN,
+// silently corrupting the in-flight inode or block (NoCrash/corruption),
+// blocking (NoCrash/freeze), or returning a spurious error. Deterministic
+// specimens fire on every trigger match — re-executing the same operation
+// sequence re-triggers them, which is exactly the conflict between state
+// reconstruction and error avoidance (§2.2) that the shadow resolves.
+// Non-deterministic specimens fire with a seeded probability.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fserr"
+)
+
+// Consequence mirrors the consequence axis of the paper's Table 1.
+type Consequence int
+
+// Consequence values.
+const (
+	// Crash panics inside the filesystem operation (BUG()-style: null
+	// dereference, out-of-bounds, explicit panic).
+	Crash Consequence = iota
+	// Warn emits a kernel-style WARN record and continues; the supervisor's
+	// policy decides whether WARNs trigger recovery.
+	Warn
+	// SilentCorrupt scribbles on the in-flight inode or block without any
+	// immediate symptom; detection is deferred to sync-validate or the
+	// shadow's checks (a NoCrash consequence in Table 1's terms).
+	SilentCorrupt
+	// Freeze blocks the operation (deadlock/livelock); the supervisor's
+	// watchdog detects it.
+	Freeze
+	// ErrReturn makes the operation return a spurious EIO-style error.
+	ErrReturn
+)
+
+// String returns the consequence name as used in reports.
+func (c Consequence) String() string {
+	switch c {
+	case Crash:
+		return "Crash"
+	case Warn:
+		return "WARN"
+	case SilentCorrupt:
+		return "SilentCorrupt"
+	case Freeze:
+		return "Freeze"
+	case ErrReturn:
+		return "ErrReturn"
+	}
+	return fmt.Sprintf("Consequence(%d)", int(c))
+}
+
+// Site is the context a filesystem seam passes to Fire. Optional fields give
+// specimens something to corrupt.
+type Site struct {
+	// Op is the filesystem operation ("create", "writeat", "rename", ...).
+	Op string
+	// Point is the seam within the operation ("entry", "alloc", "dirinsert",
+	// "exit", ...).
+	Point string
+	// Path is the primary path argument, when the operation has one.
+	Path string
+	// InodeSize, when non-nil, lets a specimen corrupt the in-flight inode's
+	// size field.
+	InodeSize *int64
+	// InodePtr, when non-nil, lets a specimen corrupt a block pointer.
+	InodePtr *uint32
+	// Block, when non-nil, lets a specimen scribble on a raw block buffer.
+	Block []byte
+	// Warnf emits a WARN record through the filesystem's warning channel.
+	Warnf func(format string, args ...any)
+}
+
+// Specimen is one plantable bug.
+type Specimen struct {
+	// ID names the specimen in reports, e.g. "det-crash-create".
+	ID string
+	// Class is the consequence when the specimen fires.
+	Class Consequence
+	// Deterministic specimens fire on every trigger match; non-deterministic
+	// ones fire with probability Prob on each match.
+	Deterministic bool
+	// Prob is the per-match firing probability for non-deterministic
+	// specimens (ignored for deterministic ones).
+	Prob float64
+	// Op and Point select the seam; empty matches any.
+	Op, Point string
+	// PathSubstr, when non-empty, requires the site path to contain it.
+	PathSubstr string
+	// AfterN skips the first N matches (a bug buried deep in a workload).
+	AfterN int
+	// FreezeFor is how long a Freeze specimen blocks (default 100ms).
+	FreezeFor time.Duration
+	// MaxFires caps the number of firings; 0 means unlimited. Transient bugs
+	// model "fires once, never again" with MaxFires=1 and Deterministic=false,
+	// Prob=1.
+	MaxFires int
+
+	matches int
+	fires   int
+}
+
+// FireRecord describes one specimen firing, for experiment accounting.
+type FireRecord struct {
+	SpecimenID string
+	Class      Consequence
+	Op, Point  string
+	Seq        int // global firing sequence number
+}
+
+// PanicValue is the value specimens panic with, so the supervisor can
+// distinguish injected crashes from genuine Go runtime panics in reports
+// (both are recovered the same way).
+type PanicValue struct {
+	SpecimenID string
+	Site       string
+}
+
+// Error implements error so recovered panics format cleanly.
+func (p PanicValue) Error() string {
+	return fmt.Sprintf("faultinject: injected crash %s at %s", p.SpecimenID, p.Site)
+}
+
+// InjectedErr marks spurious errors returned by ErrReturn specimens.
+type InjectedErr struct {
+	SpecimenID string
+}
+
+// Error implements error.
+func (e InjectedErr) Error() string {
+	return fmt.Sprintf("faultinject: injected error from %s", e.SpecimenID)
+}
+
+// Unwrap makes injected errors indistinguishable from genuine device EIO, so
+// the supervisor's fault classification treats them identically.
+func (e InjectedErr) Unwrap() error { return fserr.ErrIO }
+
+// Registry holds armed specimens and fires them at seams. It is safe for
+// concurrent use. A nil *Registry is valid and fires nothing, so the base
+// filesystem can call seams unconditionally.
+type Registry struct {
+	mu        sync.Mutex
+	specimens []*Specimen
+	rng       *rand.Rand
+	fired     []FireRecord
+	disarmed  bool
+}
+
+// NewRegistry creates a registry with a deterministic probability stream.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm adds a specimen. Arming the same ID twice replaces the earlier one.
+func (r *Registry) Arm(s *Specimen) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, old := range r.specimens {
+		if old.ID == s.ID {
+			r.specimens[i] = s
+			return
+		}
+	}
+	r.specimens = append(r.specimens, s)
+}
+
+// Disarm removes a specimen by ID.
+func (r *Registry) Disarm(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.specimens {
+		if s.ID == id {
+			r.specimens = append(r.specimens[:i], r.specimens[i+1:]...)
+			return
+		}
+	}
+}
+
+// DisarmAll removes every specimen but keeps the firing history.
+func (r *Registry) DisarmAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.specimens = nil
+}
+
+// SetEnabled globally gates firing without losing armed specimens; the
+// supervisor disables injection while the shadow path or baselines run
+// support code that must not fault.
+func (r *Registry) SetEnabled(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disarmed = !on
+}
+
+// Fired returns the firing history.
+func (r *Registry) Fired() []FireRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FireRecord, len(r.fired))
+	copy(out, r.fired)
+	return out
+}
+
+// ResetHistory clears the firing history (between experiment runs).
+func (r *Registry) ResetHistory() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fired = nil
+}
+
+// Fire evaluates every armed specimen against the site and performs the
+// consequence of the first that fires. It returns a non-nil error only for
+// ErrReturn specimens; Crash specimens panic; Freeze specimens block before
+// returning nil; Warn and SilentCorrupt act through the site and return nil.
+func (r *Registry) Fire(site *Site) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.disarmed {
+		r.mu.Unlock()
+		return nil
+	}
+	var chosen *Specimen
+	for _, s := range r.specimens {
+		if !s.matchLocked(site) {
+			continue
+		}
+		s.matches++
+		if s.matches <= s.AfterN {
+			continue
+		}
+		if s.MaxFires > 0 && s.fires >= s.MaxFires {
+			continue
+		}
+		if !s.Deterministic && r.rng.Float64() >= s.Prob {
+			continue
+		}
+		s.fires++
+		chosen = s
+		break
+	}
+	if chosen == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	r.fired = append(r.fired, FireRecord{
+		SpecimenID: chosen.ID,
+		Class:      chosen.Class,
+		Op:         site.Op,
+		Point:      site.Point,
+		Seq:        len(r.fired),
+	})
+	freeze := chosen.FreezeFor
+	r.mu.Unlock()
+
+	switch chosen.Class {
+	case Crash:
+		panic(PanicValue{SpecimenID: chosen.ID, Site: site.Op + "." + site.Point})
+	case Warn:
+		if site.Warnf != nil {
+			site.Warnf("WARN_ON hit in %s.%s (specimen %s)", site.Op, site.Point, chosen.ID)
+		}
+	case SilentCorrupt:
+		corrupt(site)
+	case Freeze:
+		if freeze <= 0 {
+			freeze = 100 * time.Millisecond
+		}
+		time.Sleep(freeze)
+	case ErrReturn:
+		return InjectedErr{SpecimenID: chosen.ID}
+	}
+	return nil
+}
+
+func (s *Specimen) matchLocked(site *Site) bool {
+	if s.Op != "" && s.Op != site.Op {
+		return false
+	}
+	if s.Point != "" && s.Point != site.Point {
+		return false
+	}
+	if s.PathSubstr != "" && !strings.Contains(site.Path, s.PathSubstr) {
+		return false
+	}
+	return true
+}
+
+// corrupt scribbles on whatever the site exposes, preferring the most
+// semantically damaging target available.
+func corrupt(site *Site) {
+	switch {
+	case site.InodePtr != nil:
+		// Point a block pointer at the superblock: out of the data region,
+		// caught by pointer validation at sync or by the shadow.
+		*site.InodePtr = 0
+		*site.InodePtr = 1 // metadata region: invalid as a data pointer
+	case site.InodeSize != nil:
+		*site.InodeSize = -12345
+	case len(site.Block) > 0:
+		site.Block[len(site.Block)/2] ^= 0xFF
+	}
+}

@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fserr"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if err := r.Fire(&Site{Op: "create"}); err != nil {
+		t.Errorf("nil registry fired: %v", err)
+	}
+}
+
+func TestDeterministicFiresEveryMatch(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "d", Class: ErrReturn, Deterministic: true, Op: "create"})
+	for i := 0; i < 5; i++ {
+		err := r.Fire(&Site{Op: "create"})
+		var inj InjectedErr
+		if !errors.As(err, &inj) || inj.SpecimenID != "d" {
+			t.Fatalf("fire %d: %v", i, err)
+		}
+		if !errors.Is(err, fserr.ErrIO) {
+			t.Fatalf("injected error does not unwrap to EIO: %v", err)
+		}
+	}
+	if got := len(r.Fired()); got != 5 {
+		t.Errorf("fired %d times, want 5", got)
+	}
+}
+
+func TestTriggerMatching(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "m", Class: ErrReturn, Deterministic: true,
+		Op: "unlink", Point: "entry", PathSubstr: "victim"})
+	if err := r.Fire(&Site{Op: "create", Point: "entry", Path: "/victim"}); err != nil {
+		t.Error("wrong op matched")
+	}
+	if err := r.Fire(&Site{Op: "unlink", Point: "exit", Path: "/victim"}); err != nil {
+		t.Error("wrong point matched")
+	}
+	if err := r.Fire(&Site{Op: "unlink", Point: "entry", Path: "/other"}); err != nil {
+		t.Error("wrong path matched")
+	}
+	if err := r.Fire(&Site{Op: "unlink", Point: "entry", Path: "/victim-file"}); err == nil {
+		t.Error("exact match did not fire")
+	}
+}
+
+func TestAfterNSkipsEarlyMatches(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "late", Class: ErrReturn, Deterministic: true, Op: "write", AfterN: 2})
+	for i := 0; i < 2; i++ {
+		if err := r.Fire(&Site{Op: "write"}); err != nil {
+			t.Fatalf("fired on match %d despite AfterN=2", i+1)
+		}
+	}
+	if err := r.Fire(&Site{Op: "write"}); err == nil {
+		t.Fatal("did not fire on match 3")
+	}
+}
+
+func TestMaxFiresBoundsTransientBugs(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "once", Class: ErrReturn, Deterministic: false, Prob: 1, MaxFires: 1, Op: "sync"})
+	if err := r.Fire(&Site{Op: "sync"}); err == nil {
+		t.Fatal("transient specimen never fired")
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Fire(&Site{Op: "sync"}); err != nil {
+			t.Fatal("transient specimen fired twice")
+		}
+	}
+}
+
+func TestProbabilisticFiringIsSeeded(t *testing.T) {
+	run := func() int {
+		r := NewRegistry(77)
+		r.Arm(&Specimen{ID: "p", Class: ErrReturn, Prob: 0.3, Op: "op"})
+		fires := 0
+		for i := 0; i < 200; i++ {
+			if err := r.Fire(&Site{Op: "op"}); err != nil {
+				fires++
+			}
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed, different fire counts: %d vs %d", a, b)
+	}
+	if a < 30 || a > 90 {
+		t.Errorf("0.3 probability fired %d/200 times", a)
+	}
+}
+
+func TestCrashSpecimenPanicsWithTypedValue(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "boom", Class: Crash, Deterministic: true, Op: "create"})
+	defer func() {
+		p := recover()
+		pv, ok := p.(PanicValue)
+		if !ok {
+			t.Fatalf("panic value %T, want PanicValue", p)
+		}
+		if pv.SpecimenID != "boom" || pv.Error() == "" {
+			t.Errorf("panic value = %+v", pv)
+		}
+	}()
+	_ = r.Fire(&Site{Op: "create", Point: "entry"})
+	t.Fatal("crash specimen did not panic")
+}
+
+func TestWarnSpecimenEmitsViaSite(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "w", Class: Warn, Deterministic: true, Op: "mkdir"})
+	var warned string
+	err := r.Fire(&Site{Op: "mkdir", Warnf: func(f string, a ...any) { warned = f }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warned == "" {
+		t.Error("WARN specimen did not emit")
+	}
+}
+
+func TestSilentCorruptTargets(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "c", Class: SilentCorrupt, Deterministic: true, Op: "write"})
+	size := int64(100)
+	ptr := uint32(0)
+	if err := r.Fire(&Site{Op: "write", InodePtr: &ptr, InodeSize: &size}); err != nil {
+		t.Fatal(err)
+	}
+	if ptr != 1 {
+		t.Errorf("pointer corruption: ptr=%d", ptr)
+	}
+	if size != 100 {
+		t.Errorf("size corrupted when pointer target was available: %d", size)
+	}
+	// Without a pointer target, the size is hit.
+	r2 := NewRegistry(1)
+	r2.Arm(&Specimen{ID: "c2", Class: SilentCorrupt, Deterministic: true, Op: "write"})
+	size = 100
+	_ = r2.Fire(&Site{Op: "write", InodeSize: &size})
+	if size == 100 {
+		t.Error("size corruption did not happen")
+	}
+	// Block corruption as the last resort.
+	r3 := NewRegistry(1)
+	r3.Arm(&Specimen{ID: "c3", Class: SilentCorrupt, Deterministic: true, Op: "write"})
+	blk := make([]byte, 64)
+	_ = r3.Fire(&Site{Op: "write", Block: blk})
+	corrupted := false
+	for _, v := range blk {
+		if v != 0 {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Error("block corruption did not happen")
+	}
+}
+
+func TestFreezeSpecimenBlocks(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "f", Class: Freeze, Deterministic: true, Op: "sync",
+		FreezeFor: 30 * time.Millisecond})
+	start := time.Now()
+	if err := r.Fire(&Site{Op: "sync"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("freeze lasted only %v", d)
+	}
+}
+
+func TestDisarmAndReplaceAndGate(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "x", Class: ErrReturn, Deterministic: true, Op: "a"})
+	r.Arm(&Specimen{ID: "x", Class: ErrReturn, Deterministic: true, Op: "b"}) // replaces
+	if err := r.Fire(&Site{Op: "a"}); err != nil {
+		t.Error("replaced specimen still armed on op a")
+	}
+	if err := r.Fire(&Site{Op: "b"}); err == nil {
+		t.Error("replacement not armed")
+	}
+	r.SetEnabled(false)
+	if err := r.Fire(&Site{Op: "b"}); err != nil {
+		t.Error("gated registry fired")
+	}
+	r.SetEnabled(true)
+	if err := r.Fire(&Site{Op: "b"}); err == nil {
+		t.Error("re-enabled registry did not fire")
+	}
+	r.Disarm("x")
+	if err := r.Fire(&Site{Op: "b"}); err != nil {
+		t.Error("disarmed specimen fired")
+	}
+	r.Arm(&Specimen{ID: "y", Class: ErrReturn, Deterministic: true, Op: "c"})
+	r.DisarmAll()
+	if err := r.Fire(&Site{Op: "c"}); err != nil {
+		t.Error("DisarmAll left specimens armed")
+	}
+	if len(r.Fired()) == 0 {
+		t.Error("history lost by DisarmAll")
+	}
+	r.ResetHistory()
+	if len(r.Fired()) != 0 {
+		t.Error("ResetHistory kept records")
+	}
+}
+
+func TestFireRecordsSequence(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(&Specimen{ID: "s", Class: ErrReturn, Deterministic: true})
+	_ = r.Fire(&Site{Op: "a", Point: "p1"})
+	_ = r.Fire(&Site{Op: "b", Point: "p2"})
+	recs := r.Fired()
+	if len(recs) != 2 || recs[0].Seq != 0 || recs[1].Seq != 1 || recs[1].Op != "b" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestConsequenceStrings(t *testing.T) {
+	for _, c := range []Consequence{Crash, Warn, SilentCorrupt, Freeze, ErrReturn} {
+		if c.String() == "" {
+			t.Errorf("empty name for %d", int(c))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package fsapi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fserr"
+)
+
+func TestSplitPathBasics(t *testing.T) {
+	cases := map[string][]string{
+		"/":            {},
+		"/a":           {"a"},
+		"/a/b/c":       {"a", "b", "c"},
+		"//a///b":      {"a", "b"},
+		"/a/./b":       {"a", "b"},
+		"/a/b/..":      {"a"},
+		"/a/../b":      {"b"},
+		"/..":          {},
+		"/../..":       {},
+		"/../a":        {"a"},
+		"/a/b/../../c": {"c"},
+		"/a/":          {"a"},
+	}
+	for path, want := range cases {
+		got, err := SplitPath(path)
+		if err != nil {
+			t.Errorf("SplitPath(%q): %v", path, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", path, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("SplitPath(%q) = %v, want %v", path, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestSplitPathRejectsRelative(t *testing.T) {
+	for _, path := range []string{"", "a", "a/b", "./a", "../a"} {
+		if _, err := SplitPath(path); !errors.Is(err, fserr.ErrInvalid) {
+			t.Errorf("SplitPath(%q) = %v, want ErrInvalid", path, err)
+		}
+	}
+}
+
+func TestSplitDirBase(t *testing.T) {
+	dir, base, err := SplitDirBase("/a/b/c")
+	if err != nil || base != "c" || len(dir) != 2 || dir[0] != "a" || dir[1] != "b" {
+		t.Errorf("SplitDirBase(/a/b/c) = (%v, %q, %v)", dir, base, err)
+	}
+	dir, base, err = SplitDirBase("/top")
+	if err != nil || base != "top" || len(dir) != 0 {
+		t.Errorf("SplitDirBase(/top) = (%v, %q, %v)", dir, base, err)
+	}
+	if _, _, err := SplitDirBase("/"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("SplitDirBase(/) = %v, want ErrInvalid", err)
+	}
+	if _, _, err := SplitDirBase("/a/.."); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("SplitDirBase(/a/..) = %v, want ErrInvalid (resolves to root)", err)
+	}
+}
+
+// TestSplitPathIdempotentProperty: re-joining and re-splitting a normalized
+// path is a fixed point.
+func TestSplitPathIdempotentProperty(t *testing.T) {
+	f := func(raw []string) bool {
+		path := "/"
+		for _, c := range raw {
+			c = strings.Map(func(r rune) rune {
+				if r == '/' || r == 0 {
+					return 'x'
+				}
+				return r
+			}, c)
+			path += c + "/"
+		}
+		comps, err := SplitPath(path)
+		if err != nil {
+			return false
+		}
+		rejoined := "/" + strings.Join(comps, "/")
+		comps2, err := SplitPath(rejoined)
+		if err != nil {
+			return false
+		}
+		if len(comps) != len(comps2) {
+			return false
+		}
+		for i := range comps {
+			if comps[i] != comps2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPathNeverEmitsDotComponents(t *testing.T) {
+	f := func(segments []uint8) bool {
+		path := "/"
+		opts := []string{"a", ".", "..", "bb", "", "c.d"}
+		for _, s := range segments {
+			path += opts[int(s)%len(opts)] + "/"
+		}
+		comps, err := SplitPath(path)
+		if err != nil {
+			return false
+		}
+		for _, c := range comps {
+			if c == "" || c == "." || c == ".." {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Error("fresh clock not at zero")
+	}
+	if c.Tick() != 1 || c.Tick() != 2 || c.Now() != 2 {
+		t.Error("tick sequence wrong")
+	}
+	c.Set(100)
+	if c.Now() != 100 || c.Tick() != 101 {
+		t.Error("Set/Tick interaction wrong")
+	}
+}

@@ -1,0 +1,220 @@
+package fsck
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+)
+
+// Repairable findings. Check populates these typed lists alongside the
+// problem report so Repair can act without re-deriving state.
+type repairables struct {
+	// orphans are allocated, unreachable inodes with nlink 0 (crash leftovers).
+	orphans []uint32
+	// ghosts are non-free records under a free bitmap bit.
+	ghosts []uint32
+	// leaks are data blocks marked allocated that nothing owns.
+	leaks []uint32
+	// nlinkFix maps inodes to their correct link counts.
+	nlinkFix map[uint32]uint16
+}
+
+// RepairStats reports what Repair changed.
+type RepairStats struct {
+	OrphansFreed  int
+	GhostsCleared int
+	LeaksFreed    int
+	NlinksFixed   int
+	BlocksFreed   int
+}
+
+// Repair checks the image and fixes the repairable classes of damage, in
+// the spirit of e2fsck: orphan inodes are released (with their blocks),
+// ghost records are overwritten with free records, leaked blocks are
+// returned to the free pool, and incorrect link counts are rewritten.
+// Structural damage (double-owned blocks, out-of-range pointers, cycles) is
+// not repairable here and leaves the returned report unclean.
+func Repair(dev blockdev.Device) (*Report, RepairStats, error) {
+	var st RepairStats
+	rep := Check(dev)
+	fx := rep.fix
+	if fx == nil {
+		return rep, st, nil
+	}
+	sb, err := readSB(dev)
+	if err != nil {
+		return rep, st, err
+	}
+
+	// Free orphans and their storage.
+	for _, ino := range fx.orphans {
+		n, err := freeInodeOnDisk(dev, sb, ino)
+		if err != nil {
+			return rep, st, err
+		}
+		st.OrphansFreed++
+		st.BlocksFreed += n
+	}
+	// Ghost records: rewrite as free (their bitmap bit is already clear).
+	for _, ino := range fx.ghosts {
+		if err := writeFreeRecord(dev, sb, ino); err != nil {
+			return rep, st, err
+		}
+		st.GhostsCleared++
+	}
+	// Leaked blocks: clear their bitmap bits.
+	for _, blk := range fx.leaks {
+		if err := setBlockBit(dev, sb, blk, false); err != nil {
+			return rep, st, err
+		}
+		st.LeaksFreed++
+	}
+	// Link counts.
+	for ino, want := range fx.nlinkFix {
+		if err := rewriteNlink(dev, sb, ino, want); err != nil {
+			return rep, st, err
+		}
+		st.NlinksFixed++
+	}
+	if err := dev.Flush(); err != nil {
+		return rep, st, fmt.Errorf("fsck: repair flush: %w", err)
+	}
+	// Re-check: the after-repair report is what callers should trust.
+	rep = Check(dev)
+	return rep, st, nil
+}
+
+func readSB(dev blockdev.Device) (*disklayout.Superblock, error) {
+	b, err := dev.ReadBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	return disklayout.DecodeSuperblock(b)
+}
+
+// freeInodeOnDisk releases one inode and every block it owns, returning how
+// many blocks were freed.
+func freeInodeOnDisk(dev blockdev.Device, sb *disklayout.Superblock, ino uint32) (int, error) {
+	blk, off := sb.InodeLoc(ino)
+	b, err := dev.ReadBlock(blk)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := disklayout.DecodeInode(b[off : off+disklayout.InodeSize])
+	if err != nil {
+		return 0, err
+	}
+	freed := 0
+	free := func(p uint32) error {
+		if p == 0 || p < sb.DataStart || p >= sb.NumBlocks {
+			return nil
+		}
+		if err := setBlockBit(dev, sb, p, false); err != nil {
+			return err
+		}
+		freed++
+		return nil
+	}
+	for _, p := range rec.Direct {
+		if err := free(p); err != nil {
+			return freed, err
+		}
+	}
+	walkInd := func(indBlk uint32) error {
+		if indBlk == 0 || indBlk < sb.DataStart || indBlk >= sb.NumBlocks {
+			return nil
+		}
+		ib, err := dev.ReadBlock(indBlk)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < disklayout.PtrsPerBlock; i++ {
+			p := uint32(ib[i*4]) | uint32(ib[i*4+1])<<8 | uint32(ib[i*4+2])<<16 | uint32(ib[i*4+3])<<24
+			if err := free(p); err != nil {
+				return err
+			}
+		}
+		return free(indBlk)
+	}
+	if err := walkInd(rec.Indirect); err != nil {
+		return freed, err
+	}
+	if rec.DblIndir != 0 && rec.DblIndir >= sb.DataStart && rec.DblIndir < sb.NumBlocks {
+		db, err := dev.ReadBlock(rec.DblIndir)
+		if err != nil {
+			return freed, err
+		}
+		for i := 0; i < disklayout.PtrsPerBlock; i++ {
+			l2 := uint32(db[i*4]) | uint32(db[i*4+1])<<8 | uint32(db[i*4+2])<<16 | uint32(db[i*4+3])<<24
+			if err := walkInd(l2); err != nil {
+				return freed, err
+			}
+		}
+		if err := free(rec.DblIndir); err != nil {
+			return freed, err
+		}
+	}
+	if err := setInodeBitOnDisk(dev, sb, ino, false); err != nil {
+		return freed, err
+	}
+	return freed, writeFreeRecord(dev, sb, ino)
+}
+
+func writeFreeRecord(dev blockdev.Device, sb *disklayout.Superblock, ino uint32) error {
+	blk, off := sb.InodeLoc(ino)
+	b, err := dev.ReadBlock(blk)
+	if err != nil {
+		return err
+	}
+	old, _ := disklayout.DecodeInode(b[off : off+disklayout.InodeSize])
+	gen := uint32(0)
+	if old != nil {
+		gen = old.Generation
+	}
+	disklayout.PutInode(b[off:], &disklayout.Inode{Generation: gen})
+	return dev.WriteBlock(blk, b)
+}
+
+func rewriteNlink(dev blockdev.Device, sb *disklayout.Superblock, ino uint32, nlink uint16) error {
+	blk, off := sb.InodeLoc(ino)
+	b, err := dev.ReadBlock(blk)
+	if err != nil {
+		return err
+	}
+	rec, err := disklayout.DecodeInode(b[off : off+disklayout.InodeSize])
+	if err != nil {
+		return err
+	}
+	rec.Nlink = nlink
+	disklayout.PutInode(b[off:], rec)
+	return dev.WriteBlock(blk, b)
+}
+
+func setBlockBit(dev blockdev.Device, sb *disklayout.Superblock, blk uint32, v bool) error {
+	bmBlk := sb.BlockBitmapStart + blk/disklayout.BitsPerBlock
+	b, err := dev.ReadBlock(bmBlk)
+	if err != nil {
+		return err
+	}
+	if v {
+		disklayout.SetBit(b, blk%disklayout.BitsPerBlock)
+	} else {
+		disklayout.ClearBit(b, blk%disklayout.BitsPerBlock)
+	}
+	return dev.WriteBlock(bmBlk, b)
+}
+
+func setInodeBitOnDisk(dev blockdev.Device, sb *disklayout.Superblock, ino uint32, v bool) error {
+	bmBlk := sb.InodeBitmapStart + ino/disklayout.BitsPerBlock
+	b, err := dev.ReadBlock(bmBlk)
+	if err != nil {
+		return err
+	}
+	if v {
+		disklayout.SetBit(b, ino%disklayout.BitsPerBlock)
+	} else {
+		disklayout.ClearBit(b, ino%disklayout.BitsPerBlock)
+	}
+	return dev.WriteBlock(bmBlk, b)
+}

@@ -1,0 +1,175 @@
+package fsck
+
+import (
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/mkfs"
+)
+
+func TestRepairCleanImageIsNoop(t *testing.T) {
+	dev, _ := populatedImage(t, 11)
+	rep, st, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Error("clean image unclean after repair")
+	}
+	if st.OrphansFreed+st.GhostsCleared+st.LeaksFreed+st.NlinksFixed != 0 {
+		t.Errorf("no-op repair changed things: %+v", st)
+	}
+}
+
+func TestRepairFreesOrphan(t *testing.T) {
+	dev, _ := freshImage(t)
+	fs, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := fs.Create("/orphan", 0o644)
+	fs.WriteAt(fd, 0, make([]byte, 3*disklayout.BlockSize))
+	if err := fs.Unlink("/orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash := dev.Snapshot()
+	fs.Kill()
+	if _, _, err := mkfs.Recover(crash); err != nil {
+		t.Fatal(err)
+	}
+	rep, st, err := Repair(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OrphansFreed != 1 {
+		t.Errorf("orphans freed = %d, want 1", st.OrphansFreed)
+	}
+	if st.BlocksFreed < 3 {
+		t.Errorf("blocks freed = %d, want >= 3", st.BlocksFreed)
+	}
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("post-repair: %s", p)
+		}
+	}
+	for _, p := range rep.Problems {
+		if p.Severity == Warn {
+			t.Errorf("post-repair warning remains: %s", p)
+		}
+	}
+}
+
+func TestRepairFixesNlinkLie(t *testing.T) {
+	dev, sb := populatedImage(t, 12)
+	var victim uint32
+	forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
+		if rec.IsFile() && rec.Nlink == 1 {
+			victim = ino
+			rewriteInode(t, dev, sb, ino, func(r *disklayout.Inode) { r.Nlink = 7 })
+			return false
+		}
+		return true
+	})
+	if victim == 0 {
+		t.Skip("no single-link file")
+	}
+	rep, st, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NlinksFixed != 1 {
+		t.Errorf("nlinks fixed = %d, want 1", st.NlinksFixed)
+	}
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("post-repair: %s", p)
+		}
+	}
+	rec := mustReadInode(t, dev, sb, victim)
+	if rec.Nlink != 1 {
+		t.Errorf("nlink after repair = %d", rec.Nlink)
+	}
+}
+
+func TestRepairClearsGhostAndLeak(t *testing.T) {
+	dev, sb := populatedImage(t, 13)
+	ghost := findFreeInode(t, dev, sb)
+	rewriteInode(t, dev, sb, ghost, func(r *disklayout.Inode) {
+		r.Mode = disklayout.MkMode(disklayout.TypeFile, 0o644)
+		r.Nlink = 1
+	})
+	// Leak a block: set a free data block's bit with no owner.
+	leakBlk := sb.NumBlocks - 1
+	bmBlk := sb.BlockBitmapStart + leakBlk/disklayout.BitsPerBlock
+	b, _ := dev.ReadBlock(bmBlk)
+	disklayout.SetBit(b, leakBlk%disklayout.BitsPerBlock)
+	if err := dev.WriteBlock(bmBlk, b); err != nil {
+		t.Fatal(err)
+	}
+	rep, st, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GhostsCleared != 1 {
+		t.Errorf("ghosts cleared = %d, want 1", st.GhostsCleared)
+	}
+	if st.LeaksFreed != 1 {
+		t.Errorf("leaks freed = %d, want 1", st.LeaksFreed)
+	}
+	if !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("post-repair: %s", p)
+		}
+	}
+	// The image is usable again: mount and create.
+	fs, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+	if _, err := fs.Create("/post-repair", 0o644); err != nil {
+		t.Errorf("create on repaired image: %v", err)
+	}
+}
+
+func TestRepairLeavesStructuralDamage(t *testing.T) {
+	dev, sb := populatedImage(t, 14)
+	// Out-of-region pointer: unrepairable.
+	forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
+		if rec.IsFile() && rec.Direct[0] != 0 {
+			rewriteInode(t, dev, sb, ino, func(r *disklayout.Inode) { r.Direct[0] = 1 })
+			return false
+		}
+		return true
+	})
+	rep, _, err := Repair(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Error("repair claimed to fix an out-of-region pointer")
+	}
+}
+
+func TestRepairBlockBitmapDevice(t *testing.T) {
+	// A device-level read error during repair propagates instead of
+	// corrupting further.
+	dev, _ := populatedImage(t, 15)
+	fsBlk := blockdev.NewFaultPlan(1)
+	fsBlk.ReadErrProb = 1.0
+	dev.SetFaults(fsBlk)
+	if _, _, err := Repair(dev); err == nil {
+		// Check itself degrades to an unreadable-superblock report; Repair
+		// must not invent fixes.
+		rep := func() *Report { dev.SetFaults(nil); return Check(dev) }()
+		if !rep.Clean() {
+			t.Log("device errors produced an unclean report, as expected")
+		}
+	}
+	dev.SetFaults(nil)
+}

@@ -1,0 +1,164 @@
+// Package fserr defines the POSIX-style error taxonomy shared by the base
+// filesystem, the shadow filesystem, the executable specification model, and
+// the fsck checker. Using one sentinel set lets the differential tester and
+// the shadow's constrained mode compare outcomes across implementations with
+// errors.Is instead of string matching.
+package fserr
+
+import "errors"
+
+// Sentinel errors. Each corresponds to a POSIX errno the paper's filesystems
+// would return through the VFS layer.
+var (
+	// ErrNotExist reports that a path component or file does not exist (ENOENT).
+	ErrNotExist = errors.New("fserr: no such file or directory")
+	// ErrExist reports that the target of a create already exists (EEXIST).
+	ErrExist = errors.New("fserr: file exists")
+	// ErrNotDir reports that a non-final path component, or the target of a
+	// directory-only operation, is not a directory (ENOTDIR).
+	ErrNotDir = errors.New("fserr: not a directory")
+	// ErrIsDir reports a file-only operation applied to a directory (EISDIR).
+	ErrIsDir = errors.New("fserr: is a directory")
+	// ErrNotEmpty reports rmdir of a non-empty directory (ENOTEMPTY).
+	ErrNotEmpty = errors.New("fserr: directory not empty")
+	// ErrNoSpace reports block or inode exhaustion (ENOSPC).
+	ErrNoSpace = errors.New("fserr: no space left on device")
+	// ErrNameTooLong reports a path component longer than the on-disk
+	// directory entry can store (ENAMETOOLONG).
+	ErrNameTooLong = errors.New("fserr: file name too long")
+	// ErrBadFD reports an operation on a closed or never-opened file
+	// descriptor (EBADF).
+	ErrBadFD = errors.New("fserr: bad file descriptor")
+	// ErrInvalid reports an argument outside the operation's domain (EINVAL).
+	ErrInvalid = errors.New("fserr: invalid argument")
+	// ErrTooBig reports a write or truncate beyond the maximum file size the
+	// inode geometry can address (EFBIG).
+	ErrTooBig = errors.New("fserr: file too large")
+	// ErrCorrupt reports on-disk or in-memory structural corruption detected
+	// by an integrity check. It is a detectable runtime error in the sense of
+	// the paper's fault model: the supervisor treats it as a recovery trigger,
+	// never as an application-visible result.
+	ErrCorrupt = errors.New("fserr: filesystem structure corrupt")
+	// ErrReadOnly reports a mutation attempted through a read-only handle,
+	// e.g. the shadow filesystem touching its write path (EROFS).
+	ErrReadOnly = errors.New("fserr: read-only filesystem")
+	// ErrIO reports a device-level read or write failure (EIO).
+	ErrIO = errors.New("fserr: input/output error")
+	// ErrBusy reports an operation that conflicts with an in-use resource,
+	// e.g. unlinking a directory serving as another thread's cwd (EBUSY).
+	ErrBusy = errors.New("fserr: resource busy")
+	// ErrCrossDevice reports a rename or link across filesystems (EXDEV).
+	ErrCrossDevice = errors.New("fserr: cross-device link")
+)
+
+// IsUserError reports whether err is an ordinary, application-visible POSIX
+// outcome (as opposed to an internal fault such as ErrCorrupt or ErrIO that
+// the RAE supervisor must intercept). The shadow's constrained mode uses this
+// to decide which recorded outcomes are legitimate to replay.
+func IsUserError(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrNotExist),
+		errors.Is(err, ErrExist),
+		errors.Is(err, ErrNotDir),
+		errors.Is(err, ErrIsDir),
+		errors.Is(err, ErrNotEmpty),
+		errors.Is(err, ErrNoSpace),
+		errors.Is(err, ErrNameTooLong),
+		errors.Is(err, ErrBadFD),
+		errors.Is(err, ErrInvalid),
+		errors.Is(err, ErrTooBig),
+		errors.Is(err, ErrNotEmpty),
+		errors.Is(err, ErrCrossDevice):
+		return true
+	}
+	return false
+}
+
+// IsFault reports whether err indicates an internal fault that must trigger
+// recovery rather than be surfaced to the application.
+func IsFault(err error) bool {
+	return err != nil && (errors.Is(err, ErrCorrupt) || errors.Is(err, ErrIO))
+}
+
+// Errno returns a stable small integer for an error, used when serializing
+// recorded outcomes into the operation log. Unknown errors map to -1.
+func Errno(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrNotExist):
+		return 2
+	case errors.Is(err, ErrIO):
+		return 5
+	case errors.Is(err, ErrBadFD):
+		return 9
+	case errors.Is(err, ErrBusy):
+		return 16
+	case errors.Is(err, ErrExist):
+		return 17
+	case errors.Is(err, ErrCrossDevice):
+		return 18
+	case errors.Is(err, ErrNotDir):
+		return 20
+	case errors.Is(err, ErrIsDir):
+		return 21
+	case errors.Is(err, ErrInvalid):
+		return 22
+	case errors.Is(err, ErrTooBig):
+		return 27
+	case errors.Is(err, ErrNoSpace):
+		return 28
+	case errors.Is(err, ErrReadOnly):
+		return 30
+	case errors.Is(err, ErrNameTooLong):
+		return 36
+	case errors.Is(err, ErrNotEmpty):
+		return 39
+	case errors.Is(err, ErrCorrupt):
+		return 117 // EUCLEAN, "structure needs cleaning", as ext4 uses
+	}
+	return -1
+}
+
+// FromErrno is the inverse of Errno for the sentinel set. It returns nil for
+// 0 and ErrInvalid for unknown values so a decoded log never yields a nil
+// error for a nonzero errno.
+func FromErrno(n int) error {
+	switch n {
+	case 0:
+		return nil
+	case 2:
+		return ErrNotExist
+	case 5:
+		return ErrIO
+	case 9:
+		return ErrBadFD
+	case 16:
+		return ErrBusy
+	case 17:
+		return ErrExist
+	case 18:
+		return ErrCrossDevice
+	case 20:
+		return ErrNotDir
+	case 21:
+		return ErrIsDir
+	case 22:
+		return ErrInvalid
+	case 27:
+		return ErrTooBig
+	case 28:
+		return ErrNoSpace
+	case 30:
+		return ErrReadOnly
+	case 36:
+		return ErrNameTooLong
+	case 39:
+		return ErrNotEmpty
+	case 117:
+		return ErrCorrupt
+	}
+	return ErrInvalid
+}

@@ -1,0 +1,87 @@
+package fserr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func allSentinels() []error {
+	return []error{
+		ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrNoSpace,
+		ErrNameTooLong, ErrBadFD, ErrInvalid, ErrTooBig, ErrCorrupt,
+		ErrReadOnly, ErrIO, ErrBusy, ErrCrossDevice,
+	}
+}
+
+func TestErrnoRoundTripAllSentinels(t *testing.T) {
+	for _, err := range allSentinels() {
+		n := Errno(err)
+		if n <= 0 {
+			t.Errorf("Errno(%v) = %d", err, n)
+			continue
+		}
+		back := FromErrno(n)
+		if !errors.Is(back, err) {
+			t.Errorf("FromErrno(Errno(%v)) = %v", err, back)
+		}
+	}
+	if Errno(nil) != 0 || FromErrno(0) != nil {
+		t.Error("zero errno does not round-trip nil")
+	}
+}
+
+func TestErrnoDistinct(t *testing.T) {
+	seen := map[int]error{}
+	for _, err := range allSentinels() {
+		n := Errno(err)
+		if prev, dup := seen[n]; dup {
+			t.Errorf("errno %d shared by %v and %v", n, prev, err)
+		}
+		seen[n] = err
+	}
+}
+
+func TestErrnoSeesWrappedErrors(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrNoSpace))
+	if Errno(wrapped) != Errno(ErrNoSpace) {
+		t.Error("wrapped sentinel not recognized")
+	}
+}
+
+func TestErrnoUnknown(t *testing.T) {
+	if Errno(errors.New("mystery")) != -1 {
+		t.Error("unknown error should map to -1")
+	}
+	if FromErrno(-1) == nil || FromErrno(9999) == nil {
+		t.Error("unknown errnos must not decode to nil")
+	}
+}
+
+func TestIsUserError(t *testing.T) {
+	for _, err := range []error{ErrNotExist, ErrExist, ErrNotDir, ErrIsDir,
+		ErrNotEmpty, ErrNoSpace, ErrNameTooLong, ErrBadFD, ErrInvalid, ErrTooBig} {
+		if !IsUserError(err) {
+			t.Errorf("IsUserError(%v) = false", err)
+		}
+	}
+	for _, err := range []error{nil, ErrCorrupt, ErrIO, errors.New("other")} {
+		if IsUserError(err) {
+			t.Errorf("IsUserError(%v) = true", err)
+		}
+	}
+}
+
+func TestIsFault(t *testing.T) {
+	if !IsFault(ErrCorrupt) || !IsFault(ErrIO) {
+		t.Error("faults not recognized")
+	}
+	if !IsFault(fmt.Errorf("wrapped: %w", ErrCorrupt)) {
+		t.Error("wrapped fault not recognized")
+	}
+	for _, err := range []error{nil, ErrNotExist, ErrNoSpace} {
+		if IsFault(err) {
+			t.Errorf("IsFault(%v) = true", err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package handoff
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+func block(fill byte) []byte {
+	b := make([]byte, disklayout.BlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func sample() *Update {
+	u := NewUpdate()
+	u.Blocks[10] = block(1)
+	u.Blocks[42] = block(2)
+	u.Meta[10] = true
+	u.FDs = []FDEntry{{FD: 0, Ino: 5}, {FD: 3, Ino: 9}}
+	u.Clock = 77
+	u.Seal()
+	return u
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	u := sample()
+	if err := u.Verify(); err != nil {
+		t.Fatalf("Verify on sealed update: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Update)
+	}{
+		{"block content flip", func(u *Update) { u.Blocks[10][100] ^= 1 }},
+		{"meta flag flip", func(u *Update) { u.Meta[42] = true }},
+		{"fd retarget", func(u *Update) { u.FDs[0].Ino = 6 }},
+		{"clock skew", func(u *Update) { u.Clock++ }},
+		{"added block", func(u *Update) { u.Blocks[50] = block(9) }},
+		{"dropped block", func(u *Update) { delete(u.Blocks, 42) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := sample()
+			tc.mut(u)
+			if err := u.Verify(); !errors.Is(err, fserr.ErrCorrupt) {
+				t.Errorf("Verify = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	u := sample()
+	u.Blocks[11] = []byte{1, 2, 3} // short block
+	if err := u.Verify(); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("short block: %v", err)
+	}
+	u = sample()
+	u.FDs = append(u.FDs, FDEntry{FD: 0, Ino: 8}) // duplicate fd
+	u.Seal()
+	if err := u.Verify(); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("duplicate fd: %v", err)
+	}
+	u = sample()
+	u.FDs = append(u.FDs, FDEntry{FD: 9, Ino: 0}) // fd to inode 0
+	u.Seal()
+	if err := u.Verify(); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("fd to ino 0: %v", err)
+	}
+}
+
+func TestCloneIsDeepAndVerifiable(t *testing.T) {
+	u := sample()
+	cp := u.Clone()
+	if err := cp.Verify(); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+	cp.Blocks[10][0] = 0xFF
+	if u.Blocks[10][0] == 0xFF {
+		t.Error("Clone aliases block storage")
+	}
+	cp.FDs[0].Ino = 99
+	if u.FDs[0].Ino == 99 {
+		t.Error("Clone aliases fd table")
+	}
+	if err := u.Verify(); err != nil {
+		t.Errorf("original damaged by clone mutation: %v", err)
+	}
+}
+
+func TestSortedBlocksOrdered(t *testing.T) {
+	u := NewUpdate()
+	for _, blk := range []uint32{99, 3, 57, 12} {
+		u.Blocks[blk] = block(byte(blk))
+	}
+	got := u.SortedBlocks()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("SortedBlocks out of order: %v", got)
+		}
+	}
+}
+
+func TestChecksumOrderIndependence(t *testing.T) {
+	// Two updates with the same logical content built in different insertion
+	// orders must produce the same seal.
+	a, b := NewUpdate(), NewUpdate()
+	for _, blk := range []uint32{5, 9, 2} {
+		a.Blocks[blk] = block(byte(blk))
+	}
+	for _, blk := range []uint32{2, 5, 9} {
+		b.Blocks[blk] = block(byte(blk))
+	}
+	a.Seal()
+	b.Seal()
+	if a.Sum != b.Sum {
+		t.Error("seal depends on insertion order")
+	}
+}
+
+func TestSealVerifyProperty(t *testing.T) {
+	f := func(blks []uint32, fds []uint16, clock uint64) bool {
+		u := NewUpdate()
+		for i, blk := range blks {
+			if i > 8 {
+				break
+			}
+			u.Blocks[blk%1000] = block(byte(blk))
+			if blk%2 == 0 {
+				u.Meta[blk%1000] = true
+			}
+		}
+		seen := map[fsapi.FD]bool{}
+		for i, fd := range fds {
+			if i > 8 {
+				break
+			}
+			f := fsapi.FD(fd % 64)
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			u.FDs = append(u.FDs, FDEntry{FD: f, Ino: uint32(fd) + 1})
+		}
+		u.Clock = clock
+		u.Seal()
+		return u.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package journal implements the physical-block write-ahead journal the base
+// filesystem uses for metadata crash consistency.
+//
+// The RAE contained reboot (paper §3.2) "incorporates the base's crash
+// recovery mechanism, such as journal replay": after an error, the rebooted
+// base replays committed transactions from this journal to reach the trusted
+// on-disk state S0 from which the shadow re-executes the recorded sequence.
+//
+// Layout inside the journal region [JournalStart, JournalStart+JournalLen):
+//
+//	tx := header block | payload blocks... | commit block
+//
+// The header records the transaction id, the number of payload blocks, and
+// the home location of each. The commit block repeats the id and carries a
+// CRC32C over all payload blocks; a transaction missing a valid commit block
+// is ignored by replay (it never happened). Transactions are written
+// sequentially and the region is reset (head rewound) after a checkpoint.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+)
+
+// Record magics distinguishing journal block types.
+const (
+	headerMagic = 0x4A524E48 // "JRNH"
+	commitMagic = 0x4A524E43 // "JRNC"
+)
+
+// maxTargets is the most payload blocks a single transaction can carry,
+// bounded by the u32 slots available in one header block.
+const maxTargets = (disklayout.BlockSize - 16 - 4) / 4
+
+// Journal manages the journal region of a device.
+type Journal struct {
+	dev   blockdev.Device
+	start uint32 // first block of the journal region
+	len   uint32 // region length in blocks
+	head  uint32 // next free block, relative to start
+	txid  uint64 // next transaction id
+}
+
+// New attaches to the journal region described by sb on dev. It does not
+// read or replay; call Replay for that.
+func New(dev blockdev.Device, sb *disklayout.Superblock) *Journal {
+	return &Journal{dev: dev, start: sb.JournalStart, len: sb.JournalLen, txid: 1}
+}
+
+// Capacity returns the number of payload blocks the largest single
+// transaction can hold given the remaining region space.
+func (j *Journal) Capacity() int {
+	if j.len < 2 {
+		return 0
+	}
+	c := int(j.len) - 2 // header + commit
+	if c > maxTargets {
+		c = maxTargets
+	}
+	return c
+}
+
+// SpaceLeft returns how many payload blocks can still be appended before a
+// checkpoint is required.
+func (j *Journal) SpaceLeft() int {
+	used := int(j.head)
+	left := int(j.len) - used - 2
+	if left < 0 {
+		left = 0
+	}
+	if left > maxTargets {
+		left = maxTargets
+	}
+	return left
+}
+
+// Tx is one journal transaction under construction: a set of home-location
+// block writes that must become durable atomically.
+type Tx struct {
+	Targets []uint32 // home block numbers
+	Blocks  [][]byte // payloads, same length as Targets
+}
+
+// Add appends a block write to the transaction, replacing any earlier write
+// to the same target so a transaction never carries two versions of a block.
+func (t *Tx) Add(blk uint32, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	for i, tgt := range t.Targets {
+		if tgt == blk {
+			t.Blocks[i] = cp
+			return
+		}
+	}
+	t.Targets = append(t.Targets, blk)
+	t.Blocks = append(t.Blocks, cp)
+}
+
+// Len returns the number of payload blocks in the transaction.
+func (t *Tx) Len() int { return len(t.Targets) }
+
+// ErrJournalFull reports a transaction too large for the remaining region;
+// the caller must checkpoint and retry.
+var ErrJournalFull = fmt.Errorf("journal: region full: %w", fserr.ErrNoSpace)
+
+// Commit durably appends the transaction: payload blocks and header first,
+// flush, then the commit block, then flush again. After Commit returns nil
+// the transaction will be replayed by any subsequent Replay until the next
+// Reset, so the caller may lazily write the home locations.
+func (j *Journal) Commit(tx *Tx) error {
+	n := uint32(len(tx.Targets))
+	if n == 0 {
+		return nil
+	}
+	if int(n) > maxTargets {
+		return fmt.Errorf("journal: transaction of %d blocks exceeds max %d: %w", n, maxTargets, fserr.ErrInvalid)
+	}
+	if j.head+n+2 > j.len {
+		return ErrJournalFull
+	}
+	le := binary.LittleEndian
+
+	// Header block.
+	hdr := make([]byte, disklayout.BlockSize)
+	le.PutUint32(hdr[0:], headerMagic)
+	le.PutUint64(hdr[4:], j.txid)
+	le.PutUint32(hdr[12:], n)
+	for i, tgt := range tx.Targets {
+		le.PutUint32(hdr[16+4*i:], tgt)
+	}
+	le.PutUint32(hdr[disklayout.BlockSize-4:], disklayout.Checksum(hdr[:disklayout.BlockSize-4]))
+	if err := j.dev.WriteBlock(j.start+j.head, hdr); err != nil {
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+
+	// Payload blocks, checksummed together for the commit record.
+	payloadCRC := uint32(0)
+	for i, data := range tx.Blocks {
+		if len(data) != disklayout.BlockSize {
+			return fmt.Errorf("journal: payload %d is %d bytes: %w", i, len(data), fserr.ErrInvalid)
+		}
+		if err := j.dev.WriteBlock(j.start+j.head+1+uint32(i), data); err != nil {
+			return fmt.Errorf("journal: write payload %d: %w", i, err)
+		}
+		payloadCRC = crcCombine(payloadCRC, data)
+	}
+	if err := j.dev.Flush(); err != nil {
+		return fmt.Errorf("journal: flush before commit record: %w", err)
+	}
+
+	// Commit block. Its presence with a matching checksum is the commit point.
+	cmt := make([]byte, disklayout.BlockSize)
+	le.PutUint32(cmt[0:], commitMagic)
+	le.PutUint64(cmt[4:], j.txid)
+	le.PutUint32(cmt[12:], n)
+	le.PutUint32(cmt[16:], payloadCRC)
+	le.PutUint32(cmt[disklayout.BlockSize-4:], disklayout.Checksum(cmt[:disklayout.BlockSize-4]))
+	if err := j.dev.WriteBlock(j.start+j.head+1+n, cmt); err != nil {
+		return fmt.Errorf("journal: write commit record: %w", err)
+	}
+	if err := j.dev.Flush(); err != nil {
+		return fmt.Errorf("journal: flush commit record: %w", err)
+	}
+
+	j.head += n + 2
+	j.txid++
+	return nil
+}
+
+// crcCombine folds a block into a running checksum. Chaining per-block CRCs
+// through Checksum keeps replay simple (no need to buffer all payloads).
+func crcCombine(acc uint32, block []byte) uint32 {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], acc)
+	return disklayout.Checksum(append(hdr[:], block...))
+}
+
+// Reset marks the journal empty after a checkpoint has written all committed
+// home locations and flushed. It zeroes the first header slot so stale
+// transactions are not replayed.
+func (j *Journal) Reset() error {
+	zero := make([]byte, disklayout.BlockSize)
+	if err := j.dev.WriteBlock(j.start, zero); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	if err := j.dev.Flush(); err != nil {
+		return fmt.Errorf("journal: flush reset: %w", err)
+	}
+	j.head = 0
+	return nil
+}
+
+// ReplayStats reports what Replay found and did.
+type ReplayStats struct {
+	Committed   int // transactions replayed
+	Uncommitted int // trailing transactions discarded (no valid commit record)
+	Blocks      int // home-location blocks rewritten
+}
+
+// Replay scans the journal region from the start, re-applies every fully
+// committed transaction to its home locations, discards the first
+// uncommitted or corrupt tail, flushes, and resets the journal. It is
+// idempotent: replaying twice applies the same writes.
+func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error) {
+	var st ReplayStats
+	le := binary.LittleEndian
+	j := New(dev, sb)
+	pos := uint32(0)
+	expect := uint64(0) // txids must be strictly increasing
+	for pos+2 <= sb.JournalLen {
+		hdrBlk, err := dev.ReadBlock(sb.JournalStart + pos)
+		if err != nil {
+			return st, fmt.Errorf("journal: replay read header at +%d: %w", pos, err)
+		}
+		if le.Uint32(hdrBlk[0:]) != headerMagic ||
+			le.Uint32(hdrBlk[disklayout.BlockSize-4:]) != disklayout.Checksum(hdrBlk[:disklayout.BlockSize-4]) {
+			break // end of journal (or torn header: treated as never-written)
+		}
+		txid := le.Uint64(hdrBlk[4:])
+		n := le.Uint32(hdrBlk[12:])
+		if txid <= expect || n == 0 || uint64(n) > uint64(maxTargets) || pos+n+2 > sb.JournalLen {
+			st.Uncommitted++
+			break
+		}
+		// Read payloads and compute their checksum.
+		payloads := make([][]byte, n)
+		payloadCRC := uint32(0)
+		ok := true
+		for i := uint32(0); i < n; i++ {
+			b, err := dev.ReadBlock(sb.JournalStart + pos + 1 + i)
+			if err != nil {
+				ok = false
+				break
+			}
+			payloads[i] = b
+			payloadCRC = crcCombine(payloadCRC, b)
+		}
+		if !ok {
+			st.Uncommitted++
+			break
+		}
+		cmtBlk, err := dev.ReadBlock(sb.JournalStart + pos + 1 + n)
+		if err != nil ||
+			le.Uint32(cmtBlk[0:]) != commitMagic ||
+			le.Uint32(cmtBlk[disklayout.BlockSize-4:]) != disklayout.Checksum(cmtBlk[:disklayout.BlockSize-4]) ||
+			le.Uint64(cmtBlk[4:]) != txid ||
+			le.Uint32(cmtBlk[12:]) != n ||
+			le.Uint32(cmtBlk[16:]) != payloadCRC {
+			st.Uncommitted++
+			break // torn or absent commit: this tx and everything after it is void
+		}
+		// Committed: apply to home locations.
+		targets := make([]uint32, n)
+		for i := uint32(0); i < n; i++ {
+			targets[i] = le.Uint32(hdrBlk[16+4*i:])
+			if targets[i] >= sb.NumBlocks || targets[i] == 0 {
+				return st, fmt.Errorf("journal: committed tx %d targets block %d outside device: %w",
+					txid, targets[i], fserr.ErrCorrupt)
+			}
+		}
+		for i := uint32(0); i < n; i++ {
+			if err := dev.WriteBlock(targets[i], payloads[i]); err != nil {
+				return st, fmt.Errorf("journal: replay write block %d: %w", targets[i], err)
+			}
+			st.Blocks++
+		}
+		st.Committed++
+		expect = txid
+		pos += n + 2
+	}
+	if st.Committed > 0 || st.Uncommitted > 0 {
+		if err := dev.Flush(); err != nil {
+			return st, fmt.Errorf("journal: replay flush: %w", err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		return st, err
+	}
+	return st, nil
+}

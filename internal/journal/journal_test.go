@@ -1,0 +1,325 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+)
+
+func setup(t *testing.T) (*blockdev.Mem, *disklayout.Superblock) {
+	t.Helper()
+	sb, err := disklayout.Geometry(1024, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.NewMem(sb.NumBlocks)
+	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
+		t.Fatal(err)
+	}
+	return dev, sb
+}
+
+func fill(b byte) []byte {
+	blk := make([]byte, disklayout.BlockSize)
+	for i := range blk {
+		blk[i] = b
+	}
+	return blk
+}
+
+func TestCommitThenReplayAppliesHomeWrites(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx := &Tx{}
+	t1, t2 := sb.DataStart, sb.DataStart+1
+	tx.Add(t1, fill(0xA1))
+	tx.Add(t2, fill(0xA2))
+	if err := j.Commit(tx); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Home locations untouched until replay (lazy write-back).
+	got, _ := dev.ReadBlock(t1)
+	if got[0] == 0xA1 {
+		t.Fatal("commit eagerly wrote home location")
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if st.Committed != 1 || st.Blocks != 2 || st.Uncommitted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	got, _ = dev.ReadBlock(t1)
+	if !bytes.Equal(got, fill(0xA1)) {
+		t.Error("replay did not write home block 1")
+	}
+	got, _ = dev.ReadBlock(t2)
+	if !bytes.Equal(got, fill(0xA2)) {
+		t.Error("replay did not write home block 2")
+	}
+}
+
+func TestTxAddDeduplicatesTargets(t *testing.T) {
+	tx := &Tx{}
+	tx.Add(100, fill(1))
+	tx.Add(101, fill(2))
+	tx.Add(100, fill(3)) // replaces the first write
+	if tx.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tx.Len())
+	}
+	if tx.Blocks[0][0] != 3 {
+		t.Error("duplicate Add did not replace payload")
+	}
+}
+
+func TestTxAddCopiesPayload(t *testing.T) {
+	tx := &Tx{}
+	buf := fill(7)
+	tx.Add(100, buf)
+	buf[0] = 99
+	if tx.Blocks[0][0] != 7 {
+		t.Error("Tx aliases the caller's buffer")
+	}
+}
+
+func TestReplayEmptyJournal(t *testing.T) {
+	dev, sb := setup(t)
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if st.Committed != 0 || st.Uncommitted != 0 || st.Blocks != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReplayIsIdempotent(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(0x42))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the device right after commit: a crash here, replayed twice.
+	crash := dev.Snapshot()
+	if _, err := Replay(crash, sb); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(crash, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 0 {
+		t.Errorf("second replay found %d transactions; reset failed", st.Committed)
+	}
+	got, _ := crash.ReadBlock(sb.DataStart)
+	if !bytes.Equal(got, fill(0x42)) {
+		t.Error("home write lost after double replay")
+	}
+}
+
+func TestReplayIgnoresUncommittedTail(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx1 := &Tx{}
+	tx1.Add(sb.DataStart, fill(1))
+	if err := j.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := &Tx{}
+	tx2.Add(sb.DataStart+1, fill(2))
+	if err := j.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// Tear tx2's commit record: corrupt its commit block.
+	// tx1 occupies [0,3), tx2 [3,6); commit of tx2 at +5.
+	if err := dev.CorruptBlock(sb.JournalStart+5, 100, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 1 || st.Uncommitted != 1 {
+		t.Errorf("stats = %+v, want 1 committed + 1 uncommitted", st)
+	}
+	got, _ := dev.ReadBlock(sb.DataStart)
+	if got[0] != 1 {
+		t.Error("committed tx1 not applied")
+	}
+	got, _ = dev.ReadBlock(sb.DataStart + 1)
+	if got[0] == 2 {
+		t.Error("torn tx2 was applied")
+	}
+}
+
+func TestReplayStopsOnTornHeader(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(5))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.CorruptBlock(sb.JournalStart, 8, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 0 {
+		t.Errorf("replayed %d transactions through a torn header", st.Committed)
+	}
+}
+
+func TestReplayRejectsOutOfRangeTarget(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.NumBlocks-1, fill(1)) // legal
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the target list breaks the header checksum, so replay treats
+	// it as a torn header rather than writing out of range. To exercise the
+	// out-of-range guard we must re-checksum — simulate a malicious journal by
+	// rewriting a committed header with a bad target but a valid CRC.
+	hdr, _ := dev.ReadBlock(sb.JournalStart)
+	// Target list starts at offset 16.
+	hdr[16] = 0xFF
+	hdr[17] = 0xFF
+	hdr[18] = 0xFF
+	hdr[19] = 0xFF
+	crc := disklayout.Checksum(hdr[:disklayout.BlockSize-4])
+	hdr[disklayout.BlockSize-4] = byte(crc)
+	hdr[disklayout.BlockSize-3] = byte(crc >> 8)
+	hdr[disklayout.BlockSize-2] = byte(crc >> 16)
+	hdr[disklayout.BlockSize-1] = byte(crc >> 24)
+	if err := dev.WriteBlock(sb.JournalStart, hdr); err != nil {
+		t.Fatal(err)
+	}
+	// The commit record CRC still matches the payload, so the tx looks
+	// committed; the target bound check must reject it.
+	if _, err := Replay(dev, sb); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("Replay = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCommitRejectsOversizedTx(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	tx := &Tx{}
+	for i := 0; i < j.Capacity()+10; i++ {
+		tx.Add(sb.DataStart+uint32(i), fill(byte(i)))
+	}
+	err := j.Commit(tx)
+	if err == nil {
+		t.Fatal("oversized commit succeeded")
+	}
+}
+
+func TestJournalFullAfterManyCommits(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	var err error
+	for i := 0; i < 1000; i++ {
+		tx := &Tx{}
+		tx.Add(sb.DataStart+uint32(i%8), fill(byte(i)))
+		if err = j.Commit(tx); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("expected ErrJournalFull, got %v", err)
+	}
+	// Replay + new journal continues.
+	if _, err := Replay(dev, sb); err != nil {
+		t.Fatal(err)
+	}
+	j2 := New(dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(0xEE))
+	if err := j2.Commit(tx); err != nil {
+		t.Fatalf("commit after replay: %v", err)
+	}
+}
+
+func TestSpaceLeftShrinks(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	before := j.SpaceLeft()
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(1))
+	tx.Add(sb.DataStart+1, fill(2))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	after := j.SpaceLeft()
+	if after >= before {
+		t.Errorf("SpaceLeft did not shrink: %d -> %d", before, after)
+	}
+}
+
+func TestEmptyCommitIsNoop(t *testing.T) {
+	dev, sb := setup(t)
+	j := New(dev, sb)
+	if err := j.Commit(&Tx{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 0 {
+		t.Errorf("empty commit produced a transaction")
+	}
+}
+
+func TestReplayPropertyCommittedAlwaysApplied(t *testing.T) {
+	// Property: for any sequence of committed transactions followed by a
+	// crash (device snapshot), replay reproduces exactly the last committed
+	// value for every touched block.
+	f := func(writes []uint8) bool {
+		if len(writes) == 0 {
+			return true
+		}
+		if len(writes) > 12 {
+			writes = writes[:12]
+		}
+		sb, _ := disklayout.Geometry(1024, 256, 64)
+		dev := blockdev.NewMem(sb.NumBlocks)
+		_ = dev.WriteBlock(0, disklayout.EncodeSuperblock(sb))
+		j := New(dev, sb)
+		want := map[uint32]byte{}
+		for i, w := range writes {
+			tgt := sb.DataStart + uint32(w%16)
+			tx := &Tx{}
+			tx.Add(tgt, fill(byte(i+1)))
+			if err := j.Commit(tx); err != nil {
+				return false
+			}
+			want[tgt] = byte(i + 1)
+		}
+		crash := dev.Snapshot()
+		if _, err := Replay(crash, sb); err != nil {
+			return false
+		}
+		for tgt, v := range want {
+			got, err := crash.ReadBlock(tgt)
+			if err != nil || got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

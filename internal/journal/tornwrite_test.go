@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+)
+
+// TestCommitAtomicUnderTornWrites drives the commit path with the device
+// tearing every write in half: either the transaction's commit record
+// survives intact (and replay applies the whole transaction) or it does not
+// (and replay applies none of it). No run may apply a partial transaction.
+func TestCommitAtomicUnderTornWrites(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sb, err := disklayout.Geometry(1024, 256, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := blockdev.NewMem(sb.NumBlocks)
+		if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
+			t.Fatal(err)
+		}
+		// Pre-fill targets with a known old value.
+		old := bytes.Repeat([]byte{0xEE}, disklayout.BlockSize)
+		for k := uint32(0); k < 4; k++ {
+			if err := dev.WriteBlock(sb.DataStart+k, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+		plan := blockdev.NewFaultPlan(seed)
+		plan.TornWriteProb = 0.4
+		dev.SetFaults(plan)
+		j := New(dev, sb)
+		tx := &Tx{}
+		newVal := bytes.Repeat([]byte{0xAA}, disklayout.BlockSize)
+		for k := uint32(0); k < 4; k++ {
+			tx.Add(sb.DataStart+k, newVal)
+		}
+		_ = j.Commit(tx) // may "succeed" while torn underneath
+		dev.SetFaults(nil)
+
+		if _, err := Replay(dev, sb); err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		// All-or-nothing: targets are either all old or all new.
+		var newCount int
+		for k := uint32(0); k < 4; k++ {
+			b, err := dev.ReadBlock(sb.DataStart + k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case bytes.Equal(b, newVal):
+				newCount++
+			case bytes.Equal(b, old):
+			default:
+				t.Fatalf("seed %d: target %d holds a torn mix", seed, k)
+			}
+		}
+		if newCount != 0 && newCount != 4 {
+			t.Fatalf("seed %d: partial transaction applied: %d/4 targets new", seed, newCount)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package mkfs formats a block device with the shared on-disk layout:
+// superblock, bitmaps with all metadata blocks pre-allocated, an empty inode
+// table, a reset journal, and a root directory inode with no data blocks.
+package mkfs
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+	"repro/internal/journal"
+)
+
+// Options configures image creation. Zero values select defaults.
+type Options struct {
+	// NumInodes is the inode table capacity; 0 derives it from the size.
+	NumInodes uint32
+	// JournalBlocks is the journal region length; 0 selects 64.
+	JournalBlocks uint32
+}
+
+// Format writes a fresh filesystem across the whole of dev and returns its
+// superblock.
+func Format(dev blockdev.Device, opts Options) (*disklayout.Superblock, error) {
+	sb, err := disklayout.Geometry(dev.NumBlocks(), opts.NumInodes, opts.JournalBlocks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Inode bitmap: ino 0 (nil) and the root are allocated.
+	ibm := make([]byte, int(sb.InodeBitmapLen)*disklayout.BlockSize)
+	disklayout.SetBit(ibm, 0)
+	disklayout.SetBit(ibm, sb.RootIno)
+
+	// Block bitmap: every metadata block [0, DataStart) is permanently
+	// allocated; the data region starts free.
+	bbm := make([]byte, int(sb.BlockBitmapLen)*disklayout.BlockSize)
+	for b := uint32(0); b < sb.DataStart; b++ {
+		disklayout.SetBit(bbm, b)
+	}
+	// Bits past NumBlocks (bitmap slack) are set so they can never be
+	// allocated.
+	for b := sb.NumBlocks; b < sb.BlockBitmapLen*disklayout.BitsPerBlock; b++ {
+		disklayout.SetBit(bbm, b)
+	}
+
+	if err := writeRegion(dev, sb.InodeBitmapStart, ibm); err != nil {
+		return nil, fmt.Errorf("mkfs: inode bitmap: %w", err)
+	}
+	if err := writeRegion(dev, sb.BlockBitmapStart, bbm); err != nil {
+		return nil, fmt.Errorf("mkfs: block bitmap: %w", err)
+	}
+
+	// Inode table: every record is a valid, checksummed free inode so reads
+	// of never-allocated inodes pass integrity checks.
+	tableBlock := make([]byte, disklayout.BlockSize)
+	free := &disklayout.Inode{} // TypeFree
+	for i := 0; i < disklayout.InodesPerBlock; i++ {
+		disklayout.PutInode(tableBlock[i*disklayout.InodeSize:], free)
+	}
+	for b := uint32(0); b < sb.InodeTableLen; b++ {
+		if err := dev.WriteBlock(sb.InodeTableStart+b, tableBlock); err != nil {
+			return nil, fmt.Errorf("mkfs: inode table block %d: %w", b, err)
+		}
+	}
+
+	// Root directory: allocated, empty, no data blocks.
+	rootBlk, rootOff := sb.InodeLoc(sb.RootIno)
+	rb, err := dev.ReadBlock(rootBlk)
+	if err != nil {
+		return nil, fmt.Errorf("mkfs: read root inode block: %w", err)
+	}
+	root := &disklayout.Inode{
+		Mode:  disklayout.MkMode(disklayout.TypeDir, 0o755),
+		Nlink: 2,
+	}
+	disklayout.PutInode(rb[rootOff:], root)
+	if err := dev.WriteBlock(rootBlk, rb); err != nil {
+		return nil, fmt.Errorf("mkfs: write root inode: %w", err)
+	}
+
+	// Zero the journal's first header slot so replay sees an empty journal.
+	if err := dev.WriteBlock(sb.JournalStart, make([]byte, disklayout.BlockSize)); err != nil {
+		return nil, fmt.Errorf("mkfs: journal reset: %w", err)
+	}
+
+	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
+		return nil, fmt.Errorf("mkfs: superblock: %w", err)
+	}
+	if err := dev.Flush(); err != nil {
+		return nil, fmt.Errorf("mkfs: flush: %w", err)
+	}
+	return sb, nil
+}
+
+func writeRegion(dev blockdev.Device, start uint32, data []byte) error {
+	for off, blk := 0, start; off < len(data); off, blk = off+disklayout.BlockSize, blk+1 {
+		if err := dev.WriteBlock(blk, data[off:off+disklayout.BlockSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSuperblock loads and validates the superblock from a formatted device.
+func ReadSuperblock(dev blockdev.Device) (*disklayout.Superblock, error) {
+	b, err := dev.ReadBlock(0)
+	if err != nil {
+		return nil, fmt.Errorf("mkfs: read superblock: %w", err)
+	}
+	sb, err := disklayout.DecodeSuperblock(b)
+	if err != nil {
+		return nil, err
+	}
+	if sb.NumBlocks > dev.NumBlocks() {
+		return nil, fmt.Errorf("mkfs: superblock claims %d blocks but device has %d: %w",
+			sb.NumBlocks, dev.NumBlocks(), fserr.ErrCorrupt)
+	}
+	return sb, nil
+}
+
+// Recover replays the journal on a formatted device, the crash-recovery step
+// both mount and the contained reboot perform before trusting on-disk state.
+func Recover(dev blockdev.Device) (*disklayout.Superblock, journal.ReplayStats, error) {
+	sb, err := ReadSuperblock(dev)
+	if err != nil {
+		return nil, journal.ReplayStats{}, err
+	}
+	st, err := journal.Replay(dev, sb)
+	if err != nil {
+		return nil, st, err
+	}
+	return sb, st, nil
+}

@@ -1,0 +1,138 @@
+package mkfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+	"repro/internal/journal"
+)
+
+func TestFormatProducesValidImage(t *testing.T) {
+	dev := blockdev.NewMem(2048)
+	sb, err := Format(dev, Options{NumInodes: 256, JournalBlocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSuperblock(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *sb {
+		t.Error("superblock round trip mismatch")
+	}
+	// Root inode allocated and a directory.
+	blk, off := sb.InodeLoc(sb.RootIno)
+	b, _ := dev.ReadBlock(blk)
+	root, err := disklayout.DecodeInode(b[off : off+disklayout.InodeSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsDir() || root.Nlink != 2 || root.Size != 0 {
+		t.Errorf("root inode = %+v", root)
+	}
+	// Every other inode record decodes as free.
+	for ino := uint32(2); ino < 10; ino++ {
+		blk, off := sb.InodeLoc(ino)
+		b, _ := dev.ReadBlock(blk)
+		rec, err := disklayout.DecodeInode(b[off : off+disklayout.InodeSize])
+		if err != nil {
+			t.Fatalf("inode %d: %v", ino, err)
+		}
+		if !rec.IsFree() {
+			t.Errorf("fresh inode %d is not free", ino)
+		}
+	}
+}
+
+func TestFormatBitmaps(t *testing.T) {
+	dev := blockdev.NewMem(2048)
+	sb, err := Format(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ibm, _ := dev.ReadBlock(sb.InodeBitmapStart)
+	if !disklayout.TestBit(ibm, 0) || !disklayout.TestBit(ibm, sb.RootIno) {
+		t.Error("inode 0 or root not marked allocated")
+	}
+	if disklayout.TestBit(ibm, sb.RootIno+1) {
+		t.Error("inode beyond root marked allocated")
+	}
+	bbm := make([]byte, 0)
+	for i := uint32(0); i < sb.BlockBitmapLen; i++ {
+		b, _ := dev.ReadBlock(sb.BlockBitmapStart + i)
+		bbm = append(bbm, b...)
+	}
+	for blk := uint32(0); blk < sb.DataStart; blk++ {
+		if !disklayout.TestBit(bbm, blk) {
+			t.Fatalf("metadata block %d not marked allocated", blk)
+		}
+	}
+	if disklayout.TestBit(bbm, sb.DataStart) {
+		t.Error("first data block marked allocated")
+	}
+	// Bitmap slack past NumBlocks reads allocated.
+	if sb.NumBlocks < sb.BlockBitmapLen*disklayout.BitsPerBlock {
+		if !disklayout.TestBit(bbm, sb.NumBlocks) {
+			t.Error("bitmap slack not sealed")
+		}
+	}
+}
+
+func TestFormatTooSmall(t *testing.T) {
+	dev := blockdev.NewMem(8)
+	if _, err := Format(dev, Options{}); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("Format(8 blocks) = %v", err)
+	}
+}
+
+func TestReadSuperblockRejectsGarbage(t *testing.T) {
+	dev := blockdev.NewMem(64)
+	if _, err := ReadSuperblock(dev); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("zero image: %v", err)
+	}
+}
+
+func TestReadSuperblockRejectsTruncatedDevice(t *testing.T) {
+	dev := blockdev.NewMem(2048)
+	if _, err := Format(dev, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the superblock onto a smaller device: it claims more blocks than
+	// the device holds.
+	small := blockdev.NewMem(64)
+	b, _ := dev.ReadBlock(0)
+	_ = small.WriteBlock(0, b)
+	if _, err := ReadSuperblock(small); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("truncated device: %v", err)
+	}
+}
+
+func TestRecoverReplaysJournal(t *testing.T) {
+	dev := blockdev.NewMem(2048)
+	sb, err := Format(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := journal.New(dev, sb)
+	tx := &journal.Tx{}
+	payload := make([]byte, disklayout.BlockSize)
+	payload[0] = 0xAB
+	tx.Add(sb.DataStart, payload)
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 1 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	got, _ := dev.ReadBlock(sb.DataStart)
+	if got[0] != 0xAB {
+		t.Error("journal replay missed the home write")
+	}
+}

@@ -1,0 +1,660 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/disklayout"
+	"repro/internal/fserr"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	sb, err := disklayout.Geometry(4096, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sb)
+}
+
+func TestMkdirStatReaddir(t *testing.T) {
+	m := newModel(t)
+	if err := m.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mkdir("/a/b", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Stat("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disklayout.ModeType(st.Mode) != disklayout.TypeDir || disklayout.ModePerm(st.Mode) != 0o700 {
+		t.Errorf("stat mode = %#o", st.Mode)
+	}
+	if st.Nlink != 2 {
+		t.Errorf("empty dir nlink = %d, want 2", st.Nlink)
+	}
+	// Parent picked up a link from its subdirectory.
+	pst, _ := m.Stat("/a")
+	if pst.Nlink != 3 {
+		t.Errorf("parent nlink = %d, want 3", pst.Nlink)
+	}
+	ents, err := m.Readdir("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "b" || ents[0].Type != disklayout.TypeDir {
+		t.Errorf("readdir = %+v", ents)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	m := newModel(t)
+	if err := m.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mkdir("/a", 0o755); !errors.Is(err, fserr.ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	if err := m.Mkdir("/missing/child", 0o755); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("missing parent: %v", err)
+	}
+	if err := m.Mkdir("/", 0o755); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("mkdir root: %v", err)
+	}
+	if err := m.Mkdir("relative", 0o755); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("relative path: %v", err)
+	}
+	fd, err := m.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(fd)
+	if err := m.Mkdir("/f/sub", 0o755); !errors.Is(err, fserr.ErrNotDir) {
+		t.Errorf("mkdir under file: %v", err)
+	}
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	m := newModel(t)
+	fd, err := m.Create("/hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, shadow filesystems")
+	n, err := m.WriteAt(fd, 0, data)
+	if err != nil || n != len(data) {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got, err := m.ReadAt(fd, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+	st, _ := m.Fstat(fd)
+	if st.Size != int64(len(data)) {
+		t.Errorf("size = %d", st.Size)
+	}
+	if err := m.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadAt(fd, 0, 1); !errors.Is(err, fserr.ErrBadFD) {
+		t.Errorf("read after close: %v", err)
+	}
+}
+
+func TestCreateExclusive(t *testing.T) {
+	m := newModel(t)
+	fd, err := m.Create("/x", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close(fd)
+	if _, err := m.Create("/x", 0o644); !errors.Is(err, fserr.ErrExist) {
+		t.Errorf("second create: %v", err)
+	}
+}
+
+func TestFDNumbersAreLowestFree(t *testing.T) {
+	m := newModel(t)
+	fd0, _ := m.Create("/a", 0o644)
+	fd1, _ := m.Create("/b", 0o644)
+	fd2, _ := m.Create("/c", 0o644)
+	if fd0 != 0 || fd1 != 1 || fd2 != 2 {
+		t.Fatalf("fds = %d,%d,%d", fd0, fd1, fd2)
+	}
+	m.Close(fd1)
+	reopened, _ := m.Open("/b")
+	if reopened != 1 {
+		t.Errorf("reopened fd = %d, want lowest-free 1", reopened)
+	}
+}
+
+func TestInodeNumbersAreLowestFree(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/a", 0o644)
+	m.Close(fd)
+	st, _ := m.Stat("/a")
+	if st.Ino != 2 {
+		t.Errorf("first file ino = %d, want 2 (root is 1)", st.Ino)
+	}
+	if err := m.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ = m.Create("/b", 0o644)
+	m.Close(fd)
+	st, _ = m.Stat("/b")
+	if st.Ino != 2 {
+		t.Errorf("reused ino = %d, want 2", st.Ino)
+	}
+}
+
+func TestSparseWriteAndHoleRead(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/sparse", 0o644)
+	defer m.Close(fd)
+	off := int64(10 * disklayout.BlockSize)
+	if _, err := m.WriteAt(fd, off, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Fstat(fd)
+	if st.Size != off+4 {
+		t.Errorf("size = %d", st.Size)
+	}
+	got, err := m.ReadAt(fd, 0, disklayout.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, disklayout.BlockSize)) {
+		t.Error("hole did not read as zeros")
+	}
+	got, _ = m.ReadAt(fd, off, 4)
+	if string(got) != "tail" {
+		t.Errorf("tail = %q", got)
+	}
+	// Only one data block materialized.
+	if m.UsedBlocks() != 2 { // root dir block + 1 data block
+		t.Errorf("usedBlocks = %d, want 2", m.UsedBlocks())
+	}
+}
+
+func TestReadAtEOFAndBeyond(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	defer m.Close(fd)
+	m.WriteAt(fd, 0, []byte("12345"))
+	got, err := m.ReadAt(fd, 3, 100)
+	if err != nil || string(got) != "45" {
+		t.Errorf("short read = (%q, %v)", got, err)
+	}
+	got, err = m.ReadAt(fd, 5, 10)
+	if err != nil || len(got) != 0 {
+		t.Errorf("read at EOF = (%q, %v)", got, err)
+	}
+	if _, err := m.ReadAt(fd, -1, 10); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestTruncateDownZeroesTail(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	defer m.Close(fd)
+	m.WriteAt(fd, 0, bytes.Repeat([]byte{0xFF}, 100))
+	if err := m.Truncate("/f", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate("/f", 100); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadAt(fd, 0, 100)
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 10; i < 100; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d = %#x after shrink+grow, want 0", i, got[i])
+		}
+	}
+}
+
+func TestTruncateFreesBlocks(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	defer m.Close(fd)
+	m.WriteAt(fd, 0, make([]byte, 20*disklayout.BlockSize))
+	used := m.UsedBlocks()
+	if err := m.Truncate("/f", disklayout.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() >= used {
+		t.Errorf("truncate freed nothing: %d -> %d", used, m.UsedBlocks())
+	}
+}
+
+func TestTruncateErrors(t *testing.T) {
+	m := newModel(t)
+	m.Mkdir("/d", 0o755)
+	if err := m.Truncate("/d", 0); !errors.Is(err, fserr.ErrIsDir) {
+		t.Errorf("truncate dir: %v", err)
+	}
+	if err := m.Truncate("/missing", 0); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("truncate missing: %v", err)
+	}
+	fd, _ := m.Create("/f", 0o644)
+	m.Close(fd)
+	if err := m.Truncate("/f", -1); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("negative size: %v", err)
+	}
+	if err := m.Truncate("/f", disklayout.MaxFileSize+1); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestUnlinkSemantics(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	m.Close(fd)
+	if err := m.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("/f"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("stat after unlink: %v", err)
+	}
+	m.Mkdir("/d", 0o755)
+	if err := m.Unlink("/d"); !errors.Is(err, fserr.ErrIsDir) {
+		t.Errorf("unlink dir: %v", err)
+	}
+	if err := m.Unlink("/missing"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("unlink missing: %v", err)
+	}
+}
+
+func TestOpenUnlinkedFileSurvives(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	m.WriteAt(fd, 0, []byte("still here"))
+	if err := m.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadAt(fd, 0, 100)
+	if err != nil || string(got) != "still here" {
+		t.Errorf("read through open-unlinked fd = (%q, %v)", got, err)
+	}
+	live := m.LiveInodes()
+	if err := m.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if m.LiveInodes() != live-1 {
+		t.Error("inode not freed on last close")
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	m := newModel(t)
+	m.Mkdir("/d", 0o755)
+	m.Mkdir("/d/sub", 0o755)
+	if err := m.Rmdir("/d"); !errors.Is(err, fserr.ErrNotEmpty) {
+		t.Errorf("rmdir non-empty: %v", err)
+	}
+	if err := m.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Stat("/d")
+	if st.Nlink != 2 {
+		t.Errorf("nlink after child rmdir = %d, want 2", st.Nlink)
+	}
+	if err := m.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := m.Create("/f", 0o644)
+	m.Close(fd)
+	if err := m.Rmdir("/f"); !errors.Is(err, fserr.ErrNotDir) {
+		t.Errorf("rmdir file: %v", err)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/a", 0o644)
+	m.WriteAt(fd, 0, []byte("shared"))
+	m.Close(fd)
+	if err := m.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := m.Stat("/a")
+	sb, _ := m.Stat("/b")
+	if sa.Ino != sb.Ino || sa.Nlink != 2 {
+		t.Errorf("link stats: a=%+v b=%+v", sa, sb)
+	}
+	if err := m.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := m.Open("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadAt(fd, 0, 10)
+	if string(got) != "shared" {
+		t.Errorf("content via second link = %q", got)
+	}
+	m.Close(fd)
+	st, _ := m.Stat("/b")
+	if st.Nlink != 1 {
+		t.Errorf("nlink = %d, want 1", st.Nlink)
+	}
+	// Linking directories is forbidden.
+	m.Mkdir("/d", 0o755)
+	if err := m.Link("/d", "/d2"); !errors.Is(err, fserr.ErrIsDir) {
+		t.Errorf("link dir: %v", err)
+	}
+	if err := m.Link("/b", "/b"); !errors.Is(err, fserr.ErrExist) {
+		t.Errorf("link over self: %v", err)
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	m := newModel(t)
+	if err := m.Symlink("/target/path", "/ln"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Readlink("/ln")
+	if err != nil || got != "/target/path" {
+		t.Errorf("readlink = (%q, %v)", got, err)
+	}
+	st, _ := m.Stat("/ln")
+	if disklayout.ModeType(st.Mode) != disklayout.TypeSym || st.Size != int64(len("/target/path")) {
+		t.Errorf("symlink stat = %+v", st)
+	}
+	// Symlinks are not followed by open.
+	if _, err := m.Open("/ln"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("open symlink: %v", err)
+	}
+	if _, err := m.Readlink("/"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("readlink dir: %v", err)
+	}
+	if err := m.Symlink("", "/empty"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("empty target: %v", err)
+	}
+	long := string(bytes.Repeat([]byte{'x'}, disklayout.BlockSize+1))
+	if err := m.Symlink(long, "/long"); !errors.Is(err, fserr.ErrNameTooLong) {
+		t.Errorf("long target: %v", err)
+	}
+	if err := m.Unlink("/ln"); err != nil {
+		t.Errorf("unlink symlink: %v", err)
+	}
+}
+
+func TestRenameBasic(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/a", 0o644)
+	m.WriteAt(fd, 0, []byte("payload"))
+	m.Close(fd)
+	if err := m.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("/a"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Error("old name survives rename")
+	}
+	fd, _ = m.Open("/b")
+	got, _ := m.ReadAt(fd, 0, 10)
+	m.Close(fd)
+	if string(got) != "payload" {
+		t.Errorf("content after rename = %q", got)
+	}
+}
+
+func TestRenameReplacesFile(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/a", 0o644)
+	m.WriteAt(fd, 0, []byte("AAA"))
+	m.Close(fd)
+	fd, _ = m.Create("/b", 0o644)
+	m.WriteAt(fd, 0, []byte("BBB"))
+	m.Close(fd)
+	live := m.LiveInodes()
+	if err := m.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ = m.Open("/b")
+	got, _ := m.ReadAt(fd, 0, 10)
+	m.Close(fd)
+	if string(got) != "AAA" {
+		t.Errorf("content = %q, want AAA", got)
+	}
+	if m.LiveInodes() != live-1 {
+		t.Error("replaced inode not freed")
+	}
+}
+
+func TestRenameDirRules(t *testing.T) {
+	m := newModel(t)
+	m.Mkdir("/d1", 0o755)
+	m.Mkdir("/d2", 0o755)
+	m.Mkdir("/d2/inner", 0o755)
+	fd, _ := m.Create("/f", 0o644)
+	m.Close(fd)
+	// dir over non-empty dir
+	if err := m.Rename("/d1", "/d2"); !errors.Is(err, fserr.ErrNotEmpty) {
+		t.Errorf("dir over non-empty dir: %v", err)
+	}
+	// dir over file
+	if err := m.Rename("/d1", "/f"); !errors.Is(err, fserr.ErrNotDir) {
+		t.Errorf("dir over file: %v", err)
+	}
+	// file over dir
+	if err := m.Rename("/f", "/d1"); !errors.Is(err, fserr.ErrIsDir) {
+		t.Errorf("file over dir: %v", err)
+	}
+	// dir into its own subtree
+	if err := m.Rename("/d2", "/d2/inner/x"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("dir into own subtree: %v", err)
+	}
+	// dir over empty dir works
+	if err := m.Rename("/d1", "/d2/inner"); err != nil {
+		t.Errorf("dir over empty dir: %v", err)
+	}
+	// nlink accounting after cross-parent move
+	st, _ := m.Stat("/")
+	if st.Nlink != 3 { // root + d2 (d1 moved under d2, replacing inner)
+		t.Errorf("root nlink = %d, want 3", st.Nlink)
+	}
+	st, _ = m.Stat("/d2")
+	if st.Nlink != 3 {
+		t.Errorf("d2 nlink = %d, want 3", st.Nlink)
+	}
+}
+
+func TestRenameSamePathNoop(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/a", 0o644)
+	m.Close(fd)
+	if err := m.Rename("/a", "/a"); err != nil {
+		t.Errorf("rename to self: %v", err)
+	}
+	if err := m.Rename("/a", "//a/."); err != nil {
+		t.Errorf("rename to self via messy path: %v", err)
+	}
+	if err := m.Rename("/missing", "/missing"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("self-rename of missing: %v", err)
+	}
+	// Two hard links to the same inode: no-op, both names survive.
+	m.Link("/a", "/b")
+	if err := m.Rename("/a", "/b"); err != nil {
+		t.Errorf("rename between links: %v", err)
+	}
+	if _, err := m.Stat("/a"); err != nil {
+		t.Error("first link vanished")
+	}
+	if _, err := m.Stat("/b"); err != nil {
+		t.Error("second link vanished")
+	}
+}
+
+func TestSetPerm(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	m.Close(fd)
+	if err := m.SetPerm("/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Stat("/f")
+	if disklayout.ModePerm(st.Mode) != 0o600 {
+		t.Errorf("perm = %#o", disklayout.ModePerm(st.Mode))
+	}
+	if err := m.SetPerm("/missing", 0o600); !errors.Is(err, fserr.ErrNotExist) {
+		t.Errorf("setperm missing: %v", err)
+	}
+}
+
+func TestReaddirOrderMatchesSlotReuse(t *testing.T) {
+	m := newModel(t)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		fd, _ := m.Create("/"+n, 0o644)
+		m.Close(fd)
+	}
+	m.Unlink("/b")
+	fd, _ := m.Create("/e", 0o644) // must land in b's slot
+	m.Close(fd)
+	ents, _ := m.Readdir("/")
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	want := []string{"a", "e", "c", "d"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("readdir order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestWriteMaxFileSize(t *testing.T) {
+	m := newModel(t)
+	fd, _ := m.Create("/f", 0o644)
+	defer m.Close(fd)
+	if _, err := m.WriteAt(fd, disklayout.MaxFileSize-1, []byte("xy")); !errors.Is(err, fserr.ErrTooBig) {
+		t.Errorf("write past max size: %v", err)
+	}
+	if _, err := m.WriteAt(fd, 0, nil); err != nil {
+		t.Errorf("empty write: %v", err)
+	}
+	if _, err := m.WriteAt(fd, -5, []byte("x")); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestENOSPCOnTinyImage(t *testing.T) {
+	sb, err := disklayout.Geometry(150, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sb)
+	fd, _ := m.Create("/big", 0o644)
+	defer m.Close(fd)
+	buf := make([]byte, disklayout.BlockSize)
+	var werr error
+	total := 0
+	for i := 0; i < 1000; i++ {
+		var n int
+		n, werr = m.WriteAt(fd, int64(i)*disklayout.BlockSize, buf)
+		total += n
+		if werr != nil {
+			break
+		}
+	}
+	if !errors.Is(werr, fserr.ErrNoSpace) {
+		t.Fatalf("tiny image never hit ENOSPC (wrote %d bytes)", total)
+	}
+	// Freeing space makes writes possible again.
+	if err := m.Truncate("/big", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt(fd, 0, buf); err != nil {
+		t.Errorf("write after truncate: %v", err)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	sb, err := disklayout.Geometry(4096, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(sb)
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		err := m.Mkdir("/d"+string(rune('a'+i)), 0o755)
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, fserr.ErrNoSpace) {
+		t.Errorf("inode exhaustion: %v", lastErr)
+	}
+}
+
+func TestTimestampsAdvanceDeterministically(t *testing.T) {
+	m1, m2 := newModel(t), newModel(t)
+	run := func(m *Model) (uint64, uint64) {
+		fd, _ := m.Create("/f", 0o644)
+		m.WriteAt(fd, 0, []byte("x"))
+		m.Close(fd)
+		m.Mkdir("/d", 0o755)
+		s1, _ := m.Stat("/f")
+		s2, _ := m.Stat("/d")
+		return s1.Mtime, s2.Mtime
+	}
+	a1, a2 := run(m1)
+	b1, b2 := run(m2)
+	if a1 != b1 || a2 != b2 {
+		t.Error("same sequence produced different timestamps")
+	}
+	if a2 <= a1 {
+		t.Error("later operation has earlier timestamp")
+	}
+}
+
+func TestDeepPathsAndDotDot(t *testing.T) {
+	m := newModel(t)
+	m.Mkdir("/a", 0o755)
+	m.Mkdir("/a/b", 0o755)
+	fd, err := m.Create("/a/b/../b/./file", 0o644)
+	if err != nil {
+		t.Fatalf("messy path create: %v", err)
+	}
+	m.Close(fd)
+	if _, err := m.Stat("/a/b/file"); err != nil {
+		t.Errorf("normalized path stat: %v", err)
+	}
+	if _, err := m.Stat("/../../a"); err != nil {
+		t.Errorf("dotdot above root: %v", err)
+	}
+}
+
+func TestFsyncSyncAndOpenFDs(t *testing.T) {
+	m := newModel(t)
+	if err := m.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+	if err := m.Fsync(0); !errors.Is(err, fserr.ErrBadFD) {
+		t.Errorf("Fsync on closed fd: %v", err)
+	}
+	fd1, _ := m.Create("/a", 0o644)
+	fd2, _ := m.Create("/b", 0o644)
+	if err := m.Fsync(fd1); err != nil {
+		t.Errorf("Fsync: %v", err)
+	}
+	fds := m.OpenFDs()
+	if len(fds) != 2 || fds[0] != fd1 || fds[1] != fd2 {
+		t.Errorf("OpenFDs = %v", fds)
+	}
+	m.Close(fd1)
+	if got := m.OpenFDs(); len(got) != 1 || got[0] != fd2 {
+		t.Errorf("OpenFDs after close = %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+package oplog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// Binary codec for operation records. In the paper the shadow is a separate
+// user-level process, so the recorded sequence crosses a process boundary
+// as bytes; this codec is that wire format. The supervisor also uses it to
+// spill large logs, and tests use it to prove the recorded trace is fully
+// self-contained (no pointers back into the base's memory).
+//
+// Record layout (little endian):
+//
+//	u32 magic | u32 totalLen | u64 seq | u8 kind |
+//	u16 perm | i64 off | i64 size | i64 fd |
+//	i32 errno | i64 retFD | u32 retIno | i32 retN |
+//	u16 lenPath | path | u16 lenPath2 | path2 | u32 lenData | data |
+//	u32 crc
+//
+// RetData is never serialized: read results flow to the application, not to
+// the shadow.
+
+const recMagic = 0x4F504C47 // "OPLG"
+
+// maxEncodedPath bounds path fields against corrupt input.
+const maxEncodedPath = 4096
+
+// Encode appends the op's wire form to buf and returns the extended slice.
+func (o *Op) Encode(buf []byte) []byte {
+	var scratch [8]byte
+	le := binary.LittleEndian
+	start := len(buf)
+	put32 := func(v uint32) {
+		le.PutUint32(scratch[:4], v)
+		buf = append(buf, scratch[:4]...)
+	}
+	put64 := func(v uint64) {
+		le.PutUint64(scratch[:8], v)
+		buf = append(buf, scratch[:8]...)
+	}
+	put16 := func(v uint16) {
+		le.PutUint16(scratch[:2], v)
+		buf = append(buf, scratch[:2]...)
+	}
+	put32(recMagic)
+	put32(0) // total length backpatched below
+	put64(o.Seq)
+	buf = append(buf, byte(o.Kind))
+	put16(o.Perm)
+	put64(uint64(o.Off))
+	put64(uint64(o.Size))
+	put64(uint64(o.FD))
+	put32(uint32(int32(o.Errno)))
+	put64(uint64(o.RetFD))
+	put32(o.RetIno)
+	put32(uint32(int32(o.RetN)))
+	put16(uint16(len(o.Path)))
+	buf = append(buf, o.Path...)
+	put16(uint16(len(o.Path2)))
+	buf = append(buf, o.Path2...)
+	put32(uint32(len(o.Data)))
+	buf = append(buf, o.Data...)
+	total := uint32(len(buf) - start + 4) // including trailing crc
+	le.PutUint32(buf[start+4:], total)
+	crc := disklayout.Checksum(buf[start:len(buf)])
+	put32(crc)
+	return buf
+}
+
+// Decode parses one op from buf, returning the op and the remaining bytes.
+func Decode(buf []byte) (*Op, []byte, error) {
+	le := binary.LittleEndian
+	bad := func(format string, args ...any) (*Op, []byte, error) {
+		return nil, nil, fmt.Errorf("oplog: decode: "+format+": %w", append(args, fserr.ErrCorrupt)...)
+	}
+	if len(buf) < 8 {
+		return bad("short header: %d bytes", len(buf))
+	}
+	if got := le.Uint32(buf); got != recMagic {
+		return bad("magic %#x", got)
+	}
+	total := le.Uint32(buf[4:])
+	if total < 8 || uint64(total) > uint64(len(buf)) {
+		return bad("record length %d with %d available", total, len(buf))
+	}
+	rec := buf[:total]
+	rest := buf[total:]
+	if got, want := le.Uint32(rec[total-4:]), disklayout.Checksum(rec[:total-4]); got != want {
+		return bad("checksum %#x, want %#x", got, want)
+	}
+	r := bytes.NewReader(rec[8 : total-4])
+	var o Op
+	read := func(p []byte) bool {
+		_, err := r.Read(p)
+		return err == nil
+	}
+	var b8 [8]byte
+	if !read(b8[:8]) {
+		return bad("truncated seq")
+	}
+	o.Seq = le.Uint64(b8[:8])
+	kind, err := r.ReadByte()
+	if err != nil {
+		return bad("truncated kind")
+	}
+	o.Kind = Kind(kind)
+	if o.Kind > KReadProbe {
+		return bad("unknown kind %d", kind)
+	}
+	if !read(b8[:2]) {
+		return bad("truncated perm")
+	}
+	o.Perm = le.Uint16(b8[:2])
+	if !read(b8[:8]) {
+		return bad("truncated off")
+	}
+	o.Off = int64(le.Uint64(b8[:8]))
+	if !read(b8[:8]) {
+		return bad("truncated size")
+	}
+	o.Size = int64(le.Uint64(b8[:8]))
+	if !read(b8[:8]) {
+		return bad("truncated fd")
+	}
+	o.FD = fsapi.FD(int64(le.Uint64(b8[:8])))
+	if !read(b8[:4]) {
+		return bad("truncated errno")
+	}
+	o.Errno = int(int32(le.Uint32(b8[:4])))
+	if !read(b8[:8]) {
+		return bad("truncated retfd")
+	}
+	o.RetFD = fsapi.FD(int64(le.Uint64(b8[:8])))
+	if !read(b8[:4]) {
+		return bad("truncated retino")
+	}
+	o.RetIno = le.Uint32(b8[:4])
+	if !read(b8[:4]) {
+		return bad("truncated retn")
+	}
+	o.RetN = int(int32(le.Uint32(b8[:4])))
+	readStr := func() (string, bool) {
+		if !read(b8[:2]) {
+			return "", false
+		}
+		n := int(le.Uint16(b8[:2]))
+		if n > maxEncodedPath || n > r.Len() {
+			return "", false
+		}
+		s := make([]byte, n)
+		if n > 0 && !read(s) {
+			return "", false
+		}
+		return string(s), true
+	}
+	var ok bool
+	if o.Path, ok = readStr(); !ok {
+		return bad("truncated path")
+	}
+	if o.Path2, ok = readStr(); !ok {
+		return bad("truncated path2")
+	}
+	if !read(b8[:4]) {
+		return bad("truncated data length")
+	}
+	dataLen := int(le.Uint32(b8[:4]))
+	if dataLen != r.Len() {
+		return bad("data length %d, %d bytes remain", dataLen, r.Len())
+	}
+	if dataLen > 0 {
+		o.Data = make([]byte, dataLen)
+		if !read(o.Data) {
+			return bad("truncated data")
+		}
+	}
+	return &o, rest, nil
+}
+
+// EncodeSequence serializes a whole recorded sequence plus the stable-point
+// descriptor table and clock — the complete recovery message the supervisor
+// would send a shadow process.
+func EncodeSequence(ops []*Op, fds map[fsapi.FD]uint32, clock uint64) []byte {
+	le := binary.LittleEndian
+	var buf []byte
+	var scratch [12]byte
+	le.PutUint64(scratch[:8], clock)
+	le.PutUint32(scratch[8:12], uint32(len(fds)))
+	buf = append(buf, scratch[:12]...)
+	// Deterministic fd order.
+	var keys []fsapi.FD
+	for fd := range fds {
+		keys = append(keys, fd)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, fd := range keys {
+		le.PutUint64(scratch[:8], uint64(fd))
+		le.PutUint32(scratch[8:12], fds[fd])
+		buf = append(buf, scratch[:12]...)
+	}
+	le.PutUint32(scratch[:4], uint32(len(ops)))
+	buf = append(buf, scratch[:4]...)
+	for _, o := range ops {
+		buf = o.Encode(buf)
+	}
+	return buf
+}
+
+// DecodeSequence is the inverse of EncodeSequence.
+func DecodeSequence(buf []byte) (ops []*Op, fds map[fsapi.FD]uint32, clock uint64, err error) {
+	le := binary.LittleEndian
+	bad := func(format string, args ...any) ([]*Op, map[fsapi.FD]uint32, uint64, error) {
+		return nil, nil, 0, fmt.Errorf("oplog: decode sequence: "+format+": %w", append(args, fserr.ErrCorrupt)...)
+	}
+	if len(buf) < 16 {
+		return bad("short header")
+	}
+	clock = le.Uint64(buf)
+	nfds := int(le.Uint32(buf[8:]))
+	buf = buf[12:]
+	if nfds > 1<<20 || len(buf) < nfds*12+4 {
+		return bad("implausible fd count %d", nfds)
+	}
+	fds = make(map[fsapi.FD]uint32, nfds)
+	for i := 0; i < nfds; i++ {
+		fd := fsapi.FD(int64(le.Uint64(buf)))
+		ino := le.Uint32(buf[8:])
+		if _, dup := fds[fd]; dup {
+			return bad("duplicate fd %d", fd)
+		}
+		fds[fd] = ino
+		buf = buf[12:]
+	}
+	nops := int(le.Uint32(buf))
+	buf = buf[4:]
+	if nops > 1<<24 {
+		return bad("implausible op count %d", nops)
+	}
+	ops = make([]*Op, 0, nops)
+	for i := 0; i < nops; i++ {
+		var o *Op
+		o, buf, err = Decode(buf)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ops = append(ops, o)
+	}
+	if len(buf) != 0 {
+		return bad("%d trailing bytes", len(buf))
+	}
+	return ops, fds, clock, nil
+}

@@ -1,0 +1,137 @@
+package oplog
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+func sampleOps() []*Op {
+	return []*Op{
+		{Seq: 0, Kind: KMkdir, Path: "/dir", Perm: 0o755},
+		{Seq: 1, Kind: KCreate, Path: "/dir/file", Perm: 0o644, RetFD: 3, RetIno: 17},
+		{Seq: 2, Kind: KWrite, FD: 3, Off: 4096, Data: []byte("payload bytes"), RetN: 13},
+		{Seq: 3, Kind: KRename, Path: "/dir/file", Path2: "/dir/renamed"},
+		{Seq: 4, Kind: KSymlink, Path: "/ln", Path2: "/target"},
+		{Seq: 5, Kind: KUnlink, Path: "/dir/renamed", Errno: 2},
+		{Seq: 6, Kind: KSync},
+		{Seq: 7, Kind: KWrite, FD: 0, Off: -1, Data: []byte{0, 255, 1}, Errno: 22},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, o := range sampleOps() {
+		buf := o.Encode(nil)
+		got, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d trailing bytes", o, len(rest))
+		}
+		if got.String() != o.String() || got.Path2 != o.Path2 || got.Perm != o.Perm ||
+			got.Size != o.Size || string(got.Data) != string(o.Data) {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, o)
+		}
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	o := &Op{Seq: 9, Kind: KWrite, FD: 1, Data: []byte("abcdef"), RetN: 6}
+	buf := o.Encode(nil)
+	for _, off := range []int{0, 4, 9, 20, len(buf) - 5, len(buf) - 1} {
+		mut := append([]byte(nil), buf...)
+		mut[off] ^= 0x80
+		if _, _, err := Decode(mut); !errors.Is(err, fserr.ErrCorrupt) {
+			t.Errorf("flip at %d: %v, want ErrCorrupt", off, err)
+		}
+	}
+	if _, _, err := Decode(buf[:5]); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, rng.Intn(256))
+		rng.Read(buf)
+		_, _, err := Decode(buf)
+		if err == nil && len(buf) > 0 {
+			// Accidentally valid garbage is astronomically unlikely with the
+			// CRC; treat as failure to be safe.
+			t.Fatalf("garbage of %d bytes decoded", len(buf))
+		}
+	}
+}
+
+func TestEncodeDecodeSequence(t *testing.T) {
+	ops := sampleOps()
+	fds := map[fsapi.FD]uint32{0: 5, 7: 12, 3: 9}
+	buf := EncodeSequence(ops, fds, 999)
+	gotOps, gotFDs, clock, err := DecodeSequence(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != 999 {
+		t.Errorf("clock = %d", clock)
+	}
+	if len(gotFDs) != 3 || gotFDs[7] != 12 {
+		t.Errorf("fds = %v", gotFDs)
+	}
+	if len(gotOps) != len(ops) {
+		t.Fatalf("ops = %d, want %d", len(gotOps), len(ops))
+	}
+	for i := range ops {
+		if gotOps[i].String() != ops[i].String() {
+			t.Errorf("op %d: %s != %s", i, gotOps[i], ops[i])
+		}
+	}
+}
+
+func TestEncodeSequenceDeterministic(t *testing.T) {
+	ops := sampleOps()
+	fds := map[fsapi.FD]uint32{4: 1, 1: 2, 9: 3}
+	a := EncodeSequence(ops, fds, 5)
+	b := EncodeSequence(ops, fds, 5)
+	if string(a) != string(b) {
+		t.Error("encoding depends on map iteration order")
+	}
+}
+
+func TestDecodeSequenceRejectsTrailing(t *testing.T) {
+	buf := EncodeSequence(sampleOps()[:2], map[fsapi.FD]uint32{}, 1)
+	buf = append(buf, 0xAA)
+	if _, _, _, err := DecodeSequence(buf); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("trailing byte: %v", err)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, kind uint8, perm uint16, off, size int64, fd int16,
+		errno int16, path, path2 string, data []byte) bool {
+		if len(path) > 2048 || len(path2) > 2048 {
+			return true
+		}
+		o := &Op{
+			Seq: seq, Kind: Kind(kind % 17), Perm: perm, Off: off, Size: size,
+			FD: fsapi.FD(fd), Errno: int(errno), Path: path, Path2: path2, Data: data,
+		}
+		buf := o.Encode(nil)
+		got, rest, err := Decode(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Seq == o.Seq && got.Kind == o.Kind && got.Perm == o.Perm &&
+			got.Off == o.Off && got.Size == o.Size && got.FD == o.FD &&
+			got.Errno == o.Errno && got.Path == o.Path && got.Path2 == o.Path2 &&
+			string(got.Data) == string(o.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

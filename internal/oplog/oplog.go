@@ -1,0 +1,346 @@
+// Package oplog implements operation recording: the execution trace the RAE
+// supervisor keeps of every state-changing operation since the last durable
+// point.
+//
+// The paper (§3.2): "the base filesystem must record the operation sequence
+// that tracks the gap between the applications' view and the on-disk state.
+// Essentially, this is an execution trace that records the order that
+// operations were handled ... The recorded operation sequence also reflects
+// the outcome of the operations, such as the return value, new file
+// descriptors, and new inode numbers." Outcomes are what the shadow's
+// constrained mode validates during recovery.
+//
+// The Op type doubles as the neutral operation representation used by the
+// workload generators and the differential tester, so the exact trace a
+// workload produced is the exact trace the shadow replays.
+package oplog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// Kind enumerates the recordable operations: every mutating call plus the
+// descriptor-lifecycle calls the shadow needs to reconstruct the fd table.
+type Kind int
+
+// Operation kinds.
+const (
+	KMkdir Kind = iota
+	KRmdir
+	KCreate
+	KOpen
+	KClose
+	KWrite
+	KTruncate
+	KUnlink
+	KRename
+	KLink
+	KSymlink
+	KSetPerm
+	KFsync
+	KSync
+	// KReadDirProbe and KStatProbe are read-only probes used by workloads
+	// and the differential tester; the supervisor never records them.
+	KReadDirProbe
+	KStatProbe
+	KReadProbe
+)
+
+// String returns the kind's operation name.
+func (k Kind) String() string {
+	names := [...]string{"mkdir", "rmdir", "create", "open", "close", "write",
+		"truncate", "unlink", "rename", "link", "symlink", "setperm", "fsync",
+		"sync", "readdir", "stat", "read"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Mutating reports whether the kind changes essential state (and so must be
+// recorded).
+func (k Kind) Mutating() bool {
+	switch k {
+	case KReadDirProbe, KStatProbe, KReadProbe:
+		return false
+	}
+	return true
+}
+
+// Op is one operation with its arguments and, once executed, its outcome.
+type Op struct {
+	// Seq is the position in the recorded sequence.
+	Seq uint64
+	// Kind selects the operation.
+	Kind Kind
+	// Path is the primary path (linkPath for symlink).
+	Path string
+	// Path2 is the secondary path: rename/link target, symlink target text.
+	Path2 string
+	// FD is the descriptor argument for close/write/fsync/read probes.
+	FD fsapi.FD
+	// Off is the offset for write and read probes.
+	Off int64
+	// Data is the write payload (shared data pages in the paper's terms: the
+	// recorded trace carries buffered write contents so the shadow can
+	// reproduce them without the base's memory).
+	Data []byte
+	// Perm is the mode for mkdir/create/setperm.
+	Perm uint16
+	// Size is the truncate target or read-probe length.
+	Size int64
+
+	// Outcome, filled by Apply.
+
+	// Errno is the fserr errno of the result (0 on success).
+	Errno int
+	// RetFD is the descriptor returned by create/open.
+	RetFD fsapi.FD
+	// RetIno is the inode number the operation allocated or targeted,
+	// validated by the shadow's constrained mode.
+	RetIno uint32
+	// RetN is the byte count returned by write.
+	RetN int
+	// RetData is the data returned by a read probe, so a recovery that
+	// re-executes an in-flight read on the shadow can hand the application
+	// the bytes without touching the base again.
+	RetData []byte
+}
+
+// Err reconstructs the outcome error from the recorded errno.
+func (o *Op) Err() error { return fserr.FromErrno(o.Errno) }
+
+// Apply executes the operation against any filesystem implementation and
+// records the outcome into the op, returning the outcome error. This single
+// executor serves the base (recording), the shadow (re-execution), the
+// model (oracle), and the differential tester.
+func Apply(fs fsapi.FS, o *Op) error {
+	switch o.Kind {
+	case KMkdir:
+		err := fs.Mkdir(o.Path, o.Perm)
+		o.Errno = fserr.Errno(err)
+		if err == nil {
+			if st, serr := fs.Stat(o.Path); serr == nil {
+				o.RetIno = st.Ino
+			}
+		}
+		return err
+	case KRmdir:
+		err := fs.Rmdir(o.Path)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KCreate:
+		fd, err := fs.Create(o.Path, o.Perm)
+		o.Errno = fserr.Errno(err)
+		o.RetFD = fd
+		if err == nil {
+			if st, serr := fs.Fstat(fd); serr == nil {
+				o.RetIno = st.Ino
+			}
+		}
+		return err
+	case KOpen:
+		fd, err := fs.Open(o.Path)
+		o.Errno = fserr.Errno(err)
+		o.RetFD = fd
+		if err == nil {
+			if st, serr := fs.Fstat(fd); serr == nil {
+				o.RetIno = st.Ino
+			}
+		}
+		return err
+	case KClose:
+		err := fs.Close(o.FD)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KWrite:
+		n, err := fs.WriteAt(o.FD, o.Off, o.Data)
+		o.Errno = fserr.Errno(err)
+		o.RetN = n
+		return err
+	case KTruncate:
+		err := fs.Truncate(o.Path, o.Size)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KUnlink:
+		err := fs.Unlink(o.Path)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KRename:
+		err := fs.Rename(o.Path, o.Path2)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KLink:
+		err := fs.Link(o.Path, o.Path2)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KSymlink:
+		err := fs.Symlink(o.Path2, o.Path)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KSetPerm:
+		err := fs.SetPerm(o.Path, o.Perm)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KFsync:
+		err := fs.Fsync(o.FD)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KSync:
+		err := fs.Sync()
+		o.Errno = fserr.Errno(err)
+		return err
+	case KReadDirProbe:
+		_, err := fs.Readdir(o.Path)
+		o.Errno = fserr.Errno(err)
+		return err
+	case KStatProbe:
+		st, err := fs.Stat(o.Path)
+		o.Errno = fserr.Errno(err)
+		if err == nil {
+			o.RetIno = st.Ino
+		}
+		return err
+	case KReadProbe:
+		b, err := fs.ReadAt(o.FD, o.Off, int(o.Size))
+		o.Errno = fserr.Errno(err)
+		o.RetN = len(b)
+		o.RetData = b
+		return err
+	}
+	return fmt.Errorf("oplog: unknown kind %d: %w", o.Kind, fserr.ErrInvalid)
+}
+
+// Clone deep-copies the op (including the write payload).
+func (o *Op) Clone() *Op {
+	cp := *o
+	if o.Data != nil {
+		cp.Data = make([]byte, len(o.Data))
+		copy(cp.Data, o.Data)
+	}
+	if o.RetData != nil {
+		cp.RetData = make([]byte, len(o.RetData))
+		copy(cp.RetData, o.RetData)
+	}
+	return &cp
+}
+
+// String formats the op for discrepancy reports.
+func (o *Op) String() string {
+	switch o.Kind {
+	case KRename, KLink:
+		return fmt.Sprintf("#%d %s(%q, %q) -> errno %d", o.Seq, o.Kind, o.Path, o.Path2, o.Errno)
+	case KSymlink:
+		return fmt.Sprintf("#%d symlink(%q -> %q) -> errno %d", o.Seq, o.Path, o.Path2, o.Errno)
+	case KWrite:
+		return fmt.Sprintf("#%d write(fd %d, off %d, %d bytes) -> (%d, errno %d)",
+			o.Seq, o.FD, o.Off, len(o.Data), o.RetN, o.Errno)
+	case KClose, KFsync:
+		return fmt.Sprintf("#%d %s(fd %d) -> errno %d", o.Seq, o.Kind, o.FD, o.Errno)
+	case KSync:
+		return fmt.Sprintf("#%d sync() -> errno %d", o.Seq, o.Errno)
+	case KCreate, KOpen:
+		return fmt.Sprintf("#%d %s(%q) -> (fd %d, ino %d, errno %d)",
+			o.Seq, o.Kind, o.Path, o.RetFD, o.RetIno, o.Errno)
+	default:
+		return fmt.Sprintf("#%d %s(%q) -> errno %d", o.Seq, o.Kind, o.Path, o.Errno)
+	}
+}
+
+// Log is the supervisor's record of operations since the last stable point,
+// together with the descriptor table and logical clock captured at that
+// point — everything the shadow needs to reconstruct state from trusted
+// on-disk contents.
+type Log struct {
+	mu         sync.Mutex
+	ops        []*Op
+	next       uint64
+	baseFDs    map[fsapi.FD]uint32
+	startClock uint64
+	peakLen    int
+}
+
+// NewLog returns an empty log whose stable point is a fresh filesystem (no
+// open descriptors, clock zero).
+func NewLog() *Log {
+	return &Log{baseFDs: map[fsapi.FD]uint32{}}
+}
+
+// Append records a completed operation (the op's outcome fields must already
+// be filled). Non-mutating kinds are ignored.
+func (l *Log) Append(o *Op) {
+	if !o.Kind.Mutating() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := o.Clone()
+	cp.Seq = l.next
+	l.next++
+	l.ops = append(l.ops, cp)
+	if len(l.ops) > l.peakLen {
+		l.peakLen = len(l.ops)
+	}
+}
+
+// Stable marks a new durable point: all recorded operations are now on disk,
+// so they are discarded; the descriptor table and clock snapshots replace
+// the old ones. ("When ... the buffered updates are flushed to disk, the
+// corresponding recorded operations can be discarded.")
+func (l *Log) Stable(fds map[fsapi.FD]uint32, clock uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = nil
+	l.baseFDs = make(map[fsapi.FD]uint32, len(fds))
+	for fd, ino := range fds {
+		l.baseFDs[fd] = ino
+	}
+	l.startClock = clock
+}
+
+// Snapshot returns the recovery input: the ops since the stable point (deep
+// copies), the descriptor table at the stable point, and the clock then.
+func (l *Log) Snapshot() (ops []*Op, fds map[fsapi.FD]uint32, clock uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ops = make([]*Op, len(l.ops))
+	for i, o := range l.ops {
+		ops[i] = o.Clone()
+	}
+	fds = make(map[fsapi.FD]uint32, len(l.baseFDs))
+	for fd, ino := range l.baseFDs {
+		fds[fd] = ino
+	}
+	return ops, fds, l.startClock
+}
+
+// Len returns the number of recorded operations since the stable point.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// PeakLen returns the largest log length observed, an experiment metric for
+// recovery-cost studies.
+func (l *Log) PeakLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peakLen
+}
+
+// ApproxBytes estimates the log's memory footprint (op structs plus write
+// payloads), reported by the recording-overhead experiment.
+func (l *Log) ApproxBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0
+	for _, o := range l.ops {
+		total += 96 + len(o.Path) + len(o.Path2) + len(o.Data)
+	}
+	return total
+}

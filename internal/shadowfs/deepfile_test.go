@@ -1,0 +1,93 @@
+package shadowfs
+
+import (
+	"testing"
+
+	"repro/internal/difftest"
+	"repro/internal/disklayout"
+	"repro/internal/model"
+)
+
+// TestShadowDeepFileThroughDoubleIndirect drives the shadow's block-mapping
+// and truncation logic through the full pointer geometry — direct, single-
+// indirect, and double-indirect — in lockstep with the specification model.
+func TestShadowDeepFileThroughDoubleIndirect(t *testing.T) {
+	s, _, sb := freshShadow(t, 16384)
+	m := model.New(sb)
+
+	sfd, err := s.Create("/deep", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfd, err := m.Create("/deep", 0o644)
+	if err != nil || mfd != sfd {
+		t.Fatal(err)
+	}
+	idxs := []int64{
+		0, 5,
+		disklayout.NumDirect - 1,
+		disklayout.NumDirect,
+		disklayout.NumDirect + 100,
+		disklayout.NumDirect + disklayout.PtrsPerBlock - 1,
+		disklayout.NumDirect + disklayout.PtrsPerBlock,
+		disklayout.NumDirect + disklayout.PtrsPerBlock + 1,
+		disklayout.NumDirect + disklayout.PtrsPerBlock + disklayout.PtrsPerBlock,
+		disklayout.NumDirect + disklayout.PtrsPerBlock + disklayout.PtrsPerBlock + 500,
+	}
+	for _, idx := range idxs {
+		payload := []byte{byte(idx), byte(idx >> 8), 0xCC}
+		sn, serr := s.WriteAt(sfd, idx*disklayout.BlockSize, payload)
+		mn, merr := m.WriteAt(mfd, idx*disklayout.BlockSize, payload)
+		if sn != mn || (serr == nil) != (merr == nil) {
+			t.Fatalf("write idx %d: shadow (%d,%v) model (%d,%v)", idx, sn, serr, mn, merr)
+		}
+	}
+	// Hole reads at unmaterialized indices agree too.
+	for _, idx := range []int64{1, disklayout.NumDirect + 1, disklayout.NumDirect + disklayout.PtrsPerBlock + 7} {
+		sg, _ := s.ReadAt(sfd, idx*disklayout.BlockSize, 3)
+		mg, _ := m.ReadAt(mfd, idx*disklayout.BlockSize, 3)
+		if string(sg) != string(mg) {
+			t.Fatalf("hole read idx %d: %q vs %q", idx, sg, mg)
+		}
+	}
+	if s.UsedOverlayBlocks() == 0 {
+		t.Error("no overlay blocks after deep writes")
+	}
+	// Staged truncation down through each range.
+	for _, size := range []int64{
+		(disklayout.NumDirect + disklayout.PtrsPerBlock + 2) * disklayout.BlockSize,
+		(disklayout.NumDirect + 3) * disklayout.BlockSize,
+		5,
+		0,
+	} {
+		if err := s.Truncate("/deep", size); err != nil {
+			t.Fatalf("shadow truncate %d: %v", size, err)
+		}
+		if err := m.Truncate("/deep", size); err != nil {
+			t.Fatalf("model truncate %d: %v", size, err)
+		}
+		ss, _ := s.Fstat(sfd)
+		ms, _ := m.Fstat(mfd)
+		if ss.Size != ms.Size {
+			t.Fatalf("size after truncate: %d vs %d", ss.Size, ms.Size)
+		}
+	}
+	if err := s.Close(sfd); err != nil {
+		t.Fatal(err)
+	}
+	m.Close(mfd)
+	gotState, err := difftest.DumpState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := difftest.DumpState(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range difftest.CompareStates(gotState, wantState) {
+		t.Errorf("state: %s", d)
+	}
+}
+
+// UsedOverlayBlocks is exercised above via the exported Overlay accessor.
+func (s *Shadow) UsedOverlayBlocks() int { return len(s.overlay) }

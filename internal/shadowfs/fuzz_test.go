@@ -1,0 +1,111 @@
+package shadowfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fsck"
+	"repro/internal/mkfs"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// populatedDev builds an image via a base-FS workload and clean unmount.
+func populatedDev(t *testing.T, seed int64) (*blockdev.Mem, *disklayout.Superblock) {
+	t.Helper()
+	dev := blockdev.NewMem(4096)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 512, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Generate(workload.Config{
+		Profile: workload.Soup, Seed: seed, NumOps: 300, Superblock: sb,
+	})
+	for _, op := range trace {
+		o := op.Clone()
+		o.Errno, o.RetFD, o.RetIno, o.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(fs, o)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	return dev, sb
+}
+
+// TestMutationFuzzCheckerShieldsShadow mutates valid populated images at
+// random and requires that (a) fsck never panics, and (b) whenever fsck
+// accepts an image, the shadow can traverse all of it without faulting —
+// the "verified FSCK" obligation of §4.3: no image the checker accepts may
+// crash the shadow.
+func TestMutationFuzzCheckerShieldsShadow(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < trials; trial++ {
+		dev, sb := populatedDev(t, int64(trial%7)+1)
+		nMut := 1 + rng.Intn(4)
+		for m := 0; m < nMut; m++ {
+			blk := uint32(rng.Intn(int(sb.DataStart + 64)))
+			off := rng.Intn(disklayout.BlockSize)
+			if err := dev.CorruptBlock(blk, off, byte(1<<rng.Intn(8))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep := fsck.Check(dev) // must not panic
+		if !rep.Clean() {
+			continue // detected: the shadow will never see this image
+		}
+		sh, err := New(dev, Options{SkipFsck: true})
+		if err != nil {
+			t.Fatalf("trial %d: fsck clean but shadow constructor failed: %v", trial, err)
+		}
+		if err := walkAll(sh, "/"); err != nil {
+			t.Fatalf("trial %d: fsck clean but shadow traversal failed: %v", trial, err)
+		}
+	}
+}
+
+func walkAll(sh *Shadow, path string) error {
+	st, err := sh.Stat(path)
+	if err != nil {
+		return err
+	}
+	switch disklayout.ModeType(st.Mode) {
+	case disklayout.TypeSym:
+		_, err := sh.Readlink(path)
+		return err
+	case disklayout.TypeFile:
+		fd, err := sh.Open(path)
+		if err != nil {
+			return err
+		}
+		if _, err := sh.ReadAt(fd, 0, int(st.Size)); err != nil {
+			_ = sh.Close(fd)
+			return err
+		}
+		return sh.Close(fd)
+	}
+	ents, err := sh.Readdir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		child := path + "/" + e.Name
+		if path == "/" {
+			child = "/" + e.Name
+		}
+		if err := walkAll(sh, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}

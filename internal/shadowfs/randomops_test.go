@@ -1,0 +1,76 @@
+package shadowfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+)
+
+// TestRandomOpSequencesShadowEqualsModel drives both implementations with
+// raw random operation sequences — not the structured workload generator —
+// including nonsense arguments, to check equivalence holds on inputs no
+// profile would produce (the paper's point about inputs "often missed by
+// testing frameworks").
+func TestRandomOpSequencesShadowEqualsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := blockdev.NewMem(1024)
+		sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 128, JournalBlocks: 16})
+		if err != nil {
+			return false
+		}
+		sh, err := New(dev, Options{SkipFsck: true})
+		if err != nil {
+			return false
+		}
+		m := model.New(sb)
+		names := []string{"/", "/a", "/b", "/a/x", "/a/y", "/b/z", "/a/x/deep", "", "relative", "/a//x/."}
+		for i := 0; i < 120; i++ {
+			op := &oplog.Op{Kind: oplog.Kind(rng.Intn(17))}
+			op.Path = names[rng.Intn(len(names))]
+			op.Path2 = names[rng.Intn(len(names))]
+			op.FD = fsapi.FD(rng.Intn(6))
+			op.Perm = uint16(rng.Intn(0o1000))
+			op.Off = rng.Int63n(3 * disklayout.BlockSize)
+			op.Size = rng.Int63n(2 * disklayout.BlockSize)
+			if op.Kind == oplog.KWrite {
+				op.Data = make([]byte, rng.Intn(512))
+				rng.Read(op.Data)
+			}
+			oracle := op.Clone()
+			_ = oplog.Apply(m, oracle)
+			got := op.Clone()
+			_ = oplog.Apply(sh, got)
+			if len(difftest.CompareOutcome(got, oracle)) != 0 {
+				t.Logf("seed %d op %d: %s vs %s", seed, i, got, oracle)
+				return false
+			}
+		}
+		gotState, err := difftest.DumpState(sh)
+		if err != nil {
+			t.Logf("seed %d: dump shadow: %v", seed, err)
+			return false
+		}
+		wantState, err := difftest.DumpState(m)
+		if err != nil {
+			t.Logf("seed %d: dump model: %v", seed, err)
+			return false
+		}
+		if d := difftest.CompareStates(gotState, wantState); len(d) != 0 {
+			t.Logf("seed %d: %s", seed, d[0])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

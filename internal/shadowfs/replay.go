@@ -1,0 +1,195 @@
+package shadowfs
+
+import (
+	"fmt"
+
+	"repro/internal/difftest"
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/oplog"
+)
+
+// ReplayInput is everything the supervisor hands the shadow for one
+// recovery: the trusted on-disk state is implicit in the device the shadow
+// was constructed over (post journal replay), and the rest is the recorded
+// gap between that state and what applications have observed.
+type ReplayInput struct {
+	// Ops is the recorded operation sequence since the last stable point,
+	// with outcomes. Replayed in constrained mode.
+	Ops []*oplog.Op
+	// BaseFDs is the descriptor table at the stable point (fd -> inode).
+	BaseFDs map[fsapi.FD]uint32
+	// StartClock is the logical clock at the stable point.
+	StartClock uint64
+	// InFlight is the operation that faulted in the base, whose return value
+	// the application has not yet seen; executed in autonomous mode. Nil if
+	// the error arose outside any operation.
+	InFlight *oplog.Op
+	// StopOnDiscrepancy aborts recovery if constrained-mode cross-checking
+	// disagrees with a recorded outcome ("whether or not to continue can be
+	// configured", §3.2). When false, discrepancies are reported and the
+	// shadow's own outcome wins.
+	StopOnDiscrepancy bool
+}
+
+// ReplayResult is the shadow's output.
+type ReplayResult struct {
+	// Update carries the reconstructed metadata, buffered data blocks, the
+	// final descriptor table, and the clock; sealed and ready for the base
+	// to absorb.
+	Update *handoffUpdate
+	// InFlight is the in-flight op with its autonomous outcome filled, to be
+	// returned to the application.
+	InFlight *oplog.Op
+	// Discrepancies are constrained-mode cross-check disagreements.
+	Discrepancies []difftest.Discrepancy
+	// OpsReplayed counts operations executed (skipped ones excluded).
+	OpsReplayed int
+	// OpsSkipped counts recorded operations omitted (error outcomes, syncs).
+	OpsSkipped int
+	// ChecksRun is the number of runtime checks the shadow executed.
+	ChecksRun int64
+	// OverlayBlocks is the number of blocks the recovery produced — the
+	// shadow's memory footprint and the hand-off's payload size.
+	OverlayBlocks int
+}
+
+// handoffUpdate aliases the handoff type without importing it here; see
+// replay_build.go. (Kept separate so the ops files stay free of the
+// packaging concern.)
+type handoffUpdate = updateAlias
+
+// Replay executes the recovery procedure: seed the descriptor table from
+// the stable point, re-execute the recorded sequence in constrained mode,
+// execute the in-flight operation in autonomous mode, and package the
+// overlay as a metadata update.
+func (s *Shadow) Replay(in ReplayInput) (*ReplayResult, error) {
+	res := &ReplayResult{}
+
+	// Seed descriptors. Every inode must exist on disk, be allocated, and be
+	// a regular file (directories are never held open through this API, and
+	// symlinks are not openable).
+	s.clock.Set(in.StartClock)
+	for fd, ino := range in.BaseFDs {
+		rec, err := s.readAllocInode(ino)
+		if err != nil {
+			return nil, fmt.Errorf("shadowfs: replay fd %d: %w", fd, err)
+		}
+		if err := s.assert(rec.IsFile(), "fd %d maps to non-file inode %d (type %d)",
+			fd, ino, rec.Type()); err != nil {
+			return nil, err
+		}
+		if _, dup := s.fds[fd]; dup {
+			return nil, s.assert(false, "duplicate fd %d in stable-point table", fd)
+		}
+		s.fds[fd] = ino
+		s.opens[ino]++
+	}
+
+	// Constrained mode.
+	for _, rec := range in.Ops {
+		if rec.Kind == oplog.KFsync || rec.Kind == oplog.KSync {
+			// Completed syncs are already on disk; incomplete ones are
+			// delegated back to the base after hand-off.
+			res.OpsSkipped++
+			continue
+		}
+		if rec.Errno != 0 {
+			// "The shadow omits operations that returned an error by the
+			// base" — except short writes, whose successfully written prefix
+			// is application-visible state.
+			if rec.Kind == oplog.KWrite && rec.RetN > 0 {
+				partial := rec.Clone()
+				partial.Data = partial.Data[:rec.RetN]
+				got := partial.Clone()
+				got.Errno, got.RetN = 0, 0
+				_ = oplog.Apply(s, got)
+				if got.RetN != rec.RetN || got.Errno != 0 {
+					res.Discrepancies = append(res.Discrepancies, difftest.Discrepancy{
+						Op: rec, Field: "partial-write",
+						Got:  fmt.Sprintf("n=%d errno=%d", got.RetN, got.Errno),
+						Want: fmt.Sprintf("n=%d errno=0", rec.RetN),
+					})
+					if in.StopOnDiscrepancy {
+						return res, fmt.Errorf("shadowfs: constrained replay diverged at %s: %w", rec, fserr.ErrCorrupt)
+					}
+				}
+				res.OpsReplayed++
+				continue
+			}
+			res.OpsSkipped++
+			continue
+		}
+		// Pin the base's allocation decisions so application-visible numbers
+		// are reproduced, validating usability instead of trusting blindly.
+		switch rec.Kind {
+		case oplog.KCreate, oplog.KMkdir, oplog.KSymlink:
+			s.wantIno = rec.RetIno
+		}
+		switch rec.Kind {
+		case oplog.KCreate, oplog.KOpen:
+			s.wantFD = rec.RetFD
+			s.haveWantFD = true
+		}
+		got := rec.Clone()
+		got.Errno, got.RetFD, got.RetIno, got.RetN = 0, 0, 0, 0
+		_ = oplog.Apply(s, got)
+		s.wantIno = 0
+		s.haveWantFD = false
+		res.OpsReplayed++
+		if d := difftest.CompareOutcome(got, rec); len(d) > 0 {
+			res.Discrepancies = append(res.Discrepancies, d...)
+			if in.StopOnDiscrepancy {
+				return res, fmt.Errorf("shadowfs: constrained replay diverged at %s: %w", rec, fserr.ErrCorrupt)
+			}
+		}
+	}
+
+	// Autonomous mode: the in-flight operation. The shadow now makes its own
+	// policy decisions (fresh inode numbers, lowest-free descriptor).
+	if in.InFlight != nil {
+		fl := in.InFlight.Clone()
+		fl.Errno, fl.RetFD, fl.RetIno, fl.RetN = 0, 0, 0, 0
+		if fl.Kind == oplog.KFsync || fl.Kind == oplog.KSync {
+			// Not handled by the shadow: the base re-runs it after hand-off.
+			fl.Errno = 0
+		} else {
+			_ = oplog.Apply(s, fl)
+		}
+		res.InFlight = fl
+		res.OpsReplayed++
+	}
+
+	res.ChecksRun = s.checks
+	upd, err := s.buildUpdate()
+	if err != nil {
+		return res, err
+	}
+	res.Update = upd
+	res.OverlayBlocks = len(upd.Blocks)
+	return res, nil
+}
+
+// sanityCheckFinal re-validates every inode the recovery touched before the
+// update leaves the shadow — the last line of the shadow's runtime checks.
+func (s *Shadow) sanityCheckFinal() error {
+	touched := map[uint32]bool{}
+	tableStart, tableEnd := s.sb.InodeTableStart, s.sb.InodeTableStart+s.sb.InodeTableLen
+	for blk := range s.overlay {
+		if blk >= tableStart && blk < tableEnd {
+			for i := 0; i < disklayout.InodesPerBlock; i++ {
+				touched[(blk-tableStart)*disklayout.InodesPerBlock+uint32(i)] = true
+			}
+		}
+	}
+	for ino := range touched {
+		if ino == 0 || ino >= s.sb.NumInodes {
+			continue
+		}
+		if _, err := s.readInode(ino); err != nil {
+			return fmt.Errorf("shadowfs: final check: %w", err)
+		}
+	}
+	return nil
+}

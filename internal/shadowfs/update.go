@@ -1,0 +1,36 @@
+package shadowfs
+
+import (
+	"sort"
+
+	"repro/internal/handoff"
+)
+
+// updateAlias keeps the replay code readable while the packaging lives here.
+type updateAlias = handoff.Update
+
+// buildUpdate packages the overlay and descriptor table into a sealed
+// handoff update, running the shadow's final self-checks first.
+func (s *Shadow) buildUpdate() (*handoff.Update, error) {
+	if err := s.sanityCheckFinal(); err != nil {
+		return nil, err
+	}
+	u := handoff.NewUpdate()
+	for blk, data := range s.overlay {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		u.Blocks[blk] = cp
+		if s.meta[blk] {
+			u.Meta[blk] = true
+		}
+	}
+	var fds []handoff.FDEntry
+	for fd, ino := range s.fds {
+		fds = append(fds, handoff.FDEntry{FD: fd, Ino: ino})
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i].FD < fds[j].FD })
+	u.FDs = fds
+	u.Clock = s.clock.Now()
+	u.Seal()
+	return u, nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/oplog"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Profile: Soup, Seed: 17, NumOps: 300}
+	a, b := Generate(cfg), Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("op %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateLengthAndSeqs(t *testing.T) {
+	for _, p := range Profiles() {
+		trace := Generate(Config{Profile: p, Seed: 2, NumOps: 250})
+		if len(trace) < 250 {
+			t.Errorf("%s: trace too short: %d", p, len(trace))
+		}
+		for i, op := range trace {
+			if op.Seq != uint64(i) {
+				t.Errorf("%s: op %d has seq %d", p, i, op.Seq)
+				break
+			}
+		}
+	}
+}
+
+func TestGenerateOutcomesAreSelfConsistent(t *testing.T) {
+	// Every fd-consuming op must reference an fd produced (and not yet
+	// closed) earlier in the trace, except deliberately-invalid ops.
+	for _, p := range Profiles() {
+		trace := Generate(Config{Profile: p, Seed: 9, NumOps: 400})
+		open := map[fsapi.FD]bool{}
+		for _, op := range trace {
+			switch op.Kind {
+			case oplog.KCreate, oplog.KOpen:
+				if op.Errno == 0 {
+					if open[op.RetFD] {
+						t.Fatalf("%s: fd %d double-allocated at %s", p, op.RetFD, op)
+					}
+					open[op.RetFD] = true
+				}
+			case oplog.KClose:
+				if op.Errno == 0 {
+					if !open[op.FD] {
+						t.Fatalf("%s: close of unopened fd at %s", p, op)
+					}
+					delete(open, op.FD)
+				}
+			case oplog.KWrite, oplog.KFsync, oplog.KReadProbe:
+				if op.Errno == 0 && !open[op.FD] {
+					t.Fatalf("%s: successful op on unopened fd: %s", p, op)
+				}
+			}
+		}
+	}
+}
+
+func TestProfilesHaveDistinctMixes(t *testing.T) {
+	count := func(p Profile, k oplog.Kind) int {
+		n := 0
+		for _, op := range Generate(Config{Profile: p, Seed: 4, NumOps: 500}) {
+			if op.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	if mh, rm := count(MetaHeavy, oplog.KFsync), count(ReadMostly, oplog.KFsync); mh <= rm {
+		t.Errorf("metaheavy fsyncs (%d) not above readmostly (%d)", mh, rm)
+	}
+	if dh, mh := count(DataHeavy, oplog.KWrite), count(MetaHeavy, oplog.KCreate); dh == 0 || mh == 0 {
+		t.Errorf("profile mixes degenerate: dataheavy writes %d, metaheavy creates %d", dh, mh)
+	}
+	reads := count(ReadMostly, oplog.KStatProbe) + count(ReadMostly, oplog.KReadProbe) +
+		count(ReadMostly, oplog.KReadDirProbe)
+	// The open-read-close idiom means each content read also spends an open
+	// and a close, so pure probe ops are roughly 40% of the trace.
+	if reads < 150 {
+		t.Errorf("readmostly profile only %d/500 reads", reads)
+	}
+}
+
+func TestSyncEveryInsertsSyncs(t *testing.T) {
+	trace := Generate(Config{Profile: MetaHeavy, Seed: 6, NumOps: 300, SyncEvery: 25})
+	syncs := 0
+	for _, op := range trace {
+		if op.Kind == oplog.KSync {
+			syncs++
+		}
+	}
+	if syncs < 5 {
+		t.Errorf("SyncEvery=25 over 300 ops produced %d syncs", syncs)
+	}
+}
+
+func TestInvalidFracProducesErrors(t *testing.T) {
+	trace := Generate(Config{Profile: Soup, Seed: 8, NumOps: 500})
+	failures := 0
+	for _, op := range trace {
+		if op.Errno != 0 {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("soup profile produced no failing operations")
+	}
+}
+
+func TestGenerateDefaultGeometry(t *testing.T) {
+	trace := Generate(Config{Profile: DataHeavy, Seed: 1}) // nil superblock, default NumOps
+	if len(trace) < 1000 {
+		t.Errorf("default NumOps not applied: %d", len(trace))
+	}
+}
