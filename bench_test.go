@@ -33,6 +33,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/oplog"
 	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -171,7 +172,10 @@ func BenchmarkAvailabilityUnderBugs(b *testing.B) {
 }
 
 // BenchmarkRecordingOverhead is E6: the supervised ops path with no bugs,
-// against the raw base (compare with the base sub-benchmarks of E3).
+// against the raw base (compare with the base sub-benchmarks of E3). The
+// supervisor runs with telemetry disabled so the measurement isolates
+// recording cost; BenchmarkTelemetryOverhead quantifies the telemetry delta
+// on the same loop.
 func BenchmarkRecordingOverhead(b *testing.B) {
 	for _, profile := range []workload.Profile{workload.MetaHeavy, workload.ReadMostly} {
 		trace := workload.Generate(workload.Config{
@@ -202,7 +206,7 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 				b.StopTimer()
 				dev := blockdev.NewMem(experiments.ImageBlocks)
 				mkfs.Format(dev, mkfs.Options{})
-				sup, err := core.Mount(dev, core.Config{})
+				sup, err := core.Mount(dev, core.Config{NoTelemetry: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -216,6 +220,44 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 				sup.Kill()
 				b.StartTimer()
 			}
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead isolates the observability subsystem's cost on
+// the E6 supervised ops loop: "disabled" runs with NoTelemetry (every
+// instrumentation point is a nil pointer check), "enabled" feeds a live
+// sink. The disabled path is required to stay within 2% of a supervisor
+// built without telemetry at all — i.e. E6's rae numbers must not regress.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	trace := workload.Generate(workload.Config{
+		Profile: workload.MetaHeavy, Seed: 2, NumOps: 2000, SyncEvery: 200,
+	})
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev := blockdev.NewMem(experiments.ImageBlocks)
+				mkfs.Format(dev, mkfs.Options{})
+				cfg := core.Config{NoTelemetry: mode == "disabled"}
+				if mode == "enabled" {
+					cfg.Telemetry = telemetry.New()
+				}
+				sup, err := core.Mount(dev, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, rec := range trace {
+					op := rec.Clone()
+					op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+					_ = oplog.Apply(sup, op)
+				}
+				b.StopTimer()
+				sup.Kill()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(trace)), "fsops/op")
 		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mkfs"
 	"repro/internal/oplog"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -58,7 +59,8 @@ func main() {
 	})
 	fmt.Println(`planted bug "demo-null-deref": deterministic kernel panic in mkdir of any *box* path`)
 
-	sup, err := core.Mount(dev, core.Config{Mode: mode, Base: basefs.Options{Injector: reg}})
+	sink := telemetry.New()
+	sup, err := core.Mount(dev, core.Config{Mode: mode, Base: basefs.Options{Injector: reg}, Telemetry: sink})
 	check(err)
 	fmt.Printf("mounted under %s supervision\n\n", mode)
 
@@ -86,10 +88,21 @@ func main() {
 	fmt.Printf("operation log peak length: %d ops\n", st.PeakLogLen)
 	fmt.Printf("descriptors invalidated: %d\n", st.FDsInvalidated)
 	fmt.Printf("total recovery downtime: %v\n", st.TotalDowntime)
-	if len(st.Phases) > 0 {
-		ph := st.Phases[0]
-		fmt.Printf("first recovery breakdown: reboot %v, fsck %v, shadow replay %v, hand-off %v\n",
-			ph.Reboot, ph.Fsck, ph.Replay, ph.Absorb)
+	if traces := sink.RecoveryTraces(); len(traces) > 0 {
+		fmt.Printf("\nper-phase recovery traces (%d masked firing(s)):\n", len(traces))
+		for _, tr := range traces {
+			fmt.Println()
+			telemetry.WriteTraceTable(os.Stdout, tr)
+		}
+	}
+	if evs := sink.Events(); len(evs) > 0 {
+		fmt.Println("\nevent journal (last 10):")
+		if len(evs) > 10 {
+			evs = evs[len(evs)-10:]
+		}
+		for _, ev := range evs {
+			fmt.Println(" ", ev)
+		}
 	}
 	if d := sup.LastDiscrepancies(); len(d) > 0 {
 		fmt.Printf("constrained-replay discrepancies (bugs in base or shadow!): %d\n", len(d))

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -22,29 +23,34 @@ func main() {
 	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
+	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
 	flag.Parse()
-	run := func(name string) bool { return *series == "all" || *series == name }
-	if run("thput") {
-		thput(*ops, *seed)
+	run := func(name string, f func()) {
+		if *series != "all" && *series != name {
+			return
+		}
+		// Each series starts from a clean process-global sink so its snapshot
+		// reflects only that series' activity.
+		telemetry.Default().Reset()
+		f()
+		if *stats {
+			printSnapshot(name)
+		}
 	}
-	if run("recovery") {
-		recovery(*seed)
-	}
-	if run("avail") {
-		avail(*ops, *seed)
-	}
-	if run("overhead") {
-		overhead(*ops, *seed)
-	}
-	if run("ablate") {
-		ablate(*ops, *seed)
-	}
-	if run("latency") {
-		latency(*ops, *seed)
-	}
-	if run("io") {
-		ioTraffic(*ops, *seed)
-	}
+	run("thput", func() { thput(*ops, *seed) })
+	run("recovery", func() { recovery(*seed) })
+	run("avail", func() { avail(*ops, *seed) })
+	run("overhead", func() { overhead(*ops, *seed) })
+	run("ablate", func() { ablate(*ops, *seed) })
+	run("latency", func() { latency(*ops, *seed) })
+	run("io", func() { ioTraffic(*ops, *seed) })
+}
+
+// printSnapshot dumps the process-global telemetry accumulated by one series.
+func printSnapshot(name string) {
+	fmt.Printf("-- telemetry snapshot after series %q --\n", name)
+	check(telemetry.Default().Snapshot().WriteText(os.Stdout))
+	fmt.Println()
 }
 
 func ioTraffic(ops int, seed int64) {
@@ -113,12 +119,19 @@ func recovery(seed int64) {
 	fmt.Println("== E4: recovery latency vs recorded-sequence length ==")
 	fmt.Printf("%-10s %12s %12s %12s %12s %12s\n",
 		"log ops", "reboot", "fsck", "replay", "hand-off", "total")
+	var traces []telemetry.TraceSnapshot
 	for _, n := range []int{8, 32, 128, 512, 2048} {
 		r, err := experiments.RecoveryLatency(n, seed, false)
 		check(err)
 		ph := r.Phases
 		fmt.Printf("%-10d %12v %12v %12v %12v %12v\n",
 			r.LogLen, ph.Reboot, ph.Fsck, ph.Replay, ph.Absorb, ph.Total())
+		traces = append(traces, r.Trace)
+	}
+	fmt.Println()
+	fmt.Println("-- six-phase recovery traces (telemetry) --")
+	for _, tr := range traces {
+		fmt.Println(tr)
 	}
 	fmt.Println()
 }

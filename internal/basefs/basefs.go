@@ -31,6 +31,7 @@ import (
 	"repro/internal/fserr"
 	"repro/internal/journal"
 	"repro/internal/mkfs"
+	"repro/internal/telemetry"
 )
 
 // Options tunes the base filesystem's performance machinery.
@@ -62,6 +63,11 @@ type Options struct {
 	// still at the previous durable point; the RAE supervisor uses this to
 	// enforce detection-before-persist for escalated WARNs.
 	PrePersist func() error
+	// Telemetry, when set, instruments the mount: per-op latency histograms,
+	// cache hit/miss counters, queue IO counters, journal commit metrics,
+	// replayed-transaction counts, and WARN events all flow into this sink.
+	// Nil leaves the mount uninstrumented at zero cost.
+	Telemetry *telemetry.Sink
 }
 
 func (o *Options) fill() {
@@ -120,6 +126,25 @@ type FS struct {
 
 	opts   Options
 	killed atomic.Bool
+
+	// tel and the derived instruments are set once in Mount and read-only
+	// afterwards; all are nil (and therefore no-ops) without Options.Telemetry.
+	tel      *telemetry.Sink
+	telWarns *telemetry.Counter
+	opHist   map[string]*telemetry.Histogram
+}
+
+// opNames enumerates the fsapi operations instrumented with per-op latency
+// histograms ("basefs.op.<name>").
+var opNames = []string{
+	"mkdir", "rmdir", "create", "open", "close", "readat", "writeat",
+	"truncate", "unlink", "rename", "link", "symlink", "readlink",
+	"stat", "fstat", "readdir", "setperm", "fsync", "sync",
+}
+
+// opTimer starts a latency timer for op; inert when telemetry is disabled.
+func (fs *FS) opTimer(op string) telemetry.Timer {
+	return telemetry.StartTimer(fs.opHist[op])
 }
 
 var _ fsapi.FS = (*FS)(nil)
@@ -129,9 +154,13 @@ var _ fsapi.FS = (*FS)(nil)
 // supervisor calls Kill on the faulty instance and Mount on a fresh one.
 func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 	opts.fill()
-	sb, _, err := mkfs.Recover(dev)
+	sb, rst, err := mkfs.Recover(dev)
 	if err != nil {
 		return nil, fmt.Errorf("basefs: mount recovery: %w", err)
+	}
+	if tel := opts.Telemetry; tel != nil {
+		tel.Counter("journal.replayed_txs").Add(int64(rst.Committed))
+		tel.Counter("journal.replayed_blocks").Add(int64(rst.Blocks))
 	}
 	sb.Clean = 0
 	sb.Generation++
@@ -158,6 +187,20 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 		opts:  opts,
 	}
 	fs.clock.Store(sb.LastClock)
+	if tel := opts.Telemetry; tel != nil {
+		fs.tel = tel
+		fs.telWarns = tel.Counter("basefs.warns")
+		fs.opHist = make(map[string]*telemetry.Histogram, len(opNames))
+		for _, op := range opNames {
+			fs.opHist[op] = tel.Histogram("basefs.op." + op)
+		}
+		q.SetTelemetry(tel)
+		bc.SetTelemetry(tel)
+		fs.ic.SetTelemetry(tel)
+		fs.dc.SetTelemetry(tel)
+		fs.jnl.SetTelemetry(tel)
+		opts.Injector.SetTelemetry(tel)
+	}
 	return fs, nil
 }
 
@@ -217,6 +260,8 @@ func (fs *FS) Warnf(format string, args ...any) {
 	fs.warns = append(fs.warns, w)
 	cb := fs.opts.OnWarn
 	fs.warnMu.Unlock()
+	fs.telWarns.Inc()
+	fs.tel.Event("warn", "%s", w.Msg)
 	if cb != nil {
 		cb(w)
 	}

@@ -10,6 +10,8 @@ import (
 
 // Mkdir implements fsapi.FS.
 func (fs *FS) Mkdir(path string, perm uint16) error {
+	t := fs.opTimer("mkdir")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "mkdir", Point: "entry", Path: path}); err != nil {
@@ -50,6 +52,8 @@ func (fs *FS) Mkdir(path string, perm uint16) error {
 
 // Rmdir implements fsapi.FS.
 func (fs *FS) Rmdir(path string) error {
+	t := fs.opTimer("rmdir")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "rmdir", Point: "entry", Path: path}); err != nil {
@@ -97,6 +101,8 @@ func (fs *FS) Rmdir(path string) error {
 
 // Create implements fsapi.FS.
 func (fs *FS) Create(path string, perm uint16) (fsapi.FD, error) {
+	t := fs.opTimer("create")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "create", Point: "entry", Path: path}); err != nil {
@@ -142,6 +148,8 @@ func (fs *FS) Create(path string, perm uint16) (fsapi.FD, error) {
 
 // Open implements fsapi.FS.
 func (fs *FS) Open(path string) (fsapi.FD, error) {
+	t := fs.opTimer("open")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "open", Point: "entry", Path: path}); err != nil {
@@ -173,6 +181,8 @@ func (fs *FS) allocFDLocked() fsapi.FD {
 
 // Close implements fsapi.FS.
 func (fs *FS) Close(fd fsapi.FD) error {
+	t := fs.opTimer("close")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	e, ok := fs.fds[fd]
@@ -213,6 +223,8 @@ func (fs *FS) lookupFD(fd fsapi.FD) (*cache.CachedInode, error) {
 // ReadAt implements fsapi.FS. Reads of holes return zeros; reads never
 // update atime (noatime semantics).
 func (fs *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	t := fs.opTimer("readat")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if err := fs.fire(&faultinject.Site{Op: "readat", Point: "entry"}); err != nil {
@@ -263,6 +275,8 @@ func (fs *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
 // WriteAt implements fsapi.FS, block by block so a mid-write ENOSPC yields
 // the same short-write outcome as the specification model.
 func (fs *FS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
+	t := fs.opTimer("writeat")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if err := fs.fire(&faultinject.Site{Op: "writeat", Point: "entry"}); err != nil {
@@ -328,6 +342,8 @@ func (fs *FS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
 
 // Truncate implements fsapi.FS.
 func (fs *FS) Truncate(path string, size int64) error {
+	t := fs.opTimer("truncate")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "truncate", Point: "entry", Path: path}); err != nil {
@@ -385,6 +401,8 @@ func (fs *FS) Truncate(path string, size int64) error {
 // Unlink implements fsapi.FS. An inode that is still open survives as an
 // orphan until its last descriptor closes.
 func (fs *FS) Unlink(path string) error {
+	t := fs.opTimer("unlink")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "unlink", Point: "entry", Path: path}); err != nil {
@@ -429,6 +447,8 @@ func (fs *FS) Unlink(path string) error {
 
 // Rename implements fsapi.FS.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	t := fs.opTimer("rename")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "rename", Point: "entry", Path: oldPath}); err != nil {
@@ -562,6 +582,8 @@ func pathEqual(a, b []string) bool {
 
 // Link implements fsapi.FS.
 func (fs *FS) Link(oldPath, newPath string) error {
+	t := fs.opTimer("link")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "link", Point: "entry", Path: oldPath}); err != nil {
@@ -597,6 +619,8 @@ func (fs *FS) Link(oldPath, newPath string) error {
 
 // Symlink implements fsapi.FS. The target occupies one data block.
 func (fs *FS) Symlink(target, linkPath string) error {
+	t := fs.opTimer("symlink")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "symlink", Point: "entry", Path: linkPath}); err != nil {
@@ -647,6 +671,8 @@ func (fs *FS) Symlink(target, linkPath string) error {
 
 // Readlink implements fsapi.FS.
 func (fs *FS) Readlink(path string) (string, error) {
+	t := fs.opTimer("readlink")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	ci, err := fs.walkPath(path)
@@ -681,6 +707,8 @@ func (fs *FS) statOf(ci *cache.CachedInode) fsapi.Stat {
 
 // Stat implements fsapi.FS.
 func (fs *FS) Stat(path string) (fsapi.Stat, error) {
+	t := fs.opTimer("stat")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	ci, err := fs.walkPath(path)
@@ -696,6 +724,8 @@ func (fs *FS) Stat(path string) (fsapi.Stat, error) {
 
 // Fstat implements fsapi.FS.
 func (fs *FS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	t := fs.opTimer("fstat")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	ci, err := fs.lookupFD(fd)
@@ -709,6 +739,8 @@ func (fs *FS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
 
 // Readdir implements fsapi.FS.
 func (fs *FS) Readdir(path string) ([]fsapi.DirEntry, error) {
+	t := fs.opTimer("readdir")
+	defer t.Stop()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if err := fs.fire(&faultinject.Site{Op: "readdir", Point: "entry", Path: path}); err != nil {
@@ -726,6 +758,8 @@ func (fs *FS) Readdir(path string) ([]fsapi.DirEntry, error) {
 
 // SetPerm implements fsapi.FS.
 func (fs *FS) SetPerm(path string, perm uint16) error {
+	t := fs.opTimer("setperm")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.fire(&faultinject.Site{Op: "setperm", Point: "entry", Path: path}); err != nil {

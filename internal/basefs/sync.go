@@ -17,6 +17,8 @@ import (
 // fsync is a global stable point the supervisor can truncate the operation
 // log at.
 func (fs *FS) Fsync(fd fsapi.FD) error {
+	t := fs.opTimer("fsync")
+	defer t.Stop()
 	fs.mu.RLock()
 	_, ok := fs.fds[fd]
 	fs.mu.RUnlock()
@@ -32,6 +34,8 @@ func (fs *FS) Fsync(fd fsapi.FD) error {
 // image equals the in-memory state, which is the supervisor's cue to
 // discard recorded operations.
 func (fs *FS) Sync() error {
+	t := fs.opTimer("sync")
+	defer t.Stop()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.syncLocked()

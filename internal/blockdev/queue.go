@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/fserr"
+	"repro/internal/telemetry"
 )
 
 // Queue is the asynchronous, multi-queue block layer the base filesystem
@@ -18,6 +19,29 @@ type Queue struct {
 	mu      sync.Mutex
 	closed  bool
 	inFlite sync.WaitGroup
+
+	// Telemetry for the queued path ("blockdev.queued.*"), distinguishing
+	// the base's async IO machinery from the shadow's direct path. All nil
+	// when telemetry is off; the instruments themselves are nil-safe.
+	tel struct {
+		reads, writes, flushes    *telemetry.Counter
+		hRead, hWrite, hFlush     *telemetry.Histogram
+	}
+}
+
+// SetTelemetry installs queued-path instrumentation ("blockdev.queued.*")
+// from s. Call before submitting IO; a nil sink leaves the queue
+// uninstrumented at the cost of one pointer check per request.
+func (q *Queue) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	q.tel.reads = s.Counter("blockdev.queued.reads")
+	q.tel.writes = s.Counter("blockdev.queued.writes")
+	q.tel.flushes = s.Counter("blockdev.queued.flushes")
+	q.tel.hRead = s.Histogram("blockdev.queued.read.latency")
+	q.tel.hWrite = s.Histogram("blockdev.queued.write.latency")
+	q.tel.hFlush = s.Histogram("blockdev.queued.flush.latency")
 }
 
 // OpKind distinguishes queued request types.
@@ -67,11 +91,20 @@ func (q *Queue) worker() {
 	for r := range q.reqs {
 		switch r.Kind {
 		case OpRead:
+			t := telemetry.StartTimer(q.tel.hRead)
 			r.Data, r.Err = q.dev.ReadBlock(r.Blk)
+			t.Stop()
+			q.tel.reads.Inc()
 		case OpWrite:
+			t := telemetry.StartTimer(q.tel.hWrite)
 			r.Err = q.dev.WriteBlock(r.Blk, r.Data)
+			t.Stop()
+			q.tel.writes.Inc()
 		case OpFlush:
+			t := telemetry.StartTimer(q.tel.hFlush)
 			r.Err = q.dev.Flush()
+			t.Stop()
+			q.tel.flushes.Inc()
 		}
 		close(r.done)
 		q.inFlite.Done()

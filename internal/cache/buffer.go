@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/disklayout"
+	"repro/internal/telemetry"
 )
 
 // Buf is one cached block. Callers mutate Data only between Get and Release
@@ -49,6 +50,19 @@ type BufferCache struct {
 	// the backstop bound. Policy victims are honored only when clean and
 	// unpinned.
 	policy *TwoQ
+
+	telHits, telMisses *telemetry.Counter
+}
+
+// SetTelemetry installs hit/miss counters ("cache.buffer.*") from s.
+func (c *BufferCache) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.telHits = s.Counter("cache.buffer.hits")
+	c.telMisses = s.Counter("cache.buffer.misses")
 }
 
 // SetPolicy installs a 2Q replacement policy (nil reverts to plain LRU).
@@ -100,11 +114,13 @@ func (c *BufferCache) Get(blk uint32) (*Buf, error) {
 			c.lru.MoveToBack(b.elem)
 		}
 		c.hits++
+		c.telHits.Inc()
 		c.touchPolicyLocked(blk)
 		c.mu.Unlock()
 		return b, nil
 	}
 	c.misses++
+	c.telMisses.Inc()
 	c.mu.Unlock()
 
 	// Read outside the lock so concurrent misses overlap their IO.

@@ -1,6 +1,10 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
 
 // DentryCache maps (parent inode, name) pairs to child inode numbers so the
 // base filesystem can resolve hot paths without scanning directory blocks.
@@ -13,6 +17,19 @@ type DentryCache struct {
 	max     int
 	hits    int64
 	misses  int64
+
+	telHits, telMisses *telemetry.Counter
+}
+
+// SetTelemetry installs hit/miss counters ("cache.dentry.*") from s.
+func (c *DentryCache) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.telHits = s.Counter("cache.dentry.hits")
+	c.telMisses = s.Counter("cache.dentry.misses")
 }
 
 type dentryKey struct {
@@ -44,8 +61,10 @@ func (c *DentryCache) Lookup(parent uint32, name string) (ino uint32, negative, 
 	c.mu.Lock()
 	if ok {
 		c.hits++
+		c.telHits.Inc()
 	} else {
 		c.misses++
+		c.telMisses.Inc()
 	}
 	c.mu.Unlock()
 	if !ok {

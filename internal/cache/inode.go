@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/disklayout"
+	"repro/internal/telemetry"
 )
 
 // CachedInode is the in-memory, decoded form of an on-disk inode plus the
@@ -33,6 +34,19 @@ type InodeCache struct {
 	max    int
 	hits   int64
 	misses int64
+
+	telHits, telMisses *telemetry.Counter
+}
+
+// SetTelemetry installs hit/miss counters ("cache.inode.*") from s.
+func (c *InodeCache) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.telHits = s.Counter("cache.inode.hits")
+	c.telMisses = s.Counter("cache.inode.misses")
 }
 
 // NewInodeCache creates an inode cache bounded at roughly max clean entries.
@@ -51,8 +65,10 @@ func (c *InodeCache) Get(ino uint32) *CachedInode {
 	ci := c.inodes[ino]
 	if ci != nil {
 		c.hits++
+		c.telHits.Inc()
 	} else {
 		c.misses++
+		c.telMisses.Inc()
 	}
 	return ci
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fsapi"
 	"repro/internal/oplog"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the failure-handling strategy.
@@ -93,12 +94,26 @@ type Config struct {
 	// SkipFsckInRecovery skips the shadow's image check during recovery (for
 	// phase-isolating benchmarks only).
 	SkipFsckInRecovery bool
+	// Telemetry selects the observability sink. Nil uses the process-global
+	// telemetry.Default() sink: a supervised filesystem is always observable
+	// unless NoTelemetry opts out.
+	Telemetry *telemetry.Sink
+	// NoTelemetry disables observability entirely; every instrument becomes a
+	// nil no-op costing one pointer check. Used by overhead-isolating
+	// benchmarks.
+	NoTelemetry bool
 }
 
 func (c *Config) fill() {
 	if c.MaxReplayRetries == 0 {
 		c.MaxReplayRetries = 3
 	}
+	if c.NoTelemetry {
+		c.Telemetry = nil
+	} else if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
+	}
+	c.Base.Telemetry = c.Telemetry
 }
 
 // RecoveryPhases breaks one recovery's latency into the paper's steps.
@@ -150,6 +165,9 @@ type FS struct {
 	stats        Stats
 	warns        warnCounter
 	opStartWarns atomic.Int64
+	// tel is the observability sink (nil when Config.NoTelemetry); set once
+	// at Mount and read-only afterwards.
+	tel *telemetry.Sink
 
 	// lastDisc keeps the most recent recovery's discrepancy reports for
 	// post-mortem inspection (§4.3: "reporting the discrepancies is
@@ -162,8 +180,9 @@ var _ fsapi.FS = (*FS)(nil)
 // Mount brings up a supervised filesystem over a formatted device.
 func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	cfg.fill()
-	fs := &FS{dev: dev, log: oplog.NewLog(), cfg: cfg}
+	fs := &FS{dev: dev, log: oplog.NewLog(), cfg: cfg, tel: cfg.Telemetry}
 	fs.warns.next = cfg.Base.OnWarn
+	fs.log.SetTelemetry(fs.tel)
 	base, fence, err := fs.mountBase()
 	if err != nil {
 		return nil, err
@@ -172,6 +191,11 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	fs.log.Stable(base.OpenFDs(), base.Clock())
 	return fs, nil
 }
+
+// Telemetry returns the supervisor's observability sink (nil when mounted
+// with NoTelemetry). Recovery traces, the event journal, and all layer
+// metrics are queryable from it.
+func (r *FS) Telemetry() *telemetry.Sink { return r.tel }
 
 // Unmount syncs and stops the supervised filesystem.
 func (r *FS) Unmount() error {

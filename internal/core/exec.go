@@ -90,6 +90,7 @@ func (r *FS) capture(f func() error) *fault {
 		case out = <-ch:
 		case <-time.After(r.cfg.Watchdog):
 			r.stats.Freezes++
+			r.tel.Event("freeze", "operation exceeded watchdog %v", r.cfg.Watchdog)
 			return &fault{kind: "freeze", err: fmt.Errorf("core: operation exceeded watchdog %v: %w",
 				r.cfg.Watchdog, fserr.ErrIO)}
 		}
@@ -99,17 +100,20 @@ func (r *FS) capture(f func() error) *fault {
 
 	if out.panicked {
 		r.stats.PanicsCaught++
+		r.tel.Event("panic", "contained panic: %v", out.pval)
 		return &fault{kind: "panic", err: fmt.Errorf("core: contained panic: %v", out.pval)}
 	}
 	if delta := r.warns.n.Load() - warnsBefore; delta > 0 {
 		r.stats.WarnsSeen += delta
 		if r.cfg.EscalateWarns {
 			r.stats.WarnsEscalated++
+			r.tel.Event("warn-escalated", "%d WARN(s) during operation escalated to recovery", delta)
 			return &fault{kind: "warn", err: fmt.Errorf("core: WARN escalated to recovery")}
 		}
 	}
 	if fserr.IsFault(out.err) {
 		r.stats.FaultResults++
+		r.tel.Event("fault-result", "operation returned fault: %v", out.err)
 		return &fault{kind: "result", err: out.err}
 	}
 	return nil

@@ -4,57 +4,77 @@ import (
 	"time"
 
 	"repro/internal/basefs"
+	"repro/internal/blockdev"
 	"repro/internal/fserr"
 	"repro/internal/oplog"
 	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
 )
 
 // recoverFrom is the supervisor's response to a detected fault, dispatching
 // to the configured strategy. inflight is the operation whose return value
 // the application has not seen; on return its outcome fields carry the
 // answer the application gets.
+//
+// Every recovery produces one telemetry trace spanning the six canonical
+// phases (detect → fence → reboot → shadow-exec → handoff → resume); phases
+// a strategy never enters appear with zero duration.
 func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
 	r.stats.Recoveries++
+	tr := r.tel.StartRecovery(flt.kind, r.cfg.Mode.String(), r.log.Len())
+	r.tel.Counter("recovery.trigger." + flt.kind).Inc()
 	t0 := time.Now()
+	var outcome string
 	switch r.cfg.Mode {
 	case ModeCrashRestart:
-		r.crashRestart(inflight)
+		outcome = r.crashRestart(tr, inflight)
 	case ModeNaiveReplay:
-		r.naiveReplay(inflight)
+		outcome = r.naiveReplay(tr, inflight)
 	default:
-		r.raeRecover(inflight)
+		outcome = r.raeRecover(tr, inflight)
 	}
+	tr.Finish(outcome)
 	r.stats.TotalDowntime += time.Since(t0)
 }
 
 // raeRecover is the paper's recovery procedure (§3.2): contained reboot,
-// shadow re-execution, metadata download, resume.
-func (r *FS) raeRecover(inflight *oplog.Op) {
+// shadow re-execution, metadata download, resume. It returns the trace
+// outcome ("recovered", "degraded", or "failed").
+func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	var ph RecoveryPhases
 
 	// 1. Contained reboot: discard all in-memory state of the base and
 	// re-mount from trusted on-disk state (journal replay inside Mount).
 	t := time.Now()
+	tr.BeginPhase(telemetry.PhaseFence)
 	r.fence.raise()
+	tr.BeginPhase(telemetry.PhaseReboot)
 	r.base.Kill()
 	newBase, newFence, err := r.mountBase()
 	ph.Reboot = time.Since(t)
 	if err != nil {
 		// The device itself is unusable; nothing recovers this.
+		r.tel.Event("degrade", "recovery failed: remount: %v", err)
 		r.failOp(inflight)
 		r.stats.Degradations++
 		r.stats.Phases = append(r.stats.Phases, ph)
-		return
+		return "failed"
 	}
 
 	// 2. Launch the shadow over the recovered on-disk state. Its constructor
-	// validates the image (fsck) unless benchmarks say otherwise.
+	// validates the image (fsck) unless benchmarks say otherwise. The shadow
+	// reads the device through its own instrumented handle so its direct IO
+	// is counted apart from the base's queued IO.
 	t = time.Now()
-	sh, err := shadowfs.New(r.dev, shadowfs.Options{SkipFsck: r.cfg.SkipFsckInRecovery})
+	tr.BeginPhase(telemetry.PhaseShadowExec)
+	shadowDev := blockdev.Instrument(r.dev, r.tel, "shadow")
+	sh, err := shadowfs.New(shadowDev, shadowfs.Options{SkipFsck: r.cfg.SkipFsckInRecovery})
 	ph.Fsck = time.Since(t)
+	if r.cfg.SkipFsckInRecovery {
+		tr.Note("fsck skipped")
+	}
 	if err != nil {
-		r.degrade(newBase, newFence, inflight, ph)
-		return
+		return r.degrade(newBase, newFence, inflight, ph, "shadow fsck: %v", err)
 	}
 
 	// 3. Replay: constrained for recorded operations, autonomous for the
@@ -67,8 +87,7 @@ func (r *FS) raeRecover(inflight *oplog.Op) {
 	wire := oplog.EncodeSequence(ops, fds, clk)
 	ops, fds, clk, err = oplog.DecodeSequence(wire)
 	if err != nil {
-		r.degrade(newBase, newFence, inflight, ph)
-		return
+		return r.degrade(newBase, newFence, inflight, ph, "trace decode: %v", err)
 	}
 	in := shadowfs.ReplayInput{
 		Ops:               ops,
@@ -91,27 +110,31 @@ func (r *FS) raeRecover(inflight *oplog.Op) {
 		r.stats.OpsReplayed += int64(res.OpsReplayed)
 		r.stats.Discrepancies += int64(len(res.Discrepancies))
 		r.lastDisc = res.Discrepancies
+		tr.SetOpsReplayed(res.OpsReplayed)
+		for _, d := range res.Discrepancies {
+			r.tel.Event("discrepancy", "%s", d.String())
+		}
 	}
 	if err != nil {
 		// The shadow itself failed (corrupt image mid-replay, divergence
 		// under StopOnDiscrepancy, or a shadow bug): degrade loudly.
-		r.degrade(newBase, newFence, inflight, ph)
-		return
+		return r.degrade(newBase, newFence, inflight, ph, "shadow replay: %v", err)
 	}
 
 	// 4. Hand-off: the base absorbs the sealed update. The update is cloned
 	// at the boundary so base and shadow never share memory.
 	t = time.Now()
+	tr.BeginPhase(telemetry.PhaseHandoff)
 	if err := newBase.Absorb(res.Update.Clone()); err != nil {
 		ph.Absorb = time.Since(t)
-		r.degrade(newBase, newFence, inflight, ph)
-		return
+		return r.degrade(newBase, newFence, inflight, ph, "absorb: %v", err)
 	}
 	ph.Absorb = time.Since(t)
 	r.base, r.fence = newBase, newFence
 
 	// 5. Resume: answer the in-flight operation and keep the log coherent.
 	// Recorded operations stay in the log — they are still not durable.
+	tr.BeginPhase(telemetry.PhaseResume)
 	if inflight != nil {
 		switch {
 		case deferredSync:
@@ -135,32 +158,41 @@ func (r *FS) raeRecover(inflight *oplog.Op) {
 		}
 	}
 	r.stats.Phases = append(r.stats.Phases, ph)
+	return "recovered"
 }
 
 // degrade falls back to crash-restart semantics on an already-mounted fresh
 // base: the recovery machinery could not reconstruct state, so buffered
 // updates are lost, descriptors are invalidated, and the in-flight operation
 // fails — but the system stays up on the last durable state, and the
-// failure is explicit, never silent.
-func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog.Op, ph RecoveryPhases) {
+// failure is explicit, never silent. The reason is journaled as a "degrade"
+// event so post-mortems can tell which recovery step gave up.
+func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog.Op,
+	ph RecoveryPhases, reasonFormat string, args ...any) string {
 	r.stats.Degradations++
+	r.tel.Event("degrade", "recovery degraded to crash-restart: "+reasonFormat, args...)
 	r.base, r.fence = newBase, newFence
 	r.finishCrashRestart(inflight)
 	r.stats.Phases = append(r.stats.Phases, ph)
+	return "degraded"
 }
 
 // crashRestart implements the status-quo baseline: remount from disk and
 // surface the failure.
-func (r *FS) crashRestart(inflight *oplog.Op) {
+func (r *FS) crashRestart(tr *telemetry.Trace, inflight *oplog.Op) string {
+	tr.BeginPhase(telemetry.PhaseFence)
 	r.fence.raise()
+	tr.BeginPhase(telemetry.PhaseReboot)
 	r.base.Kill()
 	newBase, newFence, err := r.mountBase()
 	if err != nil {
 		r.failOp(inflight)
-		return
+		return "failed"
 	}
 	r.base, r.fence = newBase, newFence
+	tr.BeginPhase(telemetry.PhaseResume)
 	r.finishCrashRestart(inflight)
+	return "crash-restart"
 }
 
 // finishCrashRestart applies crash-restart bookkeeping against the current
@@ -206,15 +238,17 @@ func (r *FS) failOp(inflight *oplog.Op) {
 // sequence re-fire on every attempt — the fundamental conflict between state
 // reconstruction and error avoidance (§2.2) — so after MaxReplayRetries the
 // baseline degrades to crash-restart.
-func (r *FS) naiveReplay(inflight *oplog.Op) {
+func (r *FS) naiveReplay(tr *telemetry.Trace, inflight *oplog.Op) string {
 	ops, fds, _ := r.log.Snapshot()
 	for attempt := 0; attempt < r.cfg.MaxReplayRetries; attempt++ {
+		tr.BeginPhase(telemetry.PhaseFence)
 		r.fence.raise()
+		tr.BeginPhase(telemetry.PhaseReboot)
 		r.base.Kill()
 		newBase, newFence, err := r.mountBase()
 		if err != nil {
 			r.failOp(inflight)
-			return
+			return "failed"
 		}
 		r.base, r.fence = newBase, newFence
 		if len(fds) != 0 {
@@ -228,6 +262,8 @@ func (r *FS) naiveReplay(inflight *oplog.Op) {
 		}
 		ok := true
 		base := r.base
+		tr.BeginPhase(telemetry.PhaseShadowExec)
+		tr.Note("naive replay on base, attempt %d", attempt+1)
 		for _, rec := range ops {
 			op := rec.Clone()
 			op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
@@ -240,6 +276,8 @@ func (r *FS) naiveReplay(inflight *oplog.Op) {
 			continue
 		}
 		// Replay succeeded (transient fault): run the in-flight op.
+		tr.SetOpsReplayed(len(ops))
+		tr.BeginPhase(telemetry.PhaseResume)
 		if inflight != nil {
 			attempt := inflight.Clone()
 			if flt := r.capture(func() error { return oplog.Apply(base, attempt) }); flt != nil {
@@ -248,17 +286,21 @@ func (r *FS) naiveReplay(inflight *oplog.Op) {
 			*inflight = *attempt
 			r.afterSuccess(inflight)
 		}
-		return
+		return "recovered"
 	}
 	// Retries exhausted: give up on the buffered state.
 	r.stats.Degradations++
+	r.tel.Event("degrade", "naive replay degraded to crash-restart after %d attempts",
+		r.cfg.MaxReplayRetries)
 	r.fence.raise()
 	r.base.Kill()
 	newBase, newFence, err := r.mountBase()
 	if err != nil {
 		r.failOp(inflight)
-		return
+		return "failed"
 	}
 	r.base, r.fence = newBase, newFence
+	tr.BeginPhase(telemetry.PhaseResume)
 	r.finishCrashRestart(inflight)
+	return "degraded"
 }

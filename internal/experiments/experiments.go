@@ -20,6 +20,7 @@ import (
 	"repro/internal/mkfs"
 	"repro/internal/oplog"
 	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -146,6 +147,9 @@ func Throughput(sys System, profile workload.Profile, numOps int, seed int64) (T
 type RecoveryResult struct {
 	LogLen int
 	Phases core.RecoveryPhases
+	// Trace is the recovery's telemetry trace: the six canonical phases with
+	// wall-clock durations, measured on an isolated sink.
+	Trace telemetry.TraceSnapshot
 }
 
 // RecoveryLatency measures one recovery whose operation log holds logLen
@@ -163,9 +167,11 @@ func RecoveryLatency(logLen int, seed int64, skipFsck bool) (RecoveryResult, err
 		ID: "bench-crash", Class: faultinject.Crash,
 		Deterministic: true, Op: "setperm", Point: "entry", PathSubstr: "detonate",
 	})
+	sink := telemetry.New() // isolated: repeated series must not pollute Default
 	sup, err := core.Mount(dev, core.Config{
 		Base:               basefs.Options{Injector: reg},
 		SkipFsckInRecovery: skipFsck,
+		Telemetry:          sink,
 	})
 	if err != nil {
 		return res, err
@@ -199,6 +205,11 @@ func RecoveryLatency(logLen int, seed int64, skipFsck bool) (RecoveryResult, err
 	}
 	res.LogLen = logLen
 	res.Phases = st.Phases[0]
+	tr, ok := sink.LastRecoveryTrace()
+	if !ok {
+		return res, fmt.Errorf("experiments: recovery produced no telemetry trace")
+	}
+	res.Trace = tr
 	return res, nil
 }
 

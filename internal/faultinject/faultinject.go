@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/fserr"
+	"repro/internal/telemetry"
 )
 
 // Consequence mirrors the consequence axis of the paper's Table 1.
@@ -163,6 +164,26 @@ type Registry struct {
 	rng       *rand.Rand
 	fired     []FireRecord
 	disarmed  bool
+
+	sink     *telemetry.Sink
+	telArmed *telemetry.Gauge
+	telFired *telemetry.Counter
+}
+
+// SetTelemetry installs the armed-specimen gauge ("faultinject.armed") and
+// the firing counter ("faultinject.fired") from s, and routes a "fault-fired"
+// event into s's journal on every firing. Nil receiver and nil sink are both
+// no-ops.
+func (r *Registry) SetTelemetry(s *telemetry.Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
+	r.telArmed = s.Gauge("faultinject.armed")
+	r.telFired = s.Counter("faultinject.fired")
+	r.telArmed.Set(int64(len(r.specimens)))
 }
 
 // NewRegistry creates a registry with a deterministic probability stream.
@@ -181,6 +202,7 @@ func (r *Registry) Arm(s *Specimen) {
 		}
 	}
 	r.specimens = append(r.specimens, s)
+	r.telArmed.Set(int64(len(r.specimens)))
 }
 
 // Disarm removes a specimen by ID.
@@ -190,6 +212,7 @@ func (r *Registry) Disarm(id string) {
 	for i, s := range r.specimens {
 		if s.ID == id {
 			r.specimens = append(r.specimens[:i], r.specimens[i+1:]...)
+			r.telArmed.Set(int64(len(r.specimens)))
 			return
 		}
 	}
@@ -200,6 +223,7 @@ func (r *Registry) DisarmAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.specimens = nil
+	r.telArmed.Set(0)
 }
 
 // SetEnabled globally gates firing without losing armed specimens; the
@@ -271,7 +295,11 @@ func (r *Registry) Fire(site *Site) error {
 		Seq:        len(r.fired),
 	})
 	freeze := chosen.FreezeFor
+	sink := r.sink
+	r.telFired.Inc()
 	r.mu.Unlock()
+	sink.Event("fault-fired", "specimen %s (%s) fired at %s.%s",
+		chosen.ID, chosen.Class, site.Op, site.Point)
 
 	switch chosen.Class {
 	case Crash:

@@ -24,6 +24,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/disklayout"
 	"repro/internal/fserr"
+	"repro/internal/telemetry"
 )
 
 // Record magics distinguishing journal block types.
@@ -43,6 +44,19 @@ type Journal struct {
 	len   uint32 // region length in blocks
 	head  uint32 // next free block, relative to start
 	txid  uint64 // next transaction id
+
+	telCommits, telBlocks *telemetry.Counter
+	telCommitLatency      *telemetry.Histogram
+}
+
+// SetTelemetry installs commit instrumentation ("journal.*") from s.
+func (j *Journal) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	j.telCommits = s.Counter("journal.commits")
+	j.telBlocks = s.Counter("journal.committed_blocks")
+	j.telCommitLatency = s.Histogram("journal.commit.latency")
 }
 
 // New attaches to the journal region described by sb on dev. It does not
@@ -116,6 +130,8 @@ func (j *Journal) Commit(tx *Tx) error {
 	if n == 0 {
 		return nil
 	}
+	t := telemetry.StartTimer(j.telCommitLatency)
+	defer t.Stop()
 	if int(n) > maxTargets {
 		return fmt.Errorf("journal: transaction of %d blocks exceeds max %d: %w", n, maxTargets, fserr.ErrInvalid)
 	}
@@ -168,6 +184,8 @@ func (j *Journal) Commit(tx *Tx) error {
 
 	j.head += n + 2
 	j.txid++
+	j.telCommits.Inc()
+	j.telBlocks.Add(int64(n))
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
+	"repro/internal/telemetry"
 )
 
 // Kind enumerates the recordable operations: every mutating call plus the
@@ -262,6 +263,22 @@ type Log struct {
 	baseFDs    map[fsapi.FD]uint32
 	startClock uint64
 	peakLen    int
+
+	telLen                    *telemetry.Gauge
+	telAppends, telTruncation *telemetry.Counter
+}
+
+// SetTelemetry installs the live-length gauge ("oplog.len") and the
+// append/truncation counters ("oplog.appends", "oplog.truncations") from s.
+func (l *Log) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.telLen = s.Gauge("oplog.len")
+	l.telAppends = s.Counter("oplog.appends")
+	l.telTruncation = s.Counter("oplog.truncations")
 }
 
 // NewLog returns an empty log whose stable point is a fresh filesystem (no
@@ -285,6 +302,8 @@ func (l *Log) Append(o *Op) {
 	if len(l.ops) > l.peakLen {
 		l.peakLen = len(l.ops)
 	}
+	l.telAppends.Inc()
+	l.telLen.Set(int64(len(l.ops)))
 }
 
 // Stable marks a new durable point: all recorded operations are now on disk,
@@ -300,6 +319,8 @@ func (l *Log) Stable(fds map[fsapi.FD]uint32, clock uint64) {
 		l.baseFDs[fd] = ino
 	}
 	l.startClock = clock
+	l.telTruncation.Inc()
+	l.telLen.Set(0)
 }
 
 // Snapshot returns the recovery input: the ops since the stable point (deep

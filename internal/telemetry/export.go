@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot is a point-in-time export of a sink: every named instrument, the
+// retained event journal, and the retained recovery traces. It serializes
+// to JSON (machine consumption, cmd/fsstats -json, the HTTP endpoint) and
+// renders as human text (cmd/shadowbench, cmd/fsstats).
+type Snapshot struct {
+	Time        time.Time               `json:"time"`
+	Uptime      time.Duration           `json:"uptime"`
+	Counters    map[string]int64        `json:"counters"`
+	Gauges      map[string]int64        `json:"gauges"`
+	Histograms  map[string]HistSnapshot `json:"histograms"`
+	TotalEvents uint64                  `json:"total_events"`
+	Events      []Event                 `json:"events"`
+	Recoveries  []TraceSnapshot         `json:"recoveries"`
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot previously serialized by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot for humans: counters and gauges in sorted
+// name order, histogram quantiles, recovery trace breakdowns, and the tail
+// of the event journal.
+func (s Snapshot) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "-- telemetry snapshot @ %s (uptime %v) --\n",
+		s.Time.Format(time.RFC3339), s.Uptime.Round(time.Millisecond))
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-42s %12d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-42s %12d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms (p50/p99/p999/max, n):")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-42s %10v %10v %10v %10v  n=%d\n",
+				name, h.P50, h.P99, h.P999, h.Max, h.Count)
+		}
+	}
+	if len(s.Recoveries) > 0 {
+		fmt.Fprintf(w, "recovery traces (%d retained):\n", len(s.Recoveries))
+		for _, tr := range s.Recoveries {
+			fmt.Fprintf(w, "  %s\n", tr)
+		}
+	}
+	if len(s.Events) > 0 {
+		dropped := s.TotalEvents - uint64(len(s.Events))
+		fmt.Fprintf(w, "event journal (%d retained, %d dropped):\n", len(s.Events), dropped)
+		for _, e := range s.Events {
+			fmt.Fprintf(w, "  %s\n", e)
+		}
+	}
+	return nil
+}
+
+// WriteTraceTable renders one recovery trace as an aligned per-phase table
+// (phase, duration, note), the format cmd/raedemo prints after each masked
+// bug.
+func WriteTraceTable(w io.Writer, t TraceSnapshot) {
+	fmt.Fprintf(w, "  recovery #%d: trigger=%s mode=%s log=%d ops, replayed=%d, outcome=%s\n",
+		t.ID, t.Trigger, t.Mode, t.LogLen, t.OpsReplayed, t.Outcome)
+	for _, sp := range t.Spans {
+		note := ""
+		if sp.Note != "" {
+			note = "  (" + sp.Note + ")"
+		}
+		fmt.Fprintf(w, "    %-12s %12v%s\n", sp.Phase, sp.Duration, note)
+	}
+	fmt.Fprintf(w, "    %-12s %12v\n", "total", t.Total)
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one entry of the telemetry event journal: a WARN record, a
+// contained panic, a fault-injection firing, a recovery outcome — anything a
+// post-mortem needs that previously only existed as stdout noise.
+type Event struct {
+	// Seq is the global emission sequence number (monotonic, never reused,
+	// so a reader can tell how many events the ring has dropped).
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock emission time.
+	Time time.Time `json:"time"`
+	// Kind classifies the event: "warn", "panic", "freeze", "fault-result",
+	// "fault-fired", "recovery", "degrade", "mount", ...
+	Kind string `json:"kind"`
+	// Msg is the formatted human-readable record.
+	Msg string `json:"msg"`
+}
+
+// String formats the event for text snapshots.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s [%s] %s", e.Seq, e.Time.Format("15:04:05.000"), e.Kind, e.Msg)
+}
+
+// eventRingCap bounds the event journal: the ring keeps the most recent
+// entries and drops the oldest, so an error storm cannot grow memory.
+const eventRingCap = 1024
+
+// eventRing is a bounded ring buffer of events.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event // fixed capacity once full
+	next uint64  // next sequence number
+}
+
+// record appends an event, evicting the oldest when full.
+func (r *eventRing) record(kind, msg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	e := Event{Seq: r.next, Time: time.Now(), Kind: kind, Msg: msg}
+	if len(r.buf) < eventRingCap {
+		r.buf = append(r.buf, e)
+		return
+	}
+	copy(r.buf, r.buf[1:])
+	r.buf[len(r.buf)-1] = e
+}
+
+// events returns a chronological copy of the retained entries.
+func (r *eventRing) events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// total returns how many events were ever emitted (including dropped ones).
+func (r *eventRing) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// reset clears the ring but keeps the sequence counter monotonic.
+func (r *eventRing) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/fsck"
 	"repro/internal/mkfs"
+	"repro/internal/telemetry"
 )
 
 // FileSystem is the operation interface shared by every implementation in
@@ -83,6 +84,39 @@ const (
 // Stats aggregates supervisor activity (recoveries, contained panics,
 // downtime, per-recovery phase breakdowns).
 type Stats = core.Stats
+
+// Telemetry is the always-on observability sink: sharded counters, gauges,
+// latency histograms, a bounded event journal, and per-recovery phase
+// traces. Every supervised mount feeds one (the process-global
+// DefaultTelemetry unless Config.Telemetry overrides it or
+// Config.NoTelemetry opts out); query it via FS.Telemetry().
+type Telemetry = telemetry.Sink
+
+// TelemetrySnapshot is a point-in-time export of a sink's metrics, events,
+// and recovery traces, serializable as JSON or human-readable text.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// RecoveryTrace is one completed recovery's per-phase breakdown: one span
+// for each of the six canonical phases (detect, fence, reboot, shadow-exec,
+// handoff, resume), the trigger class, the op-log length at detection, and
+// the outcome.
+type RecoveryTrace = telemetry.TraceSnapshot
+
+// TelemetryEvent is one entry in the bounded event journal (WARNs, panics,
+// fault-injection firings, recovery outcomes, degradations).
+type TelemetryEvent = telemetry.Event
+
+// RecoveryPhaseNames returns the six canonical recovery phase names in
+// execution order.
+func RecoveryPhaseNames() []string { return telemetry.Phases() }
+
+// NewTelemetry creates an isolated observability sink, for callers that
+// want per-mount metrics instead of the process-global default.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// DefaultTelemetry returns the process-global sink that supervised mounts
+// feed by default.
+func DefaultTelemetry() *Telemetry { return telemetry.Default() }
 
 // FaultRegistry is an armable registry of bug specimens for fault-injection
 // experiments; pass it via Config.Base.Injector.

@@ -1,0 +1,96 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeRecoveryTrace is the end-to-end acceptance check through the
+// public facade only: mount a supervised filesystem with an isolated
+// telemetry sink, trigger a masked recovery, and assert the resulting trace
+// carries all six canonical phases with non-negative durations.
+func TestFacadeRecoveryTrace(t *testing.T) {
+	dev := repro.NewMemDevice(16384)
+	if _, err := repro.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	reg := repro.NewFaultRegistry(1)
+	reg.Arm(&repro.FaultSpecimen{
+		ID: "facade-crash", Class: repro.BugCrash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "boom",
+	})
+	sink := repro.NewTelemetry()
+	cfg := repro.Config{Telemetry: sink}
+	cfg.Base.Injector = reg
+	fs, err := repro.Mount(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+
+	if err := fs.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/boom", 0o755); err != nil {
+		t.Fatalf("crash should be masked by recovery, got %v", err)
+	}
+
+	if fs.Telemetry() != sink {
+		t.Fatal("FS.Telemetry() does not return the configured sink")
+	}
+	tr, ok := sink.LastRecoveryTrace()
+	if !ok {
+		t.Fatal("recovery produced no trace")
+	}
+	phases := repro.RecoveryPhaseNames()
+	if len(tr.Spans) != len(phases) {
+		t.Fatalf("trace has %d spans, want %d", len(tr.Spans), len(phases))
+	}
+	for i, want := range phases {
+		if tr.Spans[i].Phase != want {
+			t.Errorf("span %d = %q, want %q", i, tr.Spans[i].Phase, want)
+		}
+		if tr.Spans[i].Duration < 0 {
+			t.Errorf("phase %q duration %v < 0", want, tr.Spans[i].Duration)
+		}
+	}
+	if tr.Trigger != "panic" || tr.Outcome != "recovered" {
+		t.Fatalf("trace = %+v, want panic/recovered", tr)
+	}
+
+	// The snapshot type round-trips through the facade aliases too.
+	var snap repro.TelemetrySnapshot = sink.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []repro.TelemetryEvent = sink.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == "recovery" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no 'recovery' event in the journal")
+	}
+}
+
+// TestFacadeDefaultTelemetry checks that a zero-value Config wires the
+// process-global sink exposed as repro.DefaultTelemetry().
+func TestFacadeDefaultTelemetry(t *testing.T) {
+	dev := repro.NewMemDevice(16384)
+	if _, err := repro.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := repro.Mount(dev, repro.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+	if fs.Telemetry() != repro.DefaultTelemetry() {
+		t.Fatal("zero-value Config should feed DefaultTelemetry()")
+	}
+}
