@@ -177,11 +177,21 @@ func BenchmarkAvailabilityUnderBugs(b *testing.B) {
 // recording cost; BenchmarkTelemetryOverhead quantifies the telemetry delta
 // on the same loop.
 func BenchmarkRecordingOverhead(b *testing.B) {
-	for _, profile := range []workload.Profile{workload.MetaHeavy, workload.ReadMostly} {
+	for _, cfg := range []struct {
+		label     string
+		profile   workload.Profile
+		syncEvery int
+	}{
+		{workload.MetaHeavy.String(), workload.MetaHeavy, 200},
+		{workload.ReadMostly.String(), workload.ReadMostly, 200},
+		// fsync-heavy: a sync every 8 ops stresses the group-commit and
+		// lazy-checkpoint path rather than the in-memory op stream.
+		{"fsyncheavy", workload.MetaHeavy, 8},
+	} {
 		trace := workload.Generate(workload.Config{
-			Profile: profile, Seed: 2, NumOps: 2000, SyncEvery: 200,
+			Profile: cfg.profile, Seed: 2, NumOps: 2000, SyncEvery: cfg.syncEvery,
 		})
-		b.Run("base/"+profile.String(), func(b *testing.B) {
+		b.Run("base/"+cfg.label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dev := blockdev.NewMem(experiments.ImageBlocks)
@@ -201,7 +211,7 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 				b.StartTimer()
 			}
 		})
-		b.Run("rae/"+profile.String(), func(b *testing.B) {
+		b.Run("rae/"+cfg.label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dev := blockdev.NewMem(experiments.ImageBlocks)
@@ -322,14 +332,24 @@ func BenchmarkFsck(b *testing.B) {
 }
 
 // BenchmarkJournalCommit measures the WAL's commit path (substrate micro).
+// Allocations per op must stay flat as payload size grows: the streaming
+// CRC32C folds payload blocks into the commit checksum without
+// concatenating them.
 func BenchmarkJournalCommit(b *testing.B) {
 	sb, _ := disklayout.Geometry(4096, 512, 256)
 	dev := blockdev.NewMem(sb.NumBlocks)
 	dev.WriteBlock(0, disklayout.EncodeSuperblock(sb))
+	jsb := make([]byte, disklayout.BlockSize)
+	journal.EncodeJSB(jsb, 1, 1)
+	dev.WriteBlock(sb.JournalStart, jsb)
+	j, err := journal.New(dev, sb)
+	if err != nil {
+		b.Fatal(err)
+	}
 	payload := make([]byte, disklayout.BlockSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		j := journal.New(dev, sb)
 		tx := &journal.Tx{}
 		for k := uint32(0); k < 8; k++ {
 			tx.Add(sb.DataStart+k, payload)
@@ -337,7 +357,7 @@ func BenchmarkJournalCommit(b *testing.B) {
 		if err := j.Commit(tx); err != nil {
 			b.Fatal(err)
 		}
-		if err := j.Reset(); err != nil {
+		if err := j.Checkpointed(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, all")
+	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
@@ -41,6 +42,7 @@ func main() {
 	run("recovery", func() { recovery(*seed) })
 	run("avail", func() { avail(*ops, *seed) })
 	run("overhead", func() { overhead(*ops, *seed) })
+	run("fsync", func() { fsyncHeavy(*seed) })
 	run("ablate", func() { ablate(*ops, *seed) })
 	run("latency", func() { latency(*ops, *seed) })
 	run("io", func() { ioTraffic(*ops, *seed) })
@@ -158,6 +160,17 @@ func overhead(ops int, seed int64) {
 		check(err)
 		fmt.Printf("%-12s %14.0f %14.0f %9.1f%%\n", r.Profile, r.BaseOpsSec, r.RAEOpsSec, r.OverheadPct)
 	}
+	fmt.Println()
+}
+
+func fsyncHeavy(seed int64) {
+	fmt.Println("== E10: durability path under fsync-heavy load ==")
+	r, err := experiments.FsyncHeavy(200, 8, 40, 50*time.Microsecond, seed)
+	check(err)
+	fmt.Printf("sequential: %d syncs, %d device flushes (%.2f flushes/sync)\n",
+		r.Syncs, r.Flushes, r.FlushesPerSync)
+	fmt.Printf("concurrent: %d workers, %d fsyncs, %.0f fsync/s, %d device flushes\n",
+		r.Workers, r.Fsyncs, r.FsyncsPerSec, r.ConcFlushes)
 	fmt.Println()
 }
 

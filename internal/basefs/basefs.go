@@ -118,6 +118,19 @@ type FS struct {
 	// don't double-allocate.
 	allocMu sync.Mutex
 
+	// syncMu guards the sync-round coordination state (see syncShared):
+	// concurrent fsyncs coalesce onto rounds instead of serializing whole
+	// sync passes.
+	syncMu    sync.Mutex
+	curRound  *syncRound
+	nextRound *syncRound
+	// unstable holds the journaled content of blocks whose home copy is
+	// stale (committed, not yet checkpointed). Only the sync-round leader
+	// touches it; a checkpoint writes exactly these bytes home, never the
+	// possibly newer cache content, so home writes are always of committed
+	// transactions.
+	unstable map[uint32][]byte
+
 	fds   map[fsapi.FD]*fdEntry
 	clock atomic.Uint64
 
@@ -129,9 +142,12 @@ type FS struct {
 
 	// tel and the derived instruments are set once in Mount and read-only
 	// afterwards; all are nil (and therefore no-ops) without Options.Telemetry.
-	tel      *telemetry.Sink
-	telWarns *telemetry.Counter
-	opHist   map[string]*telemetry.Histogram
+	tel               *telemetry.Sink
+	telWarns          *telemetry.Counter
+	telSyncRounds     *telemetry.Counter
+	telCkptBlocks     *telemetry.Counter
+	telFlushesPerSync *telemetry.Gauge
+	opHist            map[string]*telemetry.Histogram
 }
 
 // opNames enumerates the fsapi operations instrumented with per-op latency
@@ -175,21 +191,33 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 	if opts.CachePolicy == "2q" {
 		bc.SetPolicy(cache.NewTwoQ(opts.CacheBlocks))
 	}
+	// The journal drives its IO through the async queue: transaction blocks
+	// overlap across workers and its flushes are counted with the rest of
+	// the base's device flushes.
+	jnl, err := journal.New(q.Device(), sb)
+	if err != nil {
+		q.Close()
+		return nil, fmt.Errorf("basefs: mount journal: %w", err)
+	}
 	fs := &FS{
-		dev:   dev,
-		queue: q,
-		sb:    sb,
-		bc:    bc,
-		ic:    cache.NewInodeCache(opts.CacheInodes),
-		dc:    cache.NewDentryCache(opts.CacheDentries),
-		jnl:   journal.New(dev, sb),
-		fds:   make(map[fsapi.FD]*fdEntry),
-		opts:  opts,
+		dev:      dev,
+		queue:    q,
+		sb:       sb,
+		bc:       bc,
+		ic:       cache.NewInodeCache(opts.CacheInodes),
+		dc:       cache.NewDentryCache(opts.CacheDentries),
+		jnl:      jnl,
+		unstable: make(map[uint32][]byte),
+		fds:      make(map[fsapi.FD]*fdEntry),
+		opts:     opts,
 	}
 	fs.clock.Store(sb.LastClock)
 	if tel := opts.Telemetry; tel != nil {
 		fs.tel = tel
 		fs.telWarns = tel.Counter("basefs.warns")
+		fs.telSyncRounds = tel.Counter("basefs.sync.rounds")
+		fs.telCkptBlocks = tel.Counter("basefs.sync.checkpointed_blocks")
+		fs.telFlushesPerSync = tel.Gauge("basefs.sync.flushes_per_sync")
 		fs.opHist = make(map[string]*telemetry.Histogram, len(opNames))
 		for _, op := range opNames {
 			fs.opHist[op] = tel.Histogram("basefs.op." + op)
@@ -207,17 +235,23 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 // Superblock returns the mounted superblock (read-only use).
 func (fs *FS) Superblock() *disklayout.Superblock { return fs.sb }
 
+// JournalLiveTxs reports how many committed transactions are waiting in the
+// journal for a checkpoint — the depth of the lazy-checkpoint backlog.
+func (fs *FS) JournalLiveTxs() int { return fs.jnl.LiveTxs() }
+
 // Unmount closes every remaining descriptor (releasing any open-unlinked
-// orphans, as a kernel does at shutdown), syncs everything, marks the
-// filesystem clean, and stops the block queue. The filesystem must not be
-// used afterwards.
+// orphans, as a kernel does at shutdown), syncs and fully checkpoints the
+// journal, marks the filesystem clean, and stops the block queue. The
+// filesystem must not be used afterwards.
 func (fs *FS) Unmount() error {
 	for fd := range fs.OpenFDs() {
 		if err := fs.Close(fd); err != nil {
 			return err
 		}
 	}
-	if err := fs.Sync(); err != nil {
+	// A full checkpoint, not a lazy sync: the clean flag below promises the
+	// next mount an empty journal.
+	if err := fs.Checkpoint(); err != nil {
 		return err
 	}
 	fs.mu.Lock()

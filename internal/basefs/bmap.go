@@ -77,8 +77,7 @@ func (fs *FS) writePtr(blk uint32, i int64, p uint32) error {
 		return err
 	}
 	binary.LittleEndian.PutUint32(buf.Data[i*4:], p)
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	return nil
 }
@@ -202,8 +201,11 @@ func (fs *FS) bmapAlloc(ci *cache.CachedInode, idx int64) (uint32, error) {
 // block (never reading stale device contents).
 func (fs *FS) zeroBlock(blk uint32, meta bool) *cache.Buf {
 	buf := fs.bc.GetZero(blk)
-	buf.Meta = meta
-	fs.bc.MarkDirty(buf)
+	if meta {
+		fs.bc.MarkDirtyMeta(buf)
+	} else {
+		fs.bc.MarkDirty(buf)
+	}
 	return buf
 }
 
@@ -278,8 +280,7 @@ func (fs *FS) truncateIndirect(blk uint32, keep int64) (empty bool, err error) {
 		}
 	}
 	if dirty {
-		buf.Meta = true
-		fs.bc.MarkDirty(buf)
+		fs.bc.MarkDirtyMeta(buf)
 	}
 	fs.bc.Release(buf)
 	return empty, nil
@@ -321,8 +322,7 @@ func (fs *FS) truncateDouble(blk uint32, relKeep int64) (empty bool, err error) 
 		}
 	}
 	if dirty {
-		buf.Meta = true
-		fs.bc.MarkDirty(buf)
+		fs.bc.MarkDirtyMeta(buf)
 	}
 	fs.bc.Release(buf)
 	return empty, nil

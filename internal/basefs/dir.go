@@ -86,8 +86,7 @@ func (fs *FS) dirInsert(dir *cache.CachedInode, name string, ino uint32) error {
 			d, derr := disklayout.DecodeDirent(buf.Data[s*disklayout.DirentSize:])
 			if derr == nil && d.Ino == 0 {
 				disklayout.EncodeDirent(buf.Data[s*disklayout.DirentSize:], disklayout.Dirent{Ino: ino, Name: name})
-				buf.Meta = true
-				fs.bc.MarkDirty(buf)
+				fs.bc.MarkDirtyMeta(buf)
 				fs.bc.Release(buf)
 				fs.dc.Add(dir.Ino, name, ino)
 				return nil
@@ -105,8 +104,7 @@ func (fs *FS) dirInsert(dir *cache.CachedInode, name string, ino uint32) error {
 		return err
 	}
 	disklayout.EncodeDirent(buf.Data, disklayout.Dirent{Ino: ino, Name: name})
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	dir.Inode.Size += disklayout.BlockSize
 	fs.markInodeDirty(dir)
@@ -132,8 +130,7 @@ func (fs *FS) dirRemove(dir *cache.CachedInode, name string) error {
 	for i := slot * disklayout.DirentSize; i < (slot+1)*disklayout.DirentSize; i++ {
 		buf.Data[i] = 0
 	}
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	fs.dc.Invalidate(dir.Ino, name)
 	return nil
@@ -156,8 +153,7 @@ func (fs *FS) dirReplace(dir *cache.CachedInode, name string, ino uint32) error 
 		return err
 	}
 	disklayout.EncodeDirent(buf.Data[slot*disklayout.DirentSize:], disklayout.Dirent{Ino: ino, Name: name})
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	fs.dc.Add(dir.Ino, name, ino)
 	return nil

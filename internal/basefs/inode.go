@@ -64,8 +64,7 @@ func (fs *FS) writeInodeBack(ci *cache.CachedInode) error {
 		return err
 	}
 	disklayout.PutInode(buf.Data[off:], &ci.Inode)
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	return nil
 }
@@ -91,8 +90,7 @@ func (fs *FS) allocInode(typ, perm uint16) (*cache.CachedInode, error) {
 			continue
 		}
 		disklayout.SetBit(buf.Data, bit)
-		buf.Meta = true
-		fs.bc.MarkDirty(buf)
+		fs.bc.MarkDirtyMeta(buf)
 		fs.bc.Release(buf)
 		ino := rel*disklayout.BitsPerBlock + bit
 		ci := &cache.CachedInode{
@@ -123,8 +121,7 @@ func (fs *FS) freeInode(ci *cache.CachedInode) error {
 		return err
 	}
 	disklayout.ClearBit(buf.Data, ci.Ino%disklayout.BitsPerBlock)
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	fs.allocMu.Unlock()
 
@@ -162,8 +159,7 @@ func (fs *FS) allocBlockLocked() (uint32, error) {
 			continue
 		}
 		disklayout.SetBit(buf.Data, bit)
-		buf.Meta = true
-		fs.bc.MarkDirty(buf)
+		fs.bc.MarkDirtyMeta(buf)
 		fs.bc.Release(buf)
 		return rel*disklayout.BitsPerBlock + bit, nil
 	}
@@ -183,8 +179,7 @@ func (fs *FS) freeBlock(blk uint32) error {
 		return err
 	}
 	disklayout.ClearBit(buf.Data, blk%disklayout.BitsPerBlock)
-	buf.Meta = true
-	fs.bc.MarkDirty(buf)
+	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
 	fs.allocMu.Unlock()
 	fs.bc.Drop(blk)

@@ -1,6 +1,7 @@
 package basefs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -25,128 +26,236 @@ func (fs *FS) Fsync(fd fsapi.FD) error {
 	if !ok {
 		return errBadFD(fd)
 	}
-	return fs.Sync()
+	return fs.syncShared(false)
 }
 
 // Sync implements fsapi.FS: ordered-mode write-back. Data blocks go straight
 // home through the async queue; metadata blocks are validated, journaled,
-// committed, then checkpointed home. After Sync returns nil the on-disk
-// image equals the in-memory state, which is the supervisor's cue to
+// and committed — but NOT checkpointed: committed transactions accumulate in
+// the journal and are written to their home locations only when the region
+// runs low or at unmount. After Sync returns nil the on-disk image (journal
+// included) equals the in-memory state, which is the supervisor's cue to
 // discard recorded operations.
 func (fs *FS) Sync() error {
 	t := fs.opTimer("sync")
 	defer t.Stop()
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.syncLocked()
+	return fs.syncShared(false)
 }
 
-func (fs *FS) syncLocked() error {
+// syncRound is one execution of the sync pipeline. Concurrent fsync/sync
+// callers coalesce onto rounds instead of serializing whole sync passes
+// behind fs.mu: the first caller leads, later arrivals wait for the *next*
+// round (which starts after their writes are in the cache, so it covers
+// them), and the leader keeps running rounds until no one is waiting. A
+// burst of N concurrent fsyncs thus costs at most two rounds — and each
+// round's journal commit costs exactly two device flushes.
+type syncRound struct {
+	done chan struct{}
+	err  error
+	ckpt bool // at least one waiter needs a full checkpoint (unmount)
+}
+
+// syncShared runs or joins a sync round. ckpt forces the round to end with a
+// full checkpoint, leaving the journal empty.
+func (fs *FS) syncShared(ckpt bool) error {
+	fs.syncMu.Lock()
+	if fs.curRound != nil {
+		// A round is in flight; it may have snapshotted before our writes.
+		// Join the next one, which is guaranteed to start after them.
+		if fs.nextRound == nil {
+			fs.nextRound = &syncRound{done: make(chan struct{})}
+		}
+		r := fs.nextRound
+		if ckpt {
+			r.ckpt = true
+		}
+		fs.syncMu.Unlock()
+		<-r.done
+		return r.err
+	}
+	mine := &syncRound{done: make(chan struct{}), ckpt: ckpt}
+	fs.curRound = mine
+	fs.syncMu.Unlock()
+
+	// Leader: run our round, then any rounds followers queued up meanwhile.
+	r := mine
+	for {
+		r.err = fs.runSyncRound(r.ckpt)
+		close(r.done)
+		fs.syncMu.Lock()
+		fs.curRound = fs.nextRound
+		fs.nextRound = nil
+		next := fs.curRound
+		fs.syncMu.Unlock()
+		if next == nil {
+			return mine.err
+		}
+		r = next
+	}
+}
+
+// runSyncRound executes one sync pass. Rounds are serialized by the leader
+// protocol, so fs.unstable and the journal cursor see no concurrent rounds.
+//
+// Phase A holds fs.mu exclusively but performs no IO: validate, snapshot
+// dirty state (content copies + versions), and pass the pre-persist barrier.
+// Phases B-D run without fs.mu, so readers and writers proceed while the IO
+// is in flight; buffers are retired by version so a concurrent re-dirty is
+// never lost.
+func (fs *FS) runSyncRound(ckpt bool) error {
+	flushes := 0
+	defer func() {
+		fs.telSyncRounds.Inc()
+		fs.telFlushesPerSync.Set(int64(flushes))
+	}()
+
+	// --- Phase A: snapshot under fs.mu, memory only. ---
+	fs.mu.Lock()
 	if err := fs.fire(&faultinject.Site{Op: "sync", Point: "entry"}); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
-	// 1. Fold dirty inodes into their table blocks.
+	// Fold dirty inodes into their table blocks.
 	for _, ci := range fs.ic.DirtyInodes() {
 		if err := fs.validateInodeForPersist(ci); err != nil {
+			fs.mu.Unlock()
 			return err
 		}
 		if err := fs.writeInodeBack(ci); err != nil {
+			fs.mu.Unlock()
 			return err
 		}
 		ci.Dirty = false
 	}
 
-	// 2. Partition dirty buffers.
-	dirty := fs.bc.DirtyBlocks()
-	var data, meta []*cache.Buf
-	for _, b := range dirty {
-		if b.Meta {
-			meta = append(meta, b)
+	// Partition the dirty snapshot.
+	var data, meta []cache.DirtySnap
+	for _, s := range fs.bc.SnapshotDirty() {
+		if s.Meta {
+			meta = append(meta, s)
 		} else {
-			data = append(data, b)
+			data = append(data, s)
 		}
 	}
 	sort.Slice(data, func(i, j int) bool { return data[i].Blk < data[j].Blk })
 	sort.Slice(meta, func(i, j int) bool { return meta[i].Blk < meta[j].Blk })
 
-	// 3. Sync-validate: the fault model assumes errors are detected before
+	// Sync-validate: the fault model assumes errors are detected before
 	// being persisted (§3.1, citing Recon/WAFL-style validation on sync).
 	if err := fs.validateMetaForPersist(meta); err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 
-	// 3b. Pre-persist barrier: the supervisor's last chance to veto the
+	// Logical clock: journaled with the other metadata (a torn in-place
+	// superblock write would be unmountable), encoded here under fs.mu so
+	// the superblock fields are quiesced. LastClock is advanced in memory
+	// before the commit lands; if the round fails, the next one retries.
+	if clk := fs.clock.Load(); clk != fs.sb.LastClock {
+		fs.sb.LastClock = clk
+		meta = append([]cache.DirtySnap{{Blk: 0, Meta: true, Data: disklayout.EncodeSuperblock(fs.sb)}}, meta...)
+	}
+
+	// Pre-persist barrier: the supervisor's last chance to veto the
 	// write-out (e.g. an escalated WARN emitted earlier in this operation).
 	// Everything up to here touched only memory, so a veto leaves the disk
 	// exactly at the previous stable point — the property recovery relies on.
 	if fs.opts.PrePersist != nil {
 		if err := fs.opts.PrePersist(); err != nil {
+			fs.mu.Unlock()
 			return err
 		}
 	}
+	fs.mu.Unlock()
 
-	// 4. Ordered mode: data first.
-	var reqs []*struct {
-		buf *cache.Buf
-		req interface{ Wait() error }
+	// --- Phase B: ordered mode, data first. ---
+	// Reallocation guard: if a data block's home is still a live journal
+	// target (it held journaled metadata, was freed, and was reallocated as
+	// data), writing it home now would let a crash replay stale metadata
+	// over the new data. Checkpoint first to retire those records.
+	for _, s := range data {
+		if fs.jnl.Contains(s.Blk) {
+			n, err := fs.checkpoint()
+			flushes += n
+			if err != nil {
+				return err
+			}
+			break
+		}
 	}
-	for _, b := range data {
-		r := fs.queue.WriteAsync(b.Blk, b.Data)
+	var reqs []*struct {
+		snap cache.DirtySnap
+		req  interface{ Wait() error }
+	}
+	for _, s := range data {
+		r := fs.queue.WriteAsync(s.Blk, s.Data)
 		reqs = append(reqs, &struct {
-			buf *cache.Buf
-			req interface{ Wait() error }
-		}{b, r})
+			snap cache.DirtySnap
+			req  interface{ Wait() error }
+		}{s, r})
 	}
 	for _, r := range reqs {
 		if err := r.req.Wait(); err != nil {
 			return fmt.Errorf("basefs: sync data write-back: %w", err)
 		}
-		fs.bc.MarkClean(r.buf)
+		fs.bc.MarkCleanVer(r.snap.Buf, r.snap.Ver)
 	}
-	if len(data) > 0 {
+	// Data needs a flush barrier before the commit record, but when a commit
+	// follows (the common case: any metadata changed), its pre-commit-record
+	// flush is that barrier — the data writes above have already completed at
+	// the device, so the journal's first flush covers them. Only a data-only
+	// round pays its own flush.
+	if len(data) > 0 && len(meta) == 0 {
 		if err := fs.queue.Flush(); err != nil {
 			return fmt.Errorf("basefs: sync data flush: %w", err)
 		}
+		flushes++
 	}
 
-	// 5. Journal + checkpoint metadata in capacity-bounded transactions.
+	// --- Phase C: journal metadata in capacity-bounded transactions. ---
+	// Commit is the durable point; home locations are written lazily by a
+	// later checkpoint. Each commit costs two flushes (one pair), shared
+	// with any concurrent committers via the journal's group commit.
 	for len(meta) > 0 {
 		chunk := meta
 		if cap := fs.jnl.Capacity(); len(chunk) > cap {
 			chunk = meta[:cap]
 		}
-		meta = meta[len(chunk):]
 		tx := &journal.Tx{}
-		for _, b := range chunk {
-			tx.Add(b.Blk, b.Data)
+		for _, s := range chunk {
+			tx.Add(s.Blk, s.Data)
 		}
-		if err := fs.jnl.Commit(tx); err != nil {
+		err := fs.jnl.Commit(tx)
+		if errors.Is(err, journal.ErrJournalFull) {
+			// Region exhausted: retire the live chain, then retry once.
+			n, cerr := fs.checkpoint()
+			flushes += n
+			if cerr != nil {
+				return cerr
+			}
+			err = fs.jnl.Commit(tx)
+		}
+		if err != nil {
 			return fmt.Errorf("basefs: journal commit: %w", err)
 		}
-		// Checkpoint: write home locations, then retire the transaction.
-		for _, b := range chunk {
-			if err := fs.queue.Write(b.Blk, b.Data); err != nil {
-				return fmt.Errorf("basefs: checkpoint block %d: %w", b.Blk, err)
+		flushes += 2
+		for _, s := range chunk {
+			fs.unstable[s.Blk] = s.Data
+			if s.Buf != nil {
+				fs.bc.MarkJournaled(s.Buf, s.Ver)
 			}
-			fs.bc.MarkClean(b)
 		}
-		if err := fs.queue.Flush(); err != nil {
-			return fmt.Errorf("basefs: checkpoint flush: %w", err)
-		}
-		if err := fs.jnl.Reset(); err != nil {
-			return err
-		}
+		meta = meta[len(chunk):]
 	}
 
-	// 6. Persist the logical clock so timestamps continue monotonically
-	// across remounts and contained reboots.
-	if clk := fs.clock.Load(); clk != fs.sb.LastClock {
-		fs.sb.LastClock = clk
-		if err := fs.queue.Write(0, disklayout.EncodeSuperblock(fs.sb)); err != nil {
-			return fmt.Errorf("basefs: sync superblock: %w", err)
-		}
-		if err := fs.queue.Flush(); err != nil {
-			return fmt.Errorf("basefs: sync superblock flush: %w", err)
+	// --- Phase D: lazy checkpoint policy. ---
+	// Committed transactions accumulate; write them home only when forced
+	// (unmount) or when the region's remaining space runs low.
+	if ckpt || fs.jnl.SpaceLeft() < fs.jnl.Capacity()/4 {
+		n, err := fs.checkpoint()
+		flushes += n
+		if err != nil {
+			return err
 		}
 	}
 	// No exit seam here: a bug firing after the persist would be detected
@@ -154,6 +263,51 @@ func (fs *FS) syncLocked() error {
 	// excludes ("we assume that errors are detected before being persisted
 	// to disk", §3.1). Sync bugs are modeled at the entry seam.
 	return nil
+}
+
+// checkpoint writes every journaled-but-unstable block to its home location,
+// flushes, and retires the journal's live chain. Called only from within a
+// sync round (rounds are serialized) or unmount. Returns the number of
+// device flushes issued.
+func (fs *FS) checkpoint() (int, error) {
+	if len(fs.unstable) == 0 {
+		return 0, fs.jnl.Checkpointed() // no-op unless the chain is non-empty
+	}
+	blks := make([]uint32, 0, len(fs.unstable))
+	for blk := range fs.unstable {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	var reqs []interface{ Wait() error }
+	for _, blk := range blks {
+		reqs = append(reqs, fs.queue.WriteAsync(blk, fs.unstable[blk]))
+	}
+	for i, r := range reqs {
+		if err := r.Wait(); err != nil {
+			return 0, fmt.Errorf("basefs: checkpoint block %d: %w", blks[i], err)
+		}
+	}
+	if err := fs.queue.Flush(); err != nil {
+		return 1, fmt.Errorf("basefs: checkpoint flush: %w", err)
+	}
+	// Homes are durable; advance the journal superblock past the chain.
+	if err := fs.jnl.Checkpointed(); err != nil {
+		return 1, err
+	}
+	fs.telCkptBlocks.Add(int64(len(blks)))
+	for _, blk := range blks {
+		fs.bc.MarkStable(blk)
+		delete(fs.unstable, blk)
+	}
+	return 2, nil // queue flush + journal superblock flush
+}
+
+// Checkpoint forces a full checkpoint through the sync-round machinery:
+// everything dirty is journaled and everything journaled is written home,
+// leaving the journal empty. Unmount uses it; tests use it to pin down
+// journal state.
+func (fs *FS) Checkpoint() error {
+	return fs.syncShared(true)
 }
 
 // validateInodeForPersist runs the pre-persist semantic checks on one dirty
@@ -182,7 +336,7 @@ func (fs *FS) validateInodeForPersist(ci *cache.CachedInode) error {
 // validateMetaForPersist checks dirty metadata blocks structurally before
 // they can reach the journal: inode-table blocks must hold checksummed
 // records with sane fields.
-func (fs *FS) validateMetaForPersist(meta []*cache.Buf) error {
+func (fs *FS) validateMetaForPersist(meta []cache.DirtySnap) error {
 	tableStart := fs.sb.InodeTableStart
 	tableEnd := tableStart + fs.sb.InodeTableLen
 	for _, b := range meta {

@@ -373,3 +373,44 @@ func TestMemPropertyWriteThenRead(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQueueConcurrentFlushHammer is the regression test for the WaitGroup
+// reuse race in Flush: the old barrier Add-ed to a single shared WaitGroup
+// while another goroutine's Flush was inside Wait, which the race detector
+// flags and which could return a Flush before its epoch's writes landed.
+// The epoch barrier must let many goroutines submit and flush concurrently,
+// with every Flush covering all writes submitted before it. Run with -race.
+func TestQueueConcurrentFlushHammer(t *testing.T) {
+	d := NewMem(4096)
+	q := NewQueue(d, 8, 64)
+	defer q.Close()
+	const workers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint32(g * 512)
+			for i := 0; i < rounds; i++ {
+				blk := base + uint32(i%256)
+				r := q.WriteAsync(blk, block(byte(i)))
+				if err := q.Flush(); err != nil {
+					t.Errorf("flush: %v", err)
+					return
+				}
+				// A flush issued after the submit must imply completion.
+				if err := r.Wait(); err != nil {
+					t.Errorf("write after flush: %v", err)
+					return
+				}
+				got, err := d.ReadBlock(blk)
+				if err != nil || got[0] != byte(i) {
+					t.Errorf("block %d not durable after flush: %v", blk, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

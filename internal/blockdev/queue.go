@@ -12,20 +12,30 @@ import (
 // drives (the blk-mq analogue in Figure 2). Requests are submitted to
 // per-CPU-style submission queues and completed by worker goroutines; the
 // shadow never touches this path.
+//
+// Flush ordering uses write epochs: every request joins the current epoch at
+// submission, and a flush seals the epoch, waits for it (and, transitively,
+// every earlier epoch) to drain, and only then issues the device flush. A
+// write submitted after the flush began is in a later epoch and is never
+// waited on — it may complete before or after the flush, which is exactly
+// the barrier contract: a flush covers all IO submitted before it, nothing
+// more.
 type Queue struct {
-	dev     Device
-	reqs    chan *Request
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
-	inFlite sync.WaitGroup
+	dev    Device
+	reqs   chan *Request
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	// epoch is the set of in-flight requests a future flush must order
+	// after. Guarded by mu; swapped (never Waited under mu) by Flush.
+	epoch *sync.WaitGroup
 
 	// Telemetry for the queued path ("blockdev.queued.*"), distinguishing
 	// the base's async IO machinery from the shadow's direct path. All nil
 	// when telemetry is off; the instruments themselves are nil-safe.
 	tel struct {
-		reads, writes, flushes    *telemetry.Counter
-		hRead, hWrite, hFlush     *telemetry.Histogram
+		reads, writes, flushes *telemetry.Counter
+		hRead, hWrite, hFlush  *telemetry.Histogram
 	}
 }
 
@@ -61,6 +71,8 @@ type Request struct {
 	Data []byte // payload for writes; result buffer for reads
 	Err  error
 	done chan struct{}
+	// epoch is the flush epoch this request was submitted under.
+	epoch *sync.WaitGroup
 }
 
 // Wait blocks until the request completes and returns its error.
@@ -78,7 +90,7 @@ func NewQueue(dev Device, workers, depth int) *Queue {
 	if depth < 1 {
 		depth = 64
 	}
-	q := &Queue{dev: dev, reqs: make(chan *Request, depth)}
+	q := &Queue{dev: dev, reqs: make(chan *Request, depth), epoch: &sync.WaitGroup{}}
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go q.worker()
@@ -107,7 +119,7 @@ func (q *Queue) worker() {
 			q.tel.flushes.Inc()
 		}
 		close(r.done)
-		q.inFlite.Done()
+		r.epoch.Done()
 	}
 }
 
@@ -122,7 +134,8 @@ func (q *Queue) Submit(r *Request) *Request {
 		close(r.done)
 		return r
 	}
-	q.inFlite.Add(1)
+	r.epoch = q.epoch
+	r.epoch.Add(1)
 	q.reqs <- r
 	q.mu.Unlock()
 	return r
@@ -148,9 +161,31 @@ func (q *Queue) WriteAsync(blk uint32, data []byte) *Request {
 	return q.Submit(&Request{Kind: OpWrite, Blk: blk, Data: data})
 }
 
-// Flush drains all in-flight requests and issues a device flush.
+// sealEpoch atomically replaces the current epoch and returns the old one,
+// which from that point on can only shrink. The new epoch carries one token
+// released when the old epoch drains, so a later seal transitively waits for
+// every earlier epoch without keeping a list.
+func (q *Queue) sealEpoch() *sync.WaitGroup {
+	q.mu.Lock()
+	old := q.epoch
+	q.epoch = &sync.WaitGroup{}
+	q.epoch.Add(1) // carry token, released once old has drained
+	next := q.epoch
+	q.mu.Unlock()
+	go func() {
+		old.Wait()
+		next.Done()
+	}()
+	return old
+}
+
+// Flush orders after all previously submitted requests: it seals the current
+// write epoch, waits for it (and all earlier epochs) to complete, then
+// issues a device flush through the queue. Writes submitted concurrently
+// with the flush are not covered by it and cannot make it report success
+// early — the WaitGroup they join is no longer the one being waited on.
 func (q *Queue) Flush() error {
-	q.inFlite.Wait()
+	q.sealEpoch().Wait()
 	r := q.Submit(&Request{Kind: OpFlush})
 	return r.Wait()
 }
@@ -163,8 +198,49 @@ func (q *Queue) Close() {
 		return
 	}
 	q.closed = true
+	old := q.epoch
+	q.epoch = &sync.WaitGroup{} // closed: no new members
 	q.mu.Unlock()
-	q.inFlite.Wait()
+	old.Wait()
 	close(q.reqs)
 	q.wg.Wait()
+}
+
+// QueueDevice adapts a Queue to the synchronous Device interface so
+// components written against Device (the journal) drive their IO through
+// the base's async block layer: writes overlap across workers, and every
+// flush is counted by the queued-path telemetry.
+type QueueDevice struct {
+	q *Queue
+	n uint32
+}
+
+// Device returns a synchronous Device view of the queue.
+func (q *Queue) Device() *QueueDevice {
+	return &QueueDevice{q: q, n: q.dev.NumBlocks()}
+}
+
+// ReadBlock implements Device.
+func (d *QueueDevice) ReadBlock(blk uint32) ([]byte, error) { return d.q.Read(blk) }
+
+// WriteBlock implements Device.
+func (d *QueueDevice) WriteBlock(blk uint32, data []byte) error { return d.q.Write(blk, data) }
+
+// NumBlocks implements Device.
+func (d *QueueDevice) NumBlocks() uint32 { return d.n }
+
+// Flush implements Device.
+func (d *QueueDevice) Flush() error { return d.q.Flush() }
+
+// WriteAsync exposes the queue's asynchronous write so Device consumers that
+// know about the queue (the journal's batch commit) can overlap payload
+// writes instead of serializing them.
+func (d *QueueDevice) WriteAsync(blk uint32, data []byte) *Request {
+	return d.q.WriteAsync(blk, data)
+}
+
+// AsyncWriter is implemented by devices that can overlap writes; callers
+// fall back to synchronous WriteBlock when the assertion fails.
+type AsyncWriter interface {
+	WriteAsync(blk uint32, data []byte) *Request
 }

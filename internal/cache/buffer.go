@@ -22,22 +22,41 @@ import (
 )
 
 // Buf is one cached block. Callers mutate Data only between Get and Release
-// while holding the buffer pinned, and must call MarkDirty after mutating.
+// while holding the buffer pinned, and must call MarkDirty (or MarkDirtyMeta
+// for metadata) after mutating. All other state — the meta flag, dirty and
+// stability bits, pin counts — is owned by the cache and only changes under
+// its lock.
 type Buf struct {
 	Blk  uint32
 	Data []byte
-	// Meta marks the block as filesystem metadata (inode table, bitmaps,
+	// meta marks the block as filesystem metadata (inode table, bitmaps,
 	// directory and indirect blocks). The sync path journals dirty metadata
 	// blocks and writes dirty data blocks straight home (ordered mode).
-	Meta  bool
+	// Guarded by the cache lock: set via MarkDirtyMeta/Install, read via
+	// SnapshotDirty.
+	meta  bool
 	dirty bool
-	pins  int
-	elem  *list.Element
+	// unstable marks a block whose latest content is committed in the
+	// journal but not yet checkpointed home. Such a buffer must never be
+	// evicted — a re-read would see the stale home copy — so it stays out of
+	// the LRU until MarkStable.
+	unstable bool
+	// dropped marks a buffer removed from the cache (block freed) while
+	// still pinned. It must never re-enter the LRU: the block number may
+	// have been reallocated to a different, live buffer.
+	dropped bool
+	// ver counts dirtyings. The sync path snapshots (content, ver) under the
+	// filesystem lock, performs IO outside it, and then clears dirty only if
+	// ver is unchanged — a concurrent re-dirty keeps the buffer dirty.
+	ver  uint64
+	pins int
+	elem *list.Element
 }
 
 // BufferCache is a write-back block cache with LRU eviction of clean,
-// unpinned buffers. Dirty buffers are never evicted; they leave the cache
-// only through FlushDirty (checkpointing) or Invalidate (contained reboot).
+// unpinned buffers. Dirty and unstable buffers are never evicted; they leave
+// those states only through the sync path (journal commit + checkpoint) or
+// Drop.
 type BufferCache struct {
 	mu       sync.Mutex
 	queue    *blockdev.Queue
@@ -47,8 +66,8 @@ type BufferCache struct {
 	hits     int64
 	misses   int64
 	// policy, when set, drives admission/eviction (2Q); the LRU list remains
-	// the backstop bound. Policy victims are honored only when clean and
-	// unpinned.
+	// the backstop bound. Policy victims are honored only when clean,
+	// stable, and unpinned.
 	policy *TwoQ
 
 	telHits, telMisses *telemetry.Counter
@@ -79,7 +98,7 @@ func (c *BufferCache) touchPolicyLocked(blk uint32) {
 		return
 	}
 	for _, victim := range c.policy.Touch(blk) {
-		if b, ok := c.bufs[victim]; ok && !b.dirty && b.pins == 0 {
+		if b, ok := c.bufs[victim]; ok && !b.dirty && !b.unstable && b.pins == 0 {
 			if b.elem != nil {
 				c.lru.Remove(b.elem)
 				b.elem = nil
@@ -162,20 +181,37 @@ func (c *BufferCache) GetZero(blk uint32) *Buf {
 	return b
 }
 
-// MarkDirty flags a pinned buffer as modified. Dirty buffers are exempt from
-// eviction until flushed.
+// MarkDirty flags a pinned buffer as modified data. Dirty buffers are exempt
+// from eviction until flushed.
 func (c *BufferCache) MarkDirty(b *Buf) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.markDirtyLocked(b)
+}
+
+// MarkDirtyMeta flags a pinned buffer as modified metadata, routing it to
+// the journaled side of the sync path. The meta flag is set under the cache
+// lock so concurrent sync snapshots never race on it.
+func (c *BufferCache) MarkDirtyMeta(b *Buf) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.meta = true
+	c.markDirtyLocked(b)
+}
+
+func (c *BufferCache) markDirtyLocked(b *Buf) {
 	b.dirty = true
+	b.ver++
 	if b.elem != nil {
 		c.lru.Remove(b.elem)
 		b.elem = nil
 	}
 }
 
-// Release unpins a buffer. Clean, unpinned buffers become eviction
-// candidates.
+// Release unpins a buffer. Clean, stable, unpinned buffers become eviction
+// candidates. A buffer that was Dropped while pinned is gone for good: its
+// block number may already belong to a different live buffer, so it must not
+// re-enter the LRU.
 func (c *BufferCache) Release(b *Buf) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -183,7 +219,13 @@ func (c *BufferCache) Release(b *Buf) {
 		panic(fmt.Sprintf("cache: release of unpinned buffer %d", b.Blk))
 	}
 	b.pins--
-	if b.pins == 0 && !b.dirty && b.elem == nil {
+	c.maybeCacheLocked(b)
+}
+
+// maybeCacheLocked inserts b into the LRU if it is eligible, then enforces
+// the clean-buffer bound.
+func (c *BufferCache) maybeCacheLocked(b *Buf) {
+	if b.pins == 0 && !b.dirty && !b.unstable && !b.dropped && b.elem == nil {
 		b.elem = c.lru.PushBack(b)
 		c.evictLocked()
 	}
@@ -195,13 +237,16 @@ func (c *BufferCache) evictLocked() {
 		b := front.Value.(*Buf)
 		c.lru.Remove(front)
 		b.elem = nil
-		delete(c.bufs, b.Blk)
+		// Identity check: only evict the mapping if it still points at this
+		// buffer, never a successor that reused the block number.
+		if cur, ok := c.bufs[b.Blk]; ok && cur == b {
+			delete(c.bufs, b.Blk)
+		}
 	}
 }
 
-// DirtyBlocks returns a snapshot of all dirty buffers, ordered by block
-// number upstream if the caller sorts. The buffers stay dirty; the sync path
-// clears them with MarkClean after committing.
+// DirtyBlocks returns a snapshot of all dirty buffers. The buffers stay
+// dirty; the sync path clears them with MarkClean after committing.
 func (c *BufferCache) DirtyBlocks() []*Buf {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -214,8 +259,38 @@ func (c *BufferCache) DirtyBlocks() []*Buf {
 	return out
 }
 
+// DirtySnap is one dirty buffer captured by SnapshotDirty: a stable copy of
+// its content plus the version that content corresponds to.
+type DirtySnap struct {
+	Buf  *Buf
+	Blk  uint32
+	Meta bool
+	Ver  uint64
+	Data []byte
+}
+
+// SnapshotDirty captures every dirty buffer — block number, meta flag,
+// version, and a copy of the content — under the cache lock. The sync path
+// snapshots while holding the filesystem lock (quiescing writers), performs
+// IO on the copies outside both locks, and retires each buffer with
+// MarkCleanVer/MarkJournaled so a concurrent re-dirty is never lost.
+func (c *BufferCache) SnapshotDirty() []DirtySnap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []DirtySnap
+	for _, b := range c.bufs {
+		if !b.dirty {
+			continue
+		}
+		cp := make([]byte, len(b.Data))
+		copy(cp, b.Data)
+		out = append(out, DirtySnap{Buf: b, Blk: b.Blk, Meta: b.meta, Ver: b.ver, Data: cp})
+	}
+	return out
+}
+
 // MarkClean clears the dirty flag after the buffer's contents have been made
-// durable, returning it to LRU circulation if unpinned.
+// durable, returning it to LRU circulation if eligible.
 func (c *BufferCache) MarkClean(b *Buf) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -223,10 +298,53 @@ func (c *BufferCache) MarkClean(b *Buf) {
 		return
 	}
 	b.dirty = false
-	if b.pins == 0 && b.elem == nil {
-		b.elem = c.lru.PushBack(b)
-		c.evictLocked()
+	c.maybeCacheLocked(b)
+}
+
+// MarkCleanVer clears the dirty flag only if the buffer has not been
+// re-dirtied since the version was captured (see SnapshotDirty). The sync
+// path uses it for data blocks written home outside the filesystem lock.
+func (c *BufferCache) MarkCleanVer(b *Buf, ver uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !b.dirty || b.ver != ver {
+		return
 	}
+	b.dirty = false
+	c.maybeCacheLocked(b)
+}
+
+// MarkJournaled records that the buffer's content at the captured version is
+// now committed in the journal: the buffer turns unstable (home copy stale,
+// so it is pinned out of eviction until a checkpoint) and, if it has not
+// been re-dirtied meanwhile, clean. A re-dirtied buffer stays dirty — its
+// newer content will ride a later transaction — but still turns unstable,
+// because the journal now holds a live record targeting its home.
+func (c *BufferCache) MarkJournaled(b *Buf, ver uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.unstable = true
+	if b.elem != nil {
+		c.lru.Remove(b.elem)
+		b.elem = nil
+	}
+	if b.dirty && b.ver == ver {
+		b.dirty = false
+	}
+}
+
+// MarkStable clears the unstable state of blk after a checkpoint wrote its
+// journaled content home and flushed. No-op if the block is no longer cached
+// (freed) or was reallocated to a buffer that is not unstable.
+func (c *BufferCache) MarkStable(blk uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bufs[blk]
+	if !ok || !b.unstable {
+		return
+	}
+	b.unstable = false
+	c.maybeCacheLocked(b)
 }
 
 // Install places externally produced block contents (the shadow's metadata
@@ -247,12 +365,14 @@ func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
 	}
 	b.Data = make([]byte, disklayout.BlockSize)
 	copy(b.Data, data)
-	b.Meta = meta
+	b.meta = meta
 	b.dirty = true
+	b.ver++
 }
 
 // Drop removes a block from the cache regardless of state (used when a block
-// is freed).
+// is freed). If the buffer is still pinned, its holder may keep using it,
+// but it is marked dropped and will never re-enter the cache.
 func (c *BufferCache) Drop(blk uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -262,7 +382,9 @@ func (c *BufferCache) Drop(blk uint32) {
 	if b, ok := c.bufs[blk]; ok {
 		if b.elem != nil {
 			c.lru.Remove(b.elem)
+			b.elem = nil
 		}
+		b.dropped = true
 		delete(c.bufs, blk)
 	}
 }

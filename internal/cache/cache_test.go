@@ -298,3 +298,88 @@ func TestInodeCacheDropAndPurge(t *testing.T) {
 		t.Error("Purge left inodes (contained reboot must drop everything)")
 	}
 }
+
+// TestDropWhilePinnedDoesNotResurrect is the regression test for the
+// stale-buffer bug: releasing a pin on a buffer that was Drop-ped while
+// pinned used to re-insert the stale *Buf into the clean LRU. The stale
+// entry shared a block number with the live successor, so a later eviction
+// could delete the successor from the cache map — silently losing a dirty
+// buffer and its data.
+func TestDropWhilePinnedDoesNotResurrect(t *testing.T) {
+	c, _, _ := newBC(t, 256, 4)
+	old, err := c.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop while the pin is still held (the truncate/free path does this
+	// when another goroutine is mid-read).
+	c.Drop(5)
+	// The block is reallocated: a fresh buffer with dirty contents.
+	fresh := c.GetZero(5)
+	fresh.Data[0] = 0xD1
+	c.MarkDirty(fresh)
+	c.Release(fresh)
+	// Releasing the stale pin must NOT put the dead buffer back in the LRU.
+	c.Release(old)
+	// Churn the cache hard enough to evict anything the release enqueued.
+	for i := uint32(100); i < 120; i++ {
+		b, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release(b)
+	}
+	got, err := c.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(got)
+	if got != fresh || got.Data[0] != 0xD1 {
+		t.Fatalf("live dirty buffer lost: got %p (data[0]=%#x), want %p", got, got.Data[0], fresh)
+	}
+	var dirty bool
+	for _, b := range c.DirtyBlocks() {
+		if b.Blk == 5 {
+			dirty = true
+		}
+	}
+	if !dirty {
+		t.Error("block 5 vanished from the dirty set")
+	}
+}
+
+// TestUnstableBufferNeverEvicted: a journaled-but-not-checkpointed buffer
+// must stay out of the clean LRU — evicting it would let a later Get reread
+// the stale home-location copy from disk.
+func TestUnstableBufferNeverEvicted(t *testing.T) {
+	c, dev, _ := newBC(t, 256, 4)
+	fill(dev, 7, 0x00) // stale home copy
+	b, err := c.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 0x77
+	c.MarkDirty(b)
+	snaps := c.SnapshotDirty()
+	if len(snaps) != 1 || snaps[0].Blk != 7 {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+	c.MarkJournaled(b, snaps[0].Ver)
+	c.Release(b)
+	for i := uint32(100); i < 120; i++ {
+		x, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release(x)
+	}
+	got, err := c.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(got)
+	if got.Data[0] != 0x77 {
+		t.Fatal("unstable buffer evicted; Get reread the stale home copy")
+	}
+	c.MarkStable(7)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/basefs"
@@ -148,6 +149,12 @@ func TestRecoveryWithOnDiskCorruptionDegrades(t *testing.T) {
 	if err := fs.Sync(); err != nil {
 		t.Fatal(err)
 	}
+	// Force a checkpoint so the inode table is home and the journal is
+	// empty — otherwise replay at recovery would simply rewrite the block
+	// we are about to corrupt, repairing the "media corruption".
+	if err := fs.Base().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	// Scribble on the on-disk inode table (simulating media corruption that
 	// sync-validate could not have seen).
 	blk, off := sbGeom.InodeLoc(2)
@@ -268,5 +275,56 @@ func TestRecoveryWireFormatRoundTrip(t *testing.T) {
 	st2, err := fs.Stat("/d/f")
 	if err != nil || st2.Size != 2 {
 		t.Errorf("truncate lost: %+v %v", st2, err)
+	}
+}
+
+// TestRecoveryWithManyLiveJournalTxs: with lazy checkpointing, the journal
+// routinely holds several committed transactions that have never been
+// written home. A runtime error arriving in that state forces the contained
+// reboot to replay the whole multi-transaction chain before the shadow
+// hand-off; every previously fsynced file must come through intact.
+func TestRecoveryWithManyLiveJournalTxs(t *testing.T) {
+	reg := faultinject.NewRegistry(9)
+	reg.Arm(trigger(faultinject.Crash, "mkdir", true))
+	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	payloads := map[string]string{}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("/live%d", i)
+		body := fmt.Sprintf("live tx payload %d", i)
+		fd, err := fs.Create(name, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(fd, 0, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Fsync(fd); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		payloads[name] = body
+	}
+	if live := fs.Base().JournalLiveTxs(); live < 4 {
+		t.Fatalf("journal holds %d live txs, want >= 4 before the fault", live)
+	}
+	if err := fs.Mkdir("/trigger", 0o755); err != nil { // fires crash + recovery
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.Recoveries != 1 || st.Degradations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for name, body := range payloads {
+		fd, err := fs.Open(name)
+		if err != nil {
+			t.Fatalf("%s lost across multi-tx replay: %v", name, err)
+		}
+		got, err := fs.ReadAt(fd, 0, 100)
+		if err != nil || string(got) != body {
+			t.Fatalf("%s = (%q, %v), want %q", name, got, err, body)
+		}
+		fs.Close(fd)
 	}
 }

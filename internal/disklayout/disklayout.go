@@ -90,6 +90,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // format.
 func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 
+// ChecksumUpdate continues a CRC32C over more bytes:
+// ChecksumUpdate(ChecksumUpdate(0, a), b) == Checksum(append(a, b...)).
+// The journal's commit and replay paths use it to fold payload blocks into
+// a running checksum without concatenating them.
+func ChecksumUpdate(acc uint32, b []byte) uint32 { return crc32.Update(acc, crcTable, b) }
+
 // Superblock is the root of the on-disk format, stored in block 0.
 type Superblock struct {
 	Magic            uint32

@@ -8,18 +8,29 @@
 //
 // Layout inside the journal region [JournalStart, JournalStart+JournalLen):
 //
-//	tx := header block | payload blocks... | commit block
+//	block 0:  journal superblock (JSB) — chain tail + next expected txid
+//	block 1+: tx chain, each tx = header | payload blocks... | commit block
 //
 // The header records the transaction id, the number of payload blocks, and
 // the home location of each. The commit block repeats the id and carries a
-// CRC32C over all payload blocks; a transaction missing a valid commit block
-// is ignored by replay (it never happened). Transactions are written
-// sequentially and the region is reset (head rewound) after a checkpoint.
+// streaming CRC32C over all payload blocks; a transaction missing a valid
+// commit block is ignored by replay (it never happened).
+//
+// Transactions accumulate: committing does NOT require the previous
+// transaction to be checkpointed, so under fsync-heavy load the region fills
+// with many live committed transactions and each commit costs exactly two
+// device flushes. A checkpoint (the caller writing every live target to its
+// home location and flushing) retires the whole chain at once by advancing
+// the JSB — sequence number bumped past the chain, tail rewound — instead of
+// zeroing the region. Replay walks the chain from the JSB's tail expecting
+// strictly sequential txids starting at the JSB's sequence, which makes
+// stale remnants from earlier, longer chains unreplayable.
 package journal
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/blockdev"
 	"repro/internal/disklayout"
@@ -29,6 +40,7 @@ import (
 
 // Record magics distinguishing journal block types.
 const (
+	jsbMagic    = 0x4A524E53 // "JRNS"
 	headerMagic = 0x4A524E48 // "JRNH"
 	commitMagic = 0x4A524E43 // "JRNC"
 )
@@ -37,16 +49,39 @@ const (
 // bounded by the u32 slots available in one header block.
 const maxTargets = (disklayout.BlockSize - 16 - 4) / 4
 
+// chainStart is the first chain block relative to the region start; block 0
+// is the JSB. Checkpoints always rewind the tail here, so the JSB's tail
+// field is redundant today but keeps the format honest about where replay
+// must begin.
+const chainStart = 1
+
 // Journal manages the journal region of a device.
 type Journal struct {
 	dev   blockdev.Device
 	start uint32 // first block of the journal region
 	len   uint32 // region length in blocks
-	head  uint32 // next free block, relative to start
-	txid  uint64 // next transaction id
 
-	telCommits, telBlocks *telemetry.Counter
-	telCommitLatency      *telemetry.Histogram
+	// mu guards the persistent cursor and the live-target set. Physical
+	// commits are serialized by the group-commit leader, but Checkpointed
+	// and Contains may be called concurrently with a commit in flight.
+	mu      sync.Mutex
+	head    uint32 // next free block, relative to start
+	txid    uint64 // next transaction id
+	live    map[uint32]struct{}
+	liveTxs int
+
+	// Group-commit coordinator: concurrent Commit callers append to pending;
+	// the first becomes leader and drains batches while followers wait on
+	// their buffered error channels.
+	gcMu    sync.Mutex
+	pending []*commitReq
+	leading bool
+
+	// Reused scratch blocks so commit is allocation-free per transaction.
+	hdrBuf, cmtBuf, jsbBuf []byte
+
+	telCommits, telBlocks, telCheckpoints *telemetry.Counter
+	telCommitLatency, telBatch            *telemetry.Histogram
 }
 
 // SetTelemetry installs commit instrumentation ("journal.*") from s.
@@ -56,33 +91,86 @@ func (j *Journal) SetTelemetry(s *telemetry.Sink) {
 	}
 	j.telCommits = s.Counter("journal.commits")
 	j.telBlocks = s.Counter("journal.committed_blocks")
+	j.telCheckpoints = s.Counter("journal.checkpoints")
 	j.telCommitLatency = s.Histogram("journal.commit.latency")
+	j.telBatch = s.Histogram("journal.group.batch_size")
 }
 
-// New attaches to the journal region described by sb on dev. It does not
-// read or replay; call Replay for that.
-func New(dev blockdev.Device, sb *disklayout.Superblock) *Journal {
-	return &Journal{dev: dev, start: sb.JournalStart, len: sb.JournalLen, txid: 1}
+// New attaches to the journal region described by sb on dev, reading the
+// journal superblock to restore the persistent cursor. The region must have
+// been formatted (mkfs writes an empty JSB) or replayed; an undecodable JSB
+// here means real corruption, not a torn crash write, because both Format
+// and Replay leave a valid one behind.
+func New(dev blockdev.Device, sb *disklayout.Superblock) (*Journal, error) {
+	j := &Journal{
+		dev:    dev,
+		start:  sb.JournalStart,
+		len:    sb.JournalLen,
+		live:   make(map[uint32]struct{}),
+		hdrBuf: make([]byte, disklayout.BlockSize),
+		cmtBuf: make([]byte, disklayout.BlockSize),
+		jsbBuf: make([]byte, disklayout.BlockSize),
+	}
+	raw, err := dev.ReadBlock(j.start)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read superblock: %w", err)
+	}
+	tail, seq, ok := decodeJSB(raw)
+	if !ok {
+		return nil, fmt.Errorf("journal: invalid journal superblock: %w", fserr.ErrCorrupt)
+	}
+	j.head = tail
+	j.txid = seq
+	return j, nil
+}
+
+func decodeJSB(b []byte) (tail uint32, seq uint64, ok bool) {
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != jsbMagic ||
+		le.Uint32(b[disklayout.BlockSize-4:]) != disklayout.Checksum(b[:disklayout.BlockSize-4]) {
+		return 0, 0, false
+	}
+	tail = le.Uint32(b[4:])
+	seq = le.Uint64(b[8:])
+	if tail < chainStart || seq == 0 {
+		return 0, 0, false
+	}
+	return tail, seq, true
+}
+
+// EncodeJSB serializes a journal superblock into buf (one block). Exported
+// for mkfs, which must leave a valid empty JSB behind at format time.
+func EncodeJSB(buf []byte, tail uint32, seq uint64) {
+	le := binary.LittleEndian
+	for i := range buf {
+		buf[i] = 0
+	}
+	le.PutUint32(buf[0:], jsbMagic)
+	le.PutUint32(buf[4:], tail)
+	le.PutUint64(buf[8:], seq)
+	le.PutUint32(buf[disklayout.BlockSize-4:], disklayout.Checksum(buf[:disklayout.BlockSize-4]))
 }
 
 // Capacity returns the number of payload blocks the largest single
-// transaction can hold given the remaining region space.
+// transaction can hold in an empty region.
 func (j *Journal) Capacity() int {
-	if j.len < 2 {
+	if j.len < chainStart+2 {
 		return 0
 	}
-	c := int(j.len) - 2 // header + commit
+	c := int(j.len) - chainStart - 2 // JSB + header + commit
 	if c > maxTargets {
 		c = maxTargets
 	}
 	return c
 }
 
-// SpaceLeft returns how many payload blocks can still be appended before a
-// checkpoint is required.
+// SpaceLeft returns how many payload blocks the next transaction can carry
+// before a checkpoint is required.
 func (j *Journal) SpaceLeft() int {
-	used := int(j.head)
-	left := int(j.len) - used - 2
+	j.mu.Lock()
+	head := j.head
+	j.mu.Unlock()
+	left := int(j.len) - int(head) - 2
 	if left < 0 {
 		left = 0
 	}
@@ -90,6 +178,26 @@ func (j *Journal) SpaceLeft() int {
 		left = maxTargets
 	}
 	return left
+}
+
+// LiveTxs returns the number of committed transactions not yet retired by a
+// checkpoint — the chain replay would apply after a crash right now.
+func (j *Journal) LiveTxs() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.liveTxs
+}
+
+// Contains reports whether blk is a home target of a live committed
+// transaction. The base's sync path uses this to detect a freed metadata
+// block reallocated as data: writing such a block home before the journal is
+// checkpointed would let a crash replay stale metadata over live data, so
+// the caller must checkpoint first.
+func (j *Journal) Contains(blk uint32) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.live[blk]
+	return ok
 }
 
 // Tx is one journal transaction under construction: a set of home-location
@@ -121,55 +229,151 @@ func (t *Tx) Len() int { return len(t.Targets) }
 // the caller must checkpoint and retry.
 var ErrJournalFull = fmt.Errorf("journal: region full: %w", fserr.ErrNoSpace)
 
-// Commit durably appends the transaction: payload blocks and header first,
-// flush, then the commit block, then flush again. After Commit returns nil
-// the transaction will be replayed by any subsequent Replay until the next
-// Reset, so the caller may lazily write the home locations.
+// commitReq is one caller's transaction waiting for the group-commit leader.
+type commitReq struct {
+	tx   *Tx
+	errc chan error
+}
+
+// Commit durably appends the transaction and returns once it is replay-safe:
+// header and payloads are written and flushed, then the commit record is
+// written and flushed — two device flushes, shared by every caller that
+// coalesced into the same physical transaction. Concurrent Commit calls are
+// batched by a leader/follower protocol: the first caller in becomes leader
+// and commits the merged batch while later arrivals wait; a batch is bounded
+// by the region's single-transaction capacity, beyond which the leader
+// starts another physical transaction.
+//
+// After Commit returns nil the transaction stays live (replayed by any
+// subsequent Replay) until Checkpointed retires it, so the caller may lazily
+// write the home locations.
 func (j *Journal) Commit(tx *Tx) error {
-	n := uint32(len(tx.Targets))
-	if n == 0 {
+	if tx.Len() == 0 {
 		return nil
 	}
+	if tx.Len() > maxTargets {
+		return fmt.Errorf("journal: transaction of %d blocks exceeds max %d: %w",
+			tx.Len(), maxTargets, fserr.ErrInvalid)
+	}
+	req := &commitReq{tx: tx, errc: make(chan error, 1)}
+	j.gcMu.Lock()
+	j.pending = append(j.pending, req)
+	if j.leading {
+		// A leader is committing; it will pick this request up in its next
+		// batch. Wait as a follower.
+		j.gcMu.Unlock()
+		return <-req.errc
+	}
+	j.leading = true
+	for len(j.pending) > 0 {
+		batch := j.takeBatchLocked()
+		j.gcMu.Unlock()
+		err := j.commitBatch(batch)
+		for _, r := range batch {
+			r.errc <- err
+		}
+		j.gcMu.Lock()
+	}
+	j.leading = false
+	j.gcMu.Unlock()
+	return <-req.errc
+}
+
+// takeBatchLocked pops the next batch off the pending list: as many requests
+// as fit one physical transaction, always at least one. Called with gcMu
+// held.
+func (j *Journal) takeBatchLocked() []*commitReq {
+	var batch []*commitReq
+	total := 0
+	for len(j.pending) > 0 {
+		r := j.pending[0]
+		if len(batch) > 0 && total+r.tx.Len() > j.Capacity() {
+			break
+		}
+		batch = append(batch, r)
+		total += r.tx.Len()
+		j.pending = j.pending[1:]
+	}
+	return batch
+}
+
+// commitBatch merges a batch into one physical transaction and writes it.
+func (j *Journal) commitBatch(batch []*commitReq) error {
 	t := telemetry.StartTimer(j.telCommitLatency)
 	defer t.Stop()
-	if int(n) > maxTargets {
-		return fmt.Errorf("journal: transaction of %d blocks exceeds max %d: %w", n, maxTargets, fserr.ErrInvalid)
+
+	// Merge, later writes to the same target winning, preserving arrival
+	// order otherwise. Payloads were already copied by Tx.Add.
+	var targets []uint32
+	var blocks [][]byte
+	idx := make(map[uint32]int)
+	for _, r := range batch {
+		for i, tgt := range r.tx.Targets {
+			data := r.tx.Blocks[i]
+			if len(data) != disklayout.BlockSize {
+				return fmt.Errorf("journal: payload for block %d is %d bytes: %w",
+					tgt, len(data), fserr.ErrInvalid)
+			}
+			if at, ok := idx[tgt]; ok {
+				blocks[at] = data
+				continue
+			}
+			idx[tgt] = len(targets)
+			targets = append(targets, tgt)
+			blocks = append(blocks, data)
+		}
 	}
+	n := uint32(len(targets))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.head+n+2 > j.len {
 		return ErrJournalFull
 	}
 	le := binary.LittleEndian
 
-	// Header block.
-	hdr := make([]byte, disklayout.BlockSize)
+	// Header block (reused scratch; the CRC covers exactly what we wrote).
+	hdr := j.hdrBuf
 	le.PutUint32(hdr[0:], headerMagic)
 	le.PutUint64(hdr[4:], j.txid)
 	le.PutUint32(hdr[12:], n)
-	for i, tgt := range tx.Targets {
+	for i, tgt := range targets {
 		le.PutUint32(hdr[16+4*i:], tgt)
 	}
 	le.PutUint32(hdr[disklayout.BlockSize-4:], disklayout.Checksum(hdr[:disklayout.BlockSize-4]))
-	if err := j.dev.WriteBlock(j.start+j.head, hdr); err != nil {
+
+	// Header and payloads overlap across queue workers when the device
+	// supports async submission; the flush below is the ordering point.
+	aw, _ := j.dev.(blockdev.AsyncWriter)
+	var reqs []*blockdev.Request
+	write := func(blk uint32, data []byte) error {
+		if aw != nil {
+			reqs = append(reqs, aw.WriteAsync(blk, data))
+			return nil
+		}
+		return j.dev.WriteBlock(blk, data)
+	}
+	if err := write(j.start+j.head, hdr); err != nil {
 		return fmt.Errorf("journal: write header: %w", err)
 	}
-
-	// Payload blocks, checksummed together for the commit record.
 	payloadCRC := uint32(0)
-	for i, data := range tx.Blocks {
-		if len(data) != disklayout.BlockSize {
-			return fmt.Errorf("journal: payload %d is %d bytes: %w", i, len(data), fserr.ErrInvalid)
-		}
-		if err := j.dev.WriteBlock(j.start+j.head+1+uint32(i), data); err != nil {
+	for i, data := range blocks {
+		if err := write(j.start+j.head+1+uint32(i), data); err != nil {
 			return fmt.Errorf("journal: write payload %d: %w", i, err)
 		}
-		payloadCRC = crcCombine(payloadCRC, data)
+		payloadCRC = disklayout.ChecksumUpdate(payloadCRC, data)
+	}
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil {
+			return fmt.Errorf("journal: write tx blocks: %w", err)
+		}
 	}
 	if err := j.dev.Flush(); err != nil {
 		return fmt.Errorf("journal: flush before commit record: %w", err)
 	}
 
 	// Commit block. Its presence with a matching checksum is the commit point.
-	cmt := make([]byte, disklayout.BlockSize)
+	cmt := j.cmtBuf
 	le.PutUint32(cmt[0:], commitMagic)
 	le.PutUint64(cmt[4:], j.txid)
 	le.PutUint32(cmt[12:], n)
@@ -184,31 +388,40 @@ func (j *Journal) Commit(tx *Tx) error {
 
 	j.head += n + 2
 	j.txid++
+	j.liveTxs++
+	for _, tgt := range targets {
+		j.live[tgt] = struct{}{}
+	}
 	j.telCommits.Inc()
 	j.telBlocks.Add(int64(n))
+	j.telBatch.ObserveNs(int64(len(batch)))
 	return nil
 }
 
-// crcCombine folds a block into a running checksum. Chaining per-block CRCs
-// through Checksum keeps replay simple (no need to buffer all payloads).
-func crcCombine(acc uint32, block []byte) uint32 {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], acc)
-	return disklayout.Checksum(append(hdr[:], block...))
-}
-
-// Reset marks the journal empty after a checkpoint has written all committed
-// home locations and flushed. It zeroes the first header slot so stale
-// transactions are not replayed.
-func (j *Journal) Reset() error {
-	zero := make([]byte, disklayout.BlockSize)
-	if err := j.dev.WriteBlock(j.start, zero); err != nil {
-		return fmt.Errorf("journal: reset: %w", err)
+// Checkpointed retires the whole live chain after the caller has written
+// every live target to its home location and flushed: the JSB's sequence is
+// advanced past the chain and the tail rewound, making the old records
+// unreplayable without touching them. With no live transactions it is a
+// no-op — deliberately, so a torn JSB write can only ever be observed while
+// a non-empty chain (which replay's fallback scan finds from block 1) is
+// still intact on disk.
+func (j *Journal) Checkpointed() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.liveTxs == 0 && j.head == chainStart {
+		return nil
+	}
+	EncodeJSB(j.jsbBuf, chainStart, j.txid)
+	if err := j.dev.WriteBlock(j.start, j.jsbBuf); err != nil {
+		return fmt.Errorf("journal: checkpoint superblock: %w", err)
 	}
 	if err := j.dev.Flush(); err != nil {
-		return fmt.Errorf("journal: flush reset: %w", err)
+		return fmt.Errorf("journal: checkpoint flush: %w", err)
 	}
-	j.head = 0
+	j.head = chainStart
+	j.liveTxs = 0
+	j.live = make(map[uint32]struct{})
+	j.telCheckpoints.Inc()
 	return nil
 }
 
@@ -219,16 +432,33 @@ type ReplayStats struct {
 	Blocks      int // home-location blocks rewritten
 }
 
-// Replay scans the journal region from the start, re-applies every fully
-// committed transaction to its home locations, discards the first
-// uncommitted or corrupt tail, flushes, and resets the journal. It is
-// idempotent: replaying twice applies the same writes.
+// Replay walks the transaction chain from the JSB's tail, re-applies every
+// fully committed transaction to its home locations in order, discards the
+// uncommitted or corrupt tail, flushes, and writes a fresh JSB retiring what
+// it applied. It is idempotent: replaying twice applies the same writes.
+//
+// Transactions must carry strictly sequential txids starting at the JSB's
+// sequence; anything else is a stale remnant of an earlier, longer chain and
+// is void. A torn JSB (possible only if the crash interrupted a checkpoint's
+// JSB write) falls back to scanning from block 1 accepting the first txid
+// found — safe, because at any moment a checkpoint advances the JSB, the
+// chain it is retiring is exactly the committed state and re-applying it is
+// idempotent.
 func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error) {
 	var st ReplayStats
 	le := binary.LittleEndian
-	j := New(dev, sb)
-	pos := uint32(0)
-	expect := uint64(0) // txids must be strictly increasing
+
+	raw, err := dev.ReadBlock(sb.JournalStart)
+	if err != nil {
+		return st, fmt.Errorf("journal: replay read superblock: %w", err)
+	}
+	pos, expect, ok := decodeJSB(raw)
+	wildcard := !ok
+	if wildcard {
+		pos, expect = chainStart, 0
+	}
+
+	jStart, jEnd := sb.JournalStart, sb.JournalStart+sb.JournalLen
 	for pos+2 <= sb.JournalLen {
 		hdrBlk, err := dev.ReadBlock(sb.JournalStart + pos)
 		if err != nil {
@@ -236,28 +466,31 @@ func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error)
 		}
 		if le.Uint32(hdrBlk[0:]) != headerMagic ||
 			le.Uint32(hdrBlk[disklayout.BlockSize-4:]) != disklayout.Checksum(hdrBlk[:disklayout.BlockSize-4]) {
-			break // end of journal (or torn header: treated as never-written)
+			break // end of chain (or torn header: treated as never-written)
 		}
 		txid := le.Uint64(hdrBlk[4:])
 		n := le.Uint32(hdrBlk[12:])
-		if txid <= expect || n == 0 || uint64(n) > uint64(maxTargets) || pos+n+2 > sb.JournalLen {
-			st.Uncommitted++
-			break
+		if wildcard && st.Committed == 0 {
+			expect = txid // adopt the chain's first txid
 		}
-		// Read payloads and compute their checksum.
+		if txid != expect || n == 0 || uint64(n) > uint64(maxTargets) || pos+n+2 > sb.JournalLen {
+			st.Uncommitted++
+			break // out-of-sequence remnant or impossible header: chain ends
+		}
+		// Read payloads, folding them into the streaming checksum.
 		payloads := make([][]byte, n)
 		payloadCRC := uint32(0)
-		ok := true
+		readOK := true
 		for i := uint32(0); i < n; i++ {
 			b, err := dev.ReadBlock(sb.JournalStart + pos + 1 + i)
 			if err != nil {
-				ok = false
+				readOK = false
 				break
 			}
 			payloads[i] = b
-			payloadCRC = crcCombine(payloadCRC, b)
+			payloadCRC = disklayout.ChecksumUpdate(payloadCRC, b)
 		}
-		if !ok {
+		if !readOK {
 			st.Uncommitted++
 			break
 		}
@@ -271,12 +504,14 @@ func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error)
 			st.Uncommitted++
 			break // torn or absent commit: this tx and everything after it is void
 		}
-		// Committed: apply to home locations.
+		// Committed: apply to home locations. Block 0 is legal (the sync
+		// path journals superblock updates); the journal region itself and
+		// anything past the device are not.
 		targets := make([]uint32, n)
 		for i := uint32(0); i < n; i++ {
 			targets[i] = le.Uint32(hdrBlk[16+4*i:])
-			if targets[i] >= sb.NumBlocks || targets[i] == 0 {
-				return st, fmt.Errorf("journal: committed tx %d targets block %d outside device: %w",
+			if targets[i] >= sb.NumBlocks || (targets[i] >= jStart && targets[i] < jEnd) {
+				return st, fmt.Errorf("journal: committed tx %d targets block %d outside filesystem: %w",
 					txid, targets[i], fserr.ErrCorrupt)
 			}
 		}
@@ -287,16 +522,28 @@ func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error)
 			st.Blocks++
 		}
 		st.Committed++
-		expect = txid
+		expect = txid + 1
 		pos += n + 2
 	}
-	if st.Committed > 0 || st.Uncommitted > 0 {
+	if st.Committed > 0 {
 		if err := dev.Flush(); err != nil {
 			return st, fmt.Errorf("journal: replay flush: %w", err)
 		}
 	}
-	if err := j.Reset(); err != nil {
-		return st, err
+	// Retire what was applied. Skip the rewrite when it would change nothing
+	// so an already-valid JSB is never exposed to a torn write needlessly.
+	if st.Committed > 0 || wildcard {
+		if expect == 0 {
+			expect = 1 // torn JSB over an empty chain: fresh region
+		}
+		jsb := make([]byte, disklayout.BlockSize)
+		EncodeJSB(jsb, chainStart, expect)
+		if err := dev.WriteBlock(sb.JournalStart, jsb); err != nil {
+			return st, fmt.Errorf("journal: replay superblock: %w", err)
+		}
+		if err := dev.Flush(); err != nil {
+			return st, fmt.Errorf("journal: replay superblock flush: %w", err)
+		}
 	}
 	return st, nil
 }

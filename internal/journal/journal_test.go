@@ -3,8 +3,11 @@ package journal
 import (
 	"bytes"
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/disklayout"
@@ -21,7 +24,26 @@ func setup(t *testing.T) (*blockdev.Mem, *disklayout.Superblock) {
 	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
 		t.Fatal(err)
 	}
+	formatJSB(t, dev, sb)
 	return dev, sb
+}
+
+func formatJSB(t *testing.T, dev blockdev.Device, sb *disklayout.Superblock) {
+	t.Helper()
+	jsb := make([]byte, disklayout.BlockSize)
+	EncodeJSB(jsb, 1, 1)
+	if err := dev.WriteBlock(sb.JournalStart, jsb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustNew(t *testing.T, dev blockdev.Device, sb *disklayout.Superblock) *Journal {
+	t.Helper()
+	j, err := New(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
 }
 
 func fill(b byte) []byte {
@@ -32,9 +54,20 @@ func fill(b byte) []byte {
 	return blk
 }
 
+func TestNewRejectsUnformattedRegion(t *testing.T) {
+	sb, err := disklayout.Geometry(1024, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.NewMem(sb.NumBlocks)
+	if _, err := New(dev, sb); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("New on zeroed region = %v, want ErrCorrupt", err)
+	}
+}
+
 func TestCommitThenReplayAppliesHomeWrites(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx := &Tx{}
 	t1, t2 := sb.DataStart, sb.DataStart+1
 	tx.Add(t1, fill(0xA1))
@@ -42,7 +75,7 @@ func TestCommitThenReplayAppliesHomeWrites(t *testing.T) {
 	if err := j.Commit(tx); err != nil {
 		t.Fatalf("Commit: %v", err)
 	}
-	// Home locations untouched until replay (lazy write-back).
+	// Home locations untouched until checkpoint/replay (lazy write-back).
 	got, _ := dev.ReadBlock(t1)
 	if got[0] == 0xA1 {
 		t.Fatal("commit eagerly wrote home location")
@@ -61,6 +94,270 @@ func TestCommitThenReplayAppliesHomeWrites(t *testing.T) {
 	got, _ = dev.ReadBlock(t2)
 	if !bytes.Equal(got, fill(0xA2)) {
 		t.Error("replay did not write home block 2")
+	}
+}
+
+// TestMultipleLiveTxsReplayInOrder is the load-bearing property of the
+// deferred-checkpoint design: many committed transactions accumulate in the
+// region and a crash replays all of them, in commit order.
+func TestMultipleLiveTxsReplayInOrder(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	const txs = 6
+	for i := 0; i < txs; i++ {
+		tx := &Tx{}
+		tx.Add(sb.DataStart, fill(byte(i+1)))                // same block every tx
+		tx.Add(sb.DataStart+1+uint32(i), fill(0xB0+byte(i))) // distinct block per tx
+		if err := j.Commit(tx); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if j.LiveTxs() != txs {
+		t.Fatalf("LiveTxs = %d, want %d", j.LiveTxs(), txs)
+	}
+	crash := dev.Snapshot()
+	st, err := Replay(crash, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != txs {
+		t.Fatalf("replayed %d txs, want %d (stats %+v)", st.Committed, txs, st)
+	}
+	// The re-written block holds the LAST committed version.
+	got, _ := crash.ReadBlock(sb.DataStart)
+	if got[0] != txs {
+		t.Errorf("block replayed out of order: got version %d, want %d", got[0], txs)
+	}
+	for i := 0; i < txs; i++ {
+		got, _ := crash.ReadBlock(sb.DataStart + 1 + uint32(i))
+		if got[0] != 0xB0+byte(i) {
+			t.Errorf("tx %d home write missing", i)
+		}
+	}
+}
+
+func TestCheckpointedRetiresChain(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	before := j.SpaceLeft()
+	for i := 0; i < 3; i++ {
+		tx := &Tx{}
+		tx.Add(sb.DataStart+uint32(i), fill(byte(i+1)))
+		if err := j.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.Contains(sb.DataStart) {
+		t.Error("live target not tracked")
+	}
+	if err := j.Checkpointed(); err != nil {
+		t.Fatal(err)
+	}
+	if j.LiveTxs() != 0 || j.Contains(sb.DataStart) {
+		t.Error("checkpoint did not clear live state")
+	}
+	if j.SpaceLeft() != before {
+		t.Errorf("checkpoint did not reclaim space: %d vs %d", j.SpaceLeft(), before)
+	}
+	// The retired chain must not replay, even though its records are intact.
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 0 {
+		t.Errorf("replayed %d retired transactions", st.Committed)
+	}
+}
+
+// TestStaleRemnantsUnreplayable: after a checkpoint, a new shorter chain is
+// written over the head of the old one; the old transactions' intact records
+// beyond the new chain must not replay (their txids are out of sequence).
+func TestStaleRemnantsUnreplayable(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	// Long chain: three 2-block txs.
+	for i := 0; i < 3; i++ {
+		tx := &Tx{}
+		tx.Add(sb.DataStart+uint32(2*i), fill(0x10+byte(i)))
+		tx.Add(sb.DataStart+uint32(2*i+1), fill(0x20+byte(i)))
+		if err := j.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Checkpointed(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero the checkpointed homes so a spurious replay would be visible.
+	for i := uint32(0); i < 6; i++ {
+		if err := dev.WriteBlock(sb.DataStart+i, fill(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Short chain: one 1-block tx. Old tx records beyond it remain on disk.
+	tx := &Tx{}
+	tx.Add(sb.DataStart+10, fill(0xAB))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev.Snapshot(), sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 1 {
+		t.Fatalf("replayed %d txs, want only the live one (stats %+v)", st.Committed, st)
+	}
+}
+
+// TestTornJSBFallsBackToScan: a crash mid-checkpoint can tear the journal
+// superblock; replay must still find and apply the chain it was retiring.
+func TestTornJSBFallsBackToScan(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(0x77))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the JSB (as if the checkpoint's advance write crashed halfway).
+	if err := dev.CorruptBlock(sb.JournalStart, 4, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 1 {
+		t.Fatalf("fallback scan replayed %d txs, want 1", st.Committed)
+	}
+	got, _ := dev.ReadBlock(sb.DataStart)
+	if got[0] != 0x77 {
+		t.Error("fallback replay lost the committed write")
+	}
+	// Replay repaired the JSB: a fresh journal attaches and commits.
+	j2 := mustNew(t, dev, sb)
+	tx2 := &Tx{}
+	tx2.Add(sb.DataStart+1, fill(0x78))
+	if err := j2.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitCoalescesFlushes: N concurrent committers must share flush
+// pairs instead of paying two device flushes each, and every write must
+// still be replayable.
+func TestGroupCommitCoalescesFlushes(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	// Give writes a service time so followers genuinely pile up while the
+	// leader's flush pair is in flight.
+	plan := blockdev.NewFaultPlan(1)
+	plan.WriteLatency = time.Millisecond
+	dev.SetFaults(plan)
+	const workers = 8
+	before := dev.Stats().Snapshot().Flushes
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := &Tx{}
+			tx.Add(sb.DataStart+uint32(w), fill(0x40+byte(w)))
+			<-start
+			errs[w] = j.Commit(tx)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	dev.SetFaults(nil)
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	flushes := dev.Stats().Snapshot().Flushes - before
+	if flushes >= 2*workers {
+		t.Errorf("no coalescing: %d flushes for %d concurrent commits", flushes, workers)
+	}
+	crash := dev.Snapshot()
+	st, err := Replay(crash, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks != workers {
+		t.Fatalf("replay applied %d blocks, want %d", st.Blocks, workers)
+	}
+	for w := uint32(0); w < workers; w++ {
+		got, _ := crash.ReadBlock(sb.DataStart + w)
+		if got[0] != 0x40+byte(w) {
+			t.Errorf("worker %d write lost", w)
+		}
+	}
+}
+
+// nullDev discards writes and serves only the journal superblock, so a
+// memory profile of Commit sees the journal's own allocations and not the
+// in-memory device copying blocks.
+type nullDev struct {
+	jsbBlk uint32
+	jsb    []byte
+	n      uint32
+}
+
+func (d *nullDev) ReadBlock(blk uint32) ([]byte, error) {
+	if blk == d.jsbBlk {
+		return d.jsb, nil
+	}
+	return make([]byte, disklayout.BlockSize), nil
+}
+func (d *nullDev) WriteBlock(blk uint32, data []byte) error { return nil }
+func (d *nullDev) Flush() error                             { return nil }
+func (d *nullDev) NumBlocks() uint32                        { return d.n }
+
+// TestCommitAllocationBounded is the regression test for the old crcCombine,
+// which concatenated every 4 KiB payload into a fresh buffer per block: a
+// 16-block commit allocated >64 KiB just for checksumming. The streaming
+// CRC32C commit path must stay well under one payload's worth of garbage.
+func TestCommitAllocationBounded(t *testing.T) {
+	sb, err := disklayout.Geometry(1024, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsb := make([]byte, disklayout.BlockSize)
+	EncodeJSB(jsb, 1, 1)
+	dev := &nullDev{jsbBlk: sb.JournalStart, jsb: jsb, n: sb.NumBlocks}
+	j, err := New(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const payloads = 16
+	tx := &Tx{}
+	for i := uint32(0); i < payloads; i++ {
+		tx.Add(sb.DataStart+i, fill(byte(i)))
+	}
+	commit := func() {
+		if err := j.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Checkpointed(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit() // warm up lazily initialized state
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		commit()
+	}
+	runtime.ReadMemStats(&after)
+	perCommit := (after.TotalAlloc - before.TotalAlloc) / rounds
+	// Bookkeeping (batch list, merge map, error channel) is a few KiB; the
+	// old per-block concatenation alone was payloads*(BlockSize+4) ≈ 66 KiB.
+	if perCommit > 16*1024 {
+		t.Errorf("commit of %d blocks allocates %d bytes; checksumming is not streaming", payloads, perCommit)
 	}
 }
 
@@ -100,7 +397,7 @@ func TestReplayEmptyJournal(t *testing.T) {
 
 func TestReplayIsIdempotent(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx := &Tx{}
 	tx.Add(sb.DataStart, fill(0x42))
 	if err := j.Commit(tx); err != nil {
@@ -116,7 +413,7 @@ func TestReplayIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	if st.Committed != 0 {
-		t.Errorf("second replay found %d transactions; reset failed", st.Committed)
+		t.Errorf("second replay found %d transactions; retirement failed", st.Committed)
 	}
 	got, _ := crash.ReadBlock(sb.DataStart)
 	if !bytes.Equal(got, fill(0x42)) {
@@ -126,7 +423,7 @@ func TestReplayIsIdempotent(t *testing.T) {
 
 func TestReplayIgnoresUncommittedTail(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx1 := &Tx{}
 	tx1.Add(sb.DataStart, fill(1))
 	if err := j.Commit(tx1); err != nil {
@@ -137,9 +434,9 @@ func TestReplayIgnoresUncommittedTail(t *testing.T) {
 	if err := j.Commit(tx2); err != nil {
 		t.Fatal(err)
 	}
-	// Tear tx2's commit record: corrupt its commit block.
-	// tx1 occupies [0,3), tx2 [3,6); commit of tx2 at +5.
-	if err := dev.CorruptBlock(sb.JournalStart+5, 100, 0xFF); err != nil {
+	// Tear tx2's commit record. The chain starts at +1 (the JSB is +0):
+	// tx1 occupies [+1,+4), tx2 [+4,+7); commit of tx2 at +6.
+	if err := dev.CorruptBlock(sb.JournalStart+6, 100, 0xFF); err != nil {
 		t.Fatal(err)
 	}
 	st, err := Replay(dev, sb)
@@ -161,13 +458,14 @@ func TestReplayIgnoresUncommittedTail(t *testing.T) {
 
 func TestReplayStopsOnTornHeader(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx := &Tx{}
 	tx.Add(sb.DataStart, fill(5))
 	if err := j.Commit(tx); err != nil {
 		t.Fatal(err)
 	}
-	if err := dev.CorruptBlock(sb.JournalStart, 8, 0x01); err != nil {
+	// First header of the chain sits at +1 (+0 is the JSB).
+	if err := dev.CorruptBlock(sb.JournalStart+1, 8, 0x01); err != nil {
 		t.Fatal(err)
 	}
 	st, err := Replay(dev, sb)
@@ -181,7 +479,7 @@ func TestReplayStopsOnTornHeader(t *testing.T) {
 
 func TestReplayRejectsOutOfRangeTarget(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx := &Tx{}
 	tx.Add(sb.NumBlocks-1, fill(1)) // legal
 	if err := j.Commit(tx); err != nil {
@@ -191,30 +489,83 @@ func TestReplayRejectsOutOfRangeTarget(t *testing.T) {
 	// it as a torn header rather than writing out of range. To exercise the
 	// out-of-range guard we must re-checksum — simulate a malicious journal by
 	// rewriting a committed header with a bad target but a valid CRC.
-	hdr, _ := dev.ReadBlock(sb.JournalStart)
-	// Target list starts at offset 16.
-	hdr[16] = 0xFF
-	hdr[17] = 0xFF
-	hdr[18] = 0xFF
-	hdr[19] = 0xFF
-	crc := disklayout.Checksum(hdr[:disklayout.BlockSize-4])
-	hdr[disklayout.BlockSize-4] = byte(crc)
-	hdr[disklayout.BlockSize-3] = byte(crc >> 8)
-	hdr[disklayout.BlockSize-2] = byte(crc >> 16)
-	hdr[disklayout.BlockSize-1] = byte(crc >> 24)
-	if err := dev.WriteBlock(sb.JournalStart, hdr); err != nil {
-		t.Fatal(err)
-	}
-	// The commit record CRC still matches the payload, so the tx looks
-	// committed; the target bound check must reject it.
+	rewriteTarget(t, dev, sb, 0xFFFFFFFF)
 	if _, err := Replay(dev, sb); !errors.Is(err, fserr.ErrCorrupt) {
 		t.Errorf("Replay = %v, want ErrCorrupt", err)
 	}
 }
 
+// TestReplayRejectsJournalRegionTarget: a committed transaction must never
+// target the journal region itself — replaying it would rewrite the log
+// being walked.
+func TestReplayRejectsJournalRegionTarget(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(1))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	rewriteTarget(t, dev, sb, sb.JournalStart+2)
+	if _, err := Replay(dev, sb); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Errorf("Replay = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayAcceptsSuperblockTarget: block 0 is a legal target — the sync
+// path journals superblock clock updates instead of rewriting it in place.
+func TestReplayAcceptsSuperblockTarget(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	sb2 := *sb
+	sb2.LastClock = 12345
+	tx := &Tx{}
+	tx.Add(0, disklayout.EncodeSuperblock(&sb2))
+	if err := j.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dev, sb)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if st.Committed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	raw, _ := dev.ReadBlock(0)
+	got, err := disklayout.DecodeSuperblock(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastClock != 12345 {
+		t.Errorf("LastClock = %d after replay, want 12345", got.LastClock)
+	}
+}
+
+// rewriteTarget rewrites the first chain header's first target with a valid
+// CRC, simulating a corrupted-but-checksummed journal.
+func rewriteTarget(t *testing.T, dev blockdev.Device, sb *disklayout.Superblock, target uint32) {
+	t.Helper()
+	hdr, err := dev.ReadBlock(sb.JournalStart + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr[16] = byte(target)
+	hdr[17] = byte(target >> 8)
+	hdr[18] = byte(target >> 16)
+	hdr[19] = byte(target >> 24)
+	crc := disklayout.Checksum(hdr[:disklayout.BlockSize-4])
+	hdr[disklayout.BlockSize-4] = byte(crc)
+	hdr[disklayout.BlockSize-3] = byte(crc >> 8)
+	hdr[disklayout.BlockSize-2] = byte(crc >> 16)
+	hdr[disklayout.BlockSize-1] = byte(crc >> 24)
+	if err := dev.WriteBlock(sb.JournalStart+1, hdr); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCommitRejectsOversizedTx(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	tx := &Tx{}
 	for i := 0; i < j.Capacity()+10; i++ {
 		tx.Add(sb.DataStart+uint32(i), fill(byte(i)))
@@ -227,7 +578,7 @@ func TestCommitRejectsOversizedTx(t *testing.T) {
 
 func TestJournalFullAfterManyCommits(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	var err error
 	for i := 0; i < 1000; i++ {
 		tx := &Tx{}
@@ -243,7 +594,7 @@ func TestJournalFullAfterManyCommits(t *testing.T) {
 	if _, err := Replay(dev, sb); err != nil {
 		t.Fatal(err)
 	}
-	j2 := New(dev, sb)
+	j2 := mustNew(t, dev, sb)
 	tx := &Tx{}
 	tx.Add(sb.DataStart, fill(0xEE))
 	if err := j2.Commit(tx); err != nil {
@@ -251,9 +602,35 @@ func TestJournalFullAfterManyCommits(t *testing.T) {
 	}
 }
 
+// TestCheckpointedUnblocksFullJournal: the in-place analogue of the above —
+// the same attached journal keeps committing after a checkpoint.
+func TestCheckpointedUnblocksFullJournal(t *testing.T) {
+	dev, sb := setup(t)
+	j := mustNew(t, dev, sb)
+	var err error
+	for i := 0; i < 1000; i++ {
+		tx := &Tx{}
+		tx.Add(sb.DataStart+uint32(i%8), fill(byte(i)))
+		if err = j.Commit(tx); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("expected ErrJournalFull, got %v", err)
+	}
+	if err := j.Checkpointed(); err != nil {
+		t.Fatal(err)
+	}
+	tx := &Tx{}
+	tx.Add(sb.DataStart, fill(0xEE))
+	if err := j.Commit(tx); err != nil {
+		t.Fatalf("commit after checkpoint: %v", err)
+	}
+}
+
 func TestSpaceLeftShrinks(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	before := j.SpaceLeft()
 	tx := &Tx{}
 	tx.Add(sb.DataStart, fill(1))
@@ -269,7 +646,7 @@ func TestSpaceLeftShrinks(t *testing.T) {
 
 func TestEmptyCommitIsNoop(t *testing.T) {
 	dev, sb := setup(t)
-	j := New(dev, sb)
+	j := mustNew(t, dev, sb)
 	if err := j.Commit(&Tx{}); err != nil {
 		t.Fatal(err)
 	}
@@ -283,10 +660,10 @@ func TestEmptyCommitIsNoop(t *testing.T) {
 }
 
 func TestReplayPropertyCommittedAlwaysApplied(t *testing.T) {
-	// Property: for any sequence of committed transactions followed by a
-	// crash (device snapshot), replay reproduces exactly the last committed
-	// value for every touched block.
-	f := func(writes []uint8) bool {
+	// Property: for any sequence of committed transactions (with occasional
+	// checkpoints) followed by a crash (device snapshot), replay reproduces
+	// exactly the last committed value for every touched block.
+	f := func(writes []uint8, ckptMask uint8) bool {
 		if len(writes) == 0 {
 			return true
 		}
@@ -296,7 +673,13 @@ func TestReplayPropertyCommittedAlwaysApplied(t *testing.T) {
 		sb, _ := disklayout.Geometry(1024, 256, 64)
 		dev := blockdev.NewMem(sb.NumBlocks)
 		_ = dev.WriteBlock(0, disklayout.EncodeSuperblock(sb))
-		j := New(dev, sb)
+		jsb := make([]byte, disklayout.BlockSize)
+		EncodeJSB(jsb, 1, 1)
+		_ = dev.WriteBlock(sb.JournalStart, jsb)
+		j, err := New(dev, sb)
+		if err != nil {
+			return false
+		}
 		want := map[uint32]byte{}
 		for i, w := range writes {
 			tgt := sb.DataStart + uint32(w%16)
@@ -306,6 +689,22 @@ func TestReplayPropertyCommittedAlwaysApplied(t *testing.T) {
 				return false
 			}
 			want[tgt] = byte(i + 1)
+			if ckptMask&(1<<(i%8)) != 0 {
+				// A checkpoint must write live targets home before advancing.
+				for blk, v := range want {
+					if j.Contains(blk) {
+						if err := dev.WriteBlock(blk, fill(v)); err != nil {
+							return false
+						}
+					}
+				}
+				if err := dev.Flush(); err != nil {
+					return false
+				}
+				if err := j.Checkpointed(); err != nil {
+					return false
+				}
+			}
 		}
 		crash := dev.Snapshot()
 		if _, err := Replay(crash, sb); err != nil {

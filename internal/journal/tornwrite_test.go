@@ -22,6 +22,7 @@ func TestCommitAtomicUnderTornWrites(t *testing.T) {
 		if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
 			t.Fatal(err)
 		}
+		formatJSB(t, dev, sb)
 		// Pre-fill targets with a known old value.
 		old := bytes.Repeat([]byte{0xEE}, disklayout.BlockSize)
 		for k := uint32(0); k < 4; k++ {
@@ -32,7 +33,7 @@ func TestCommitAtomicUnderTornWrites(t *testing.T) {
 		plan := blockdev.NewFaultPlan(seed)
 		plan.TornWriteProb = 0.4
 		dev.SetFaults(plan)
-		j := New(dev, sb)
+		j := mustNew(t, dev, sb)
 		tx := &Tx{}
 		newVal := bytes.Repeat([]byte{0xAA}, disklayout.BlockSize)
 		for k := uint32(0); k < 4; k++ {

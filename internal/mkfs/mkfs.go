@@ -80,9 +80,12 @@ func Format(dev blockdev.Device, opts Options) (*disklayout.Superblock, error) {
 		return nil, fmt.Errorf("mkfs: write root inode: %w", err)
 	}
 
-	// Zero the journal's first header slot so replay sees an empty journal.
-	if err := dev.WriteBlock(sb.JournalStart, make([]byte, disklayout.BlockSize)); err != nil {
-		return nil, fmt.Errorf("mkfs: journal reset: %w", err)
+	// Journal superblock: an empty chain starting at txid 1, so both replay
+	// and the runtime journal find a valid cursor.
+	jsb := make([]byte, disklayout.BlockSize)
+	journal.EncodeJSB(jsb, 1, 1)
+	if err := dev.WriteBlock(sb.JournalStart, jsb); err != nil {
+		return nil, fmt.Errorf("mkfs: journal superblock: %w", err)
 	}
 
 	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
@@ -130,6 +133,15 @@ func Recover(dev blockdev.Device) (*disklayout.Superblock, journal.ReplayStats, 
 	st, err := journal.Replay(dev, sb)
 	if err != nil {
 		return nil, st, err
+	}
+	if st.Blocks > 0 {
+		// A replayed transaction may have targeted block 0 (the sync path
+		// journals superblock clock updates), so the copy read above can be
+		// stale. Re-read after replay.
+		sb, err = ReadSuperblock(dev)
+		if err != nil {
+			return nil, st, fmt.Errorf("mkfs: reload superblock after replay: %w", err)
+		}
 	}
 	return sb, st, nil
 }

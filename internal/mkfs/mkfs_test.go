@@ -116,7 +116,10 @@ func TestRecoverReplaysJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := journal.New(dev, sb)
+	j, err := journal.New(dev, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tx := &journal.Tx{}
 	payload := make([]byte, disklayout.BlockSize)
 	payload[0] = 0xAB
