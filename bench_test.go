@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/basefs"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/disklayout"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/fsapi"
 	"repro/internal/fsck"
 	"repro/internal/journal"
 	"repro/internal/mkfs"
@@ -268,6 +270,70 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(len(trace)), "fsops/op")
+		})
+	}
+}
+
+// BenchmarkSupervisorOverheadParallel measures supervision cost under
+// goroutine concurrency: a read-mostly per-worker mix (1 write per 16 ops,
+// private file per worker) driven through b.RunParallel against the raw base
+// and the RAE supervisor. Compare ns/op between the two sub-benchmarks; the
+// delta is the fence + recording cost on the concurrent common case. Scale
+// workers with -cpu to sweep contention levels.
+func BenchmarkSupervisorOverheadParallel(b *testing.B) {
+	for _, sysName := range []string{"base", "rae"} {
+		b.Run(sysName, func(b *testing.B) {
+			dev := blockdev.NewMem(experiments.ImageBlocks)
+			if _, err := mkfs.Format(dev, mkfs.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			var fs fsapi.FS
+			var cleanup func()
+			switch sysName {
+			case "base":
+				base, err := basefs.Mount(dev, basefs.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs, cleanup = base, base.Kill
+			case "rae":
+				sup, err := core.Mount(dev, core.Config{NoTelemetry: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs, cleanup = sup, sup.Kill
+			}
+			var nextID atomic.Int64
+			payload := make([]byte, 64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := nextID.Add(1)
+				fd, err := fs.Create(fmt.Sprintf("/par%d", id), 0o644)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				i := 0
+				for pb.Next() {
+					if i%16 == 0 {
+						if _, err := fs.WriteAt(fd, int64(i%8)*64, payload); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						if _, err := fs.ReadAt(fd, 0, len(payload)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					i++
+				}
+				if err := fs.Close(fd); err != nil {
+					b.Error(err)
+				}
+			})
+			b.StopTimer()
+			cleanup()
 		})
 	}
 }

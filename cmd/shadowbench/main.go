@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, all")
+	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
@@ -46,6 +47,39 @@ func main() {
 	run("ablate", func() { ablate(*ops, *seed) })
 	run("latency", func() { latency(*ops, *seed) })
 	run("io", func() { ioTraffic(*ops, *seed) })
+	run("concurrency", func() { concurrency(*ops, *seed) })
+}
+
+// concurrency prints the E11 sweep: aggregate throughput of the bare base vs
+// the RAE supervisor as the number of concurrent application goroutines
+// grows, on a read-mostly and an adversarial mixed (soup) profile.
+func concurrency(ops int, seed int64) {
+	fmt.Println("== E11: concurrency sweep (aggregate ops/sec, higher is better) ==")
+	fmt.Printf("(host: GOMAXPROCS=%d — levels beyond it measure contention, not parallel speed-up)\n",
+		runtime.GOMAXPROCS(0))
+	profiles := []workload.Profile{workload.ReadMostly, workload.Soup}
+	rows, err := experiments.ConcurrencySweep(profiles, ops, seed)
+	check(err)
+	type key struct {
+		p workload.Profile
+		g int
+	}
+	cells := map[experiments.System]map[key]float64{}
+	for _, r := range rows {
+		if cells[r.System] == nil {
+			cells[r.System] = map[key]float64{}
+		}
+		cells[r.System][key{r.Profile, r.Goroutines}] = r.OpsPerSec
+	}
+	fmt.Printf("%-12s %6s %14s %14s %10s\n", "workload", "gor.", "base op/s", "rae op/s", "rae/base")
+	for _, p := range profiles {
+		for _, g := range experiments.ConcurrencySweepLevels {
+			b := cells[experiments.SysBase][key{p, g}]
+			r := cells[experiments.SysRAE][key{p, g}]
+			fmt.Printf("%-12s %6d %14.0f %14.0f %9.1f%%\n", p, g, b, r, r/b*100)
+		}
+	}
+	fmt.Println()
 }
 
 // printSnapshot dumps the process-global telemetry accumulated by one series.

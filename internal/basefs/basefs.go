@@ -63,6 +63,20 @@ type Options struct {
 	// still at the previous durable point; the RAE supervisor uses this to
 	// enforce detection-before-persist for escalated WARNs.
 	PrePersist func() error
+	// PreSnapshot/PostSnapshot, when set, bracket each sync round's dirty
+	// snapshot: PreSnapshot runs before the round takes the filesystem lock,
+	// PostSnapshot as soon as the snapshot is complete and the lock is
+	// released (on every exit path, including errors and contained panics).
+	// The RAE supervisor uses them to scope its record-order critical
+	// section to the snapshot instead of the whole sync, so namespace
+	// operations run concurrently with the round's IO phases.
+	PreSnapshot  func()
+	PostSnapshot func()
+	// OnSyncDurable, when set, runs after a sync round has made its snapshot
+	// durable (metadata committed to the journal, data written home). The
+	// supervisor truncates its operation log here: everything the snapshot
+	// covered is now recoverable from disk.
+	OnSyncDurable func()
 	// Telemetry, when set, instruments the mount: per-op latency histograms,
 	// cache hit/miss counters, queue IO counters, journal commit metrics,
 	// replayed-transaction counts, and WARN events all flow into this sink.
@@ -189,7 +203,7 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 	q := blockdev.NewQueue(dev, opts.QueueWorkers, opts.QueueDepth)
 	bc := cache.NewBufferCache(q, opts.CacheBlocks)
 	if opts.CachePolicy == "2q" {
-		bc.SetPolicy(cache.NewTwoQ(opts.CacheBlocks))
+		bc.SetPolicy(opts.CacheBlocks)
 	}
 	// The journal drives its IO through the async queue: transaction blocks
 	// overlap across workers and its flushes are counted with the rest of

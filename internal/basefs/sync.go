@@ -80,7 +80,7 @@ func (fs *FS) syncShared(ckpt bool) error {
 	// Leader: run our round, then any rounds followers queued up meanwhile.
 	r := mine
 	for {
-		r.err = fs.runSyncRound(r.ckpt)
+		fs.runRoundAsLeader(r)
 		close(r.done)
 		fs.syncMu.Lock()
 		fs.curRound = fs.nextRound
@@ -92,6 +92,33 @@ func (fs *FS) syncShared(ckpt bool) error {
 		}
 		r = next
 	}
+}
+
+// runRoundAsLeader executes one round, filling r.err. A panic inside the
+// round (an injected bug under supervision) must not wedge the leader
+// protocol: the deferred cleanup fails this round and any queued follower
+// round so their waiters unblock with an error, then lets the panic
+// propagate to the supervisor's containment. Without this, a contained
+// panic would leave curRound set forever and every later sync would block.
+func (fs *FS) runRoundAsLeader(r *syncRound) {
+	panicked := true
+	defer func() {
+		if !panicked {
+			return
+		}
+		r.err = fmt.Errorf("basefs: sync round aborted by panic: %w", fserr.ErrIO)
+		fs.syncMu.Lock()
+		next := fs.nextRound
+		fs.curRound, fs.nextRound = nil, nil
+		fs.syncMu.Unlock()
+		if next != nil {
+			next.err = r.err
+			close(next.done)
+		}
+		close(r.done)
+	}()
+	r.err = fs.runSyncRound(r.ckpt)
+	panicked = false
 }
 
 // runSyncRound executes one sync pass. Rounds are serialized by the leader
@@ -109,20 +136,46 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 		fs.telFlushesPerSync.Set(int64(flushes))
 	}()
 
+	// Snapshot bracket for the supervisor: PreSnapshot before the lock (it
+	// may take the supervisor's namespace lock, which nests outside fs.mu),
+	// PostSnapshot exactly once on every exit path — error, panic, or the
+	// normal hand-off to the IO phases.
+	if fs.opts.PreSnapshot != nil {
+		fs.opts.PreSnapshot()
+	}
+	snapDone := false
+	finishSnapshot := func() {
+		if !snapDone {
+			snapDone = true
+			if fs.opts.PostSnapshot != nil {
+				fs.opts.PostSnapshot()
+			}
+		}
+	}
+	defer finishSnapshot()
+
 	// --- Phase A: snapshot under fs.mu, memory only. ---
+	// Held via a release flag so a contained panic (an injected bug at the
+	// entry seam, or anywhere under the lock) cannot leave fs.mu poisoned:
+	// under the supervisor, concurrent operations are still inside this
+	// instance and must be able to drain out of it before recovery replaces
+	// it. A lock abandoned by a panic would deadlock that drain.
 	fs.mu.Lock()
+	muHeld := true
+	defer func() {
+		if muHeld {
+			fs.mu.Unlock()
+		}
+	}()
 	if err := fs.fire(&faultinject.Site{Op: "sync", Point: "entry"}); err != nil {
-		fs.mu.Unlock()
 		return err
 	}
 	// Fold dirty inodes into their table blocks.
 	for _, ci := range fs.ic.DirtyInodes() {
 		if err := fs.validateInodeForPersist(ci); err != nil {
-			fs.mu.Unlock()
 			return err
 		}
 		if err := fs.writeInodeBack(ci); err != nil {
-			fs.mu.Unlock()
 			return err
 		}
 		ci.Dirty = false
@@ -143,7 +196,6 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 	// Sync-validate: the fault model assumes errors are detected before
 	// being persisted (§3.1, citing Recon/WAFL-style validation on sync).
 	if err := fs.validateMetaForPersist(meta); err != nil {
-		fs.mu.Unlock()
 		return err
 	}
 
@@ -162,11 +214,12 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 	// exactly at the previous stable point — the property recovery relies on.
 	if fs.opts.PrePersist != nil {
 		if err := fs.opts.PrePersist(); err != nil {
-			fs.mu.Unlock()
 			return err
 		}
 	}
+	muHeld = false
 	fs.mu.Unlock()
+	finishSnapshot()
 
 	// --- Phase B: ordered mode, data first. ---
 	// Reallocation guard: if a data block's home is still a live journal
@@ -262,6 +315,9 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 	// after the disk moved past the stable point, which the fault model
 	// excludes ("we assume that errors are detected before being persisted
 	// to disk", §3.1). Sync bugs are modeled at the entry seam.
+	if fs.opts.OnSyncDurable != nil {
+		fs.opts.OnSyncDurable()
+	}
 	return nil
 }
 

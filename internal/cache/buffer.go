@@ -14,7 +14,9 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/disklayout"
@@ -24,15 +26,15 @@ import (
 // Buf is one cached block. Callers mutate Data only between Get and Release
 // while holding the buffer pinned, and must call MarkDirty (or MarkDirtyMeta
 // for metadata) after mutating. All other state — the meta flag, dirty and
-// stability bits, pin counts — is owned by the cache and only changes under
-// its lock.
+// stability bits, pin counts — is owned by the shard that maps the buffer's
+// block number and only changes under that shard's lock.
 type Buf struct {
 	Blk  uint32
 	Data []byte
 	// meta marks the block as filesystem metadata (inode table, bitmaps,
 	// directory and indirect blocks). The sync path journals dirty metadata
 	// blocks and writes dirty data blocks straight home (ordered mode).
-	// Guarded by the cache lock: set via MarkDirtyMeta/Install, read via
+	// Guarded by the shard lock: set via MarkDirtyMeta/Install, read via
 	// SnapshotDirty.
 	meta  bool
 	dirty bool
@@ -53,13 +55,14 @@ type Buf struct {
 	elem *list.Element
 }
 
-// BufferCache is a write-back block cache with LRU eviction of clean,
-// unpinned buffers. Dirty and unstable buffers are never evicted; they leave
-// those states only through the sync path (journal commit + checkpoint) or
-// Drop.
-type BufferCache struct {
+// bufShard is one lock stripe of the cache: an independent map + LRU + 2Q
+// over the block numbers that hash to it. Every invariant the cache
+// maintains (dirty/unstable/pinned exclusion from eviction, the clean-buffer
+// bound, identity-checked map deletes) holds per shard; block numbers never
+// migrate between shards, so no cross-shard ordering exists and no operation
+// ever takes two shard locks.
+type bufShard struct {
 	mu       sync.Mutex
-	queue    *blockdev.Queue
 	bufs     map[uint32]*Buf
 	lru      *list.List // least-recently-used at the front
 	maxClean int
@@ -69,78 +72,147 @@ type BufferCache struct {
 	// the backstop bound. Policy victims are honored only when clean,
 	// stable, and unpinned.
 	policy *TwoQ
+	_      [24]byte // keep neighboring shards' hot words off one cache line
+}
+
+// BufferCache is a write-back block cache with LRU eviction of clean,
+// unpinned buffers, lock-striped by block number. Dirty and unstable buffers
+// are never evicted; they leave those states only through the sync path
+// (journal commit + checkpoint) or Drop.
+type BufferCache struct {
+	queue  *blockdev.Queue
+	shards []bufShard
+	mask   uint32 // len(shards)-1; shard count is a power of two
 
 	telHits, telMisses *telemetry.Counter
+	// telLockWait records contended shard-lock acquisitions only
+	// ("cache.shard.lock_wait").
+	telLockWait *telemetry.Histogram
 }
 
-// SetTelemetry installs hit/miss counters ("cache.buffer.*") from s.
-func (c *BufferCache) SetTelemetry(s *telemetry.Sink) {
-	if s == nil {
-		return
+// shardCount picks the stripe width: enough shards to spread GOMAXPROCS
+// writers, but never so many that a shard's clean-buffer bound drops below 8
+// (tiny test caches get exactly one shard and behave like the unsharded
+// cache), and capped so full-cache sweeps (snapshot, purge) stay cheap.
+func shardCount(maxClean int) int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 16 && (s*2)*8 <= maxClean {
+		s <<= 1
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.telHits = s.Counter("cache.buffer.hits")
-	c.telMisses = s.Counter("cache.buffer.misses")
-}
-
-// SetPolicy installs a 2Q replacement policy (nil reverts to plain LRU).
-func (c *BufferCache) SetPolicy(p *TwoQ) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.policy = p
-}
-
-// touchPolicyLocked routes a reference through the policy and applies its
-// eviction decisions to evictable buffers.
-func (c *BufferCache) touchPolicyLocked(blk uint32) {
-	if c.policy == nil {
-		return
-	}
-	for _, victim := range c.policy.Touch(blk) {
-		if b, ok := c.bufs[victim]; ok && !b.dirty && !b.unstable && b.pins == 0 {
-			if b.elem != nil {
-				c.lru.Remove(b.elem)
-				b.elem = nil
-			}
-			delete(c.bufs, victim)
-		}
-	}
+	return s
 }
 
 // NewBufferCache creates a cache over the async block queue holding at most
-// maxClean clean buffers (dirty buffers are unbounded; sync policy bounds
-// them in practice).
+// maxClean clean buffers in total (dirty buffers are unbounded; sync policy
+// bounds them in practice).
 func NewBufferCache(queue *blockdev.Queue, maxClean int) *BufferCache {
 	if maxClean < 8 {
 		maxClean = 8
 	}
-	return &BufferCache{
-		queue:    queue,
-		bufs:     make(map[uint32]*Buf),
-		lru:      list.New(),
-		maxClean: maxClean,
+	n := shardCount(maxClean)
+	c := &BufferCache{
+		queue:  queue,
+		shards: make([]bufShard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].bufs = make(map[uint32]*Buf)
+		c.shards[i].lru = list.New()
+		c.shards[i].maxClean = maxClean / n
+	}
+	return c
+}
+
+// NumShards returns the lock-stripe width (for tests and diagnostics).
+func (c *BufferCache) NumShards() int { return len(c.shards) }
+
+func (c *BufferCache) shardFor(blk uint32) *bufShard {
+	return &c.shards[blk&c.mask]
+}
+
+// lock acquires one shard, recording the wait time of contended
+// acquisitions. The fast path is a single TryLock.
+func (c *BufferCache) lock(s *bufShard) {
+	if c.telLockWait == nil {
+		s.mu.Lock()
+		return
+	}
+	if s.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	c.telLockWait.Observe(time.Since(t0))
+}
+
+// SetTelemetry installs hit/miss counters ("cache.buffer.*") and the shard
+// contention histogram ("cache.shard.lock_wait") from s.
+func (c *BufferCache) SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		return
+	}
+	c.telHits = s.Counter("cache.buffer.hits")
+	c.telMisses = s.Counter("cache.buffer.misses")
+	c.telLockWait = s.Histogram("cache.shard.lock_wait")
+}
+
+// SetPolicy installs a 2Q replacement policy of the given total capacity,
+// split evenly across shards (capacity <= 0 reverts to plain LRU). Each
+// shard gets its own 2Q instance so policy state never crosses stripes.
+func (c *BufferCache) SetPolicy(capacity int) {
+	per := 0
+	if capacity > 0 {
+		per = capacity / len(c.shards)
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		if capacity <= 0 {
+			s.policy = nil
+		} else {
+			s.policy = NewTwoQ(per)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// touchPolicyLocked routes a reference through the shard's policy and applies
+// its eviction decisions to evictable buffers.
+func (s *bufShard) touchPolicyLocked(blk uint32) {
+	if s.policy == nil {
+		return
+	}
+	for _, victim := range s.policy.Touch(blk) {
+		if b, ok := s.bufs[victim]; ok && !b.dirty && !b.unstable && b.pins == 0 {
+			if b.elem != nil {
+				s.lru.Remove(b.elem)
+				b.elem = nil
+			}
+			delete(s.bufs, victim)
+		}
 	}
 }
 
 // Get returns the cached buffer for blk, reading through the async queue on
 // a miss. The buffer is returned pinned; the caller must Release it.
 func (c *BufferCache) Get(blk uint32) (*Buf, error) {
-	c.mu.Lock()
-	if b, ok := c.bufs[blk]; ok {
+	s := c.shardFor(blk)
+	c.lock(s)
+	if b, ok := s.bufs[blk]; ok {
 		b.pins++
 		if b.elem != nil {
-			c.lru.MoveToBack(b.elem)
+			s.lru.MoveToBack(b.elem)
 		}
-		c.hits++
+		s.hits++
 		c.telHits.Inc()
-		c.touchPolicyLocked(blk)
-		c.mu.Unlock()
+		s.touchPolicyLocked(blk)
+		s.mu.Unlock()
 		return b, nil
 	}
-	c.misses++
+	s.misses++
 	c.telMisses.Inc()
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	// Read outside the lock so concurrent misses overlap their IO.
 	data, err := c.queue.Read(blk)
@@ -148,26 +220,27 @@ func (c *BufferCache) Get(blk uint32) (*Buf, error) {
 		return nil, err
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if b, ok := c.bufs[blk]; ok {
+	c.lock(s)
+	defer s.mu.Unlock()
+	if b, ok := s.bufs[blk]; ok {
 		// Another goroutine cached it first; prefer theirs (it may be dirty).
 		b.pins++
 		return b, nil
 	}
 	b := &Buf{Blk: blk, Data: data, pins: 1}
-	c.bufs[blk] = b
-	c.touchPolicyLocked(blk)
-	c.evictLocked()
+	s.bufs[blk] = b
+	s.touchPolicyLocked(blk)
+	s.evictLocked()
 	return b, nil
 }
 
 // GetZero returns a pinned buffer for blk initialized to zeros without
 // reading the device, for freshly allocated blocks.
 func (c *BufferCache) GetZero(blk uint32) *Buf {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if b, ok := c.bufs[blk]; ok {
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	if b, ok := s.bufs[blk]; ok {
 		b.pins++
 		for i := range b.Data {
 			b.Data[i] = 0
@@ -175,35 +248,37 @@ func (c *BufferCache) GetZero(blk uint32) *Buf {
 		return b
 	}
 	b := &Buf{Blk: blk, Data: make([]byte, disklayout.BlockSize), pins: 1}
-	c.bufs[blk] = b
-	c.touchPolicyLocked(blk)
-	c.evictLocked()
+	s.bufs[blk] = b
+	s.touchPolicyLocked(blk)
+	s.evictLocked()
 	return b
 }
 
 // MarkDirty flags a pinned buffer as modified data. Dirty buffers are exempt
 // from eviction until flushed.
 func (c *BufferCache) MarkDirty(b *Buf) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.markDirtyLocked(b)
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	s.markDirtyLocked(b)
 }
 
 // MarkDirtyMeta flags a pinned buffer as modified metadata, routing it to
-// the journaled side of the sync path. The meta flag is set under the cache
+// the journaled side of the sync path. The meta flag is set under the shard
 // lock so concurrent sync snapshots never race on it.
 func (c *BufferCache) MarkDirtyMeta(b *Buf) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
 	b.meta = true
-	c.markDirtyLocked(b)
+	s.markDirtyLocked(b)
 }
 
-func (c *BufferCache) markDirtyLocked(b *Buf) {
+func (s *bufShard) markDirtyLocked(b *Buf) {
 	b.dirty = true
 	b.ver++
 	if b.elem != nil {
-		c.lru.Remove(b.elem)
+		s.lru.Remove(b.elem)
 		b.elem = nil
 	}
 }
@@ -213,34 +288,35 @@ func (c *BufferCache) markDirtyLocked(b *Buf) {
 // block number may already belong to a different live buffer, so it must not
 // re-enter the LRU.
 func (c *BufferCache) Release(b *Buf) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
 	if b.pins <= 0 {
 		panic(fmt.Sprintf("cache: release of unpinned buffer %d", b.Blk))
 	}
 	b.pins--
-	c.maybeCacheLocked(b)
+	s.maybeCacheLocked(b)
 }
 
 // maybeCacheLocked inserts b into the LRU if it is eligible, then enforces
-// the clean-buffer bound.
-func (c *BufferCache) maybeCacheLocked(b *Buf) {
+// the shard's clean-buffer bound.
+func (s *bufShard) maybeCacheLocked(b *Buf) {
 	if b.pins == 0 && !b.dirty && !b.unstable && !b.dropped && b.elem == nil {
-		b.elem = c.lru.PushBack(b)
-		c.evictLocked()
+		b.elem = s.lru.PushBack(b)
+		s.evictLocked()
 	}
 }
 
-func (c *BufferCache) evictLocked() {
-	for c.lru.Len() > c.maxClean {
-		front := c.lru.Front()
+func (s *bufShard) evictLocked() {
+	for s.lru.Len() > s.maxClean {
+		front := s.lru.Front()
 		b := front.Value.(*Buf)
-		c.lru.Remove(front)
+		s.lru.Remove(front)
 		b.elem = nil
 		// Identity check: only evict the mapping if it still points at this
 		// buffer, never a successor that reused the block number.
-		if cur, ok := c.bufs[b.Blk]; ok && cur == b {
-			delete(c.bufs, b.Blk)
+		if cur, ok := s.bufs[b.Blk]; ok && cur == b {
+			delete(s.bufs, b.Blk)
 		}
 	}
 }
@@ -248,13 +324,16 @@ func (c *BufferCache) evictLocked() {
 // DirtyBlocks returns a snapshot of all dirty buffers. The buffers stay
 // dirty; the sync path clears them with MarkClean after committing.
 func (c *BufferCache) DirtyBlocks() []*Buf {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []*Buf
-	for _, b := range c.bufs {
-		if b.dirty {
-			out = append(out, b)
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		for _, b := range s.bufs {
+			if b.dirty {
+				out = append(out, b)
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -270,21 +349,24 @@ type DirtySnap struct {
 }
 
 // SnapshotDirty captures every dirty buffer — block number, meta flag,
-// version, and a copy of the content — under the cache lock. The sync path
+// version, and a copy of the content — shard by shard. The sync path
 // snapshots while holding the filesystem lock (quiescing writers), performs
-// IO on the copies outside both locks, and retires each buffer with
+// IO on the copies outside all locks, and retires each buffer with
 // MarkCleanVer/MarkJournaled so a concurrent re-dirty is never lost.
 func (c *BufferCache) SnapshotDirty() []DirtySnap {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []DirtySnap
-	for _, b := range c.bufs {
-		if !b.dirty {
-			continue
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		for _, b := range s.bufs {
+			if !b.dirty {
+				continue
+			}
+			cp := make([]byte, len(b.Data))
+			copy(cp, b.Data)
+			out = append(out, DirtySnap{Buf: b, Blk: b.Blk, Meta: b.meta, Ver: b.ver, Data: cp})
 		}
-		cp := make([]byte, len(b.Data))
-		copy(cp, b.Data)
-		out = append(out, DirtySnap{Buf: b, Blk: b.Blk, Meta: b.meta, Ver: b.ver, Data: cp})
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -292,26 +374,28 @@ func (c *BufferCache) SnapshotDirty() []DirtySnap {
 // MarkClean clears the dirty flag after the buffer's contents have been made
 // durable, returning it to LRU circulation if eligible.
 func (c *BufferCache) MarkClean(b *Buf) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
 	if !b.dirty {
 		return
 	}
 	b.dirty = false
-	c.maybeCacheLocked(b)
+	s.maybeCacheLocked(b)
 }
 
 // MarkCleanVer clears the dirty flag only if the buffer has not been
 // re-dirtied since the version was captured (see SnapshotDirty). The sync
 // path uses it for data blocks written home outside the filesystem lock.
 func (c *BufferCache) MarkCleanVer(b *Buf, ver uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
 	if !b.dirty || b.ver != ver {
 		return
 	}
 	b.dirty = false
-	c.maybeCacheLocked(b)
+	s.maybeCacheLocked(b)
 }
 
 // MarkJournaled records that the buffer's content at the captured version is
@@ -321,11 +405,12 @@ func (c *BufferCache) MarkCleanVer(b *Buf, ver uint64) {
 // newer content will ride a later transaction — but still turns unstable,
 // because the journal now holds a live record targeting its home.
 func (c *BufferCache) MarkJournaled(b *Buf, ver uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(b.Blk)
+	c.lock(s)
+	defer s.mu.Unlock()
 	b.unstable = true
 	if b.elem != nil {
-		c.lru.Remove(b.elem)
+		s.lru.Remove(b.elem)
 		b.elem = nil
 	}
 	if b.dirty && b.ver == ver {
@@ -337,14 +422,15 @@ func (c *BufferCache) MarkJournaled(b *Buf, ver uint64) {
 // journaled content home and flushed. No-op if the block is no longer cached
 // (freed) or was reallocated to a buffer that is not unstable.
 func (c *BufferCache) MarkStable(blk uint32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, ok := c.bufs[blk]
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	b, ok := s.bufs[blk]
 	if !ok || !b.unstable {
 		return
 	}
 	b.unstable = false
-	c.maybeCacheLocked(b)
+	s.maybeCacheLocked(b)
 }
 
 // Install places externally produced block contents (the shadow's metadata
@@ -352,15 +438,16 @@ func (c *BufferCache) MarkStable(blk uint32) {
 // This is the base's "metadata downloading" absorption point (§3.2). meta
 // tags the block for the journaled sync path.
 func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, ok := c.bufs[blk]
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	b, ok := s.bufs[blk]
 	if !ok {
 		b = &Buf{Blk: blk}
-		c.bufs[blk] = b
+		s.bufs[blk] = b
 	}
 	if b.elem != nil {
-		c.lru.Remove(b.elem)
+		s.lru.Remove(b.elem)
 		b.elem = nil
 	}
 	b.Data = make([]byte, disklayout.BlockSize)
@@ -374,31 +461,42 @@ func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
 // is freed). If the buffer is still pinned, its holder may keep using it,
 // but it is marked dropped and will never re-enter the cache.
 func (c *BufferCache) Drop(blk uint32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.policy != nil {
-		c.policy.Forget(blk)
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	if s.policy != nil {
+		s.policy.Forget(blk)
 	}
-	if b, ok := c.bufs[blk]; ok {
+	if b, ok := s.bufs[blk]; ok {
 		if b.elem != nil {
-			c.lru.Remove(b.elem)
+			s.lru.Remove(b.elem)
 			b.elem = nil
 		}
 		b.dropped = true
-		delete(c.bufs, blk)
+		delete(s.bufs, blk)
 	}
 }
 
-// Len returns the number of cached buffers.
+// Len returns the number of cached buffers across all shards.
 func (c *BufferCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.bufs)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		n += len(s.bufs)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // HitRate returns cache hits and misses since creation.
 func (c *BufferCache) HitRate() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }

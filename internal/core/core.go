@@ -21,6 +21,14 @@
 //     (metadata download) and returns the in-flight operation's result to
 //     the application, which never observes the failure.
 //
+// Supervision is concurrency-transparent: in the common case operations
+// enter through the read side of a striped recovery gate and run fully in
+// parallel (the base's own RWMutex + per-inode locking provides the real
+// serialization); only a detected fault closes the gate, drains in-flight
+// operations, and runs recovery exclusively. Operations that blocked at the
+// closed gate retry against the recovered base, so applications never
+// observe the failure even mid-burst.
+//
 // The package also hosts the baselines the experiments compare against:
 // crash-restart (fail everything back to the application), naive replay
 // (Membrane-style re-execution on the base itself, which re-triggers
@@ -150,25 +158,97 @@ type Stats struct {
 	PeakLogLen     int
 }
 
+// counters holds the supervisor's live tallies. Every field is an atomic so
+// concurrent operations never contend on a stats lock.
+type counters struct {
+	opsExecuted    atomic.Int64
+	opsRecorded    atomic.Int64
+	stablePoints   atomic.Int64
+	recoveries     atomic.Int64
+	degradations   atomic.Int64
+	panicsCaught   atomic.Int64
+	warnsEscalated atomic.Int64
+	freezes        atomic.Int64
+	faultResults   atomic.Int64
+	fdsInvalidated atomic.Int64
+	appFailures    atomic.Int64
+	opsReplayed    atomic.Int64
+	discrepancies  atomic.Int64
+	downtimeNs     atomic.Int64
+}
+
+// fdStripes is the stripe count of the per-descriptor record locks; a power
+// of two so the index is a mask.
+const fdStripes = 32
+
+// roundStable is one sync round's stable-point capture: everything the log
+// needs to truncate consistently once the round's image is durable. All
+// three fields are read at the same instant under ns, so together they
+// describe the filesystem state exactly as of watermark wm.
+type roundStable struct {
+	base  *basefs.FS
+	wm    uint64
+	fds   map[fsapi.FD]uint32
+	clock uint64
+}
+
 // FS is the RAE-supervised filesystem. It implements fsapi.FS; applications
-// use it exactly like the base.
+// use it exactly like the base, from any number of goroutines.
 type FS struct {
-	mu   sync.Mutex
-	dev  blockdev.Device
-	base *basefs.FS
+	dev blockdev.Device
+	// gate is the recovery fence: read-side entry in the common case,
+	// exclusive closure for recovery.
+	gate *gate
+	// gen counts recoveries. An operation samples it at gate entry; a
+	// faulting operation that finds it changed by the time it holds the gate
+	// exclusively knows another goroutine already recovered, and retries
+	// against the new base instead of recovering again.
+	gen atomic.Uint64
+	// base is the current base instance; replaced only while the gate is
+	// held exclusively.
+	base atomic.Pointer[basefs.FS]
 	// fence is the current base instance's device handle; raised at the
 	// start of every contained reboot so abandoned operations cannot touch
 	// the device the recovery works from.
-	fence        *fencedDevice
-	log          *oplog.Log
-	cfg          Config
-	stats        Stats
-	warns        warnCounter
-	opStartWarns atomic.Int64
+	fence atomic.Pointer[fencedDevice]
+	log   *oplog.Log
+	cfg   Config
+	cnt   counters
+	warns warnCounter
+	// warnsHandled is the warn count already consumed by recoveries; the
+	// pre-persist barrier vetoes a sync while warns.n is ahead of it.
+	warnsHandled atomic.Int64
+
+	// ns serializes execute+append for namespace-mutating operations, so the
+	// recorded sequence order is a valid serialization of what the base
+	// executed (the base serializes these under its own namespace lock
+	// anyway, so this adds no contention the base didn't have). Each sync
+	// round holds it only across its watermark read + dirty snapshot (the
+	// PreSnapshot/PostSnapshot hooks), which pins the stable point's place
+	// in the total order without blocking namespace operations for the
+	// round's IO phases.
+	ns sync.Mutex
+	// roundStable describes the stable point of the sync round currently in
+	// its snapshot-to-durable window — watermark, descriptor table, and
+	// logical clock, all captured together under ns by the PreSnapshot hook
+	// and consumed by OnSyncDurable. Rounds on the live base are serialized
+	// by the base's leader protocol, so one slot suffices; the base pointer
+	// lets the consumer reject a capture made by a round on an abandoned
+	// instance.
+	roundStable atomic.Pointer[roundStable]
+	// fdmu stripes execute+append for per-descriptor mutations (writes,
+	// close), keyed by descriptor number: conflicting ops on one descriptor
+	// record in execution order, independent descriptors never contend.
+	fdmu [fdStripes]sync.Mutex
+
 	// tel is the observability sink (nil when Config.NoTelemetry); set once
 	// at Mount and read-only afterwards.
 	tel *telemetry.Sink
 
+	// postMu guards the post-mortem state below (appended during exclusive
+	// recovery, read by accessors at any time).
+	postMu sync.Mutex
+	phases []RecoveryPhases
 	// lastDisc keeps the most recent recovery's discrepancy reports for
 	// post-mortem inspection (§4.3: "reporting the discrepancies is
 	// necessary").
@@ -181,13 +261,15 @@ var _ fsapi.FS = (*FS)(nil)
 func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	cfg.fill()
 	fs := &FS{dev: dev, log: oplog.NewLog(), cfg: cfg, tel: cfg.Telemetry}
+	fs.gate = newGate(fs.tel)
 	fs.warns.next = cfg.Base.OnWarn
 	fs.log.SetTelemetry(fs.tel)
 	base, fence, err := fs.mountBase()
 	if err != nil {
 		return nil, err
 	}
-	fs.base, fs.fence = base, fence
+	fs.base.Store(base)
+	fs.fence.Store(fence)
 	fs.log.Stable(base.OpenFDs(), base.Clock())
 	return fs, nil
 }
@@ -197,45 +279,58 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 // metrics are queryable from it.
 func (r *FS) Telemetry() *telemetry.Sink { return r.tel }
 
-// Unmount syncs and stops the supervised filesystem.
+// Unmount syncs and stops the supervised filesystem. It drains in-flight
+// operations through the gate first.
 func (r *FS) Unmount() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.base.Unmount()
+	r.gate.close()
+	defer r.gate.open()
+	return r.base.Load().Unmount()
 }
 
 // Kill abandons the supervised filesystem without syncing (tests).
 func (r *FS) Kill() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.base.Kill()
+	r.gate.close()
+	defer r.gate.open()
+	r.base.Load().Kill()
 }
 
 // Stats returns a copy of the supervisor's counters.
 func (r *FS) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.stats
-	s.PeakLogLen = r.log.PeakLen()
-	s.Phases = append([]RecoveryPhases(nil), r.stats.Phases...)
+	s := Stats{
+		OpsExecuted:    r.cnt.opsExecuted.Load(),
+		OpsRecorded:    r.cnt.opsRecorded.Load(),
+		StablePoints:   r.cnt.stablePoints.Load(),
+		Recoveries:     r.cnt.recoveries.Load(),
+		Degradations:   r.cnt.degradations.Load(),
+		PanicsCaught:   r.cnt.panicsCaught.Load(),
+		WarnsSeen:      r.warns.n.Load(),
+		WarnsEscalated: r.cnt.warnsEscalated.Load(),
+		Freezes:        r.cnt.freezes.Load(),
+		FaultResults:   r.cnt.faultResults.Load(),
+		FDsInvalidated: r.cnt.fdsInvalidated.Load(),
+		AppFailures:    r.cnt.appFailures.Load(),
+		OpsReplayed:    r.cnt.opsReplayed.Load(),
+		Discrepancies:  r.cnt.discrepancies.Load(),
+		TotalDowntime:  time.Duration(r.cnt.downtimeNs.Load()),
+		PeakLogLen:     r.log.PeakLen(),
+	}
+	r.postMu.Lock()
+	s.Phases = append([]RecoveryPhases(nil), r.phases...)
+	r.postMu.Unlock()
 	return s
 }
 
 // LastDiscrepancies returns the constrained-replay disagreements from the
 // most recent recovery.
 func (r *FS) LastDiscrepancies() []difftest.Discrepancy {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.postMu.Lock()
+	defer r.postMu.Unlock()
 	return append([]difftest.Discrepancy(nil), r.lastDisc...)
 }
 
 // Base exposes the current base instance for experiment instrumentation
 // (cache hit rates). The instance changes across recoveries.
-func (r *FS) Base() *basefs.FS {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.base
-}
+func (r *FS) Base() *basefs.FS { return r.base.Load() }
 
 // LogLen returns the current recorded-operation count (recovery cost driver).
 func (r *FS) LogLen() int { return r.log.Len() }
@@ -245,8 +340,6 @@ func (r *FS) LogLen() int { return r.log.Len() }
 // shadow process consumes. cmd/shadowreplay replays such dumps offline as
 // the §4.3 post-error testing tool.
 func (r *FS) DumpLog() []byte {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	ops, fds, clk := r.log.Snapshot()
 	return oplog.EncodeSequence(ops, fds, clk)
 }
@@ -254,7 +347,34 @@ func (r *FS) DumpLog() []byte {
 // Injector returns the registry shared with the base, if any.
 func (r *FS) Injector() *faultinject.Registry { return r.cfg.Base.Injector }
 
-// --- fsapi.FS facade: every method funnels into do() ---
+// lockRecord acquires the record lock(s) covering op, returning the unlock.
+// Holding the lock across execute+append keeps the recorded order a valid
+// serialization for conflicting operations; independent operations take
+// disjoint locks and proceed in parallel.
+func (r *FS) lockRecord(op *oplog.Op) func() {
+	switch op.Kind {
+	case oplog.KWrite:
+		mu := &r.fdmu[uint32(op.FD)&(fdStripes-1)]
+		mu.Lock()
+		return mu.Unlock
+	case oplog.KClose:
+		// Close mutates both the namespace (fd table, possible deferred
+		// unlink) and the descriptor: take both, ns first (lock order shared
+		// with the sync leader).
+		r.ns.Lock()
+		mu := &r.fdmu[uint32(op.FD)&(fdStripes-1)]
+		mu.Lock()
+		return func() {
+			mu.Unlock()
+			r.ns.Unlock()
+		}
+	default:
+		r.ns.Lock()
+		return r.ns.Unlock
+	}
+}
+
+// --- fsapi.FS facade ---
 
 // Mkdir implements fsapi.FS.
 func (r *FS) Mkdir(path string, perm uint16) error {
@@ -291,18 +411,24 @@ func (r *FS) Close(fd fsapi.FD) error {
 	return op.Err()
 }
 
-// ReadAt implements fsapi.FS. Reads are not recorded, but they run under the
-// same detection envelope: a read that trips a bug triggers recovery and is
-// satisfied by the shadow.
+// ReadAt implements fsapi.FS. Reads are not recorded, but they enter the
+// gate and run under the same detection envelope: a read that trips a bug
+// triggers recovery and is satisfied by the shadow.
 func (r *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	op := &oplog.Op{Kind: oplog.KReadProbe, FD: fd, Off: off, Size: int64(n)}
-	data, fault := r.execRead(fd, off, n)
-	if fault == nil {
-		return data, nil
+	var data []byte
+	var rerr error
+	recovered := r.runProbe(op, func(base *basefs.FS) *fault {
+		return r.capture(func() error {
+			var err error
+			data, err = base.ReadAt(fd, off, n)
+			rerr = err
+			return err
+		})
+	})
+	if !recovered {
+		return data, rerr
 	}
-	r.recoverFrom(fault, op)
 	if op.Errno != 0 {
 		return nil, op.Err()
 	}
@@ -311,9 +437,14 @@ func (r *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
 	return op.RetData, nil
 }
 
-// WriteAt implements fsapi.FS.
+// WriteAt implements fsapi.FS. The payload is copied at the facade boundary:
+// the op can outlive this call (as the in-flight op of a recovery, replayed
+// by the shadow after the caller resumed), so it must never alias a buffer
+// the caller may reuse.
 func (r *FS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
-	op := &oplog.Op{Kind: oplog.KWrite, FD: fd, Off: off, Data: data}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	op := &oplog.Op{Kind: oplog.KWrite, FD: fd, Off: off, Data: buf}
 	r.do(op)
 	return op.RetN, op.Err()
 }
@@ -355,22 +486,20 @@ func (r *FS) Symlink(target, linkPath string) error {
 
 // Readlink implements fsapi.FS.
 func (r *FS) Readlink(path string) (string, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
 	var target string
 	var ferr error
-	base := r.base
-	fault := r.capture(func() error {
-		var err error
-		target, err = base.Readlink(path)
-		ferr = err
-		return err
+	recovered := r.runProbe(op, func(base *basefs.FS) *fault {
+		return r.capture(func() error {
+			var err error
+			target, err = base.Readlink(path)
+			ferr = err
+			return err
+		})
 	})
-	if fault == nil {
+	if !recovered {
 		return target, ferr
 	}
-	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
-	r.recoverFrom(fault, op)
 	if op.Errno != 0 {
 		return "", op.Err()
 	}
@@ -378,68 +507,81 @@ func (r *FS) Readlink(path string) (string, error) {
 	// deterministic specimen cannot re-fire inside the retry.
 	var target2 string
 	var ferr2 error
-	r.withInjectionDisabled(func() { target2, ferr2 = r.base.Readlink(path) })
+	r.withInjectionDisabled(func() { target2, ferr2 = r.base.Load().Readlink(path) })
 	return target2, ferr2
 }
 
 // Stat implements fsapi.FS.
 func (r *FS) Stat(path string) (fsapi.Stat, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
 	var st fsapi.Stat
 	var serr error
-	base := r.base
-	fault := r.capture(func() error {
-		var err error
-		st, err = base.Stat(path)
-		serr = err
-		return err
+	recovered := r.runProbe(op, func(base *basefs.FS) *fault {
+		return r.capture(func() error {
+			var err error
+			st, err = base.Stat(path)
+			serr = err
+			return err
+		})
 	})
-	if fault == nil {
+	if !recovered {
 		return st, serr
 	}
-	op := &oplog.Op{Kind: oplog.KStatProbe, Path: path}
-	r.recoverFrom(fault, op)
 	if op.Errno != 0 {
 		return fsapi.Stat{}, op.Err()
 	}
 	var st2 fsapi.Stat
 	var serr2 error
-	r.withInjectionDisabled(func() { st2, serr2 = r.base.Stat(path) })
+	r.withInjectionDisabled(func() { st2, serr2 = r.base.Load().Stat(path) })
 	return st2, serr2
 }
 
-// Fstat implements fsapi.FS.
+// Fstat implements fsapi.FS. Like every other read it enters the gate and
+// the detection envelope; after a recovery the descriptor is still valid
+// (the hand-off reconstructs the fd table), so the probe retries against
+// the recovered base.
 func (r *FS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.base.Fstat(fd)
+	var st fsapi.Stat
+	var serr error
+	recovered := r.runProbe(nil, func(base *basefs.FS) *fault {
+		return r.capture(func() error {
+			var err error
+			st, err = base.Fstat(fd)
+			serr = err
+			return err
+		})
+	})
+	if !recovered {
+		return st, serr
+	}
+	var st2 fsapi.Stat
+	var serr2 error
+	r.withInjectionDisabled(func() { st2, serr2 = r.base.Load().Fstat(fd) })
+	return st2, serr2
 }
 
 // Readdir implements fsapi.FS.
 func (r *FS) Readdir(path string) ([]fsapi.DirEntry, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	op := &oplog.Op{Kind: oplog.KReadDirProbe, Path: path}
 	var ents []fsapi.DirEntry
 	var derr error
-	base := r.base
-	fault := r.capture(func() error {
-		var err error
-		ents, err = base.Readdir(path)
-		derr = err
-		return err
+	recovered := r.runProbe(op, func(base *basefs.FS) *fault {
+		return r.capture(func() error {
+			var err error
+			ents, err = base.Readdir(path)
+			derr = err
+			return err
+		})
 	})
-	if fault == nil {
+	if !recovered {
 		return ents, derr
 	}
-	op := &oplog.Op{Kind: oplog.KReadDirProbe, Path: path}
-	r.recoverFrom(fault, op)
 	if op.Errno != 0 {
 		return nil, op.Err()
 	}
 	var ents2 []fsapi.DirEntry
 	var derr2 error
-	r.withInjectionDisabled(func() { ents2, derr2 = r.base.Readdir(path) })
+	r.withInjectionDisabled(func() { ents2, derr2 = r.base.Load().Readdir(path) })
 	return ents2, derr2
 }
 
@@ -450,16 +592,18 @@ func (r *FS) SetPerm(path string, perm uint16) error {
 	return op.Err()
 }
 
-// Fsync implements fsapi.FS.
+// Fsync implements fsapi.FS. Syncs take the leader/follower path: the
+// leader advances the stable point, followers coalesce inside the base's
+// sync rounds.
 func (r *FS) Fsync(fd fsapi.FD) error {
 	op := &oplog.Op{Kind: oplog.KFsync, FD: fd}
-	r.do(op)
+	r.doSync(op)
 	return op.Err()
 }
 
 // Sync implements fsapi.FS.
 func (r *FS) Sync() error {
 	op := &oplog.Op{Kind: oplog.KSync}
-	r.do(op)
+	r.doSync(op)
 	return op.Err()
 }

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/basefs"
-	"repro/internal/fsapi"
 	"repro/internal/fserr"
 	"repro/internal/oplog"
 )
@@ -29,7 +28,8 @@ type warnCounter struct {
 }
 
 // mountBase mounts a fresh base instance behind a new IO fence, wired to
-// the supervisor's WARN counter and pre-persist barrier.
+// the supervisor's WARN counter, pre-persist barrier, and the sync-round
+// hooks that drive log truncation.
 func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 	opts := r.cfg.Base
 	opts.OnWarn = func(w basefs.Warning) {
@@ -38,12 +38,54 @@ func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 			r.warns.next(w)
 		}
 	}
+	// Sync-round bracket (see DESIGN.md "stable points under concurrency"):
+	// ns is held from the watermark read through the end of the round's
+	// dirty snapshot. Namespace ops hold ns across execute+append, so any op
+	// the snapshot includes was appended before the watermark — truncating
+	// at the watermark after the round persists can neither lose an op nor
+	// leave an already-durable namespace op to be double-replayed. Writes
+	// are not under ns; a write caught by the snapshot but logged past the
+	// watermark replays idempotently. The hooks fire on every sync round,
+	// including rounds led by a different goroutine's coalesced fsync.
+	//
+	// The descriptor table and clock are captured WITH the watermark, under
+	// ns: they must describe the state as of the watermark, and creates or
+	// closes running concurrently with the round's IO phases would otherwise
+	// leak into the stable point while their ops stay in the log.
+	var self atomic.Pointer[basefs.FS]
+	opts.PreSnapshot = func() {
+		r.ns.Lock()
+		if base := self.Load(); base != nil {
+			r.roundStable.Store(&roundStable{
+				base:  base,
+				wm:    r.log.Watermark(),
+				fds:   base.OpenFDs(),
+				clock: base.Clock(),
+			})
+		}
+	}
+	opts.PostSnapshot = func() { r.ns.Unlock() }
+	opts.OnSyncDurable = func() {
+		// A round completing on an abandoned instance (a frozen sync that
+		// woke after recovery replaced the base) must not move the stable
+		// point: its snapshot no longer corresponds to the live log. The
+		// provenance check covers both directions — a dead round consuming a
+		// live capture and a live round consuming a dead one.
+		base := self.Load()
+		rs := r.roundStable.Load()
+		if base == nil || rs == nil || rs.base != base || r.base.Load() != base {
+			return
+		}
+		r.log.StableAt(rs.wm, rs.fds, rs.clock)
+		r.cnt.stablePoints.Add(1)
+	}
 	if r.cfg.EscalateWarns {
-		// Detection-before-persist: if an escalated WARN was emitted during
-		// the current operation, veto the sync's write-out so the disk stays
-		// at the previous stable point and recovery replays from it.
+		// Detection-before-persist: if an escalated WARN has been emitted
+		// that no recovery has consumed yet, veto the sync's write-out so the
+		// disk stays at the previous stable point and recovery replays from
+		// it.
 		opts.PrePersist = func() error {
-			if r.warns.n.Load() > r.opStartWarns.Load() {
+			if r.warns.n.Load() > r.warnsHandled.Load() {
 				return fmt.Errorf("core: escalated WARN pending before persist: %w", fserr.ErrCorrupt)
 			}
 			return nil
@@ -54,6 +96,7 @@ func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	self.Store(base)
 	return base, fence, nil
 }
 
@@ -61,10 +104,12 @@ func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 // contained, WARN emission is observed, results are classified, and the
 // watchdog bounds execution time. It returns nil when the operation
 // completed without a detectable error (including ordinary user-level error
-// returns, which are legitimate outcomes).
+// returns, which are legitimate outcomes). It is safe to call from any
+// number of goroutines; a WARN emitted by a concurrent operation may be
+// attributed to this one, which at worst triggers one recovery the other
+// goroutine would have triggered anyway.
 func (r *FS) capture(f func() error) *fault {
 	warnsBefore := r.warns.n.Load()
-	r.opStartWarns.Store(warnsBefore)
 
 	type outcome struct {
 		err      error
@@ -89,7 +134,7 @@ func (r *FS) capture(f func() error) *fault {
 		select {
 		case out = <-ch:
 		case <-time.After(r.cfg.Watchdog):
-			r.stats.Freezes++
+			r.cnt.freezes.Add(1)
 			r.tel.Event("freeze", "operation exceeded watchdog %v", r.cfg.Watchdog)
 			return &fault{kind: "freeze", err: fmt.Errorf("core: operation exceeded watchdog %v: %w",
 				r.cfg.Watchdog, fserr.ErrIO)}
@@ -99,75 +144,135 @@ func (r *FS) capture(f func() error) *fault {
 	}
 
 	if out.panicked {
-		r.stats.PanicsCaught++
+		r.cnt.panicsCaught.Add(1)
 		r.tel.Event("panic", "contained panic: %v", out.pval)
 		return &fault{kind: "panic", err: fmt.Errorf("core: contained panic: %v", out.pval)}
 	}
-	if delta := r.warns.n.Load() - warnsBefore; delta > 0 {
-		r.stats.WarnsSeen += delta
-		if r.cfg.EscalateWarns {
-			r.stats.WarnsEscalated++
-			r.tel.Event("warn-escalated", "%d WARN(s) during operation escalated to recovery", delta)
-			return &fault{kind: "warn", err: fmt.Errorf("core: WARN escalated to recovery")}
-		}
+	if r.cfg.EscalateWarns && r.warns.n.Load() > warnsBefore {
+		r.cnt.warnsEscalated.Add(1)
+		r.tel.Event("warn-escalated", "WARN(s) during operation escalated to recovery")
+		return &fault{kind: "warn", err: fmt.Errorf("core: WARN escalated to recovery")}
 	}
 	if fserr.IsFault(out.err) {
-		r.stats.FaultResults++
+		r.cnt.faultResults.Add(1)
 		r.tel.Event("fault-result", "operation returned fault: %v", out.err)
 		return &fault{kind: "result", err: out.err}
 	}
 	return nil
 }
 
-// do executes one operation with recording and recovery. The op's outcome
-// fields are filled either by the base (common case) or by recovery.
+// recoverExclusive closes the gate (draining every in-flight operation),
+// checks that no other goroutine recovered since genAtFault was sampled,
+// and runs recovery. It returns false when the fault was superseded — the
+// base instance the op faulted on is already gone — in which case the
+// caller retries against the recovered base.
+func (r *FS) recoverExclusive(flt *fault, inflight *oplog.Op, genAtFault uint64) bool {
+	r.gate.close()
+	defer r.gate.open()
+	if r.gen.Load() != genAtFault {
+		return false
+	}
+	r.recoverFrom(flt, inflight)
+	r.gen.Add(1)
+	return true
+}
+
+// do executes one mutating operation with recording and recovery. The op's
+// outcome fields are filled either by the base (common case) or by
+// recovery. An operation that faults while another goroutine's recovery is
+// in flight retries against the recovered base: its failed attempt was
+// never recorded and the faulty instance's in-memory state is discarded
+// wholesale, so the retry is indistinguishable from a fresh call.
 func (r *FS) do(op *oplog.Op) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.stats.OpsExecuted++
-	// Execute on a clone: if the watchdog abandons a frozen operation, the
-	// stuck goroutine keeps mutating only the clone, never the op whose
-	// outcome recovery decides.
-	attempt := op.Clone()
-	base := r.base // snapshot: an abandoned frozen goroutine must keep using
-	// the instance it started on, not the one recovery installs
-	flt := r.capture(func() error { return oplog.Apply(base, attempt) })
-	if flt != nil {
-		r.recoverFrom(flt, op)
+	r.cnt.opsExecuted.Add(1)
+	for {
+		si := r.gate.enter()
+		gen := r.gen.Load()
+		base := r.base.Load() // snapshot: an abandoned frozen goroutine must
+		// keep using the instance it started on, not the one recovery installs
+		unlock := r.lockRecord(op)
+		// Execute on a shallow copy: if the watchdog abandons a frozen
+		// operation, the stuck goroutine keeps mutating only the copy's
+		// outcome fields, never the op whose outcome recovery decides. The
+		// payload is shared — it is private to the supervisor (copied at the
+		// facade) and the base only reads it.
+		attempt := *op
+		flt := r.capture(func() error { return oplog.Apply(base, &attempt) })
+		if flt == nil {
+			op.Errno, op.RetFD, op.RetIno, op.RetN = attempt.Errno, attempt.RetFD, attempt.RetIno, attempt.RetN
+			op.RetData = attempt.RetData
+			r.afterSuccess(op)
+			unlock()
+			r.gate.exit(si)
+			return
+		}
+		unlock()
+		r.gate.exit(si)
+		if r.recoverExclusive(flt, op, gen) {
+			return
+		}
+	}
+}
+
+// doSync executes a sync/fsync. All stable-point bookkeeping — watermark
+// capture under ns, truncation after the round persists — happens in the
+// sync-round hooks (see mountBase), driven by the base's round protocol:
+// concurrent syncs coalesce onto shared rounds, and every durable round is
+// a stable point regardless of which caller's goroutine led it.
+func (r *FS) doSync(op *oplog.Op) {
+	r.cnt.opsExecuted.Add(1)
+	for {
+		si := r.gate.enter()
+		gen := r.gen.Load()
+		base := r.base.Load()
+		attempt := *op
+		flt := r.capture(func() error { return oplog.Apply(base, &attempt) })
+		if flt == nil {
+			op.Errno = attempt.Errno
+			r.gate.exit(si)
+			return
+		}
+		r.gate.exit(si)
+		if r.recoverExclusive(flt, op, gen) {
+			return
+		}
+	}
+}
+
+// runProbe runs one unrecorded read under the gate with fault recovery.
+// exec executes against the given base instance and returns the captured
+// fault, or nil. On a fault the probe recovers (op, which may be nil,
+// receives the shadow's answer) or — when another goroutine's recovery
+// superseded it — retries exec against the recovered base. Returns whether
+// a recovery decided the outcome.
+func (r *FS) runProbe(op *oplog.Op, exec func(base *basefs.FS) *fault) (recovered bool) {
+	for {
+		si := r.gate.enter()
+		gen := r.gen.Load()
+		base := r.base.Load()
+		flt := exec(base)
+		r.gate.exit(si)
+		if flt == nil {
+			return false
+		}
+		if r.recoverExclusive(flt, op, gen) {
+			return true
+		}
+	}
+}
+
+// afterSuccess records a completed operation. Syncs are never appended to
+// the log (the shadow does not re-execute them), and their stable-point
+// bookkeeping already ran inside the round via the OnSyncDurable hook —
+// including on the recovery paths that re-run a sync exclusively.
+func (r *FS) afterSuccess(op *oplog.Op) {
+	if op.Kind == oplog.KSync || op.Kind == oplog.KFsync {
 		return
 	}
-	op.Errno, op.RetFD, op.RetIno, op.RetN = attempt.Errno, attempt.RetFD, attempt.RetIno, attempt.RetN
-	op.RetData = attempt.RetData
-	r.afterSuccess(op)
-}
-
-// afterSuccess records a completed operation and advances the stable point
-// on durable syncs.
-func (r *FS) afterSuccess(op *oplog.Op) {
 	if op.Kind.Mutating() {
 		r.log.Append(op)
-		r.stats.OpsRecorded++
+		r.cnt.opsRecorded.Add(1)
 	}
-	if (op.Kind == oplog.KSync || op.Kind == oplog.KFsync) && op.Errno == 0 {
-		r.log.Stable(r.base.OpenFDs(), r.base.Clock())
-		r.stats.StablePoints++
-	}
-}
-
-// execRead runs a read under the detection envelope, returning the data or
-// the fault.
-func (r *FS) execRead(fd fsapi.FD, off int64, n int) ([]byte, *fault) {
-	var data []byte
-	base := r.base
-	flt := r.capture(func() error {
-		var err error
-		data, err = base.ReadAt(fd, off, n)
-		return err
-	})
-	if flt != nil {
-		return nil, flt
-	}
-	return data, nil
 }
 
 // withInjectionDisabled runs supervisor support code with the bug registry

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+	"unsafe"
+
+	"repro/internal/telemetry"
+)
+
+// gateStripes is the read-side stripe count of the recovery gate: the next
+// power of two at or above GOMAXPROCS at init, capped so the writer's
+// drain loop stays short.
+var gateStripes = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s > 32 {
+		s = 32
+	}
+	return s
+}()
+
+// gateStripe is one padded RWMutex stripe; padding keeps two stripes out of
+// one cache line so uncontended readers on different cores do not
+// false-share.
+type gateStripe struct {
+	mu sync.RWMutex
+	_  [40]byte
+}
+
+// gate is the recovery fence. In the common case every operation enters
+// through the read side of one stripe — picked by goroutine identity, so
+// independent operations never touch the same mutex — and runs fully in
+// parallel. When a fault is detected, the faulting goroutine closes the
+// gate: it write-locks every stripe, which (RWMutex writer preference)
+// blocks new entries and waits for every in-flight operation to drain, then
+// runs recovery exclusively. Reopening releases the stripes; blocked
+// operations resume against the recovered base.
+//
+// Reads enter the gate too — they may not bypass it, because a read must
+// never observe the in-memory state of a base instance that a concurrent
+// recovery has already declared dead (and a faulting read itself triggers
+// recovery; see DESIGN.md).
+type gate struct {
+	stripes []gateStripe
+
+	// waitNs records contended entries only: the time an operation spent
+	// blocked at a closed (or closing) gate ("core.fence.wait_ns").
+	waitNs *telemetry.Histogram
+	// inflight counts operations currently inside the gate ("core.inflight").
+	inflight *telemetry.Gauge
+}
+
+func newGate(tel *telemetry.Sink) *gate {
+	g := &gate{stripes: make([]gateStripe, gateStripes)}
+	if tel != nil {
+		g.waitNs = tel.Histogram("core.fence.wait_ns")
+		g.inflight = tel.Gauge("core.inflight")
+	}
+	return g
+}
+
+// stripeFor picks a stripe for the calling goroutine (same goroutine-stack
+// address trick as telemetry's sharded counters).
+func (g *gate) stripeFor() int {
+	var probe byte
+	h := uint32(uintptr(unsafe.Pointer(&probe)) >> 4)
+	h *= 2654435761
+	return int((h >> 16) & uint32(len(g.stripes)-1))
+}
+
+// enter admits one operation through the read side, returning the stripe to
+// pass to exit. The fast path is a single uncontended TryRLock; only a
+// closed or closing gate pays for a clock read.
+func (g *gate) enter() int {
+	i := g.stripeFor()
+	mu := &g.stripes[i].mu
+	if !mu.TryRLock() {
+		t0 := time.Now()
+		mu.RLock()
+		g.waitNs.Observe(time.Since(t0))
+	}
+	g.inflight.Add(1)
+	return i
+}
+
+// exit releases the read side acquired by enter.
+func (g *gate) exit(i int) {
+	g.inflight.Add(-1)
+	g.stripes[i].mu.RUnlock()
+}
+
+// close write-locks every stripe in index order: new entries block, and the
+// call returns only once every in-flight operation has drained. The caller
+// then owns the supervisor exclusively until open.
+func (g *gate) close() {
+	for i := range g.stripes {
+		g.stripes[i].mu.Lock()
+	}
+}
+
+// open reopens the gate after close.
+func (g *gate) open() {
+	for i := range g.stripes {
+		g.stripes[i].mu.Unlock()
+	}
+}

@@ -12,15 +12,17 @@ import (
 )
 
 // recoverFrom is the supervisor's response to a detected fault, dispatching
-// to the configured strategy. inflight is the operation whose return value
-// the application has not seen; on return its outcome fields carry the
-// answer the application gets.
+// to the configured strategy. It runs with the recovery gate held
+// exclusively: every in-flight operation has drained and no new one can
+// enter until it returns. inflight is the operation whose return value the
+// application has not seen (nil for probes with no replayable form); on
+// return its outcome fields carry the answer the application gets.
 //
 // Every recovery produces one telemetry trace spanning the six canonical
 // phases (detect → fence → reboot → shadow-exec → handoff → resume); phases
 // a strategy never enters appear with zero duration.
 func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
-	r.stats.Recoveries++
+	r.cnt.recoveries.Add(1)
 	tr := r.tel.StartRecovery(flt.kind, r.cfg.Mode.String(), r.log.Len())
 	r.tel.Counter("recovery.trigger." + flt.kind).Inc()
 	t0 := time.Now()
@@ -34,7 +36,17 @@ func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
 		outcome = r.raeRecover(tr, inflight)
 	}
 	tr.Finish(outcome)
-	r.stats.TotalDowntime += time.Since(t0)
+	r.cnt.downtimeNs.Add(int64(time.Since(t0)))
+	// Every WARN emitted up to here has been consumed by this recovery: the
+	// faulty instance is gone and the pre-persist barrier starts fresh.
+	r.warnsHandled.Store(r.warns.n.Load())
+}
+
+// addPhases appends one recovery's phase breakdown to the post-mortem list.
+func (r *FS) addPhases(ph RecoveryPhases) {
+	r.postMu.Lock()
+	r.phases = append(r.phases, ph)
+	r.postMu.Unlock()
 }
 
 // raeRecover is the paper's recovery procedure (§3.2): contained reboot,
@@ -47,17 +59,17 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	// re-mount from trusted on-disk state (journal replay inside Mount).
 	t := time.Now()
 	tr.BeginPhase(telemetry.PhaseFence)
-	r.fence.raise()
+	r.fence.Load().raise()
 	tr.BeginPhase(telemetry.PhaseReboot)
-	r.base.Kill()
+	r.base.Load().Kill()
 	newBase, newFence, err := r.mountBase()
 	ph.Reboot = time.Since(t)
 	if err != nil {
 		// The device itself is unusable; nothing recovers this.
 		r.tel.Event("degrade", "recovery failed: remount: %v", err)
 		r.failOp(inflight)
-		r.stats.Degradations++
-		r.stats.Phases = append(r.stats.Phases, ph)
+		r.cnt.degradations.Add(1)
+		r.addPhases(ph)
 		return "failed"
 	}
 
@@ -107,9 +119,11 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	res, err := sh.Replay(in)
 	ph.Replay = time.Since(t)
 	if res != nil {
-		r.stats.OpsReplayed += int64(res.OpsReplayed)
-		r.stats.Discrepancies += int64(len(res.Discrepancies))
+		r.cnt.opsReplayed.Add(int64(res.OpsReplayed))
+		r.cnt.discrepancies.Add(int64(len(res.Discrepancies)))
+		r.postMu.Lock()
 		r.lastDisc = res.Discrepancies
+		r.postMu.Unlock()
 		tr.SetOpsReplayed(res.OpsReplayed)
 		for _, d := range res.Discrepancies {
 			r.tel.Event("discrepancy", "%s", d.String())
@@ -130,7 +144,8 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 		return r.degrade(newBase, newFence, inflight, ph, "absorb: %v", err)
 	}
 	ph.Absorb = time.Since(t)
-	r.base, r.fence = newBase, newFence
+	r.base.Store(newBase)
+	r.fence.Store(newFence)
 
 	// 5. Resume: answer the in-flight operation and keep the log coherent.
 	// Recorded operations stay in the log — they are still not durable.
@@ -143,21 +158,21 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 			// perform fsync again after the hand-off" (§3.3). The WARN that
 			// vetoed the original persist was consumed by this recovery, so
 			// the pre-persist barrier starts fresh for the re-run.
-			r.opStartWarns.Store(r.warns.n.Load())
+			r.warnsHandled.Store(r.warns.n.Load())
 			r.withInjectionDisabled(func() {
-				_ = oplog.Apply(r.base, inflight)
+				_ = oplog.Apply(r.base.Load(), inflight)
 			})
 			if inflight.Errno == 0 {
 				r.afterSuccess(inflight)
 			} else {
-				r.stats.AppFailures++
+				r.cnt.appFailures.Add(1)
 			}
 		case res.InFlight != nil:
 			*inflight = *res.InFlight
 			r.afterSuccess(inflight)
 		}
 	}
-	r.stats.Phases = append(r.stats.Phases, ph)
+	r.addPhases(ph)
 	return "recovered"
 }
 
@@ -169,11 +184,12 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 // event so post-mortems can tell which recovery step gave up.
 func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog.Op,
 	ph RecoveryPhases, reasonFormat string, args ...any) string {
-	r.stats.Degradations++
+	r.cnt.degradations.Add(1)
 	r.tel.Event("degrade", "recovery degraded to crash-restart: "+reasonFormat, args...)
-	r.base, r.fence = newBase, newFence
+	r.base.Store(newBase)
+	r.fence.Store(newFence)
 	r.finishCrashRestart(inflight)
-	r.stats.Phases = append(r.stats.Phases, ph)
+	r.addPhases(ph)
 	return "degraded"
 }
 
@@ -181,15 +197,16 @@ func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog
 // surface the failure.
 func (r *FS) crashRestart(tr *telemetry.Trace, inflight *oplog.Op) string {
 	tr.BeginPhase(telemetry.PhaseFence)
-	r.fence.raise()
+	r.fence.Load().raise()
 	tr.BeginPhase(telemetry.PhaseReboot)
-	r.base.Kill()
+	r.base.Load().Kill()
 	newBase, newFence, err := r.mountBase()
 	if err != nil {
 		r.failOp(inflight)
 		return "failed"
 	}
-	r.base, r.fence = newBase, newFence
+	r.base.Store(newBase)
+	r.fence.Store(newFence)
 	tr.BeginPhase(telemetry.PhaseResume)
 	r.finishCrashRestart(inflight)
 	return "crash-restart"
@@ -199,11 +216,10 @@ func (r *FS) crashRestart(tr *telemetry.Trace, inflight *oplog.Op) string {
 // (fresh) base: every pre-crash descriptor is gone, buffered operations are
 // lost, and the application sees the error.
 func (r *FS) finishCrashRestart(inflight *oplog.Op) {
-	_, fds, _ := r.log.Snapshot()
+	ops, fds, _ := r.log.Snapshot()
 	lost := int64(len(fds))
 	// Descriptors opened since the stable point are also gone; they are
 	// found in the recorded ops.
-	ops, _, _ := r.log.Snapshot()
 	for _, op := range ops {
 		switch op.Kind {
 		case oplog.KCreate, oplog.KOpen:
@@ -219,8 +235,9 @@ func (r *FS) finishCrashRestart(inflight *oplog.Op) {
 	if lost < 0 {
 		lost = 0
 	}
-	r.stats.FDsInvalidated += lost
-	r.log.Stable(r.base.OpenFDs(), r.base.Clock())
+	r.cnt.fdsInvalidated.Add(lost)
+	base := r.base.Load()
+	r.log.Stable(base.OpenFDs(), base.Clock())
 	r.failOp(inflight)
 }
 
@@ -230,7 +247,7 @@ func (r *FS) failOp(inflight *oplog.Op) {
 		inflight.Errno = fserr.Errno(fserr.ErrIO)
 		inflight.RetFD = -1
 	}
-	r.stats.AppFailures++
+	r.cnt.appFailures.Add(1)
 }
 
 // naiveReplay implements the Membrane-style baseline: remount and re-execute
@@ -242,26 +259,27 @@ func (r *FS) naiveReplay(tr *telemetry.Trace, inflight *oplog.Op) string {
 	ops, fds, _ := r.log.Snapshot()
 	for attempt := 0; attempt < r.cfg.MaxReplayRetries; attempt++ {
 		tr.BeginPhase(telemetry.PhaseFence)
-		r.fence.raise()
+		r.fence.Load().raise()
 		tr.BeginPhase(telemetry.PhaseReboot)
-		r.base.Kill()
+		r.base.Load().Kill()
 		newBase, newFence, err := r.mountBase()
 		if err != nil {
 			r.failOp(inflight)
 			return "failed"
 		}
-		r.base, r.fence = newBase, newFence
+		r.base.Store(newBase)
+		r.fence.Store(newFence)
 		if len(fds) != 0 {
 			// The base has no interface for resurrecting descriptors without
 			// a shadow update; naive replay can only reopen what the log can
 			// name, which descriptors are not. This is precisely the state-
 			// reconstruction gap RAE's fd snapshot + hand-off closes. Treat
 			// pre-stable-point descriptors as lost.
-			r.stats.FDsInvalidated += int64(len(fds))
+			r.cnt.fdsInvalidated.Add(int64(len(fds)))
 			fds = nil
 		}
 		ok := true
-		base := r.base
+		base := r.base.Load()
 		tr.BeginPhase(telemetry.PhaseShadowExec)
 		tr.Note("naive replay on base, attempt %d", attempt+1)
 		for _, rec := range ops {
@@ -289,17 +307,18 @@ func (r *FS) naiveReplay(tr *telemetry.Trace, inflight *oplog.Op) string {
 		return "recovered"
 	}
 	// Retries exhausted: give up on the buffered state.
-	r.stats.Degradations++
+	r.cnt.degradations.Add(1)
 	r.tel.Event("degrade", "naive replay degraded to crash-restart after %d attempts",
 		r.cfg.MaxReplayRetries)
-	r.fence.raise()
-	r.base.Kill()
+	r.fence.Load().raise()
+	r.base.Load().Kill()
 	newBase, newFence, err := r.mountBase()
 	if err != nil {
 		r.failOp(inflight)
 		return "failed"
 	}
-	r.base, r.fence = newBase, newFence
+	r.base.Store(newBase)
+	r.fence.Store(newFence)
 	tr.BeginPhase(telemetry.PhaseResume)
 	r.finishCrashRestart(inflight)
 	return "degraded"

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// ConcurrencyResult is one cell of the E11 sweep: one system running one
+// profile from `Goroutines` concurrent appliers, each with its own trace in
+// its own directory subtree.
+type ConcurrencyResult struct {
+	System     System
+	Profile    workload.Profile
+	Goroutines int
+	Ops        int
+	Elapsed    time.Duration
+	OpsPerSec  float64
+}
+
+// prefixTrace rewrites every absolute path of a recorded trace under a
+// goroutine-private prefix, so concurrent appliers operate on disjoint
+// subtrees and their per-goroutine outcomes stay comparable to the oracle's.
+func prefixTrace(trace []*oplog.Op, prefix string) []*oplog.Op {
+	out := make([]*oplog.Op, len(trace))
+	for i, rec := range trace {
+		op := rec.Clone()
+		if strings.HasPrefix(op.Path, "/") {
+			op.Path = prefix + op.Path
+		}
+		if strings.HasPrefix(op.Path2, "/") && op.Kind != oplog.KSymlink {
+			// Symlink Path2 is target text; leaving it un-prefixed keeps the
+			// link dangling at worst, which the trace already tolerates.
+			op.Path2 = prefix + op.Path2
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// applyTraceRemapped applies a trace whose descriptor numbers were recorded
+// against the single-threaded oracle. Under concurrency the filesystem
+// allocates different descriptors, so recorded FDs are remapped through the
+// actual create/open results: an op whose descriptor never materialized
+// (its open failed under this interleaving) is skipped.
+func applyTraceRemapped(fs fsapi.FS, trace []*oplog.Op) int {
+	fdmap := make(map[fsapi.FD]fsapi.FD)
+	applied := 0
+	for _, rec := range trace {
+		op := rec.Clone()
+		recFD, recRet := op.FD, op.RetFD
+		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+		switch op.Kind {
+		case oplog.KWrite, oplog.KClose, oplog.KFsync, oplog.KReadProbe:
+			actual, ok := fdmap[recFD]
+			if !ok {
+				continue
+			}
+			op.FD = actual
+		}
+		_ = oplog.Apply(fs, op)
+		applied++
+		switch op.Kind {
+		case oplog.KCreate, oplog.KOpen:
+			if op.Errno == 0 {
+				fdmap[recRet] = op.RetFD
+			}
+		case oplog.KClose:
+			if op.Errno == 0 {
+				delete(fdmap, recFD)
+			}
+		}
+	}
+	return applied
+}
+
+// ConcurrencyThroughput measures aggregate ops/sec for one system at one
+// concurrency level: g goroutines each apply an independent trace of the
+// given profile under a private directory prefix. Traces and prefix
+// directories are prepared outside the timed region.
+func ConcurrencyThroughput(sys System, profile workload.Profile, goroutines, opsPerG int, seed int64) (ConcurrencyResult, error) {
+	res := ConcurrencyResult{System: sys, Profile: profile, Goroutines: goroutines}
+
+	traces := make([][]*oplog.Op, goroutines)
+	for g := 0; g < goroutines; g++ {
+		trace := workload.Generate(workload.Config{
+			Profile: profile, Seed: seed + int64(g), NumOps: opsPerG, SyncEvery: 200,
+		})
+		traces[g] = prefixTrace(trace, gPrefix(g))
+	}
+
+	dev, _, err := newImage(ImageBlocks)
+	if err != nil {
+		return res, err
+	}
+	var fs fsapi.FS
+	var cleanup func()
+	switch sys {
+	case SysBase:
+		base, err := basefs.Mount(dev, basefs.Options{})
+		if err != nil {
+			return res, err
+		}
+		fs, cleanup = base, base.Kill
+	case SysRAE:
+		sup, err := core.Mount(dev, core.Config{})
+		if err != nil {
+			return res, err
+		}
+		fs, cleanup = sup, sup.Kill
+	default:
+		return res, errUnsupportedSystem(sys)
+	}
+	defer cleanup()
+	for g := 0; g < goroutines; g++ {
+		if err := fs.Mkdir(gPrefix(g), 0o755); err != nil {
+			return res, err
+		}
+	}
+
+	applied := make([]int, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			applied[g] = applyTraceRemapped(fs, traces[g])
+		}(g)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, n := range applied {
+		res.Ops += n
+	}
+	res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+func gPrefix(g int) string {
+	return "/g" + string(rune('0'+g/10)) + string(rune('0'+g%10))
+}
+
+type errUnsupportedSystem System
+
+func (e errUnsupportedSystem) Error() string {
+	return "experiments: concurrency sweep does not support system " + System(e).String()
+}
+
+// ConcurrencySweepLevels is the E11 goroutine ladder.
+var ConcurrencySweepLevels = []int{1, 2, 4, 8, 16}
+
+// ConcurrencySweep runs the full E11 grid: base and RAE at every concurrency
+// level for the given profiles. Results appear in system, profile, level
+// order.
+func ConcurrencySweep(profiles []workload.Profile, opsPerG int, seed int64) ([]ConcurrencyResult, error) {
+	var out []ConcurrencyResult
+	for _, sys := range []System{SysBase, SysRAE} {
+		for _, p := range profiles {
+			for _, g := range ConcurrencySweepLevels {
+				r, err := ConcurrencyThroughput(sys, p, g, opsPerG, seed)
+				if err != nil {
+					return out, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

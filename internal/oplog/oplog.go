@@ -17,7 +17,10 @@ package oplog
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
@@ -252,33 +255,73 @@ func (o *Op) String() string {
 	}
 }
 
+// logShards is the stripe count of the log's per-shard segments. Appends
+// from different goroutines land on different shards (goroutine-affine
+// hashing), so recording never funnels concurrent writers through one
+// mutex; Snapshot merges the segments by sequence number.
+const logShards = 16
+
+// logShard is one append segment, padded so two shards' mutexes never share
+// a cache line.
+type logShard struct {
+	mu  sync.Mutex
+	ops []*Op
+	_   [24]byte
+}
+
+// shardIndex picks a shard for the calling goroutine. Goroutine stacks are
+// distinct allocations, so the address of a local is a cheap proxy for
+// goroutine identity (the same trick telemetry's sharded counters use).
+func shardIndex() uint32 {
+	var probe byte
+	h := uint32(uintptr(unsafe.Pointer(&probe)) >> 4)
+	h *= 2654435761 // Knuth multiplicative hash
+	return (h >> 16) & (logShards - 1)
+}
+
 // Log is the supervisor's record of operations since the last stable point,
 // together with the descriptor table and logical clock captured at that
 // point — everything the shadow needs to reconstruct state from trusted
 // on-disk contents.
+//
+// Recording is lock-striped: the sequence number comes from one atomic, the
+// op lands in a goroutine-affine shard, and only Snapshot/Watermark/Stable
+// touch every shard. The total order that shadow replay needs is the Seq
+// order; the supervisor guarantees it is a valid serialization by holding
+// its per-resource record locks across execute+append for conflicting ops.
 type Log struct {
-	mu         sync.Mutex
-	ops        []*Op
-	next       uint64
+	// next is the next sequence number; claimed inside a shard lock so that
+	// Watermark (which holds all shard locks) never observes a claimed-but-
+	// not-yet-inserted sequence.
+	next   atomic.Uint64
+	length atomic.Int64
+	peak   atomic.Int64
+	shards [logShards]logShard
+
+	// stableMu guards the stable-point snapshot (descriptor table + clock).
+	stableMu   sync.Mutex
 	baseFDs    map[fsapi.FD]uint32
 	startClock uint64
-	peakLen    int
 
+	// Telemetry instruments are installed once, before concurrent use.
 	telLen                    *telemetry.Gauge
 	telAppends, telTruncation *telemetry.Counter
+	telAppendNs               *telemetry.Histogram
 }
 
-// SetTelemetry installs the live-length gauge ("oplog.len") and the
-// append/truncation counters ("oplog.appends", "oplog.truncations") from s.
+// SetTelemetry installs the live-length gauge ("oplog.len"), the
+// append/truncation counters ("oplog.appends", "oplog.truncations"), and the
+// append-latency histogram ("oplog.append_ns") from s. It must be called
+// before the log is shared between goroutines (the supervisor calls it at
+// Mount).
 func (l *Log) SetTelemetry(s *telemetry.Sink) {
 	if s == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.telLen = s.Gauge("oplog.len")
 	l.telAppends = s.Counter("oplog.appends")
 	l.telTruncation = s.Counter("oplog.truncations")
+	l.telAppendNs = s.Histogram("oplog.append_ns")
 }
 
 // NewLog returns an empty log whose stable point is a fresh filesystem (no
@@ -293,45 +336,115 @@ func (l *Log) Append(o *Op) {
 	if !o.Kind.Mutating() {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	tm := telemetry.StartTimer(l.telAppendNs)
 	cp := o.Clone()
-	cp.Seq = l.next
-	l.next++
-	l.ops = append(l.ops, cp)
-	if len(l.ops) > l.peakLen {
-		l.peakLen = len(l.ops)
+	s := &l.shards[shardIndex()]
+	s.mu.Lock()
+	cp.Seq = l.next.Add(1) - 1
+	s.ops = append(s.ops, cp)
+	s.mu.Unlock()
+	n := l.length.Add(1)
+	for {
+		p := l.peak.Load()
+		if n <= p || l.peak.CompareAndSwap(p, n) {
+			break
+		}
 	}
 	l.telAppends.Inc()
-	l.telLen.Set(int64(len(l.ops)))
+	l.telLen.Set(n)
+	tm.Stop()
 }
 
-// Stable marks a new durable point: all recorded operations are now on disk,
-// so they are discarded; the descriptor table and clock snapshots replace
-// the old ones. ("When ... the buffered updates are flushed to disk, the
-// corresponding recorded operations can be discarded.")
-func (l *Log) Stable(fds map[fsapi.FD]uint32, clock uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.ops = nil
+// lockAll acquires every shard lock in index order; unlockAll releases them.
+func (l *Log) lockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+}
+
+func (l *Log) unlockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// Watermark returns a sequence-number upper bound W such that every op with
+// Seq < W has been fully appended — and, because the supervisor appends
+// after executing, fully executed on the base. It holds all shard locks for
+// the read, so no claimed-but-uninserted sequence can hide below W; any op
+// appended after Watermark returns necessarily claims Seq >= W. The sync
+// leader reads the watermark before issuing the base sync and truncates with
+// StableAt afterwards: exactly the ops known executed before the sync's
+// snapshot are discarded.
+func (l *Log) Watermark() uint64 {
+	l.lockAll()
+	w := l.next.Load()
+	l.unlockAll()
+	return w
+}
+
+// StableAt marks a durable point covering every op with Seq < watermark:
+// those ops' effects were captured by a base sync that has completed, so
+// they are discarded and the descriptor table/clock snapshots replace the
+// old ones. Ops at or above the watermark stay recorded — some may already
+// be durable (a write that raced into the sync's snapshot), which is safe
+// because replaying a durable write is idempotent and the shadow never
+// re-executes syncs.
+func (l *Log) StableAt(watermark uint64, fds map[fsapi.FD]uint32, clock uint64) {
+	l.stableMu.Lock()
+	defer l.stableMu.Unlock()
+	var removed int64
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		kept := s.ops[:0]
+		for _, o := range s.ops {
+			if o.Seq < watermark {
+				removed++
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		for j := len(kept); j < len(s.ops); j++ {
+			s.ops[j] = nil
+		}
+		s.ops = kept
+		s.mu.Unlock()
+	}
 	l.baseFDs = make(map[fsapi.FD]uint32, len(fds))
 	for fd, ino := range fds {
 		l.baseFDs[fd] = ino
 	}
 	l.startClock = clock
+	n := l.length.Add(-removed)
 	l.telTruncation.Inc()
-	l.telLen.Set(0)
+	l.telLen.Set(n)
+}
+
+// Stable marks a new durable point: all recorded operations are now on disk,
+// so they are discarded; the descriptor table and clock snapshots replace
+// the old ones. ("When ... the buffered updates are flushed to disk, the
+// corresponding recorded operations can be discarded.") Callers must have
+// quiesced appenders (the supervisor only full-truncates while holding the
+// recovery fence exclusively, or at mount).
+func (l *Log) Stable(fds map[fsapi.FD]uint32, clock uint64) {
+	l.StableAt(l.Watermark(), fds, clock)
 }
 
 // Snapshot returns the recovery input: the ops since the stable point (deep
-// copies), the descriptor table at the stable point, and the clock then.
+// copies, merged across shards in sequence order), the descriptor table at
+// the stable point, and the clock then.
 func (l *Log) Snapshot() (ops []*Op, fds map[fsapi.FD]uint32, clock uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	ops = make([]*Op, len(l.ops))
-	for i, o := range l.ops {
-		ops[i] = o.Clone()
+	l.stableMu.Lock()
+	defer l.stableMu.Unlock()
+	l.lockAll()
+	for i := range l.shards {
+		for _, o := range l.shards[i].ops {
+			ops = append(ops, o.Clone())
+		}
 	}
+	l.unlockAll()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
 	fds = make(map[fsapi.FD]uint32, len(l.baseFDs))
 	for fd, ino := range l.baseFDs {
 		fds[fd] = ino
@@ -340,28 +453,23 @@ func (l *Log) Snapshot() (ops []*Op, fds map[fsapi.FD]uint32, clock uint64) {
 }
 
 // Len returns the number of recorded operations since the stable point.
-func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.ops)
-}
+func (l *Log) Len() int { return int(l.length.Load()) }
 
 // PeakLen returns the largest log length observed, an experiment metric for
 // recovery-cost studies.
-func (l *Log) PeakLen() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.peakLen
-}
+func (l *Log) PeakLen() int { return int(l.peak.Load()) }
 
 // ApproxBytes estimates the log's memory footprint (op structs plus write
 // payloads), reported by the recording-overhead experiment.
 func (l *Log) ApproxBytes() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	total := 0
-	for _, o := range l.ops {
-		total += 96 + len(o.Path) + len(o.Path2) + len(o.Data)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for _, o := range s.ops {
+			total += 96 + len(o.Path) + len(o.Path2) + len(o.Data)
+		}
+		s.mu.Unlock()
 	}
 	return total
 }
