@@ -95,6 +95,22 @@ func main() {
 			telemetry.WriteTraceTable(os.Stdout, tr)
 		}
 	}
+	snap := sink.Snapshot()
+	printedHeader := false
+	for _, stage := range []string{"plan", "reboot", "fsck", "replay", "install", "resume", "wall"} {
+		h, ok := snap.Histograms["recovery.stage."+stage+"_ns"]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if !printedHeader {
+			fmt.Println("\nrecovery engine stages (wall overlaps the others in the pipelined engine):")
+			printedHeader = true
+		}
+		fmt.Printf("  %-8s n=%-3d mean=%-12v max=%v\n", stage, h.Count, h.Mean, h.Max)
+	}
+	if reused := snap.Counters["recovery.replay.reused_ops"]; reused > 0 {
+		fmt.Printf("warm replayer reuse: %d already-replayed ops skipped across repeat faults\n", reused)
+	}
 	if evs := sink.Events(); len(evs) > 0 {
 		fmt.Println("\nevent journal (last 10):")
 		if len(evs) > 10 {

@@ -170,6 +170,24 @@ func recovery(seed int64) {
 		fmt.Println(tr)
 	}
 	fmt.Println()
+
+	fmt.Println("== E12: pipelined vs sequential recovery engine ==")
+	fmt.Printf("(per-IO device service time %v armed at detonation)\n", experiments.RecoveryIOLatency)
+	fmt.Printf("%-10s %14s %14s %10s\n", "gap ops", "sequential", "pipelined", "speedup")
+	for _, n := range []int{512, 2048, 10000} {
+		r, err := experiments.RecoveryPipeline(n, seed, experiments.RecoveryIOLatency)
+		check(err)
+		fmt.Printf("%-10d %14v %14v %9.2fx\n",
+			r.LogLen, r.Sequential.Total(), r.Pipelined.Total(), r.Speedup)
+	}
+	fmt.Println()
+	w, err := experiments.WarmRepeat(2000, 100, seed, experiments.RecoveryIOLatency)
+	check(err)
+	fmt.Printf("warm repeat fault: first gap %d ops -> replayed %d in %v;\n",
+		w.Gap1, w.FirstReplayed, w.FirstWall)
+	fmt.Printf("  second fault %d ops later -> replayed %d, reused %d, in %v (fsck skipped)\n",
+		w.Gap2, w.SecondReplayed, w.Reused, w.SecondWall)
+	fmt.Println()
 }
 
 func avail(ops int, seed int64) {

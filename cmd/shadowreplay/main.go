@@ -6,20 +6,31 @@
 // recorded behavior and the shadow's. With -apply, the shadow's sealed
 // update is written back to the image, producing the recovered state.
 //
+// With -stream, the replay runs through the incremental Replayer instead:
+// the op sequence is consumed in batches, the resulting block images are
+// emitted as sealed handoff chunks as replay progresses, and the chunk
+// stream plus final manifest are verified and assembled exactly as the
+// recovery engine's install stage would — with per-stage timings printed
+// from a telemetry sink.
+//
 // Usage:
 //
-//	shadowreplay -img disk.img -trace trace.bin [-apply] [-stop]
+//	shadowreplay -img disk.img -trace trace.bin [-stream] [-apply] [-stop]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/fsapi"
+	"repro/internal/handoff"
 	"repro/internal/mkfs"
 	"repro/internal/oplog"
 	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +38,7 @@ func main() {
 	trace := flag.String("trace", "", "serialized recovery input (core.FS.DumpLog output)")
 	apply := flag.Bool("apply", false, "write the shadow's update back to the image")
 	stop := flag.Bool("stop", false, "abort on the first discrepancy")
+	stream := flag.Bool("stream", false, "replay incrementally through the chunked handoff path")
 	flag.Parse()
 	if *img == "" || *trace == "" {
 		fmt.Fprintln(os.Stderr, "shadowreplay: -img and -trace are required")
@@ -51,6 +63,11 @@ func main() {
 	check(err)
 	fmt.Printf("trace: %d operations, %d stable-point descriptors, clock %d\n",
 		len(ops), len(fds), clock)
+
+	if *stream {
+		streamReplay(dev, ops, fds, clock, *img, *apply, *stop)
+		return
+	}
 
 	sh, err := shadowfs.New(dev, shadowfs.Options{})
 	check(err)
@@ -81,6 +98,85 @@ func main() {
 		}
 		check(dev.Flush())
 		fmt.Printf("applied %d blocks to %s\n", len(res.Update.Blocks), *img)
+	}
+}
+
+// streamReplayBatch is the feed granularity, matching the recovery engine.
+const streamReplayBatch = 256
+
+// streamReplay drives the incremental Replayer over the decoded sequence,
+// collecting sealed chunks as they are emitted, then verifies and assembles
+// the stream the way the engine's install stage would. Stage durations are
+// recorded in (and printed from) an isolated telemetry sink, so the output
+// matches the recovery.stage.* histograms a live supervisor exports.
+func streamReplay(dev blockdev.Device, ops []*oplog.Op, fds map[fsapi.FD]uint32,
+	clock uint64, img string, apply, stop bool) {
+	sink := telemetry.New()
+	observe := func(stage string, d time.Duration) {
+		sink.Histogram("recovery.stage." + stage + "_ns").Observe(d)
+	}
+
+	t := time.Now()
+	sh, err := shadowfs.New(dev, shadowfs.Options{})
+	observe("fsck", time.Since(t))
+	check(err)
+	rep := shadowfs.NewReplayer(sh, shadowfs.ReplayerKey{}, stop)
+
+	var chunks []*handoff.Chunk
+	t = time.Now()
+	check(rep.Seed(fds, clock))
+	for i := 0; i < len(ops); i += streamReplayBatch {
+		end := i + streamReplayBatch
+		if end > len(ops) {
+			end = len(ops)
+		}
+		check(rep.Feed(ops[i:end]))
+		if c := rep.EmitChunk(); c != nil {
+			chunks = append(chunks, c)
+		}
+	}
+	last, manifest, _, err := rep.Finish(nil)
+	check(err)
+	if last != nil {
+		chunks = append(chunks, last)
+	}
+	observe("replay", time.Since(t))
+
+	t = time.Now()
+	update, err := handoff.Assemble(chunks, manifest)
+	observe("install", time.Since(t))
+	check(err)
+
+	blocks := 0
+	for _, c := range chunks {
+		blocks += len(c.Blocks)
+	}
+	fmt.Printf("streamed %d chunks (%d block images, %d net blocks), manifest chain %#x verified\n",
+		len(chunks), blocks, len(update.Blocks), manifest.Chain)
+	fmt.Printf("replayed %d operations (%d skipped), %d overlay blocks\n",
+		rep.OpsReplayed(), rep.OpsSkipped(), sh.OverlayBlocks())
+	if ds := rep.Discrepancies(); len(ds) > 0 {
+		fmt.Printf("%d discrepancies:\n", len(ds))
+		for _, d := range ds {
+			fmt.Println("  ", d)
+		}
+	} else {
+		fmt.Println("no discrepancies: the base's recorded behavior matches the shadow")
+	}
+
+	fmt.Println("-- per-stage timings (telemetry) --")
+	snap := sink.Snapshot()
+	for _, stage := range []string{"fsck", "replay", "install"} {
+		h := snap.Histograms["recovery.stage."+stage+"_ns"]
+		fmt.Printf("  %-8s %12v\n", stage, time.Duration(h.Sum))
+	}
+
+	if apply {
+		for _, blk := range update.SortedBlocks() {
+			check(dev.WriteBlock(blk, update.Blocks[blk]))
+		}
+		check(dev.Flush())
+		fmt.Printf("applied %d blocks to %s\n", len(update.Blocks), img)
 	}
 }
 

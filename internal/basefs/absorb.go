@@ -15,7 +15,9 @@ import (
 // entry point every internal path uses — so the trusted surface stays small.
 //
 // Absorb is called on a freshly mounted instance during recovery, before any
-// new operations are admitted.
+// new operations are admitted. It adopts the update's block slices (the
+// cache serves them directly), so the caller must pass an update it owns —
+// the single defensive copy lives at the handoff-sealing boundary.
 func (fs *FS) Absorb(u *handoff.Update) error {
 	if err := u.Verify(); err != nil {
 		return fmt.Errorf("basefs: absorb rejected: %w", err)
@@ -23,18 +25,31 @@ func (fs *FS) Absorb(u *handoff.Update) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	for _, blk := range u.SortedBlocks() {
-		if blk == 0 || blk >= fs.sb.NumBlocks {
-			return fmt.Errorf("basefs: absorb block %d out of range: %w", blk, fserr.ErrCorrupt)
-		}
-		if blk >= fs.sb.JournalStart && blk < fs.sb.JournalStart+fs.sb.JournalLen {
-			return fmt.Errorf("basefs: absorb block %d targets the journal region: %w", blk, fserr.ErrCorrupt)
+		if err := fs.checkAbsorbRange(blk); err != nil {
+			return err
 		}
 		fs.bc.Install(blk, u.Blocks[blk], u.Meta[blk])
 	}
-	// Restore descriptors. Each inode must decode and be allocated in the
-	// absorbed state; that read goes through the just-installed buffers.
-	fs.fds = make(map[fsapi.FD]*fdEntry, len(u.FDs))
-	for _, e := range u.FDs {
+	return fs.restoreLocked(u.FDs, u.Clock)
+}
+
+func (fs *FS) checkAbsorbRange(blk uint32) error {
+	if blk == 0 || blk >= fs.sb.NumBlocks {
+		return fmt.Errorf("basefs: absorb block %d out of range: %w", blk, fserr.ErrCorrupt)
+	}
+	if blk >= fs.sb.JournalStart && blk < fs.sb.JournalStart+fs.sb.JournalLen {
+		return fmt.Errorf("basefs: absorb block %d targets the journal region: %w", blk, fserr.ErrCorrupt)
+	}
+	return nil
+}
+
+// restoreLocked installs the recovered descriptor table and continues the
+// logical clock; the final step of both monolithic and streaming absorption.
+// Each inode must decode and be allocated in the absorbed state; that read
+// goes through the just-installed buffers.
+func (fs *FS) restoreLocked(fds []handoff.FDEntry, clock uint64) error {
+	fs.fds = make(map[fsapi.FD]*fdEntry, len(fds))
+	for _, e := range fds {
 		ci, err := fs.getAllocInode(e.Ino)
 		if err != nil {
 			return fmt.Errorf("basefs: absorb fd %d -> inode %d: %w", e.FD, e.Ino, err)
@@ -45,8 +60,54 @@ func (fs *FS) Absorb(u *handoff.Update) error {
 		fs.fds[e.FD] = &fdEntry{ino: e.Ino}
 		ci.Opens++
 	}
-	if u.Clock > fs.clock.Load() {
-		fs.clock.Store(u.Clock)
+	if clock > fs.clock.Load() {
+		fs.clock.Store(clock)
 	}
 	return nil
+}
+
+// AbsorbChunk installs one sealed chunk of a streaming handoff while the
+// shadow may still be replaying the tail. Chunks must arrive in index order;
+// each is verified individually, and its checksum is recorded so
+// AbsorbManifest can later prove the stream arrived complete and unreordered.
+// Freed blocks retract earlier installs. Like Absorb, block slices are
+// adopted, not copied.
+func (fs *FS) AbsorbChunk(c *handoff.Chunk) error {
+	if err := c.Verify(); err != nil {
+		return fmt.Errorf("basefs: absorb rejected: %w", err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if c.Index != fs.absorbNext {
+		return fmt.Errorf("basefs: absorb chunk %d, expected %d: %w", c.Index, fs.absorbNext, fserr.ErrCorrupt)
+	}
+	for _, blk := range c.SortedBlocks() {
+		if err := fs.checkAbsorbRange(blk); err != nil {
+			return err
+		}
+		fs.bc.Install(blk, c.Blocks[blk], c.Meta[blk])
+	}
+	for _, blk := range c.Freed {
+		if err := fs.checkAbsorbRange(blk); err != nil {
+			return err
+		}
+		fs.bc.Drop(blk)
+	}
+	fs.absorbSums = append(fs.absorbSums, c.Sum)
+	fs.absorbNext++
+	return nil
+}
+
+// AbsorbManifest finalizes a streaming handoff: it verifies the manifest's
+// chained checksum against the chunks actually absorbed, then restores the
+// descriptor table and clock exactly as the monolithic path does.
+func (fs *FS) AbsorbManifest(m *handoff.Manifest) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := m.Verify(fs.absorbSums); err != nil {
+		return fmt.Errorf("basefs: absorb rejected: %w", err)
+	}
+	fs.absorbSums = nil
+	fs.absorbNext = 0
+	return fs.restoreLocked(m.FDs, m.Clock)
 }

@@ -99,6 +99,93 @@ func TestAbsorbInstallsShadowState(t *testing.T) {
 	}
 }
 
+// TestAbsorbChunkStream splits a real shadow update into a chunk stream
+// (including a retraction) and verifies the streaming absorb path ends in
+// the same state the monolithic path would, with the manifest catching a
+// truncated stream.
+func TestAbsorbChunkStream(t *testing.T) {
+	dev := blockdev.NewMem(4096)
+	if _, err := mkfs.Format(dev, mkfs.Options{NumInodes: 512, JournalBlocks: 64}); err != nil {
+		t.Fatal(err)
+	}
+	u := buildUpdate(t, dev)
+	blks := u.SortedBlocks()
+	if len(blks) < 2 {
+		t.Fatalf("update too small to stream: %d blocks", len(blks))
+	}
+	// Chunk 0: first half plus a decoy block later retracted. Chunk 1: rest.
+	decoy := blks[len(blks)-1] + 1
+	c0 := handoff.NewChunk(0)
+	for _, blk := range blks[:len(blks)/2] {
+		c0.Blocks[blk] = u.Blocks[blk]
+		c0.Meta[blk] = u.Meta[blk]
+	}
+	decoyData := make([]byte, disklayout.BlockSize)
+	for i := range decoyData {
+		decoyData[i] = 0xAB
+	}
+	c0.Blocks[decoy] = decoyData
+	c0.Seal()
+	c1 := handoff.NewChunk(1)
+	for _, blk := range blks[len(blks)/2:] {
+		c1.Blocks[blk] = u.Blocks[blk]
+		c1.Meta[blk] = u.Meta[blk]
+	}
+	c1.Freed = []uint32{decoy}
+	c1.Seal()
+	m := &handoff.Manifest{
+		NumChunks: 2,
+		Chain:     handoff.ChainSums([]uint32{c0.Sum, c1.Sum}),
+		FDs:       u.FDs,
+		Clock:     u.Clock,
+	}
+	m.Seal()
+
+	fs, err := Mount(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Kill()
+	// Out-of-order chunk is rejected before anything is installed.
+	if err := fs.AbsorbChunk(c1); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Fatalf("out-of-order chunk: %v", err)
+	}
+	if err := fs.AbsorbChunk(c0); err != nil {
+		t.Fatalf("chunk 0: %v", err)
+	}
+	// A manifest before the full stream must fail the chain check.
+	if err := fs.AbsorbManifest(m); !errors.Is(err, fserr.ErrCorrupt) {
+		t.Fatalf("early manifest: %v", err)
+	}
+	if err := fs.AbsorbChunk(c1); err != nil {
+		t.Fatalf("chunk 1: %v", err)
+	}
+	if err := fs.AbsorbManifest(m); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if fs.Clock() != u.Clock {
+		t.Errorf("clock = %d, want %d", fs.Clock(), u.Clock)
+	}
+	got, err := fs.ReadAt(u.FDs[0].FD, 0, 100)
+	if err != nil || string(got) != "from the shadow" {
+		t.Fatalf("read through absorbed fd = (%q, %v)", got, err)
+	}
+	// The retracted decoy never reaches the device.
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dev.ReadBlock(decoy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range raw {
+		if b != 0 {
+			// Freshly formatted device: the decoy block must still be zero.
+			t.Fatal("retracted chunk block leaked to the device")
+		}
+	}
+}
+
 func TestAbsorbRejections(t *testing.T) {
 	dev := blockdev.NewMem(4096)
 	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 512, JournalBlocks: 64})

@@ -400,3 +400,171 @@ func (r *ReadOnly) NumBlocks() uint32 { return r.dev.NumBlocks() }
 func (r *ReadOnly) Flush() error {
 	return fmt.Errorf("blockdev: shadow attempted flush: %w", fserr.ErrReadOnly)
 }
+
+// Overlay is a read-only logical view of a device with a fixed set of block
+// overrides layered on top. Reads of an overridden block return the override
+// (copied, so callers can never alias the overlay's memory); everything else
+// passes through. Writes and flushes are rejected.
+//
+// The recovery engine builds one from the journal's committed-transaction
+// scan: raw device + committed overlay == the post-replay image, so a reader
+// holding this view observes stable logical contents even while journal
+// replay is physically rewriting the same home locations underneath it.
+type Overlay struct {
+	dev  Device
+	over map[uint32][]byte
+}
+
+// NewOverlay wraps dev with the given block overrides. The map is retained,
+// not copied; callers must not mutate it afterwards.
+func NewOverlay(dev Device, over map[uint32][]byte) *Overlay {
+	return &Overlay{dev: dev, over: over}
+}
+
+// ReadBlock implements Device.
+func (o *Overlay) ReadBlock(blk uint32) ([]byte, error) {
+	if b, ok := o.over[blk]; ok {
+		cp := make([]byte, disklayout.BlockSize)
+		copy(cp, b)
+		return cp, nil
+	}
+	return o.dev.ReadBlock(blk)
+}
+
+// WriteBlock implements Device and always fails.
+func (o *Overlay) WriteBlock(blk uint32, data []byte) error {
+	return fmt.Errorf("blockdev: write to block %d through read-only overlay: %w", blk, fserr.ErrReadOnly)
+}
+
+// NumBlocks implements Device.
+func (o *Overlay) NumBlocks() uint32 { return o.dev.NumBlocks() }
+
+// Flush implements Device and always fails.
+func (o *Overlay) Flush() error {
+	return fmt.Errorf("blockdev: flush through read-only overlay: %w", fserr.ErrReadOnly)
+}
+
+// Prefetched is a read-through block cache over a frozen read-only view,
+// with a background crew of workers that streams the whole device into the
+// cache. On a device with per-IO service time, consumers whose access
+// pattern is serial blocking reads (fsck's walk, the shadow's replay) stop
+// paying that latency once the prefetcher is ahead of them: the device is
+// read at the parallelism of the worker crew while the consumers run at
+// memory speed. Only correct over views whose logical content cannot change
+// — exactly what the recovery plan's overlay construction guarantees.
+//
+// Safe for concurrent use. Writes and flushes are rejected (the underlying
+// view is read-only by contract).
+type Prefetched struct {
+	dev    Device
+	mu     sync.RWMutex
+	blocks map[uint32][]byte
+
+	next    atomic.Uint32 // next block the worker crew will fetch
+	stopped atomic.Bool
+	done    sync.WaitGroup
+}
+
+// NewPrefetched wraps the frozen view and starts workers background
+// readers. Callers must Release when the consumers are finished so the
+// cache memory and the worker crew are reclaimed.
+func NewPrefetched(dev Device, workers int) *Prefetched {
+	p := &Prefetched{dev: dev, blocks: make(map[uint32][]byte)}
+	n := dev.NumBlocks()
+	if workers < 1 {
+		workers = 1
+	}
+	p.done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.done.Done()
+			for {
+				blk := p.next.Add(1) - 1
+				if blk >= n || p.stopped.Load() {
+					return
+				}
+				p.mu.RLock()
+				_, have := p.blocks[blk]
+				p.mu.RUnlock()
+				if have {
+					continue
+				}
+				buf, err := p.dev.ReadBlock(blk)
+				if err != nil {
+					continue // consumers re-read and surface the error themselves
+				}
+				p.mu.Lock()
+				if _, have := p.blocks[blk]; !have {
+					p.blocks[blk] = buf
+				}
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// ReadBlock implements Device: cache hit or read-through (populating the
+// cache, so a consumer running ahead of the prefetch crew still pays each
+// block only once).
+func (p *Prefetched) ReadBlock(blk uint32) ([]byte, error) {
+	p.mu.RLock()
+	b, ok := p.blocks[blk]
+	p.mu.RUnlock()
+	if ok {
+		cp := make([]byte, disklayout.BlockSize)
+		copy(cp, b)
+		return cp, nil
+	}
+	buf, err := p.dev.ReadBlock(blk)
+	if err != nil {
+		return nil, err
+	}
+	if p.stopped.Load() {
+		return buf, nil // released: plain pass-through, no re-pinning
+	}
+	p.mu.Lock()
+	if have, ok := p.blocks[blk]; ok {
+		buf = have // first fetch wins; serve the cached image
+	} else {
+		p.blocks[blk] = buf
+	}
+	p.mu.Unlock()
+	cp := make([]byte, disklayout.BlockSize)
+	copy(cp, buf)
+	return cp, nil
+}
+
+// WriteBlock implements Device and always fails.
+func (p *Prefetched) WriteBlock(blk uint32, data []byte) error {
+	return fmt.Errorf("blockdev: write to block %d through prefetched read-only view: %w", blk, fserr.ErrReadOnly)
+}
+
+// NumBlocks implements Device.
+func (p *Prefetched) NumBlocks() uint32 { return p.dev.NumBlocks() }
+
+// Flush implements Device and always fails.
+func (p *Prefetched) Flush() error {
+	return fmt.Errorf("blockdev: flush through prefetched read-only view: %w", fserr.ErrReadOnly)
+}
+
+// Cached reports how many blocks the cache currently holds.
+func (p *Prefetched) Cached() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.blocks)
+}
+
+// Release stops the worker crew, waits it out, and drops the cache. Later
+// reads pass straight through to the underlying view, so a long-lived
+// holder (a retained warm shadow) keeps working without pinning the image.
+func (p *Prefetched) Release() {
+	if p == nil {
+		return
+	}
+	p.stopped.Store(true)
+	p.done.Wait()
+	p.mu.Lock()
+	p.blocks = make(map[uint32][]byte)
+	p.mu.Unlock()
+}

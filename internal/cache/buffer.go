@@ -437,6 +437,10 @@ func (c *BufferCache) MarkStable(blk uint32) {
 // download) into the cache as a dirty buffer, replacing any cached version.
 // This is the base's "metadata downloading" absorption point (§3.2). meta
 // tags the block for the journaled sync path.
+//
+// Install adopts data: the caller hands over ownership and must not touch
+// the slice afterwards. The single defensive copy across the isolation
+// boundary happens where the handoff chunk is sealed, not here.
 func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
 	s := c.shardFor(blk)
 	c.lock(s)
@@ -450,8 +454,7 @@ func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
 		s.lru.Remove(b.elem)
 		b.elem = nil
 	}
-	b.Data = make([]byte, disklayout.BlockSize)
-	copy(b.Data, data)
+	b.Data = data
 	b.meta = meta
 	b.dirty = true
 	b.ver++

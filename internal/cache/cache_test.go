@@ -124,10 +124,26 @@ func TestBufferCacheInstall(t *testing.T) {
 	if !b.dirty {
 		t.Error("installed buffer is not dirty")
 	}
-	// Install copies: mutating the source must not reach the cache.
-	data[0] = 0x11
-	if b.Data[0] != 0x99 {
-		t.Error("Install aliases caller's buffer")
+	// Install adopts the slice: the cache serves exactly the bytes handed
+	// over, with no second copy on this side of the isolation boundary.
+	if &b.Data[0] != &data[0] {
+		t.Error("Install copied instead of adopting the caller's buffer")
+	}
+}
+
+// TestBufferCacheInstallAllocs pins the single-copy handoff contract: once
+// the buffer exists, Install must not allocate — in particular it must not
+// re-copy the block image, which would reintroduce the double deep-copy on
+// the absorb path.
+func TestBufferCacheInstallAllocs(t *testing.T) {
+	c, _, _ := newBC(t, 16, 8)
+	data := make([]byte, disklayout.BlockSize)
+	c.Install(3, data, true)
+	n := testing.AllocsPerRun(100, func() {
+		c.Install(3, data, true)
+	})
+	if n >= 1 {
+		t.Errorf("Install allocates %.1f objects per call, want 0", n)
 	}
 }
 

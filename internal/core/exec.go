@@ -91,7 +91,7 @@ func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 			return nil
 		}
 	}
-	fence := newFence(r.dev)
+	fence := newFence(r.dev, &r.devGen)
 	base, err := basefs.Mount(fence, opts)
 	if err != nil {
 		return nil, nil, err

@@ -16,12 +16,21 @@ import (
 // never write to the device the shadow and the new base are working from.
 type fencedDevice struct {
 	dev blockdev.Device
+	// gen is the supervisor's device write generation, shared by every fence
+	// the supervisor creates: each write through any base instance bumps it.
+	// The warm replayer's validity check compares it against the value
+	// captured when the replayer was retained — any base write since (journal
+	// commit, checkpoint, cache eviction) changes bytes under the retained
+	// overlay and invalidates it. May be nil (tests).
+	gen *atomic.Uint64
 	off atomic.Bool
 }
 
 var _ blockdev.Device = (*fencedDevice)(nil)
 
-func newFence(dev blockdev.Device) *fencedDevice { return &fencedDevice{dev: dev} }
+func newFence(dev blockdev.Device, gen *atomic.Uint64) *fencedDevice {
+	return &fencedDevice{dev: dev, gen: gen}
+}
 
 // raise cuts the old instance off from the device.
 func (f *fencedDevice) raise() { f.off.Store(true) }
@@ -41,10 +50,15 @@ func (f *fencedDevice) ReadBlock(blk uint32) ([]byte, error) {
 	return f.dev.ReadBlock(blk)
 }
 
-// WriteBlock implements blockdev.Device.
+// WriteBlock implements blockdev.Device. The generation bumps before the
+// write reaches the device, so a failed write can only over-invalidate the
+// warm replayer, never under-invalidate it.
 func (f *fencedDevice) WriteBlock(blk uint32, data []byte) error {
 	if err := f.guard("write"); err != nil {
 		return err
+	}
+	if f.gen != nil {
+		f.gen.Add(1)
 	}
 	return f.dev.WriteBlock(blk, data)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,10 +17,14 @@ import (
 
 func TestFencedDeviceBlocksAfterRaise(t *testing.T) {
 	dev := blockdev.NewMem(16)
-	f := newFence(dev)
+	var gen atomic.Uint64
+	f := newFence(dev, &gen)
 	buf := make([]byte, 4096)
 	if err := f.WriteBlock(1, buf); err != nil {
 		t.Fatal(err)
+	}
+	if gen.Load() != 1 {
+		t.Errorf("write generation = %d after one write, want 1", gen.Load())
 	}
 	if _, err := f.ReadBlock(1); err != nil {
 		t.Fatal(err)

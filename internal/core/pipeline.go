@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/difftest"
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fsck"
+	"repro/internal/fserr"
+	"repro/internal/handoff"
+	"repro/internal/journal"
+	"repro/internal/oplog"
+	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
+)
+
+// The recovery engine. raeRecover runs the paper's procedure (§3.2) as a
+// staged graph instead of a straight line:
+//
+//	plan ──┬── reboot ─────────────┬── install ── resume
+//	       ├── fsck ───────────────┤
+//	       └── replay ─────chunks──┘
+//
+// The contained reboot and the shadow's replay have no data dependency: the
+// reboot's journal replay rewrites home locations on the device, while the
+// shadow works from a frozen read-only view built at plan time — the raw
+// device overlaid with the journal's committed-transaction writes (the
+// exact post-replay logical image) and the pre-reboot superblock. The two
+// stages therefore run concurrently, and the shadow streams its result out
+// as sealed chunks that the install stage absorbs into the fresh base as
+// they arrive. Recovery latency approaches max(reboot, replay) + install
+// instead of their sum. Config.SequentialRecovery collapses the graph back
+// to the straight line for comparison.
+
+// replayFeedBatch is the op-count granularity of the incremental replay: a
+// chunk is emitted (at most) every replayFeedBatch ops, bounding both the
+// latency before the install stage has work and the per-chunk copy size.
+const replayFeedBatch = 256
+
+// warmMaxOverlayBlocks bounds the overlay a retained warm replayer may pin
+// in memory between faults; a larger recovery is not retained.
+const warmMaxOverlayBlocks = 8192
+
+// recoveryPlan freezes everything the overlapped stages need before the
+// contained reboot starts: the recovery input (snapshotted and round-tripped
+// through the wire format, proving it is self-contained), the shadow's
+// frozen device view, and the warm replayer when the previous recovery's
+// engine is still valid. Built with the gate held exclusively and the old
+// instance fenced, so the device is quiescent.
+type recoveryPlan struct {
+	ops []*oplog.Op
+	fds map[fsapi.FD]uint32
+	clk uint64
+
+	// inFlight is the faulted op the shadow executes autonomously; nil when
+	// the fault arose outside an op or the op is a sync (deferredSync).
+	inFlight     *oplog.Op
+	deferredSync bool
+
+	// rep, when non-nil, is the retained warm engine: ops then holds only
+	// the not-yet-consumed suffix of the log, and reused counts the ops the
+	// retained state already covers.
+	rep    *shadowfs.Replayer
+	reused int
+	// view is the cold path's frozen read-only device view for the shadow.
+	view blockdev.Device
+	// prefetch, when non-nil, is the background crew caching view's blocks;
+	// released when the engine is done with the cold stage.
+	prefetch *blockdev.Prefetched
+
+	errWhat string
+	err     error
+}
+
+// release reclaims the plan's background resources; safe on any plan.
+func (p *recoveryPlan) release() { p.prefetch.Release() }
+
+// planRecovery builds the stage inputs. Errors are recorded in the plan,
+// not returned: the engine still performs the contained reboot and then
+// degrades on the fresh base, preserving the pre-pipeline failure behavior.
+func (r *FS) planRecovery(inflight *oplog.Op) *recoveryPlan {
+	p := &recoveryPlan{}
+	if inflight != nil {
+		if inflight.Kind == oplog.KFsync || inflight.Kind == oplog.KSync {
+			// "The base [performs] fsync again after the hand-off" (§3.3).
+			p.deferredSync = true
+		} else {
+			p.inFlight = inflight
+		}
+	}
+
+	// Warm candidate: the engine retained by the previous recovery is valid
+	// only if nothing moved underneath it — same op-log stable point, same
+	// device write generation. Consumed (and re-retained on success) so no
+	// stale engine survives a recovery that invalidates it.
+	rep := r.warm
+	r.warm = nil
+	total := r.log.Len()
+	key := shadowfs.ReplayerKey{StableSeq: r.log.StableSeq(), DevGen: r.devGen.Load()}
+	if rep != nil && rep.Key() == key {
+		ops, _, _ := r.log.SnapshotSince(rep.NextSeq())
+		// The suffix crosses the isolation boundary like any recovery input.
+		wire := oplog.EncodeSequence(ops, map[fsapi.FD]uint32{}, 0)
+		ops, _, _, err := oplog.DecodeSequence(wire)
+		if err != nil {
+			p.errWhat, p.err = "trace decode", err
+			return p
+		}
+		p.rep, p.ops, p.reused = rep, ops, total-len(ops)
+		return p
+	}
+
+	// Cold path: full snapshot plus a frozen device view. The view is the
+	// raw device overlaid with the journal's committed writes — the same
+	// logical image the reboot's journal replay produces — plus the current
+	// superblock, so the concurrent mount's own writes (journal replay to
+	// home locations, the superblock rewrite) are invisible to the shadow.
+	ops, fds, clk := r.log.Snapshot()
+	wire := oplog.EncodeSequence(ops, fds, clk)
+	ops, fds, clk, err := oplog.DecodeSequence(wire)
+	if err != nil {
+		p.errWhat, p.err = "trace decode", err
+		return p
+	}
+	p.ops, p.fds, p.clk = ops, fds, clk
+
+	shadowDev := blockdev.Instrument(r.dev, r.tel, "shadow")
+	sbb, err := shadowDev.ReadBlock(0)
+	if err != nil {
+		p.errWhat, p.err = "shadow view", err
+		return p
+	}
+	sb, err := disklayout.DecodeSuperblock(sbb)
+	if err != nil {
+		p.errWhat, p.err = "shadow view", err
+		return p
+	}
+	over, _, err := journal.CommittedOverlay(shadowDev, sb)
+	if err != nil {
+		p.errWhat, p.err = "shadow view", err
+		return p
+	}
+	if _, ok := over[0]; !ok {
+		// Freeze the superblock too: the mount rewrites block 0 (dirty flag,
+		// generation bump) concurrently with the shadow's startup read. A
+		// committed transaction targeting block 0 takes precedence — that is
+		// the post-replay superblock.
+		over[0] = sbb
+	}
+	p.view = blockdev.NewOverlay(shadowDev, over)
+	if !r.cfg.SequentialRecovery && r.cfg.RecoveryPrefetchWorkers > 0 {
+		// Pipeline the view's IO too: a worker crew streams the image into a
+		// read cache while fsck and replay consume it, so their serial
+		// blocking reads stop paying the device's per-IO service time.
+		p.prefetch = blockdev.NewPrefetched(p.view, r.cfg.RecoveryPrefetchWorkers)
+		p.view = p.prefetch
+	}
+	return p
+}
+
+// replayOutcome is everything the replay stage hands back to the engine.
+type replayOutcome struct {
+	rep      *shadowfs.Replayer
+	manifest *handoff.Manifest
+	inFlight *oplog.Op
+
+	fsckDur   time.Duration
+	replayDur time.Duration
+	// stageDur is the stage's wall clock; with the fsck/replay overlap it is
+	// less than the two components' sum.
+	stageDur time.Duration
+
+	// opsReplayed and newDisc are this recovery's deltas (a warm engine's
+	// counters span its whole lifetime); discs is the full list.
+	opsReplayed int
+	discs       []difftest.Discrepancy
+	newDisc     int
+
+	errWhat string
+	err     error
+}
+
+// runReplayStage validates the image (cold path), replays the recorded gap
+// incrementally, and emits sealed chunks through emit as it goes. It never
+// touches supervisor state mutated by the concurrent reboot; emit must be
+// safe for the engine's chosen plumbing (channel send or slice append).
+//
+// With overlapFsck, the cold path checks the image *concurrently* with the
+// replay (the pFSCK-style decomposition): replay proceeds optimistically
+// over the unvalidated view while fsck walks the same frozen, read-only
+// blocks, and the stage only reports success once both agree. A failed
+// check surfaces exactly like the sequential fsck-first error — the engine
+// discards the partially-absorbed base — so the overlap changes latency,
+// never the contract that nothing recovered ever came from a corrupt image.
+func (r *FS) runReplayStage(p *recoveryPlan, overlapFsck bool, emit func(*handoff.Chunk)) *replayOutcome {
+	out := &replayOutcome{}
+	rep := p.rep
+	var fsckCh chan error
+	if rep == nil {
+		if overlapFsck && !r.cfg.SkipFsckInRecovery {
+			fsckCh = make(chan error, 1)
+			go func() {
+				t := time.Now()
+				frep := fsck.Check(p.view)
+				out.fsckDur = time.Since(t) // joined before out is read
+				fsckCh <- frep.Err()
+			}()
+		}
+		t := time.Now()
+		sh, err := shadowfs.New(p.view, shadowfs.Options{
+			SkipFsck: r.cfg.SkipFsckInRecovery || fsckCh != nil,
+		})
+		if fsckCh == nil {
+			out.fsckDur = time.Since(t)
+		}
+		if err != nil {
+			if fsckCh != nil {
+				<-fsckCh
+			}
+			out.errWhat, out.err = "shadow mount", err
+			return out
+		}
+		rep = shadowfs.NewReplayer(sh, shadowfs.ReplayerKey{}, r.cfg.StopOnDiscrepancy)
+	} else {
+		// Warm resume: the overlay, descriptor table, and clock carry over;
+		// the chunk stream restarts from zero because the fresh base has
+		// absorbed nothing. Fsck is not re-run — the image was validated by
+		// the cold recovery and nothing wrote to the device since (the key
+		// check in planRecovery), which is the bulk of the warm win.
+		rep.ResetStream()
+	}
+	out.rep = rep
+	opsBefore, discBefore := rep.OpsReplayed(), len(rep.Discrepancies())
+	t := time.Now()
+	err := func() (err error) {
+		// Optimistic replay may run over a not-yet-validated image; the
+		// shadow's runtime checks turn corruption into errors, but a panic on
+		// adversarial input must degrade this recovery, not kill the process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("shadow panicked during replay: %v: %w", rec, fserr.ErrCorrupt)
+			}
+		}()
+		if p.rep == nil {
+			if err := rep.Seed(p.fds, p.clk); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < len(p.ops); i += replayFeedBatch {
+			end := i + replayFeedBatch
+			if end > len(p.ops) {
+				end = len(p.ops)
+			}
+			if err := rep.Feed(p.ops[i:end]); err != nil {
+				return err
+			}
+			if c := rep.EmitChunk(); c != nil {
+				emit(c)
+			}
+		}
+		last, m, fl, err := rep.Finish(p.inFlight)
+		if err != nil {
+			return err
+		}
+		if last != nil {
+			emit(last)
+		}
+		out.manifest, out.inFlight = m, fl
+		return nil
+	}()
+	out.replayDur = time.Since(t)
+	if err != nil {
+		out.errWhat, out.err = "shadow replay", err
+	}
+	if fsckCh != nil {
+		// Join the concurrent check; its verdict gates the stage regardless of
+		// how the optimistic replay fared.
+		if ferr := <-fsckCh; ferr != nil {
+			out.errWhat, out.err = "shadow fsck", ferr
+			out.manifest, out.inFlight = nil, nil
+		}
+	}
+	out.opsReplayed = rep.OpsReplayed() - opsBefore
+	out.discs = rep.Discrepancies()
+	out.newDisc = len(out.discs) - discBefore
+	return out
+}
+
+// observeStage records one engine stage's duration in the per-stage
+// histogram family.
+func (r *FS) observeStage(name string, d time.Duration) {
+	r.tel.Histogram("recovery.stage." + name + "_ns").Observe(d)
+}
+
+// raeRecover is the paper's recovery procedure (§3.2) on the staged engine:
+// contained reboot and shadow re-execution overlapped, hand-off streamed,
+// resume. Returns the trace outcome ("recovered", "degraded", or "failed").
+func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
+	wall0 := time.Now()
+	var ph RecoveryPhases
+
+	// Fence the faulty instance, kill it, and freeze the plan while the
+	// device is quiescent.
+	tr.BeginPhase(telemetry.PhaseFence)
+	r.fence.Load().raise()
+	r.base.Load().Kill()
+	t := time.Now()
+	plan := r.planRecovery(inflight)
+	r.observeStage("plan", time.Since(t))
+	// The prefetch crew and its cache live for this recovery only; a shadow
+	// retained warm keeps the view, which degrades to pass-through reads.
+	defer plan.release()
+
+	note := ""
+	switch {
+	case plan.rep != nil:
+		note = "warm resume"
+	case r.cfg.SkipFsckInRecovery:
+		note = "fsck skipped"
+	}
+
+	// Launch the replay stage concurrently with the reboot. The chunk
+	// channel is drained by the install stage once the mount completes; its
+	// buffer only smooths production, it is not load-bearing.
+	pipelined := plan.err == nil && !r.cfg.SequentialRecovery
+	var chunkCh chan *handoff.Chunk
+	var outCh chan *replayOutcome
+	if pipelined {
+		chunkCh = make(chan *handoff.Chunk, 64)
+		outCh = make(chan *replayOutcome, 1)
+		go func() {
+			t0 := time.Now()
+			out := r.runReplayStage(plan, true, func(c *handoff.Chunk) { chunkCh <- c })
+			out.stageDur = time.Since(t0)
+			close(chunkCh)
+			outCh <- out
+		}()
+	}
+	// drain joins the replay goroutine on paths that abandon its output.
+	drain := func() {
+		if pipelined {
+			for range chunkCh {
+			}
+			<-outCh
+		}
+	}
+
+	// Contained reboot: fresh instance from trusted on-disk state (journal
+	// replay inside Mount).
+	tr.BeginPhase(telemetry.PhaseReboot)
+	t = time.Now()
+	newBase, newFence, err := r.mountBase()
+	ph.Reboot = time.Since(t)
+	r.observeStage("reboot", ph.Reboot)
+	if err != nil {
+		// The device itself is unusable; nothing recovers this.
+		drain()
+		r.tel.Event("degrade", "recovery failed: remount: %v", err)
+		r.failOp(inflight)
+		r.cnt.degradations.Add(1)
+		r.addPhases(ph)
+		return "failed"
+	}
+	if plan.err != nil {
+		return r.degrade(newBase, newFence, inflight, ph, plan.errWhat+": %v", plan.err)
+	}
+	// A warm reboot may still find committed transactions in the journal
+	// (lazy checkpointing leaves them behind), and its replay rewrites their
+	// home locations — but under the devGen key check those bytes were
+	// already replayed by the mount the warm engine was built over, so the
+	// rewrite is byte-idempotent and the retained overlay stays valid.
+	// newBase.MountReplay() exposes the replay for post-mortems.
+
+	// Hand-off: absorb sealed chunks as they stream out of the shadow. In
+	// sequential mode the replay stage runs here instead, after the reboot.
+	var out *replayOutcome
+	var installErr error
+	dirty := false // has newBase absorbed any part of the stream?
+	t = time.Now()
+	if pipelined {
+		tr.BeginPhase(telemetry.PhaseHandoff)
+		for c := range chunkCh {
+			if installErr != nil {
+				continue // keep draining so the producer never blocks
+			}
+			if err := newBase.AbsorbChunk(c); err != nil {
+				installErr = err
+				dirty = true // a failed absorb may have installed a prefix
+				continue
+			}
+			dirty = true
+		}
+		out = <-outCh
+	} else {
+		tr.BeginPhase(telemetry.PhaseShadowExec)
+		if note != "" {
+			tr.Note("%s", note)
+		}
+		var buf []*handoff.Chunk
+		t0 := time.Now()
+		out = r.runReplayStage(plan, false, func(c *handoff.Chunk) { buf = append(buf, c) })
+		out.stageDur = time.Since(t0)
+		tr.BeginPhase(telemetry.PhaseHandoff)
+		t = time.Now()
+		for _, c := range buf {
+			if err := newBase.AbsorbChunk(c); err != nil {
+				installErr = err
+				dirty = true
+				break
+			}
+			dirty = true
+		}
+	}
+	ph.Absorb = time.Since(t)
+	ph.Fsck = out.fsckDur
+	ph.Replay = out.replayDur
+	r.observeStage("fsck", out.fsckDur)
+	r.observeStage("replay", out.replayDur)
+	if pipelined {
+		// The overlapped stage's time is reported as its own span; the
+		// orchestrator's handoff span covers the whole drain window.
+		tr.AddSpan(telemetry.PhaseShadowExec, out.stageDur, note)
+	}
+
+	r.cnt.opsReplayed.Add(int64(out.opsReplayed))
+	r.cnt.discrepancies.Add(int64(out.newDisc))
+	r.postMu.Lock()
+	r.lastDisc = out.discs
+	r.postMu.Unlock()
+	tr.SetOpsReplayed(out.opsReplayed)
+	for _, d := range out.discs[len(out.discs)-out.newDisc:] {
+		r.tel.Event("discrepancy", "%s", d.String())
+	}
+	if plan.rep != nil {
+		r.cnt.opsReused.Add(int64(plan.reused))
+		r.tel.Counter("recovery.replay.reused_ops").Add(int64(plan.reused))
+	}
+
+	if out.err != nil {
+		// The shadow itself failed (corrupt image, divergence under
+		// StopOnDiscrepancy, or a shadow bug): degrade loudly.
+		return r.degradeDirty(newBase, newFence, dirty, inflight, ph, out.errWhat+": %v", out.err)
+	}
+	if installErr != nil {
+		return r.degradeDirty(newBase, newFence, true, inflight, ph, "absorb chunk: %v", installErr)
+	}
+	t = time.Now()
+	if err := newBase.AbsorbManifest(out.manifest); err != nil {
+		ph.Absorb += time.Since(t)
+		return r.degradeDirty(newBase, newFence, true, inflight, ph, "absorb manifest: %v", err)
+	}
+	ph.Absorb += time.Since(t)
+	r.observeStage("install", ph.Absorb)
+	r.base.Store(newBase)
+	r.fence.Store(newFence)
+
+	// Resume: answer the in-flight operation and keep the log coherent.
+	// Recorded operations stay in the log — they are still not durable.
+	tr.BeginPhase(telemetry.PhaseResume)
+	t = time.Now()
+	if inflight != nil {
+		switch {
+		case plan.deferredSync:
+			// "If the base fails in the middle of fsync, our current design
+			// relies on the shadow for the prefix operations and the base to
+			// perform fsync again after the hand-off" (§3.3). The WARN that
+			// vetoed the original persist was consumed by this recovery, so
+			// the pre-persist barrier starts fresh for the re-run.
+			r.warnsHandled.Store(r.warns.n.Load())
+			r.withInjectionDisabled(func() {
+				_ = oplog.Apply(r.base.Load(), inflight)
+			})
+			if inflight.Errno == 0 {
+				r.afterSuccess(inflight)
+			} else {
+				r.cnt.appFailures.Add(1)
+			}
+		case out.inFlight != nil:
+			*inflight = *out.inFlight
+			r.afterSuccess(inflight)
+		}
+	}
+	r.observeStage("resume", time.Since(t))
+
+	r.retainWarm(out.rep)
+
+	ph.Wall = time.Since(wall0)
+	r.observeStage("wall", ph.Wall)
+	r.addPhases(ph)
+	return "recovered"
+}
+
+// retainWarm keeps the replay engine for the next fault. The key is
+// captured after the resume path's own device writes (the deferred sync
+// re-run, whose durable round also moves the stable point), so it names
+// exactly the state the retained overlay extends; MarkConsumed covers the
+// appended in-flight op so a warm resume fetches only genuinely new ops.
+func (r *FS) retainWarm(rep *shadowfs.Replayer) {
+	if rep == nil || rep.Shadow().OverlayBlocks() > warmMaxOverlayBlocks {
+		return
+	}
+	rep.MarkConsumed(r.log.Watermark())
+	rep.Rekey(shadowfs.ReplayerKey{StableSeq: r.log.StableSeq(), DevGen: r.devGen.Load()})
+	r.warm = rep
+}
+
+// degradeDirty degrades to crash-restart semantics, first discarding the
+// fresh base if it absorbed part of a chunk stream: a stream prefix without
+// its manifest is unverified state, so the instance is killed and a clean
+// one mounted before the degrade bookkeeping runs.
+func (r *FS) degradeDirty(newBase *basefs.FS, newFence *fencedDevice, dirty bool,
+	inflight *oplog.Op, ph RecoveryPhases, reasonFormat string, args ...any) string {
+	if dirty {
+		newFence.raise()
+		newBase.Kill()
+		nb, nf, err := r.mountBase()
+		if err != nil {
+			r.cnt.degradations.Add(1)
+			r.tel.Event("degrade", "recovery failed after partial absorb: remount: %v", err)
+			r.failOp(inflight)
+			r.addPhases(ph)
+			return "failed"
+		}
+		newBase, newFence = nb, nf
+	}
+	return r.degrade(newBase, newFence, inflight, ph, reasonFormat, args...)
+}

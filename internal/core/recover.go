@@ -4,10 +4,8 @@ import (
 	"time"
 
 	"repro/internal/basefs"
-	"repro/internal/blockdev"
 	"repro/internal/fserr"
 	"repro/internal/oplog"
-	"repro/internal/shadowfs"
 	"repro/internal/telemetry"
 )
 
@@ -49,132 +47,8 @@ func (r *FS) addPhases(ph RecoveryPhases) {
 	r.postMu.Unlock()
 }
 
-// raeRecover is the paper's recovery procedure (§3.2): contained reboot,
-// shadow re-execution, metadata download, resume. It returns the trace
-// outcome ("recovered", "degraded", or "failed").
-func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
-	var ph RecoveryPhases
-
-	// 1. Contained reboot: discard all in-memory state of the base and
-	// re-mount from trusted on-disk state (journal replay inside Mount).
-	t := time.Now()
-	tr.BeginPhase(telemetry.PhaseFence)
-	r.fence.Load().raise()
-	tr.BeginPhase(telemetry.PhaseReboot)
-	r.base.Load().Kill()
-	newBase, newFence, err := r.mountBase()
-	ph.Reboot = time.Since(t)
-	if err != nil {
-		// The device itself is unusable; nothing recovers this.
-		r.tel.Event("degrade", "recovery failed: remount: %v", err)
-		r.failOp(inflight)
-		r.cnt.degradations.Add(1)
-		r.addPhases(ph)
-		return "failed"
-	}
-
-	// 2. Launch the shadow over the recovered on-disk state. Its constructor
-	// validates the image (fsck) unless benchmarks say otherwise. The shadow
-	// reads the device through its own instrumented handle so its direct IO
-	// is counted apart from the base's queued IO.
-	t = time.Now()
-	tr.BeginPhase(telemetry.PhaseShadowExec)
-	shadowDev := blockdev.Instrument(r.dev, r.tel, "shadow")
-	sh, err := shadowfs.New(shadowDev, shadowfs.Options{SkipFsck: r.cfg.SkipFsckInRecovery})
-	ph.Fsck = time.Since(t)
-	if r.cfg.SkipFsckInRecovery {
-		tr.Note("fsck skipped")
-	}
-	if err != nil {
-		return r.degrade(newBase, newFence, inflight, ph, "shadow fsck: %v", err)
-	}
-
-	// 3. Replay: constrained for recorded operations, autonomous for the
-	// in-flight one. Syncs are never re-executed by the shadow. The recovery
-	// input crosses the shadow's isolation boundary as a serialized message
-	// (the separate-process fidelity of §3.2): encoding and re-decoding it
-	// proves the trace is self-contained, with no pointers into the dead
-	// base's memory.
-	ops, fds, clk := r.log.Snapshot()
-	wire := oplog.EncodeSequence(ops, fds, clk)
-	ops, fds, clk, err = oplog.DecodeSequence(wire)
-	if err != nil {
-		return r.degrade(newBase, newFence, inflight, ph, "trace decode: %v", err)
-	}
-	in := shadowfs.ReplayInput{
-		Ops:               ops,
-		BaseFDs:           fds,
-		StartClock:        clk,
-		StopOnDiscrepancy: r.cfg.StopOnDiscrepancy,
-	}
-	deferredSync := false
-	if inflight != nil {
-		if inflight.Kind == oplog.KFsync || inflight.Kind == oplog.KSync {
-			deferredSync = true // delegated back to the base after hand-off
-		} else {
-			in.InFlight = inflight
-		}
-	}
-	t = time.Now()
-	res, err := sh.Replay(in)
-	ph.Replay = time.Since(t)
-	if res != nil {
-		r.cnt.opsReplayed.Add(int64(res.OpsReplayed))
-		r.cnt.discrepancies.Add(int64(len(res.Discrepancies)))
-		r.postMu.Lock()
-		r.lastDisc = res.Discrepancies
-		r.postMu.Unlock()
-		tr.SetOpsReplayed(res.OpsReplayed)
-		for _, d := range res.Discrepancies {
-			r.tel.Event("discrepancy", "%s", d.String())
-		}
-	}
-	if err != nil {
-		// The shadow itself failed (corrupt image mid-replay, divergence
-		// under StopOnDiscrepancy, or a shadow bug): degrade loudly.
-		return r.degrade(newBase, newFence, inflight, ph, "shadow replay: %v", err)
-	}
-
-	// 4. Hand-off: the base absorbs the sealed update. The update is cloned
-	// at the boundary so base and shadow never share memory.
-	t = time.Now()
-	tr.BeginPhase(telemetry.PhaseHandoff)
-	if err := newBase.Absorb(res.Update.Clone()); err != nil {
-		ph.Absorb = time.Since(t)
-		return r.degrade(newBase, newFence, inflight, ph, "absorb: %v", err)
-	}
-	ph.Absorb = time.Since(t)
-	r.base.Store(newBase)
-	r.fence.Store(newFence)
-
-	// 5. Resume: answer the in-flight operation and keep the log coherent.
-	// Recorded operations stay in the log — they are still not durable.
-	tr.BeginPhase(telemetry.PhaseResume)
-	if inflight != nil {
-		switch {
-		case deferredSync:
-			// "If the base fails in the middle of fsync, our current design
-			// relies on the shadow for the prefix operations and the base to
-			// perform fsync again after the hand-off" (§3.3). The WARN that
-			// vetoed the original persist was consumed by this recovery, so
-			// the pre-persist barrier starts fresh for the re-run.
-			r.warnsHandled.Store(r.warns.n.Load())
-			r.withInjectionDisabled(func() {
-				_ = oplog.Apply(r.base.Load(), inflight)
-			})
-			if inflight.Errno == 0 {
-				r.afterSuccess(inflight)
-			} else {
-				r.cnt.appFailures.Add(1)
-			}
-		case res.InFlight != nil:
-			*inflight = *res.InFlight
-			r.afterSuccess(inflight)
-		}
-	}
-	r.addPhases(ph)
-	return "recovered"
-}
+// raeRecover — the paper's recovery procedure on the staged, overlapping
+// engine — lives in pipeline.go.
 
 // degrade falls back to crash-restart semantics on an already-mounted fresh
 // base: the recovery machinery could not reconstruct state, so buffered
@@ -196,6 +70,7 @@ func (r *FS) degrade(newBase *basefs.FS, newFence *fencedDevice, inflight *oplog
 // crashRestart implements the status-quo baseline: remount from disk and
 // surface the failure.
 func (r *FS) crashRestart(tr *telemetry.Trace, inflight *oplog.Op) string {
+	r.warm = nil // crash-restart semantics invalidate any retained engine
 	tr.BeginPhase(telemetry.PhaseFence)
 	r.fence.Load().raise()
 	tr.BeginPhase(telemetry.PhaseReboot)
@@ -256,6 +131,7 @@ func (r *FS) failOp(inflight *oplog.Op) {
 // reconstruction and error avoidance (§2.2) — so after MaxReplayRetries the
 // baseline degrades to crash-restart.
 func (r *FS) naiveReplay(tr *telemetry.Trace, inflight *oplog.Op) string {
+	r.warm = nil // replay-on-base invalidates any retained engine
 	ops, fds, _ := r.log.Snapshot()
 	for attempt := 0; attempt < r.cfg.MaxReplayRetries; attempt++ {
 		tr.BeginPhase(telemetry.PhaseFence)

@@ -432,10 +432,19 @@ type ReplayStats struct {
 	Blocks      int // home-location blocks rewritten
 }
 
-// Replay walks the transaction chain from the JSB's tail, re-applies every
-// fully committed transaction to its home locations in order, discards the
-// uncommitted or corrupt tail, flushes, and writes a fresh JSB retiring what
-// it applied. It is idempotent: replaying twice applies the same writes.
+// scannedTx is one fully committed transaction found by scanChain: the home
+// locations and the payloads destined for them, in intra-tx order.
+type scannedTx struct {
+	txid     uint64
+	targets  []uint32
+	payloads [][]byte
+}
+
+// scanChain walks the transaction chain from the JSB's tail and collects
+// every fully committed transaction in order, without writing anything. It is
+// the read-only core shared by Replay (which applies the transactions to
+// their home locations) and CommittedOverlay (which exposes them as a logical
+// view so a concurrent reader needs no replay ordering).
 //
 // Transactions must carry strictly sequential txids starting at the JSB's
 // sequence; anything else is a stale remnant of an earlier, longer chain and
@@ -444,16 +453,15 @@ type ReplayStats struct {
 // found — safe, because at any moment a checkpoint advances the JSB, the
 // chain it is retiring is exactly the committed state and re-applying it is
 // idempotent.
-func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error) {
-	var st ReplayStats
+func scanChain(dev blockdev.Device, sb *disklayout.Superblock) (txs []scannedTx, st ReplayStats, expect uint64, wildcard bool, err error) {
 	le := binary.LittleEndian
 
 	raw, err := dev.ReadBlock(sb.JournalStart)
 	if err != nil {
-		return st, fmt.Errorf("journal: replay read superblock: %w", err)
+		return nil, st, 0, false, fmt.Errorf("journal: replay read superblock: %w", err)
 	}
 	pos, expect, ok := decodeJSB(raw)
-	wildcard := !ok
+	wildcard = !ok
 	if wildcard {
 		pos, expect = chainStart, 0
 	}
@@ -462,7 +470,7 @@ func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error)
 	for pos+2 <= sb.JournalLen {
 		hdrBlk, err := dev.ReadBlock(sb.JournalStart + pos)
 		if err != nil {
-			return st, fmt.Errorf("journal: replay read header at +%d: %w", pos, err)
+			return nil, st, 0, false, fmt.Errorf("journal: replay read header at +%d: %w", pos, err)
 		}
 		if le.Uint32(hdrBlk[0:]) != headerMagic ||
 			le.Uint32(hdrBlk[disklayout.BlockSize-4:]) != disklayout.Checksum(hdrBlk[:disklayout.BlockSize-4]) {
@@ -504,26 +512,63 @@ func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error)
 			st.Uncommitted++
 			break // torn or absent commit: this tx and everything after it is void
 		}
-		// Committed: apply to home locations. Block 0 is legal (the sync
-		// path journals superblock updates); the journal region itself and
-		// anything past the device are not.
+		// Committed. Block 0 is a legal target (the sync path journals
+		// superblock updates); the journal region itself and anything past the
+		// device are not.
 		targets := make([]uint32, n)
 		for i := uint32(0); i < n; i++ {
 			targets[i] = le.Uint32(hdrBlk[16+4*i:])
 			if targets[i] >= sb.NumBlocks || (targets[i] >= jStart && targets[i] < jEnd) {
-				return st, fmt.Errorf("journal: committed tx %d targets block %d outside filesystem: %w",
+				return nil, st, 0, false, fmt.Errorf("journal: committed tx %d targets block %d outside filesystem: %w",
 					txid, targets[i], fserr.ErrCorrupt)
 			}
 		}
-		for i := uint32(0); i < n; i++ {
-			if err := dev.WriteBlock(targets[i], payloads[i]); err != nil {
-				return st, fmt.Errorf("journal: replay write block %d: %w", targets[i], err)
-			}
-			st.Blocks++
-		}
+		txs = append(txs, scannedTx{txid: txid, targets: targets, payloads: payloads})
 		st.Committed++
 		expect = txid + 1
 		pos += n + 2
+	}
+	return txs, st, expect, wildcard, nil
+}
+
+// CommittedOverlay scans the chain read-only and returns the logical
+// home-location contents of every committed transaction, later transactions
+// overriding earlier ones. Layered over the raw device (blockdev.NewOverlay)
+// this yields exactly the post-replay image without a single device write —
+// the independent read-only view the pipelined recovery engine hands the
+// shadow so it can start re-executing while the contained reboot's physical
+// replay is still running.
+func CommittedOverlay(dev blockdev.Device, sb *disklayout.Superblock) (map[uint32][]byte, ReplayStats, error) {
+	txs, st, _, _, err := scanChain(dev, sb)
+	if err != nil {
+		return nil, st, err
+	}
+	over := make(map[uint32][]byte)
+	for _, tx := range txs {
+		for i, blk := range tx.targets {
+			over[blk] = tx.payloads[i]
+		}
+	}
+	return over, st, nil
+}
+
+// Replay walks the transaction chain from the JSB's tail, re-applies every
+// fully committed transaction to its home locations in order, discards the
+// uncommitted or corrupt tail, flushes, and writes a fresh JSB retiring what
+// it applied. It is idempotent: replaying twice applies the same writes.
+// (Chain-walk semantics are documented on scanChain.)
+func Replay(dev blockdev.Device, sb *disklayout.Superblock) (ReplayStats, error) {
+	txs, st, expect, wildcard, err := scanChain(dev, sb)
+	if err != nil {
+		return st, err
+	}
+	for _, tx := range txs {
+		for i, blk := range tx.targets {
+			if err := dev.WriteBlock(blk, tx.payloads[i]); err != nil {
+				return st, fmt.Errorf("journal: replay write block %d: %w", blk, err)
+			}
+			st.Blocks++
+		}
 	}
 	if st.Committed > 0 {
 		if err := dev.Flush(); err != nil {

@@ -302,6 +302,10 @@ type Log struct {
 	stableMu   sync.Mutex
 	baseFDs    map[fsapi.FD]uint32
 	startClock uint64
+	// stableSeq is the watermark of the most recent truncation: every op with
+	// Seq < stableSeq is durable and discarded. The recovery engine keys its
+	// warm replayer on it.
+	stableSeq uint64
 
 	// Telemetry instruments are installed once, before concurrent use.
 	telLen                    *telemetry.Gauge
@@ -416,9 +420,22 @@ func (l *Log) StableAt(watermark uint64, fds map[fsapi.FD]uint32, clock uint64) 
 		l.baseFDs[fd] = ino
 	}
 	l.startClock = clock
+	if watermark > l.stableSeq {
+		l.stableSeq = watermark
+	}
 	n := l.length.Add(-removed)
 	l.telTruncation.Inc()
 	l.telLen.Set(n)
+}
+
+// StableSeq returns the watermark of the most recent truncation: the first
+// sequence number that may still be in the log. Together with a device
+// generation it keys the recovery engine's warm replayer — if it moved, the
+// on-disk stable point the replayer was reconstructing from is gone.
+func (l *Log) StableSeq() uint64 {
+	l.stableMu.Lock()
+	defer l.stableMu.Unlock()
+	return l.stableSeq
 }
 
 // Stable marks a new durable point: all recorded operations are now on disk,
@@ -435,15 +452,35 @@ func (l *Log) Stable(fds map[fsapi.FD]uint32, clock uint64) {
 // copies, merged across shards in sequence order), the descriptor table at
 // the stable point, and the clock then.
 func (l *Log) Snapshot() (ops []*Op, fds map[fsapi.FD]uint32, clock uint64) {
+	return l.SnapshotSince(0)
+}
+
+// SnapshotSince returns the same recovery input restricted to ops with
+// Seq >= seq. A warm replayer that has already consumed the log's prefix
+// calls this with its next-unconsumed sequence so a repeated fault copies
+// only the new suffix, not the whole gap.
+//
+// Ops below seq are filtered under the shard locks by reference; the deep
+// copies happen after the shard locks are released (safe because recorded
+// ops are immutable after Append — the log owns its clones — and stableMu,
+// held throughout, excludes concurrent truncation from retiring them).
+func (l *Log) SnapshotSince(seq uint64) (ops []*Op, fds map[fsapi.FD]uint32, clock uint64) {
 	l.stableMu.Lock()
 	defer l.stableMu.Unlock()
+	var refs []*Op
 	l.lockAll()
 	for i := range l.shards {
 		for _, o := range l.shards[i].ops {
-			ops = append(ops, o.Clone())
+			if o.Seq >= seq {
+				refs = append(refs, o)
+			}
 		}
 	}
 	l.unlockAll()
+	ops = make([]*Op, len(refs))
+	for i, o := range refs {
+		ops[i] = o.Clone()
+	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
 	fds = make(map[fsapi.FD]uint32, len(l.baseFDs))
 	for fd, ino := range l.baseFDs {

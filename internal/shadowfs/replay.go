@@ -6,7 +6,6 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/disklayout"
 	"repro/internal/fsapi"
-	"repro/internal/fserr"
 	"repro/internal/oplog"
 )
 
@@ -60,114 +59,36 @@ type ReplayResult struct {
 // packaging concern.)
 type handoffUpdate = updateAlias
 
-// Replay executes the recovery procedure: seed the descriptor table from
-// the stable point, re-execute the recorded sequence in constrained mode,
-// execute the in-flight operation in autonomous mode, and package the
-// overlay as a metadata update.
+// Replay executes the whole recovery procedure in one call: seed the
+// descriptor table from the stable point, re-execute the recorded sequence
+// in constrained mode, execute the in-flight operation in autonomous mode,
+// and package the overlay as one monolithic metadata update. It is the
+// non-streaming convenience wrapper over Replayer, kept for tools and tests;
+// the supervisor's pipelined engine drives the Replayer directly.
 func (s *Shadow) Replay(in ReplayInput) (*ReplayResult, error) {
+	r := NewReplayer(s, ReplayerKey{}, in.StopOnDiscrepancy)
+	if err := r.Seed(in.BaseFDs, in.StartClock); err != nil {
+		return nil, err
+	}
 	res := &ReplayResult{}
-
-	// Seed descriptors. Every inode must exist on disk, be allocated, and be
-	// a regular file (directories are never held open through this API, and
-	// symlinks are not openable).
-	s.clock.Set(in.StartClock)
-	for fd, ino := range in.BaseFDs {
-		rec, err := s.readAllocInode(ino)
-		if err != nil {
-			return nil, fmt.Errorf("shadowfs: replay fd %d: %w", fd, err)
-		}
-		if err := s.assert(rec.IsFile(), "fd %d maps to non-file inode %d (type %d)",
-			fd, ino, rec.Type()); err != nil {
-			return nil, err
-		}
-		if _, dup := s.fds[fd]; dup {
-			return nil, s.assert(false, "duplicate fd %d in stable-point table", fd)
-		}
-		s.fds[fd] = ino
-		s.opens[ino]++
+	fill := func() {
+		res.Discrepancies = r.Discrepancies()
+		res.OpsReplayed = r.OpsReplayed()
+		res.OpsSkipped = r.OpsSkipped()
+		res.ChecksRun = s.checks
+		res.OverlayBlocks = len(s.overlay)
 	}
-
-	// Constrained mode.
-	for _, rec := range in.Ops {
-		if rec.Kind == oplog.KFsync || rec.Kind == oplog.KSync {
-			// Completed syncs are already on disk; incomplete ones are
-			// delegated back to the base after hand-off.
-			res.OpsSkipped++
-			continue
-		}
-		if rec.Errno != 0 {
-			// "The shadow omits operations that returned an error by the
-			// base" — except short writes, whose successfully written prefix
-			// is application-visible state.
-			if rec.Kind == oplog.KWrite && rec.RetN > 0 {
-				partial := rec.Clone()
-				partial.Data = partial.Data[:rec.RetN]
-				got := partial.Clone()
-				got.Errno, got.RetN = 0, 0
-				_ = oplog.Apply(s, got)
-				if got.RetN != rec.RetN || got.Errno != 0 {
-					res.Discrepancies = append(res.Discrepancies, difftest.Discrepancy{
-						Op: rec, Field: "partial-write",
-						Got:  fmt.Sprintf("n=%d errno=%d", got.RetN, got.Errno),
-						Want: fmt.Sprintf("n=%d errno=0", rec.RetN),
-					})
-					if in.StopOnDiscrepancy {
-						return res, fmt.Errorf("shadowfs: constrained replay diverged at %s: %w", rec, fserr.ErrCorrupt)
-					}
-				}
-				res.OpsReplayed++
-				continue
-			}
-			res.OpsSkipped++
-			continue
-		}
-		// Pin the base's allocation decisions so application-visible numbers
-		// are reproduced, validating usability instead of trusting blindly.
-		switch rec.Kind {
-		case oplog.KCreate, oplog.KMkdir, oplog.KSymlink:
-			s.wantIno = rec.RetIno
-		}
-		switch rec.Kind {
-		case oplog.KCreate, oplog.KOpen:
-			s.wantFD = rec.RetFD
-			s.haveWantFD = true
-		}
-		got := rec.Clone()
-		got.Errno, got.RetFD, got.RetIno, got.RetN = 0, 0, 0, 0
-		_ = oplog.Apply(s, got)
-		s.wantIno = 0
-		s.haveWantFD = false
-		res.OpsReplayed++
-		if d := difftest.CompareOutcome(got, rec); len(d) > 0 {
-			res.Discrepancies = append(res.Discrepancies, d...)
-			if in.StopOnDiscrepancy {
-				return res, fmt.Errorf("shadowfs: constrained replay diverged at %s: %w", rec, fserr.ErrCorrupt)
-			}
-		}
+	if err := r.Feed(in.Ops); err != nil {
+		fill()
+		return res, err
 	}
-
-	// Autonomous mode: the in-flight operation. The shadow now makes its own
-	// policy decisions (fresh inode numbers, lowest-free descriptor).
-	if in.InFlight != nil {
-		fl := in.InFlight.Clone()
-		fl.Errno, fl.RetFD, fl.RetIno, fl.RetN = 0, 0, 0, 0
-		if fl.Kind == oplog.KFsync || fl.Kind == oplog.KSync {
-			// Not handled by the shadow: the base re-runs it after hand-off.
-			fl.Errno = 0
-		} else {
-			_ = oplog.Apply(s, fl)
-		}
-		res.InFlight = fl
-		res.OpsReplayed++
-	}
-
-	res.ChecksRun = s.checks
+	res.InFlight = r.runInFlight(in.InFlight)
 	upd, err := s.buildUpdate()
+	fill()
 	if err != nil {
 		return res, err
 	}
 	res.Update = upd
-	res.OverlayBlocks = len(upd.Blocks)
 	return res, nil
 }
 

@@ -54,6 +54,13 @@ type Shadow struct {
 	clock   fsapi.Clock
 	checks  int64
 
+	// Delta tracking for the streaming replayer: blocks written or freed
+	// since the last TakeDelta. A block that is freed and then rewritten is
+	// dirty again, not freed; a dirtied block that is freed leaves only the
+	// freed marker.
+	deltaDirty map[uint32]bool
+	deltaFreed map[uint32]bool
+
 	// Constrained-mode constraints for the next allocating/opening
 	// operation; zero values mean autonomous decisions.
 	wantIno    uint32
@@ -89,12 +96,14 @@ func New(dev blockdev.Device, opts Options) (*Shadow, error) {
 			sb.NumBlocks, dev.NumBlocks(), fserr.ErrCorrupt)
 	}
 	s := &Shadow{
-		dev:     ro,
-		sb:      sb,
-		overlay: make(map[uint32][]byte),
-		meta:    make(map[uint32]bool),
-		fds:     make(map[fsapi.FD]uint32),
-		opens:   make(map[uint32]int),
+		dev:        ro,
+		sb:         sb,
+		overlay:    make(map[uint32][]byte),
+		meta:       make(map[uint32]bool),
+		fds:        make(map[fsapi.FD]uint32),
+		opens:      make(map[uint32]int),
+		deltaDirty: make(map[uint32]bool),
+		deltaFreed: make(map[uint32]bool),
 	}
 	s.clock.Set(sb.LastClock)
 	return s, nil
@@ -144,6 +153,8 @@ func (s *Shadow) writeBlock(blk uint32, data []byte, meta bool) error {
 	if meta {
 		s.meta[blk] = true
 	}
+	s.deltaDirty[blk] = true
+	delete(s.deltaFreed, blk)
 	return nil
 }
 
@@ -367,6 +378,8 @@ func (s *Shadow) freeBlock(blk uint32) error {
 	}
 	delete(s.overlay, blk)
 	delete(s.meta, blk)
+	delete(s.deltaDirty, blk)
+	s.deltaFreed[blk] = true
 	return nil
 }
 
@@ -623,6 +636,26 @@ func (s *Shadow) truncateIndirect(blk uint32, keep int64) (bool, error) {
 // metadata. The replay driver packages these into the handoff update.
 func (s *Shadow) Overlay() (blocks map[uint32][]byte, meta map[uint32]bool) {
 	return s.overlay, s.meta
+}
+
+// OverlayBlocks returns the shadow's current memory footprint in blocks —
+// the warm-replayer retention policy's input.
+func (s *Shadow) OverlayBlocks() int { return len(s.overlay) }
+
+// TakeDelta drains and returns the set of blocks written and freed since the
+// last call. The streaming replayer turns each delta into one sealed handoff
+// chunk. Freed blocks that were never previously handed off are simply
+// dropped by the caller.
+func (s *Shadow) TakeDelta() (dirty, freed []uint32) {
+	for blk := range s.deltaDirty {
+		dirty = append(dirty, blk)
+	}
+	for blk := range s.deltaFreed {
+		freed = append(freed, blk)
+	}
+	s.deltaDirty = make(map[uint32]bool)
+	s.deltaFreed = make(map[uint32]bool)
+	return dirty, freed
 }
 
 // OpenFDs returns the shadow's descriptor table.
