@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, all")
+	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, fsck, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
@@ -48,6 +48,47 @@ func main() {
 	run("latency", func() { latency(*ops, *seed) })
 	run("io", func() { ioTraffic(*ops, *seed) })
 	run("concurrency", func() { concurrency(*ops, *seed) })
+	run("fsck", func() { fsckScale(*seed) })
+}
+
+// fsckScale prints the E13 series: the parallel checker's worker scaling,
+// the region-scoped check vs image size, and the recovery fsck stage at
+// pool sizes 1 vs 8.
+func fsckScale(seed int64) {
+	fmt.Println("== E13: parallel, region-scoped fsck ==")
+	fmt.Printf("(per-read device service time %v; image %d blocks)\n",
+		experiments.FsckIOLatency, experiments.ImageBlocks)
+	fmt.Println("(speedup combines worker parallelism with the parallel checker's")
+	fmt.Println(" read-once block cache; the sequential baseline re-reads hot blocks)")
+	rows, err := experiments.FsckParallelScale([]int{1, 2, 4, 8}, 3000, seed, experiments.FsckIOLatency)
+	check(err)
+	fmt.Printf("%-10s %14s %10s %12s %12s %10s\n", "workers", "elapsed", "speedup", "dev reads", "checks", "problems")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Workers)
+		if r.Workers == 0 {
+			label = "seq"
+		}
+		fmt.Printf("%-10s %14v %9.2fx %12d %12d %10d\n", label, r.Elapsed, r.Speedup, r.DevReads, r.ChecksRun, r.Problems)
+	}
+	fmt.Println()
+
+	fmt.Println("-- region-scoped check vs image size (same write gap; dev reads = IO cost) --")
+	srows, err := experiments.ScopedFsckScale([]uint32{16384, 65536}, 16, 1500, seed, 8, 0)
+	check(err)
+	fmt.Printf("%-12s %10s %12s %12s %12s %14s %14s\n",
+		"image blks", "scope", "full reads", "scoped reads", "read ratio", "full", "scoped")
+	for _, r := range srows {
+		fmt.Printf("%-12d %10d %12d %12d %11.1fx %14v %14v\n",
+			r.ImageBlocks, r.GapBlocks, r.FullReads, r.ScopedReads, r.ReadRatio, r.FullTime, r.ScopedTime)
+	}
+	fmt.Println()
+
+	fmt.Println("-- recovery fsck stage: FsckWorkers 1 vs 8 --")
+	fr, err := experiments.RecoveryFsckStage(512, seed, experiments.FsckIOLatency)
+	check(err)
+	fmt.Printf("fsck stage: %v (1 worker) -> %v (8 workers), %.2fx; recovery wall %v -> %v\n",
+		fr.FsckSeq, fr.FsckPar, fr.Speedup, fr.WallSeq, fr.WallPar)
+	fmt.Println()
 }
 
 // concurrency prints the E11 sweep: aggregate throughput of the bare base vs

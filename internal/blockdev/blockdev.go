@@ -81,6 +81,10 @@ type FaultPlan struct {
 	// CorruptBlocks pinpoints blocks whose reads are always corrupted, for
 	// deterministic crafted-fault tests.
 	CorruptBlocks map[uint32]bool
+	// ReadErrBlocks pinpoints blocks whose reads always fail with ErrIO,
+	// for deterministic bad-sector tests (e.g. a single unreadable bitmap
+	// block) where probabilistic injection would make findings flaky.
+	ReadErrBlocks map[uint32]bool
 	// ReadLatency and WriteLatency add a fixed service time per IO,
 	// simulating a real device. The base's multi-queue layer overlaps these
 	// across workers; the shadow's synchronous path pays them serially.
@@ -175,7 +179,10 @@ func (d *Mem) ReadBlock(blk uint32) ([]byte, error) {
 		if faults.ReadLatency > 0 {
 			time.Sleep(faults.ReadLatency)
 		}
-		if faults.roll(faults.ReadErrProb) {
+		faults.mu.Lock()
+		badSector := faults.ReadErrBlocks[blk]
+		faults.mu.Unlock()
+		if badSector || faults.roll(faults.ReadErrProb) {
 			d.stats.ReadErrors.Add(1)
 			return nil, fmt.Errorf("blockdev: injected read error on block %d: %w", blk, fserr.ErrIO)
 		}
@@ -262,6 +269,21 @@ func (d *Mem) Snapshot() *Mem {
 	}
 	return cp
 }
+
+// Snapshotter is implemented by devices that can produce a point-in-time
+// frozen copy of their contents. The background scrubber requires it: a
+// scrub pass checks a snapshot, never the live device, so it races with
+// nothing and observes a single consistent image.
+type Snapshotter interface {
+	Device
+	// SnapshotDevice returns a frozen, fault-free copy of the device
+	// contents as of the call.
+	SnapshotDevice() Device
+}
+
+// SnapshotDevice implements Snapshotter. The copy carries no fault plan and
+// no write hook: it is an observation of the bits, not of the hardware.
+func (d *Mem) SnapshotDevice() Device { return d.Snapshot() }
 
 // CorruptBlock flips the byte at off in block blk in place, bypassing the
 // write path. Tests use it to plant silent on-disk corruption.
@@ -520,13 +542,18 @@ func (p *Prefetched) ReadBlock(blk uint32) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.stopped.Load() {
-		return buf, nil // released: plain pass-through, no re-pinning
-	}
 	p.mu.Lock()
-	if have, ok := p.blocks[blk]; ok {
-		buf = have // first fetch wins; serve the cached image
-	} else {
+	switch {
+	case p.stopped.Load():
+		// Released (or racing with Release, which clears the cache under
+		// this same lock): plain pass-through, no re-pinning. The stopped
+		// check must happen under p.mu — checking it before acquiring the
+		// lock leaves a window where Release stops the crew and clears the
+		// cache, and the insert below would then repopulate the cleared map
+		// and pin blocks for the holder's lifetime.
+	case p.blocks[blk] != nil:
+		buf = p.blocks[blk] // first fetch wins; serve the cached image
+	default:
 		p.blocks[blk] = buf
 	}
 	p.mu.Unlock()

@@ -1,0 +1,136 @@
+package blockdev
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fserr"
+)
+
+// TestPrefetchedServesAndCaches: blocks come back with the device's content,
+// and a block read twice hits the device once.
+func TestPrefetchedServesAndCaches(t *testing.T) {
+	dev := NewMem(64)
+	buf := make([]byte, 4096)
+	buf[0] = 0xAB
+	if err := dev.WriteBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPrefetched(dev, 2)
+	defer p.Release()
+	for i := 0; i < 2; i++ {
+		b, err := p.ReadBlock(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != 0xAB {
+			t.Fatalf("read %d: got %x", i, b[0])
+		}
+	}
+	// Writes and flushes are rejected: the view is frozen by contract.
+	if err := p.WriteBlock(1, buf); err == nil {
+		t.Error("write through prefetched view succeeded")
+	}
+	if err := p.Flush(); err == nil {
+		t.Error("flush through prefetched view succeeded")
+	}
+}
+
+// TestPrefetchedReleaseOnEarlyAbort is the regression test for the pipeline
+// abort leak: Release fired while the worker crew is mid-device (the recovery
+// pipeline bailing out of replay early) must stop and join every worker and
+// drop the cache, even with a slow device keeping workers parked in reads.
+func TestPrefetchedReleaseOnEarlyAbort(t *testing.T) {
+	dev := NewMem(4096)
+	plan := NewFaultPlan(1)
+	plan.ReadLatency = 200 * time.Microsecond
+	dev.SetFaults(plan)
+
+	before := runtime.NumGoroutine()
+	p := NewPrefetched(dev, 8)
+	// Abort early: the crew has had no chance to finish 4096 slow reads.
+	p.Release()
+
+	if n := p.Cached(); n != 0 {
+		t.Errorf("%d blocks still pinned after Release", n)
+	}
+	// The crew must be joined, not leaked. Allow the runtime a moment to
+	// retire the exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines: %d before, %d after Release", before, after)
+	}
+}
+
+// TestPrefetchedNoRepinAfterRelease closes the race the stopped-flag check
+// under p.mu exists for: a consumer read in flight across Release must not
+// re-insert its block into the cleared cache and pin it forever.
+func TestPrefetchedNoRepinAfterRelease(t *testing.T) {
+	dev := NewMem(256)
+	p := NewPrefetched(dev, 2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := p.ReadBlock(uint32((i*7 + w) % 256)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Release()
+	// Readers keep hammering the released cache for a while; nothing they do
+	// may repopulate it.
+	time.Sleep(2 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := p.Cached(); n != 0 {
+		t.Errorf("%d blocks re-pinned by in-flight reads after Release", n)
+	}
+}
+
+// TestFaultPlanReadErrBlocks: per-block deterministic read errors fire on
+// exactly the listed blocks, every time, and leave the rest alone.
+func TestFaultPlanReadErrBlocks(t *testing.T) {
+	dev := NewMem(16)
+	plan := NewFaultPlan(99)
+	plan.ReadErrBlocks = map[uint32]bool{3: true, 9: true}
+	dev.SetFaults(plan)
+	for i := 0; i < 3; i++ { // deterministic: not a probability roll
+		for blk := uint32(0); blk < 16; blk++ {
+			_, err := dev.ReadBlock(blk)
+			if want := plan.ReadErrBlocks[blk]; want && err == nil {
+				t.Errorf("pass %d: block %d read succeeded, want error", i, blk)
+			} else if !want && err != nil {
+				t.Errorf("pass %d: block %d: %v", i, blk, err)
+			}
+		}
+	}
+	if got := dev.Stats().ReadErrors.Load(); got != 6 {
+		t.Errorf("ReadErrors = %d, want 6", got)
+	}
+	// Writes are unaffected.
+	if err := dev.WriteBlock(3, make([]byte, 4096)); err != nil {
+		t.Errorf("write to read-err block: %v", err)
+	}
+	if _, err := dev.ReadBlock(3); !errors.Is(err, fserr.ErrIO) {
+		t.Errorf("injected error not fserr.ErrIO: %v", err)
+	}
+}

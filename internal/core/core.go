@@ -36,6 +36,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +46,9 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/faultinject"
 	"repro/internal/fsapi"
+	"repro/internal/fserr"
 	"repro/internal/oplog"
+	"repro/internal/scrub"
 	"repro/internal/shadowfs"
 	"repro/internal/telemetry"
 )
@@ -119,6 +122,25 @@ type Config struct {
 	// (8); negative disables prefetching. Ignored in SequentialRecovery
 	// mode, which by definition runs no background work.
 	RecoveryPrefetchWorkers int
+	// FsckWorkers sizes the parallel checker's worker pool for recovery-time
+	// and scrub-time image verification. 0 selects the default (8); 1 keeps
+	// the scan single-threaded (still one read per table block, where the
+	// sequential baseline pays one per inode). SequentialRecovery mode
+	// ignores it and runs the plain sequential checker.
+	FsckWorkers int
+	// DisableScopedFsck forces every recovery to verify the full image even
+	// when a verified baseline plus the touched-block set would allow a
+	// region-scoped check. For comparisons and belt-and-suspenders setups.
+	DisableScopedFsck bool
+	// ScrubInterval enables the online background scrubber: every interval,
+	// the parallel checker runs over a frozen snapshot-plus-committed-journal
+	// view, publishing scrub.* telemetry; a corrupt finding trips the
+	// recovery fence proactively and a clean pass refreshes the scoped-fsck
+	// baseline. Requires the device to implement blockdev.Snapshotter.
+	// 0 (the default) disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubWorkers sizes the scrubber's checker pool; 0 inherits FsckWorkers.
+	ScrubWorkers int
 	// Telemetry selects the observability sink. Nil uses the process-global
 	// telemetry.Default() sink: a supervised filesystem is always observable
 	// unless NoTelemetry opts out.
@@ -135,6 +157,12 @@ func (c *Config) fill() {
 	}
 	if c.RecoveryPrefetchWorkers == 0 {
 		c.RecoveryPrefetchWorkers = 8
+	}
+	if c.FsckWorkers <= 0 {
+		c.FsckWorkers = 8
+	}
+	if c.ScrubWorkers <= 0 {
+		c.ScrubWorkers = c.FsckWorkers
 	}
 	if c.NoTelemetry {
 		c.Telemetry = nil
@@ -186,6 +214,11 @@ type Stats struct {
 	OpsReplayed    int64
 	OpsReused      int64 // ops a warm resume did not have to re-replay
 	Discrepancies  int64
+	FsckFull       int64 // recovery checks that verified the whole image
+	FsckScoped     int64 // recovery checks scoped to the fault's blast radius
+	ScrubPasses    int64 // background scrub passes completed
+	ScrubCorrupt   int64 // scrub passes that found corruption
+	TouchedBlocks  int   // blocks written since the last verified baseline
 	TotalDowntime  time.Duration
 	Phases         []RecoveryPhases
 	PeakLogLen     int
@@ -208,6 +241,8 @@ type counters struct {
 	opsReplayed    atomic.Int64
 	opsReused      atomic.Int64
 	discrepancies  atomic.Int64
+	fsckFull       atomic.Int64
+	fsckScoped     atomic.Int64
 	downtimeNs     atomic.Int64
 }
 
@@ -281,6 +316,25 @@ type FS struct {
 	// retention — commit, checkpoint, eviction — changes bytes under the
 	// retained overlay.
 	devGen atomic.Uint64
+	// touched records every block written through any fence since the last
+	// time a recovery consumed (and reset) the set; see touched.go.
+	touched *touchedSet
+	// verified says the on-disk image passed a full check (a cold recovery's
+	// fsck or a clean scrub pass) and every write since is in touched — the
+	// precondition for a region-scoped recovery check. Cleared whenever a
+	// recovery degrades or corruption is found; set only while recoveries
+	// are excluded (exclusive gate, or read gate + generation check).
+	verified atomic.Bool
+	// scrub is the online background scrubber, nil unless ScrubInterval set.
+	scrub *scrub.Scrubber
+	// scrubTripped marks an open corruption episode: the scrubber tripped a
+	// recovery for it and won't trip again until a clean pass (or a clean
+	// recovery check) re-arms it.
+	scrubTripped atomic.Bool
+	// extFault marks the in-progress recovery as externally triggered (a
+	// scrub trip, not an application operation). Written and read only with
+	// the gate held exclusively.
+	extFault bool
 	// warm is the replay engine retained by the last successful RAE
 	// recovery, nil if none. Touched only while the gate is held
 	// exclusively.
@@ -309,6 +363,14 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	fs.gate = newGate(fs.tel)
 	fs.warns.next = cfg.Base.OnWarn
 	fs.log.SetTelemetry(fs.tel)
+	fs.touched = newTouchedSet()
+	var snap blockdev.Snapshotter
+	if cfg.ScrubInterval > 0 {
+		var ok bool
+		if snap, ok = dev.(blockdev.Snapshotter); !ok {
+			return nil, fmt.Errorf("core: ScrubInterval requires a device implementing blockdev.Snapshotter: %w", fserr.ErrInvalid)
+		}
+	}
 	base, fence, err := fs.mountBase()
 	if err != nil {
 		return nil, err
@@ -316,6 +378,9 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	fs.base.Store(base)
 	fs.fence.Store(fence)
 	fs.log.Stable(base.OpenFDs(), base.Clock())
+	if snap != nil {
+		fs.startScrubber(snap)
+	}
 	return fs, nil
 }
 
@@ -324,9 +389,12 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 // metrics are queryable from it.
 func (r *FS) Telemetry() *telemetry.Sink { return r.tel }
 
-// Unmount syncs and stops the supervised filesystem. It drains in-flight
-// operations through the gate first.
+// Unmount syncs and stops the supervised filesystem. The scrubber is
+// stopped first — a pass may be inside a recovery it tripped, which needs
+// the gate this drain is about to close — then in-flight operations drain
+// through the gate.
 func (r *FS) Unmount() error {
+	r.scrub.Stop()
 	r.gate.close()
 	defer r.gate.open()
 	return r.base.Load().Unmount()
@@ -334,6 +402,7 @@ func (r *FS) Unmount() error {
 
 // Kill abandons the supervised filesystem without syncing (tests).
 func (r *FS) Kill() {
+	r.scrub.Stop()
 	r.gate.close()
 	defer r.gate.open()
 	r.base.Load().Kill()
@@ -357,6 +426,11 @@ func (r *FS) Stats() Stats {
 		OpsReplayed:    r.cnt.opsReplayed.Load(),
 		OpsReused:      r.cnt.opsReused.Load(),
 		Discrepancies:  r.cnt.discrepancies.Load(),
+		FsckFull:       r.cnt.fsckFull.Load(),
+		FsckScoped:     r.cnt.fsckScoped.Load(),
+		ScrubPasses:    r.scrub.Passes(),
+		ScrubCorrupt:   r.scrub.CorruptPasses(),
+		TouchedBlocks:  r.touched.size(),
 		TotalDowntime:  time.Duration(r.cnt.downtimeNs.Load()),
 		PeakLogLen:     r.log.PeakLen(),
 	}
@@ -392,6 +466,10 @@ func (r *FS) DumpLog() []byte {
 
 // Injector returns the registry shared with the base, if any.
 func (r *FS) Injector() *faultinject.Registry { return r.cfg.Base.Injector }
+
+// Scrubber exposes the background scrubber (nil unless ScrubInterval set),
+// so tests and tools can drive RunOnce or read pass counters directly.
+func (r *FS) Scrubber() *scrub.Scrubber { return r.scrub }
 
 // lockRecord acquires the record lock(s) covering op, returning the unlock.
 // Holding the lock across execute+append keeps the recorded order a valid

@@ -13,10 +13,15 @@ import (
 // fault classifies one detected runtime error (§2: "all errors that can be
 // detected are handled by the shadow").
 type fault struct {
-	// kind is "panic", "warn", "freeze", or "result".
+	// kind is "panic", "warn", "freeze", "result", or "scrub".
 	kind string
 	// err carries the result error or the recovered panic value.
 	err error
+	// external marks a fault not tied to any application operation (a scrub
+	// trip): no app failure is counted on degrade, and the recovery takes
+	// the cold path with a full check — the whole point is to re-examine
+	// the image, which warm resume and scoped checks both skip.
+	external bool
 }
 
 func (f *fault) String() string { return fmt.Sprintf("%s: %v", f.kind, f.err) }
@@ -91,7 +96,7 @@ func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 			return nil
 		}
 	}
-	fence := newFence(r.dev, &r.devGen)
+	fence := newFence(r.dev, &r.devGen, r.touched)
 	base, err := basefs.Mount(fence, opts)
 	if err != nil {
 		return nil, nil, err

@@ -23,13 +23,18 @@ type fencedDevice struct {
 	// commit, checkpoint, cache eviction) changes bytes under the retained
 	// overlay and invalidates it. May be nil (tests).
 	gen *atomic.Uint64
-	off atomic.Bool
+	// touched accumulates the written block numbers for the region-scoped
+	// recovery check: because every base-instance write funnels through a
+	// fence, this set is a superset of everything that changed on the device
+	// since it was last drained. May be nil (tests).
+	touched *touchedSet
+	off     atomic.Bool
 }
 
 var _ blockdev.Device = (*fencedDevice)(nil)
 
-func newFence(dev blockdev.Device, gen *atomic.Uint64) *fencedDevice {
-	return &fencedDevice{dev: dev, gen: gen}
+func newFence(dev blockdev.Device, gen *atomic.Uint64, touched *touchedSet) *fencedDevice {
+	return &fencedDevice{dev: dev, gen: gen, touched: touched}
 }
 
 // raise cuts the old instance off from the device.
@@ -50,15 +55,19 @@ func (f *fencedDevice) ReadBlock(blk uint32) ([]byte, error) {
 	return f.dev.ReadBlock(blk)
 }
 
-// WriteBlock implements blockdev.Device. The generation bumps before the
-// write reaches the device, so a failed write can only over-invalidate the
-// warm replayer, never under-invalidate it.
+// WriteBlock implements blockdev.Device. The generation bumps and the
+// touched set records before the write reaches the device, so a failed
+// write can only over-invalidate the warm replayer and over-scope the next
+// check, never the unsound direction.
 func (f *fencedDevice) WriteBlock(blk uint32, data []byte) error {
 	if err := f.guard("write"); err != nil {
 		return err
 	}
 	if f.gen != nil {
 		f.gen.Add(1)
+	}
+	if f.touched != nil {
+		f.touched.record(blk)
 	}
 	return f.dev.WriteBlock(blk, data)
 }

@@ -18,13 +18,17 @@ import (
 func TestFencedDeviceBlocksAfterRaise(t *testing.T) {
 	dev := blockdev.NewMem(16)
 	var gen atomic.Uint64
-	f := newFence(dev, &gen)
+	touched := newTouchedSet()
+	f := newFence(dev, &gen, touched)
 	buf := make([]byte, 4096)
 	if err := f.WriteBlock(1, buf); err != nil {
 		t.Fatal(err)
 	}
 	if gen.Load() != 1 {
 		t.Errorf("write generation = %d after one write, want 1", gen.Load())
+	}
+	if touched.size() != 1 {
+		t.Errorf("touched set size = %d after one write, want 1", touched.size())
 	}
 	if _, err := f.ReadBlock(1); err != nil {
 		t.Fatal(err)

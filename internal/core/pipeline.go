@@ -72,6 +72,15 @@ type recoveryPlan struct {
 	// released when the engine is done with the cold stage.
 	prefetch *blockdev.Prefetched
 
+	// check validates the frozen view; chosen at plan time (scoped, parallel,
+	// or sequential — see planFsck). Nil when the check is skipped (config or
+	// warm resume).
+	check func() *fsck.Report
+	// touchedOld is the touched-block set drained when this plan claimed the
+	// scoped-check baseline; merged back if the recovery fails so no write
+	// ever escapes the next check's scope.
+	touchedOld map[uint32]struct{}
+
 	errWhat string
 	err     error
 }
@@ -101,7 +110,10 @@ func (r *FS) planRecovery(inflight *oplog.Op) *recoveryPlan {
 	r.warm = nil
 	total := r.log.Len()
 	key := shadowfs.ReplayerKey{StableSeq: r.log.StableSeq(), DevGen: r.devGen.Load()}
-	if rep != nil && rep.Key() == key {
+	// An external (scrub-tripped) fault exists to re-examine the image; the
+	// warm path skips the check entirely, so it is disqualified even when the
+	// key still matches (a scrub trip writes nothing, so it usually does).
+	if rep != nil && rep.Key() == key && !r.extFault {
 		ops, _, _ := r.log.SnapshotSince(rep.NextSeq())
 		// The suffix crosses the isolation boundary like any recovery input.
 		wire := oplog.EncodeSequence(ops, map[fsapi.FD]uint32{}, 0)
@@ -159,7 +171,71 @@ func (r *FS) planRecovery(inflight *oplog.Op) *recoveryPlan {
 		p.prefetch = blockdev.NewPrefetched(p.view, r.cfg.RecoveryPrefetchWorkers)
 		p.view = p.prefetch
 	}
+	r.planFsck(p, over)
 	return p
+}
+
+// planFsck picks the check the replay stage will run over the frozen view
+// and claims the scoped-check baseline. Runs with the gate held exclusively
+// (the only context where draining the touched set is sound). The scope of
+// a region-scoped check is everything that can differ from the last
+// verified image: every block written through a fence since (touchedOld),
+// every block the journal overlay rewrites, and the superblock.
+func (r *FS) planFsck(p *recoveryPlan, over map[uint32][]byte) {
+	if r.cfg.SkipFsckInRecovery {
+		return
+	}
+	p.touchedOld = r.touched.snapshotAndReset()
+	view, workers := p.view, r.cfg.FsckWorkers
+	if r.cfg.SequentialRecovery {
+		p.check = func() *fsck.Report { return fsck.Check(view) }
+		return
+	}
+	if r.verified.Load() && !r.cfg.DisableScopedFsck {
+		sc := fsck.NewScope()
+		sc.Add(0)
+		for blk := range p.touchedOld {
+			sc.Add(blk)
+		}
+		for blk := range over {
+			sc.Add(blk)
+		}
+		p.check = func() *fsck.Report { return fsck.CheckScoped(view, sc, workers) }
+		return
+	}
+	p.check = func() *fsck.Report { return fsck.CheckParallel(view, workers) }
+}
+
+// noteFsck records which flavor of check a recovery ran.
+func (r *FS) noteFsck(rep *fsck.Report) {
+	if rep.Scoped {
+		r.cnt.fsckScoped.Add(1)
+		r.tel.Counter("recovery.fsck.scoped").Inc()
+		return
+	}
+	r.cnt.fsckFull.Add(1)
+	r.tel.Counter("recovery.fsck.full").Inc()
+}
+
+// fsckTrust settles the scoped-check trust state for one recovery. On any
+// failed or degraded recovery the baseline is revoked and the drained
+// touched set merged back — over-scoping the next check is safe, losing a
+// block from it is not. A successful recovery that actually checked the
+// image (p.check non-nil: warm resumes and SkipFsckInRecovery never do)
+// establishes a fresh baseline — every write after the frozen view went
+// through a fence created over the same touched set, so the superset
+// invariant holds from the view onward — and ends any scrub corruption
+// episode.
+func (r *FS) fsckTrust(p *recoveryPlan, ok bool) {
+	if !ok {
+		r.verified.Store(false)
+		r.touched.merge(p.touchedOld)
+		return
+	}
+	if p.check != nil {
+		r.verified.Store(true)
+		r.scrubTripped.Store(false)
+	}
 }
 
 // replayOutcome is everything the replay stage hands back to the engine.
@@ -201,22 +277,31 @@ func (r *FS) runReplayStage(p *recoveryPlan, overlapFsck bool, emit func(*handof
 	rep := p.rep
 	var fsckCh chan error
 	if rep == nil {
-		if overlapFsck && !r.cfg.SkipFsckInRecovery {
+		switch {
+		case p.check != nil && overlapFsck:
 			fsckCh = make(chan error, 1)
 			go func() {
 				t := time.Now()
-				frep := fsck.Check(p.view)
+				frep := p.check()
 				out.fsckDur = time.Since(t) // joined before out is read
+				r.noteFsck(frep)
 				fsckCh <- frep.Err()
 			}()
-		}
-		t := time.Now()
-		sh, err := shadowfs.New(p.view, shadowfs.Options{
-			SkipFsck: r.cfg.SkipFsckInRecovery || fsckCh != nil,
-		})
-		if fsckCh == nil {
+		case p.check != nil:
+			// Sequential mode: the check gates the stage up front, exactly the
+			// pre-pipeline ordering.
+			t := time.Now()
+			frep := p.check()
 			out.fsckDur = time.Since(t)
+			r.noteFsck(frep)
+			if err := frep.Err(); err != nil {
+				out.errWhat, out.err = "shadow fsck", err
+				return out
+			}
 		}
+		// The plan's check (or its configured absence) owns image validation;
+		// the shadow mount never duplicates it.
+		sh, err := shadowfs.New(p.view, shadowfs.Options{SkipFsck: true})
 		if err != nil {
 			if fsckCh != nil {
 				<-fsckCh
@@ -359,6 +444,7 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	if err != nil {
 		// The device itself is unusable; nothing recovers this.
 		drain()
+		r.fsckTrust(plan, false)
 		r.tel.Event("degrade", "recovery failed: remount: %v", err)
 		r.failOp(inflight)
 		r.cnt.degradations.Add(1)
@@ -366,6 +452,7 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 		return "failed"
 	}
 	if plan.err != nil {
+		r.fsckTrust(plan, false)
 		return r.degrade(newBase, newFence, inflight, ph, plan.errWhat+": %v", plan.err)
 	}
 	// A warm reboot may still find committed transactions in the journal
@@ -443,14 +530,17 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	if out.err != nil {
 		// The shadow itself failed (corrupt image, divergence under
 		// StopOnDiscrepancy, or a shadow bug): degrade loudly.
+		r.fsckTrust(plan, false)
 		return r.degradeDirty(newBase, newFence, dirty, inflight, ph, out.errWhat+": %v", out.err)
 	}
 	if installErr != nil {
+		r.fsckTrust(plan, false)
 		return r.degradeDirty(newBase, newFence, true, inflight, ph, "absorb chunk: %v", installErr)
 	}
 	t = time.Now()
 	if err := newBase.AbsorbManifest(out.manifest); err != nil {
 		ph.Absorb += time.Since(t)
+		r.fsckTrust(plan, false)
 		return r.degradeDirty(newBase, newFence, true, inflight, ph, "absorb manifest: %v", err)
 	}
 	ph.Absorb += time.Since(t)
@@ -487,6 +577,7 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 	r.observeStage("resume", time.Since(t))
 
 	r.retainWarm(out.rep)
+	r.fsckTrust(plan, true)
 
 	ph.Wall = time.Since(wall0)
 	r.observeStage("wall", ph.Wall)

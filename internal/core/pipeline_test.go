@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/basefs"
 	"repro/internal/faultinject"
@@ -146,6 +148,10 @@ func TestFaultDuringRecoveryPipeline(t *testing.T) {
 		Prob: 1.0, Op: "mkdir", Point: "entry", PathSubstr: "trigger", MaxFires: 8,
 	})
 	fs, _, _ := newSupervised(t, Config{Base: basefs.Options{Injector: reg}})
+	if err := fs.Mkdir("/warmup", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
 
 	const workers, perWorker = 8, 40
 	var wg sync.WaitGroup
@@ -196,6 +202,18 @@ func TestFaultDuringRecoveryPipeline(t *testing.T) {
 				t.Fatalf("Stat(%s): %v", path, err)
 			}
 		}
+	}
+	// No machinery leaked: every recovery's prefetch crew, overlap-fsck
+	// goroutine, and reboot helpers must be joined once the burst settles.
+	// Aborted pipelines (superseded recoveries) are the interesting case.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines: %d before burst, %d after settling\n%s",
+			baseline, after, buf[:runtime.Stack(buf, true)])
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 // a strategy never enters appear with zero duration.
 func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
 	r.cnt.recoveries.Add(1)
+	r.extFault = flt.external
+	defer func() { r.extFault = false }()
 	tr := r.tel.StartRecovery(flt.kind, r.cfg.Mode.String(), r.log.Len())
 	r.tel.Counter("recovery.trigger." + flt.kind).Inc()
 	t0 := time.Now()
@@ -116,11 +118,15 @@ func (r *FS) finishCrashRestart(inflight *oplog.Op) {
 	r.failOp(inflight)
 }
 
-// failOp surfaces the failure to the application.
+// failOp surfaces the failure to the application. A proactive recovery
+// (scrub trip) has no application operation waiting on it — when it fails
+// or degrades, nothing surfaced to any app, so nothing is counted.
 func (r *FS) failOp(inflight *oplog.Op) {
 	if inflight != nil {
 		inflight.Errno = fserr.Errno(fserr.ErrIO)
 		inflight.RetFD = -1
+	} else if r.extFault {
+		return
 	}
 	r.cnt.appFailures.Add(1)
 }

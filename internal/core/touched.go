@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// touchedShards stripes the touched-block set so concurrent writers on
+// different blocks rarely share a lock; a power of two so the index is a
+// mask.
+const touchedShards = 16
+
+// touchedSet records which device blocks have been written since the last
+// fully-verified baseline. Every base-instance write funnels through the
+// supervisor's fence, which records here; a recovery's region-scoped fsck
+// then needs to examine only these blocks (plus the journal overlay's
+// targets) instead of the whole image.
+//
+// The soundness argument is an invariant, not a race-free protocol:
+// verified-baseline + touched-superset. Writes are only ever ADDED between
+// baselines; the set is reset solely inside planRecovery, which runs with
+// the recovery gate held exclusively, so no write can slip between the
+// reset and the check that consumes the snapshot. A scrub pass never
+// resets the set — its clean verdict refreshes the baseline flag only,
+// which is safe because the set it leaves behind is a superset of the
+// writes since its frozen view.
+type touchedSet struct {
+	shards [touchedShards]struct {
+		mu sync.Mutex
+		m  map[uint32]struct{}
+	}
+}
+
+func newTouchedSet() *touchedSet {
+	t := &touchedSet{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint32]struct{})
+	}
+	return t
+}
+
+// record marks blk written. Called from the fence on every device write.
+func (t *touchedSet) record(blk uint32) {
+	s := &t.shards[blk&(touchedShards-1)]
+	s.mu.Lock()
+	s.m[blk] = struct{}{}
+	s.mu.Unlock()
+}
+
+// snapshotAndReset drains the set, returning everything recorded so far.
+// Only safe while the device is quiescent (recovery gate held exclusively).
+func (t *touchedSet) snapshotAndReset() map[uint32]struct{} {
+	out := make(map[uint32]struct{})
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for blk := range s.m {
+			out[blk] = struct{}{}
+		}
+		s.m = make(map[uint32]struct{})
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// merge adds blocks back, undoing a snapshotAndReset whose recovery failed
+// to verify them (the blocks stay suspect for the next attempt).
+func (t *touchedSet) merge(m map[uint32]struct{}) {
+	for blk := range m {
+		t.record(blk)
+	}
+}
+
+// size returns the current block count (stats only).
+func (t *touchedSet) size() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -20,6 +20,10 @@
 //	             acyclic reachability from the root, single parent per dir
 //	link counts  file nlink == referencing dirents; dir nlink == 2+subdirs
 //	orphans      allocated inodes unreachable from the root
+//
+// Three entry points share one rule engine: Check (sequential baseline),
+// CheckParallel (pFSCK-style striped scan feeding the same merge, see
+// parallel.go), and CheckScoped (region-scoped verification, see scope.go).
 package fsck
 
 import (
@@ -62,6 +66,17 @@ func (p Problem) String() string {
 // Report is the checker's output.
 type Report struct {
 	Problems []Problem
+	// Unreadable is set when the device itself could not be read well enough
+	// to check anything (the superblock read failed). Distinct from a
+	// readable-but-corrupt image for exit-code purposes.
+	Unreadable bool
+	// Scoped marks a region-scoped (partial) check: a clean scoped report
+	// vouches only for the blocks in scope, not the whole image.
+	Scoped bool
+	// ScopeBlocks is the number of blocks in scope for a scoped check.
+	ScopeBlocks int
+	// Workers records the worker-pool size used (0 = sequential).
+	Workers int
 	// Stats for experiment output.
 	InodesChecked int
 	BlocksOwned   int
@@ -72,13 +87,44 @@ type Report struct {
 }
 
 // Clean reports whether no corruption-grade problems were found.
-func (r *Report) Clean() bool {
+func (r *Report) Clean() bool { return r.CorruptCount() == 0 }
+
+// CorruptCount returns the number of corruption-grade findings.
+func (r *Report) CorruptCount() int {
+	n := 0
 	for _, p := range r.Problems {
 		if p.Severity == Corrupt {
-			return false
+			n++
 		}
 	}
-	return true
+	return n
+}
+
+// Warnings returns the number of warning-grade findings.
+func (r *Report) Warnings() int {
+	n := 0
+	for _, p := range r.Problems {
+		if p.Severity == Warn {
+			n++
+		}
+	}
+	return n
+}
+
+// ExitCode maps the report onto the cmd/fsck exit contract:
+// 0 clean, 1 warnings only, 2 corruption found, 3 device unreadable.
+// Check and Repair produce reports through the same code path, so the
+// severity thresholds here are consistent between the two.
+func (r *Report) ExitCode() int {
+	switch {
+	case r.Unreadable:
+		return 3
+	case r.CorruptCount() > 0:
+		return 2
+	case r.Warnings() > 0:
+		return 1
+	}
+	return 0
 }
 
 // Err returns an fserr.ErrCorrupt-wrapped summary if the image is unsafe.
@@ -105,15 +151,27 @@ func (r *Report) add(sev Severity, where, format string, args ...any) {
 
 func (r *Report) check() { r.ChecksRun++ }
 
+// devReader is the read surface the rule engine needs. blockdev.Device
+// satisfies it; so does the prefetch cache the parallel checker warms.
+type devReader interface {
+	ReadBlock(blk uint32) ([]byte, error)
+	NumBlocks() uint32
+}
+
 // checker carries the walk state.
 type checker struct {
-	dev blockdev.Device
+	dev devReader
 	sb  *disklayout.Superblock
 	rep *Report
 	// owner maps each owned block to the inode that claims it.
 	owner map[uint32]uint32
-	// ibm/bbm are the on-disk bitmaps.
+	// ibm/bbm are the on-disk bitmaps. Unreadable bitmap blocks degrade to
+	// zero-filled ranges recorded in ibmUnk/bbmUnk: bit state there is
+	// unknown, so checks that depend on it are skipped rather than aborting
+	// the whole pass (or inventing problems from the zero fill).
 	ibm, bbm []byte
+	ibmUnk   map[uint32]bool
+	bbmUnk   map[uint32]bool
 	// inodes caches decoded records by number (nil = undecodable).
 	inodes map[uint32]*disklayout.Inode
 	// reach marks inodes reachable from the root; value is the dirent count.
@@ -124,32 +182,14 @@ type checker struct {
 
 // Check validates the entire image and returns a report. It never panics on
 // malformed input; any problem becomes a report entry.
-func Check(dev blockdev.Device) *Report {
-	rep := &Report{fix: &repairables{nlinkFix: map[uint32]uint16{}}}
-	b, err := dev.ReadBlock(0)
-	if err != nil {
-		rep.add(Corrupt, "superblock", "unreadable: %v", err)
-		return rep
-	}
-	rep.check()
-	sb, err := disklayout.DecodeSuperblock(b)
-	if err != nil {
-		rep.add(Corrupt, "superblock", "%v", err)
-		return rep
-	}
-	if sb.NumBlocks > dev.NumBlocks() {
-		rep.add(Corrupt, "superblock", "claims %d blocks, device has %d", sb.NumBlocks, dev.NumBlocks())
-		return rep
-	}
-	c := &checker{
-		dev: dev, sb: sb, rep: rep,
-		owner:     make(map[uint32]uint32),
-		inodes:    make(map[uint32]*disklayout.Inode),
-		linkCount: make(map[uint32]int),
-		subdirs:   make(map[uint32]int),
-		dirSeen:   make(map[uint32]bool),
-	}
-	if !c.loadBitmaps() {
+func Check(dev blockdev.Device) *Report { return run(dev) }
+
+// run is the sequential rule engine, shared verbatim by Check and (over a
+// prefetched block cache) CheckParallel, so the two produce identical
+// finding lists by construction.
+func run(dev devReader) *Report {
+	rep, c := prepare(dev)
+	if c == nil {
 		return rep
 	}
 	c.checkInodes()
@@ -159,22 +199,72 @@ func Check(dev blockdev.Device) *Report {
 	return rep
 }
 
-func (c *checker) loadBitmaps() bool {
-	read := func(start, n uint32) []byte {
+// prepare performs the superblock and bitmap phase. A nil checker means the
+// image failed early validation and rep already holds the reason.
+func prepare(dev devReader) (*Report, *checker) {
+	rep := &Report{fix: &repairables{nlinkFix: map[uint32]uint16{}}}
+	b, err := dev.ReadBlock(0)
+	if err != nil {
+		rep.add(Corrupt, "superblock", "unreadable: %v", err)
+		rep.Unreadable = true
+		return rep, nil
+	}
+	rep.check()
+	sb, err := disklayout.DecodeSuperblock(b)
+	if err != nil {
+		rep.add(Corrupt, "superblock", "%v", err)
+		return rep, nil
+	}
+	if sb.NumBlocks > dev.NumBlocks() {
+		rep.add(Corrupt, "superblock", "claims %d blocks, device has %d", sb.NumBlocks, dev.NumBlocks())
+		return rep, nil
+	}
+	c := &checker{
+		dev: dev, sb: sb, rep: rep,
+		owner:     make(map[uint32]uint32),
+		inodes:    make(map[uint32]*disklayout.Inode),
+		linkCount: make(map[uint32]int),
+		subdirs:   make(map[uint32]int),
+		dirSeen:   make(map[uint32]bool),
+	}
+	c.loadBitmaps()
+	return rep, c
+}
+
+// loadBitmaps reads both allocation bitmaps. An unreadable bitmap block
+// degrades to a per-block finding plus an "unknown" range — it no longer
+// aborts the whole check, so one bad bitmap block cannot mask every other
+// problem on the image.
+func (c *checker) loadBitmaps() {
+	read := func(start, n uint32, unk map[uint32]bool) []byte {
 		out := make([]byte, 0, int(n)*disklayout.BlockSize)
 		for i := uint32(0); i < n; i++ {
 			b, err := c.dev.ReadBlock(start + i)
 			if err != nil {
 				c.rep.add(Corrupt, fmt.Sprintf("bitmap block %d", start+i), "unreadable: %v", err)
-				return nil
+				unk[i] = true
+				out = append(out, make([]byte, disklayout.BlockSize)...)
+				continue
 			}
 			out = append(out, b...)
 		}
 		return out
 	}
-	c.ibm = read(c.sb.InodeBitmapStart, c.sb.InodeBitmapLen)
-	c.bbm = read(c.sb.BlockBitmapStart, c.sb.BlockBitmapLen)
-	return c.ibm != nil && c.bbm != nil
+	c.ibmUnk = make(map[uint32]bool)
+	c.bbmUnk = make(map[uint32]bool)
+	c.ibm = read(c.sb.InodeBitmapStart, c.sb.InodeBitmapLen, c.ibmUnk)
+	c.bbm = read(c.sb.BlockBitmapStart, c.sb.BlockBitmapLen, c.bbmUnk)
+}
+
+// inodeBitKnown reports whether ino's allocation bit came from a readable
+// bitmap block.
+func (c *checker) inodeBitKnown(ino uint32) bool {
+	return len(c.ibmUnk) == 0 || !c.ibmUnk[ino/disklayout.BitsPerBlock]
+}
+
+// blockBitKnown is inodeBitKnown for the block bitmap.
+func (c *checker) blockBitKnown(blk uint32) bool {
+	return len(c.bbmUnk) == 0 || !c.bbmUnk[blk/disklayout.BitsPerBlock]
 }
 
 // readInode decodes inode number ino from the table, caching the result.
@@ -209,12 +299,16 @@ func (c *checker) own(ino, blk uint32) bool {
 		return false
 	}
 	if prev, taken := c.owner[blk]; taken {
-		c.rep.add(Corrupt, fmt.Sprintf("block %d", blk), "owned by both inode %d and inode %d", prev, ino)
+		lo, hi := prev, ino
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c.rep.add(Corrupt, fmt.Sprintf("block %d", blk), "owned by both inode %d and inode %d", lo, hi)
 		return false
 	}
 	c.owner[blk] = ino
 	c.rep.BlocksOwned++
-	if !disklayout.TestBit(c.bbm, blk) {
+	if c.blockBitKnown(blk) && !disklayout.TestBit(c.bbm, blk) {
 		c.rep.add(Corrupt, fmt.Sprintf("block %d", blk), "in use by inode %d but free in bitmap", ino)
 	}
 	return true
@@ -266,50 +360,62 @@ func (c *checker) blocksOf(ino uint32, rec *disklayout.Inode) int64 {
 // claims its blocks.
 func (c *checker) checkInodes() {
 	for ino := uint32(1); ino < c.sb.NumInodes; ino++ {
-		allocated := disklayout.TestBit(c.ibm, ino)
-		rec := c.readInode(ino)
-		c.rep.InodesChecked++
-		if rec == nil {
-			continue
-		}
+		c.checkInode(ino)
+	}
+}
+
+// checkInode validates one inode record (one iteration of the table scan);
+// CheckScoped reuses it for the inodes its scope implicates.
+func (c *checker) checkInode(ino uint32) {
+	allocated := disklayout.TestBit(c.ibm, ino)
+	rec := c.readInode(ino)
+	c.rep.InodesChecked++
+	if rec == nil {
+		return
+	}
+	if c.inodeBitKnown(ino) {
 		if !allocated {
 			if !rec.IsFree() {
 				c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
 					"ghost: type %d record but free in bitmap", rec.Type())
 				c.rep.fix.ghosts = append(c.rep.fix.ghosts, ino)
 			}
-			continue
+			return
 		}
 		if rec.IsFree() {
 			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "allocated in bitmap but record is free")
-			continue
+			return
 		}
-		if err := rec.ValidatePointers(c.sb); err != nil {
-			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "%v", err)
-			continue
+	} else if rec.IsFree() {
+		// Allocation state unknown (bitmap block unreadable) and the record
+		// says free: nothing left to validate.
+		return
+	}
+	if err := rec.ValidatePointers(c.sb); err != nil {
+		c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "%v", err)
+		return
+	}
+	data := c.blocksOf(ino, rec)
+	switch rec.Type() {
+	case disklayout.TypeDir:
+		if rec.Size%disklayout.BlockSize != 0 {
+			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "directory size %d not block-aligned", rec.Size)
 		}
-		data := c.blocksOf(ino, rec)
-		switch rec.Type() {
-		case disklayout.TypeDir:
-			if rec.Size%disklayout.BlockSize != 0 {
-				c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "directory size %d not block-aligned", rec.Size)
-			}
-			if rec.Size/disklayout.BlockSize != data {
-				c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
-					"directory size %d implies %d blocks, owns %d", rec.Size, rec.Size/disklayout.BlockSize, data)
-			}
-		case disklayout.TypeSym:
-			if rec.Size > disklayout.BlockSize || data != 1 {
-				c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
-					"symlink size %d with %d data blocks", rec.Size, data)
-			}
-		case disklayout.TypeFile:
-			// Holes make size largely independent of the block count; the
-			// only hard bound is that data cannot extend past the size's
-			// last block... which holes also relax on shrink-without-free
-			// bugs, so only flag the egregious case: blocks but zero size
-			// is legal (pre-truncate), size beyond max is caught by decode.
+		if rec.Size/disklayout.BlockSize != data {
+			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
+				"directory size %d implies %d blocks, owns %d", rec.Size, rec.Size/disklayout.BlockSize, data)
 		}
+	case disklayout.TypeSym:
+		if rec.Size > disklayout.BlockSize || data != 1 {
+			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
+				"symlink size %d with %d data blocks", rec.Size, data)
+		}
+	case disklayout.TypeFile:
+		// Holes make size largely independent of the block count; the
+		// only hard bound is that data cannot extend past the size's
+		// last block... which holes also relax on shrink-without-free
+		// bugs, so only flag the egregious case: blocks but zero size
+		// is legal (pre-truncate), size beyond max is caught by decode.
 	}
 }
 
@@ -392,7 +498,7 @@ func (c *checker) walkDirs() {
 				c.rep.add(Corrupt, "dir "+childPath, "entry references inode %d beyond table", d.Ino)
 				continue
 			}
-			if !disklayout.TestBit(c.ibm, d.Ino) {
+			if c.inodeBitKnown(d.Ino) && !disklayout.TestBit(c.ibm, d.Ino) {
 				c.rep.add(Corrupt, "dir "+childPath, "entry references free inode %d", d.Ino)
 				continue
 			}
@@ -419,7 +525,7 @@ func (c *checker) walkDirs() {
 // unreachable allocated inodes.
 func (c *checker) checkLinkCounts() {
 	for ino := uint32(1); ino < c.sb.NumInodes; ino++ {
-		if !disklayout.TestBit(c.ibm, ino) {
+		if c.inodeBitKnown(ino) && !disklayout.TestBit(c.ibm, ino) {
 			continue
 		}
 		rec := c.inodes[ino]
@@ -469,6 +575,9 @@ func (c *checker) checkLinkCounts() {
 // checkBitmapConsistency flags blocks marked used that nothing owns (leaks).
 func (c *checker) checkBitmapConsistency() {
 	for blk := c.sb.DataStart; blk < c.sb.NumBlocks; blk++ {
+		if !c.blockBitKnown(blk) {
+			continue
+		}
 		used := disklayout.TestBit(c.bbm, blk)
 		_, owned := c.owner[blk]
 		switch {
