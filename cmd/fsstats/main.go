@@ -8,8 +8,14 @@
 //
 //	fsstats -file snapshot.json           render a saved snapshot as text
 //	fsstats -file snapshot.json -json     re-emit the snapshot as JSON
+//	fsstats -merge a.json b.json ...      merge snapshots into one fleet rollup
 //	fsstats -demo [-ops N] [-seed S]      run a workload, print its snapshot
 //	fsstats -demo -listen :8080           ...and serve /stats until interrupted
+//
+// -merge is the fleet path: N per-volume snapshots (one per tenant, as the
+// volume manager exports them) combine into a single rollup — counters sum,
+// histograms merge bucket-exactly so fleet quantiles are real, events
+// interleave in time order.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 func main() {
 	file := flag.String("file", "", "snapshot JSON file to render ('-' for stdin)")
+	merge := flag.Bool("merge", false, "merge the snapshot files given as arguments into one rollup")
 	demo := flag.Bool("demo", false, "run a supervised demo workload and snapshot it")
 	asJSON := flag.Bool("json", false, "emit JSON instead of text")
 	listen := flag.String("listen", "", "with -demo: serve the sink at this address under /stats")
@@ -38,14 +45,42 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *merge:
+		mergeFiles(flag.Args(), *asJSON)
 	case *file != "":
 		renderFile(*file, *asJSON)
 	case *demo:
 		runDemo(*ops, *seed, *asJSON, *listen)
 	default:
-		fmt.Fprintln(os.Stderr, "fsstats: need -file or -demo (see -h)")
+		fmt.Fprintln(os.Stderr, "fsstats: need -file, -merge, or -demo (see -h)")
 		os.Exit(2)
 	}
+}
+
+// mergeFiles rolls N saved snapshots up into one and prints it.
+func mergeFiles(paths []string, asJSON bool) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "fsstats: -merge needs snapshot files as arguments")
+		os.Exit(2)
+	}
+	snaps := make([]telemetry.Snapshot, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		check(err)
+		snap, err := telemetry.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			check(fmt.Errorf("%s: %w", path, err))
+		}
+		snaps = append(snaps, snap)
+	}
+	merged := telemetry.Merge(snaps...)
+	fmt.Fprintf(os.Stderr, "fsstats: merged %d snapshots\n", len(snaps))
+	if asJSON {
+		check(merged.WriteJSON(os.Stdout))
+		return
+	}
+	check(merged.WriteText(os.Stdout))
 }
 
 // renderFile loads a snapshot produced by Snapshot.WriteJSON and prints it.

@@ -364,6 +364,15 @@ func (fs *FS) Clock() uint64 { return fs.clock.Load() }
 // SetClock forces the logical clock, used when absorbing recovered state.
 func (fs *FS) SetClock(v uint64) { fs.clock.Store(v) }
 
+// SetCacheBudget adjusts the buffer cache's clean-buffer bound at runtime
+// (see cache.BufferCache.SetCleanBudget): shrinking evicts immediately,
+// growing takes effect on later insertions. The multi-volume rebalancer uses
+// it to move cache capacity between tenants sharing one fleet budget.
+func (fs *FS) SetCacheBudget(blocks int) { fs.bc.SetCleanBudget(blocks) }
+
+// CacheBudget returns the buffer cache's current clean-buffer bound.
+func (fs *FS) CacheBudget() int { return fs.bc.CleanBudget() }
+
 // CacheStats reports hit rates of the three caches, for the throughput
 // experiments contrasting base and shadow.
 func (fs *FS) CacheStats() (bufHits, bufMiss, inoHits, inoMiss, dentHits, dentMiss int64) {

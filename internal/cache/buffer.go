@@ -127,6 +127,58 @@ func NewBufferCache(queue *blockdev.Queue, maxClean int) *BufferCache {
 // NumShards returns the lock-stripe width (for tests and diagnostics).
 func (c *BufferCache) NumShards() int { return len(c.shards) }
 
+// SetCleanBudget adjusts the cache's total clean-buffer bound at runtime,
+// splitting it evenly across shards. Shrinking evicts immediately down to the
+// new bound (clean, stable, unpinned buffers only — dirty and unstable
+// buffers are never evictable, so a shrink can only reclaim what is safe to
+// reclaim); growing takes effect on the next insertions. This is the
+// donation/reclaim primitive the multi-volume cache rebalancer drives: one
+// volume's cache donates capacity, another's reclaims it, and the fleet-wide
+// sum of budgets stays constant. Values below the 8-buffer floor clamp to it.
+func (c *BufferCache) SetCleanBudget(maxClean int) {
+	if maxClean < 8 {
+		maxClean = 8
+	}
+	per := maxClean / len(c.shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		s.maxClean = per
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+}
+
+// CleanBudget returns the current total clean-buffer bound (the sum of the
+// per-shard bounds, which is what SetCleanBudget's split actually enforces).
+func (c *BufferCache) CleanBudget() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		total += s.maxClean
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// CleanLen returns the number of clean, unpinned, LRU-resident buffers — the
+// population the clean budget bounds (Len also counts dirty, unstable, and
+// pinned buffers, which no budget governs).
+func (c *BufferCache) CleanLen() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
 func (c *BufferCache) shardFor(blk uint32) *bufShard {
 	return &c.shards[blk&c.mask]
 }

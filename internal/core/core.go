@@ -141,6 +141,12 @@ type Config struct {
 	ScrubInterval time.Duration
 	// ScrubWorkers sizes the scrubber's checker pool; 0 inherits FsckWorkers.
 	ScrubWorkers int
+	// ExternalScrub creates the scrubber without starting its internal timer:
+	// an external scheduler (the volume manager's shared scrub worker pool)
+	// drives passes through Scrubber().RunOnce() instead, so N volumes share
+	// one checking budget rather than each running a private ticker. Requires
+	// a device implementing blockdev.Snapshotter, like ScrubInterval.
+	ExternalScrub bool
 	// Telemetry selects the observability sink. Nil uses the process-global
 	// telemetry.Default() sink: a supervised filesystem is always observable
 	// unless NoTelemetry opts out.
@@ -325,8 +331,16 @@ type FS struct {
 	// recovery degrades or corruption is found; set only while recoveries
 	// are excluded (exclusive gate, or read gate + generation check).
 	verified atomic.Bool
-	// scrub is the online background scrubber, nil unless ScrubInterval set.
+	// scrub is the online background scrubber, nil unless ScrubInterval or
+	// ExternalScrub is set.
 	scrub *scrub.Scrubber
+	// recovering is set for the duration of recoverFrom: the fleet layer
+	// polls it to count how many volumes are inside a recovery right now.
+	recovering atomic.Bool
+	// cacheBudget, when nonzero, overrides Base.CacheBlocks for every base
+	// instance this supervisor mounts (including contained reboots), so a
+	// rebalanced quota survives recovery. Written by SetCacheBudget.
+	cacheBudget atomic.Int64
 	// scrubTripped marks an open corruption episode: the scrubber tripped a
 	// recovery for it and won't trip again until a clean pass (or a clean
 	// recovery check) re-arms it.
@@ -365,10 +379,10 @@ func Mount(dev blockdev.Device, cfg Config) (*FS, error) {
 	fs.log.SetTelemetry(fs.tel)
 	fs.touched = newTouchedSet()
 	var snap blockdev.Snapshotter
-	if cfg.ScrubInterval > 0 {
+	if cfg.ScrubInterval > 0 || cfg.ExternalScrub {
 		var ok bool
 		if snap, ok = dev.(blockdev.Snapshotter); !ok {
-			return nil, fmt.Errorf("core: ScrubInterval requires a device implementing blockdev.Snapshotter: %w", fserr.ErrInvalid)
+			return nil, fmt.Errorf("core: scrubbing requires a device implementing blockdev.Snapshotter: %w", fserr.ErrInvalid)
 		}
 	}
 	base, fence, err := fs.mountBase()
@@ -467,9 +481,27 @@ func (r *FS) DumpLog() []byte {
 // Injector returns the registry shared with the base, if any.
 func (r *FS) Injector() *faultinject.Registry { return r.cfg.Base.Injector }
 
-// Scrubber exposes the background scrubber (nil unless ScrubInterval set),
-// so tests and tools can drive RunOnce or read pass counters directly.
+// Scrubber exposes the background scrubber (nil unless ScrubInterval or
+// ExternalScrub is set), so tests, tools, and the volume manager's shared
+// scrub scheduler can drive RunOnce or read pass counters directly.
 func (r *FS) Scrubber() *scrub.Scrubber { return r.scrub }
+
+// Recovering reports whether a recovery is executing right now. The fleet
+// telemetry rollup samples it across volumes for the volmgr.recovering gauge.
+func (r *FS) Recovering() bool { return r.recovering.Load() }
+
+// SetCacheBudget adjusts the current base instance's buffer-cache
+// clean-buffer bound and records the value so every future base instance
+// (contained reboots replace the instance wholesale) mounts with the same
+// bound. This is the supervisor-level handle the multi-volume cache
+// rebalancer drives.
+func (r *FS) SetCacheBudget(blocks int) {
+	r.cacheBudget.Store(int64(blocks))
+	r.base.Load().SetCacheBudget(blocks)
+}
+
+// CacheBudget returns the current base instance's clean-buffer bound.
+func (r *FS) CacheBudget() int { return r.base.Load().CacheBudget() }
 
 // lockRecord acquires the record lock(s) covering op, returning the unlock.
 // Holding the lock across execute+append keeps the recorded order a valid

@@ -37,6 +37,12 @@ type warnCounter struct {
 // hooks that drive log truncation.
 func (r *FS) mountBase() (*basefs.FS, *fencedDevice, error) {
 	opts := r.cfg.Base
+	if b := r.cacheBudget.Load(); b > 0 {
+		// A rebalanced cache quota outlives the instance it was applied to:
+		// contained reboots mount with the current quota, not the configured
+		// default.
+		opts.CacheBlocks = int(b)
+	}
 	opts.OnWarn = func(w basefs.Warning) {
 		r.warns.n.Add(1)
 		if r.warns.next != nil {

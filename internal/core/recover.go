@@ -20,6 +20,8 @@ import (
 // phases (detect → fence → reboot → shadow-exec → handoff → resume); phases
 // a strategy never enters appear with zero duration.
 func (r *FS) recoverFrom(flt *fault, inflight *oplog.Op) {
+	r.recovering.Store(true)
+	defer r.recovering.Store(false)
 	r.cnt.recoveries.Add(1)
 	r.extFault = flt.external
 	defer func() { r.extFault = false }()

@@ -13,11 +13,16 @@ import (
 // refreshes the scoped-fsck trust baseline on clean passes, and trips the
 // recovery fence proactively on corrupt ones.
 
-// startScrubber wires and starts the background scrubber over a
-// snapshottable device. Called once from Mount.
+// startScrubber wires the background scrubber over a snapshottable device
+// and, unless the host schedules passes externally (ExternalScrub), starts
+// its periodic loop. Called once from Mount.
 func (r *FS) startScrubber(snap blockdev.Snapshotter) {
+	interval := r.cfg.ScrubInterval
+	if r.cfg.ExternalScrub {
+		interval = 0 // passes arrive via Scrubber().RunOnce(), never a ticker
+	}
 	r.scrub = scrub.New(scrub.Config{
-		Interval:  r.cfg.ScrubInterval,
+		Interval:  interval,
 		Workers:   r.cfg.ScrubWorkers,
 		Telemetry: r.tel,
 		Freeze: func() (blockdev.Device, uint64, error) {

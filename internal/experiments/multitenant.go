@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/mkfs"
+	"repro/internal/oplog"
+	"repro/internal/telemetry"
+	"repro/internal/volmgr"
+	"repro/internal/workload"
+)
+
+// E14: the multi-tenant serving experiment. N volumes run the same steady
+// workload under one volume manager twice: a baseline phase with no faults,
+// and a storm phase where volume 0 is hit by a deterministic fault storm — a
+// recurring crash specimen (faultinject) plus per-IO device latency
+// (blockdev fault plan) — driving recovery after recovery while its
+// neighbors keep serving. The isolation claim is quantitative: the healthy
+// volumes' p99 operation latency moves by at most a few percent between
+// phases, while the storm volume masks every failure. Cache-quota
+// enforcement evidence rides along from the fleet telemetry (rebalance
+// passes, blocks moved, per-volume quota gauges).
+
+// MultiTenantVolumeBlocks is each tenant's device size in the E14 fleet.
+const MultiTenantVolumeBlocks = 8192
+
+// MultiTenantResult is the E14 table.
+type MultiTenantResult struct {
+	Volumes      int
+	OpsPerVolume int
+
+	// Healthy-tenant latency, exact (sample-sorted, not histogram buckets).
+	BaselineHealthyP50 time.Duration
+	BaselineHealthyP99 time.Duration
+	StormHealthyP50    time.Duration
+	StormHealthyP99    time.Duration
+	// HealthyP99DeltaPct is the headline isolation number: how much the
+	// healthy tenants' p99 degraded because their neighbor was storming.
+	HealthyP99DeltaPct float64
+
+	// Storm-volume outcome: every fault masked, throughput under recovery.
+	StormRecoveries     int64
+	StormAppFailures    int64
+	StormDowntime       time.Duration
+	StormOps            int
+	StormOpsPerSec      float64
+	BaselineStormOpsSec float64 // same tenant's throughput without the storm
+
+	// Fleet evidence from the storm phase's rollup.
+	RebalancePasses   int64
+	RebalancedBlocks  int64
+	QuotaGauges       map[string]int64 // volmgr.cache.quota.* at phase end
+	HealthyRecoveries int64            // must be zero
+
+	BaselineElapsed time.Duration
+	StormElapsed    time.Duration
+}
+
+// phaseOutcome is one phase's measurements.
+type phaseOutcome struct {
+	healthyLat  []time.Duration
+	stormStats  core.Stats
+	stormOps    int
+	elapsed     time.Duration
+	fleet       telemetry.Snapshot
+	healthyRecs int64
+}
+
+// MultiTenant runs both phases and reports E14. volumes must be >= 2 (one
+// storm tenant plus at least one healthy neighbor).
+func MultiTenant(volumes, opsPerVolume int, seed int64) (MultiTenantResult, error) {
+	res := MultiTenantResult{Volumes: volumes, OpsPerVolume: opsPerVolume}
+	if volumes < 2 {
+		return res, fmt.Errorf("experiments: multitenant needs >= 2 volumes, got %d", volumes)
+	}
+	base, err := multiTenantPhase(volumes, opsPerVolume, seed, false)
+	if err != nil {
+		return res, fmt.Errorf("baseline phase: %w", err)
+	}
+	storm, err := multiTenantPhase(volumes, opsPerVolume, seed, true)
+	if err != nil {
+		return res, fmt.Errorf("storm phase: %w", err)
+	}
+
+	res.BaselineHealthyP50 = exactQuantile(base.healthyLat, 0.50)
+	res.BaselineHealthyP99 = exactQuantile(base.healthyLat, 0.99)
+	res.StormHealthyP50 = exactQuantile(storm.healthyLat, 0.50)
+	res.StormHealthyP99 = exactQuantile(storm.healthyLat, 0.99)
+	if res.BaselineHealthyP99 > 0 {
+		res.HealthyP99DeltaPct = (float64(res.StormHealthyP99) - float64(res.BaselineHealthyP99)) /
+			float64(res.BaselineHealthyP99) * 100
+	}
+	res.StormRecoveries = storm.stormStats.Recoveries
+	res.StormAppFailures = storm.stormStats.AppFailures
+	res.StormDowntime = storm.stormStats.TotalDowntime
+	res.StormOps = storm.stormOps
+	res.StormOpsPerSec = float64(storm.stormOps) / storm.elapsed.Seconds()
+	res.BaselineStormOpsSec = float64(base.stormOps) / base.elapsed.Seconds()
+	res.RebalancePasses = storm.fleet.Counters["volmgr.cache.rebalance"]
+	res.RebalancedBlocks = storm.fleet.Counters["volmgr.cache.rebalanced_blocks"]
+	res.QuotaGauges = map[string]int64{}
+	for name, v := range storm.fleet.Gauges {
+		if strings.HasPrefix(name, "volmgr.cache.quota.") {
+			res.QuotaGauges[name] = v
+		}
+	}
+	res.HealthyRecoveries = storm.healthyRecs
+	res.BaselineElapsed = base.elapsed
+	res.StormElapsed = storm.elapsed
+	return res, nil
+}
+
+// multiTenantPhase runs one phase: volumes tenants applying their traces
+// concurrently, the rebalancer running throughout, and — in the storm phase —
+// volume 0 under the fault storm.
+func multiTenantPhase(volumes, opsPerVolume int, seed int64, storm bool) (phaseOutcome, error) {
+	var out phaseOutcome
+	m, err := volmgr.New(volmgr.Config{
+		PoolBlocks:        uint32(volumes) * MultiTenantVolumeBlocks,
+		CacheBudgetBlocks: 96 * volumes,
+		CacheMinPerVolume: 32,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer m.Shutdown()
+
+	// The workload generator needs the geometry; formatting is deterministic
+	// for a given size, so a throwaway image yields the fleet's superblock.
+	sb, err := mkfs.Format(blockdev.NewMem(MultiTenantVolumeBlocks), mkfs.Options{})
+	if err != nil {
+		return out, err
+	}
+
+	vols := make([]*volmgr.Volume, volumes)
+	for i := 0; i < volumes; i++ {
+		vc := volmgr.VolumeConfig{Blocks: MultiTenantVolumeBlocks}
+		if storm && i == 0 {
+			reg := faultinject.NewRegistry(seed)
+			// The same recurring deterministic crash E5 uses: metaheavy
+			// steadily creates "box" directories, so the bug fires over and
+			// over — a storm of recoveries, not one incident.
+			reg.Arm(&faultinject.Specimen{
+				ID: "e14-storm", Class: faultinject.Crash,
+				Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "box",
+			})
+			vc.Core.Base.Injector = reg
+		}
+		v, err := m.Create(fmt.Sprintf("vol%d", i), vc)
+		if err != nil {
+			return out, err
+		}
+		if storm && i == 0 {
+			// The blockdev half of the storm: every IO on the storm tenant's
+			// device pays a service time, stretching its recoveries.
+			plan := blockdev.NewFaultPlan(seed)
+			plan.ReadLatency = 20 * time.Microsecond
+			plan.WriteLatency = 20 * time.Microsecond
+			v.Device().SetFaults(plan)
+		}
+		vols[i] = v
+	}
+
+	// One trace per tenant, distinct seeds so the fleet isn't N clones of
+	// one op stream; identical between phases so the comparison is paired.
+	traces := make([][]*oplog.Op, volumes)
+	for i := range traces {
+		traces[i] = workload.Generate(workload.Config{
+			Profile: workload.MetaHeavy, Seed: seed + int64(i)*101,
+			NumOps: opsPerVolume, Superblock: sb, SyncEvery: 100,
+		})
+	}
+
+	stop := make(chan struct{})
+	var rebal sync.WaitGroup
+	rebal.Add(1)
+	go func() {
+		defer rebal.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				m.RebalanceOnce()
+			}
+		}
+	}()
+
+	latencies := make([][]time.Duration, volumes)
+	applied := make([]int, volumes)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range vols {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, len(traces[i]))
+			for _, rec := range traces[i] {
+				op := rec.Clone()
+				op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+				t0 := time.Now()
+				_ = oplog.Apply(vols[i], op)
+				samples = append(samples, time.Since(t0))
+			}
+			latencies[i] = samples
+			applied[i] = len(traces[i])
+		}(i)
+	}
+	wg.Wait()
+	out.elapsed = time.Since(start)
+	close(stop)
+	rebal.Wait()
+
+	for i := 1; i < volumes; i++ {
+		out.healthyLat = append(out.healthyLat, latencies[i]...)
+		out.healthyRecs += vols[i].Stats().Recoveries
+	}
+	out.stormStats = vols[0].Stats()
+	out.stormOps = applied[0]
+	out.fleet = m.FleetSnapshot()
+	return out, nil
+}
+
+// exactQuantile sorts the samples and returns the q-th; exact, unlike the
+// telemetry histograms' bucket upper bounds, so small latency deltas are
+// measurable.
+func exactQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestMultiTenantSmoke is E14's invariant at smoke scale: a fault storm on
+// one tenant drives repeated masked recoveries there and leaves every
+// neighbor untouched — zero recoveries, zero app failures — while the fleet
+// rollup shows the cache rebalancer enforcing quotas.
+func TestMultiTenantSmoke(t *testing.T) {
+	volumes, ops := 4, 300
+	if testing.Short() {
+		volumes, ops = 2, 120
+	}
+	res, err := MultiTenant(volumes, ops, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StormRecoveries < 2 {
+		t.Errorf("storm volume recoveries = %d, want a storm (>= 2)", res.StormRecoveries)
+	}
+	if res.StormAppFailures != 0 {
+		t.Errorf("storm volume surfaced %d app failures; RAE must mask them all",
+			res.StormAppFailures)
+	}
+	if res.HealthyRecoveries != 0 {
+		t.Errorf("healthy volumes recorded %d recoveries; the storm leaked", res.HealthyRecoveries)
+	}
+	if res.StormOps < ops {
+		t.Errorf("storm volume applied %d ops, want >= %d", res.StormOps, ops)
+	}
+	if res.BaselineHealthyP99 <= 0 || res.StormHealthyP99 <= 0 {
+		t.Errorf("missing healthy latency samples: baseline p99 %v, storm p99 %v",
+			res.BaselineHealthyP99, res.StormHealthyP99)
+	}
+	if len(res.QuotaGauges) != volumes {
+		t.Errorf("quota gauges for %d volumes, want %d: %v",
+			len(res.QuotaGauges), volumes, res.QuotaGauges)
+	}
+	for name, q := range res.QuotaGauges {
+		if q < 32 {
+			t.Errorf("%s = %d, below the configured floor 32", name, q)
+		}
+	}
+}

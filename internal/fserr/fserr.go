@@ -47,6 +47,11 @@ var (
 	// ErrBusy reports an operation that conflicts with an in-use resource,
 	// e.g. unlinking a directory serving as another thread's cwd (EBUSY).
 	ErrBusy = errors.New("fserr: resource busy")
+	// ErrOverloaded reports an operation shed by admission control before it
+	// reached any filesystem: the volume's token bucket was empty or its
+	// queue-depth cap was hit (EAGAIN). It is an ordinary application-visible
+	// outcome — retry later — never a recovery trigger.
+	ErrOverloaded = errors.New("fserr: volume overloaded, operation shed")
 	// ErrCrossDevice reports a rename or link across filesystems (EXDEV).
 	ErrCrossDevice = errors.New("fserr: cross-device link")
 )
@@ -70,6 +75,7 @@ func IsUserError(err error) bool {
 		errors.Is(err, ErrInvalid),
 		errors.Is(err, ErrTooBig),
 		errors.Is(err, ErrNotEmpty),
+		errors.Is(err, ErrOverloaded),
 		errors.Is(err, ErrCrossDevice):
 		return true
 	}
@@ -94,6 +100,8 @@ func Errno(err error) int {
 		return 5
 	case errors.Is(err, ErrBadFD):
 		return 9
+	case errors.Is(err, ErrOverloaded):
+		return 11 // EAGAIN
 	case errors.Is(err, ErrBusy):
 		return 16
 	case errors.Is(err, ErrExist):
@@ -135,6 +143,8 @@ func FromErrno(n int) error {
 		return ErrIO
 	case 9:
 		return ErrBadFD
+	case 11:
+		return ErrOverloaded
 	case 16:
 		return ErrBusy
 	case 17:

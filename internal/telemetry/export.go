@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -81,6 +82,99 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Merge combines snapshots into one fleet rollup: counters and gauges sum
+// name-wise, histograms merge bucket-exactly (MergeHist), events interleave
+// in time order (keeping the most recent up to the journal's retention
+// bound), and recovery traces concatenate. This is what turns N per-volume
+// snapshots into the one fleet view cmd/fsstats -merge and the volume
+// manager's FleetSnapshot render.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for _, s := range snaps {
+		if s.Time.After(out.Time) {
+			out.Time = s.Time
+		}
+		if s.Uptime > out.Uptime {
+			out.Uptime = s.Uptime
+		}
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			out.Histograms[name] = MergeHist(out.Histograms[name], h)
+		}
+		out.TotalEvents += s.TotalEvents
+		out.Events = append(out.Events, s.Events...)
+		out.Recoveries = append(out.Recoveries, s.Recoveries...)
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		return out.Events[i].Time.Before(out.Events[j].Time)
+	})
+	if len(out.Events) > eventRingCap {
+		out.Events = out.Events[len(out.Events)-eventRingCap:]
+	}
+	sort.SliceStable(out.Recoveries, func(i, j int) bool {
+		return out.Recoveries[i].Start.Before(out.Recoveries[j].Start)
+	})
+	return out
+}
+
+// MergeHist combines two histogram snapshots. When both carry raw buckets the
+// merge is exact: buckets sum and the quantiles are recomputed from the
+// combined distribution. A snapshot without buckets (an old export) degrades
+// gracefully: counts and sums still add, max still maxes, and each quantile
+// takes the worse of the two — a conservative upper bound.
+func MergeHist(a, b HistSnapshot) HistSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	m := HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	m.Mean = m.Sum / time.Duration(m.Count)
+	m.Max = a.Max
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	if len(a.Buckets) > 0 && len(b.Buckets) > 0 {
+		n := len(a.Buckets)
+		if len(b.Buckets) > n {
+			n = len(b.Buckets)
+		}
+		m.Buckets = make([]int64, n)
+		for i := range m.Buckets {
+			if i < len(a.Buckets) {
+				m.Buckets[i] += a.Buckets[i]
+			}
+			if i < len(b.Buckets) {
+				m.Buckets[i] += b.Buckets[i]
+			}
+		}
+		m.P50 = histQuantile(m.Buckets, m.Count, 0.50, m.Max)
+		m.P99 = histQuantile(m.Buckets, m.Count, 0.99, m.Max)
+		m.P999 = histQuantile(m.Buckets, m.Count, 0.999, m.Max)
+		return m
+	}
+	maxDur := func(x, y time.Duration) time.Duration {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	m.P50 = maxDur(a.P50, b.P50)
+	m.P99 = maxDur(a.P99, b.P99)
+	m.P999 = maxDur(a.P999, b.P999)
+	return m
 }
 
 // WriteTraceTable renders one recovery trace as an aligned per-phase table

@@ -158,15 +158,19 @@ func (h *Histogram) ObserveNs(ns int64) {
 	}
 }
 
-// HistSnapshot is a point-in-time summary of a Histogram.
+// HistSnapshot is a point-in-time summary of a Histogram. Buckets carries the
+// raw log2 bucket counts (trailing zeros trimmed) so snapshots merge exactly:
+// a fleet rollup sums buckets and recomputes quantiles instead of guessing at
+// combined percentiles.
 type HistSnapshot struct {
-	Count int64         `json:"count"`
-	Sum   time.Duration `json:"sum"`
-	Mean  time.Duration `json:"mean"`
-	P50   time.Duration `json:"p50"`
-	P99   time.Duration `json:"p99"`
-	P999  time.Duration `json:"p999"`
-	Max   time.Duration `json:"max"`
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum"`
+	Mean    time.Duration `json:"mean"`
+	P50     time.Duration `json:"p50"`
+	P99     time.Duration `json:"p99"`
+	P999    time.Duration `json:"p999"`
+	Max     time.Duration `json:"max"`
+	Buckets []int64       `json:"buckets,omitempty"`
 }
 
 // Snapshot summarizes the histogram. Quantiles are upper-bound estimates
@@ -186,16 +190,23 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if s.Count == 0 {
 		return s
 	}
+	last := 0
+	for i, c := range counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]int64(nil), counts[:last+1]...)
 	s.Mean = s.Sum / time.Duration(s.Count)
-	s.P50 = h.quantileLocked(counts[:], s.Count, 0.50, s.Max)
-	s.P99 = h.quantileLocked(counts[:], s.Count, 0.99, s.Max)
-	s.P999 = h.quantileLocked(counts[:], s.Count, 0.999, s.Max)
+	s.P50 = histQuantile(counts[:], s.Count, 0.50, s.Max)
+	s.P99 = histQuantile(counts[:], s.Count, 0.99, s.Max)
+	s.P999 = histQuantile(counts[:], s.Count, 0.999, s.Max)
 	return s
 }
 
-// quantileLocked walks the bucket counts and returns the upper bound of the
+// histQuantile walks the bucket counts and returns the upper bound of the
 // bucket containing the q-th ranked observation.
-func (h *Histogram) quantileLocked(counts []int64, total int64, q float64, max time.Duration) time.Duration {
+func histQuantile(counts []int64, total int64, q float64, max time.Duration) time.Duration {
 	rank := int64(q * float64(total))
 	if rank < 1 {
 		rank = 1

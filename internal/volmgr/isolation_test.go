@@ -1,0 +1,134 @@
+package volmgr
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// TestVolumeIsolation is the cross-contamination regression: two volumes with
+// private fault registries and telemetry sinks; a deterministic crash fired
+// on volume A must recover A, leave B's supervisor untouched, record nothing
+// in B's registry or sink, and leak nothing into the process-global default
+// sink.
+func TestVolumeIsolation(t *testing.T) {
+	defaultBefore := telemetry.Default().Snapshot()
+
+	m := newManager(t, Config{})
+	regA := faultinject.NewRegistry(1)
+	regA.Arm(&faultinject.Specimen{
+		ID: "iso-a", Class: faultinject.Crash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "boom",
+	})
+	regB := faultinject.NewRegistry(2)
+	regB.Arm(&faultinject.Specimen{
+		ID: "iso-b", Class: faultinject.Crash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "boom",
+	})
+	vcA := smallVol()
+	vcA.Core.Base.Injector = regA
+	vcB := smallVol()
+	vcB.Core.Base.Injector = regB
+	a, err := m.Create("a", vcA)
+	if err != nil {
+		t.Fatalf("Create a: %v", err)
+	}
+	b, err := m.Create("b", vcB)
+	if err != nil {
+		t.Fatalf("Create b: %v", err)
+	}
+
+	// Steady traffic on B, the bug path on A. Both registries arm the same
+	// specimen; only A's operation stream matches it.
+	for i := 0; i < 4; i++ {
+		writeFile(t, b, pathN("/b", i), []byte("quiet tenant"))
+	}
+	if err := a.Mkdir("/boom", 0o755); err != nil {
+		t.Fatalf("Mkdir /boom should be masked by recovery, got %v", err)
+	}
+
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Recoveries != 1 || sa.PanicsCaught != 1 {
+		t.Fatalf("volume a: recoveries=%d panics=%d, want 1/1", sa.Recoveries, sa.PanicsCaught)
+	}
+	if sb.Recoveries != 0 || sb.PanicsCaught != 0 {
+		t.Fatalf("volume b contaminated: recoveries=%d panics=%d", sb.Recoveries, sb.PanicsCaught)
+	}
+	if n := len(regA.Fired()); n != 1 {
+		t.Fatalf("registry a fired %d times, want 1", n)
+	}
+	if n := len(regB.Fired()); n != 0 {
+		t.Fatalf("registry b contaminated: fired %d times", n)
+	}
+
+	// Sink isolation: A's recovery trace and trigger counter are on A's sink
+	// only.
+	snapA := a.Telemetry().Snapshot()
+	snapB := b.Telemetry().Snapshot()
+	if snapA.Counters["recovery.trigger.panic"] != 1 {
+		t.Fatalf("a's sink missing its recovery: %v", snapA.Counters)
+	}
+	if got := snapB.Counters["recovery.trigger.panic"]; got != 0 {
+		t.Fatalf("b's sink contaminated: recovery.trigger.panic=%d", got)
+	}
+	if len(snapB.Recoveries) != 0 {
+		t.Fatalf("b's sink holds %d recovery traces", len(snapB.Recoveries))
+	}
+
+	// Nothing volmgr does may leak into the process-global default sink.
+	defaultAfter := telemetry.Default().Snapshot()
+	for name, after := range defaultAfter.Counters {
+		if before := defaultBefore.Counters[name]; after != before {
+			t.Fatalf("process-global sink contaminated: %s went %d -> %d", name, before, after)
+		}
+	}
+	if len(defaultAfter.Recoveries) != len(defaultBefore.Recoveries) {
+		t.Fatal("process-global sink gained recovery traces")
+	}
+}
+
+// TestRecoveryDoesNotBlockNeighbor drives a recovery on one volume while a
+// neighbor serves; the neighbor's operations complete during and after the
+// storm with no recoveries of its own.
+func TestRecoveryDoesNotBlockNeighbor(t *testing.T) {
+	m := newManager(t, Config{})
+	reg := faultinject.NewRegistry(7)
+	reg.Arm(&faultinject.Specimen{
+		ID: "storm", Class: faultinject.Crash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "boom",
+		MaxFires: 5,
+	})
+	vcS := smallVol()
+	vcS.Core.Base.Injector = reg
+	storm, err := m.Create("storm", vcS)
+	if err != nil {
+		t.Fatalf("Create storm: %v", err)
+	}
+	healthy, err := m.Create("healthy", smallVol())
+	if err != nil {
+		t.Fatalf("Create healthy: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			_ = storm.Mkdir(pathN("/boom", i), 0o755)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		writeFile(t, healthy, pathN("/h", i), []byte("steady"))
+	}
+	<-done
+	if s := storm.Stats(); s.Recoveries != 5 {
+		t.Fatalf("storm volume recoveries = %d, want 5", s.Recoveries)
+	}
+	if s := healthy.Stats(); s.Recoveries != 0 || s.AppFailures != 0 {
+		t.Fatalf("healthy volume saw recoveries=%d appFailures=%d", s.Recoveries, s.AppFailures)
+	}
+}
+
+func pathN(prefix string, i int) string {
+	return prefix + "-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

@@ -1,0 +1,72 @@
+package volmgr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/fserr"
+)
+
+// DevicePool is the shared backing store volumes draw from: one fleet-wide
+// block budget, carved into per-volume devices at Create and returned at
+// Destroy. Accounting is capacity-based — the pool tracks blocks, the volumes
+// own their devices — so exhaustion is an admission-time ErrNoSpace, never a
+// mid-operation surprise on a serving volume.
+type DevicePool struct {
+	mu       sync.Mutex
+	capacity uint32
+	used     uint32
+}
+
+// NewDevicePool creates a pool with the given capacity in blocks.
+func NewDevicePool(capacity uint32) *DevicePool {
+	return &DevicePool{capacity: capacity}
+}
+
+// Allocate carves a device of the given size out of the pool, or fails with
+// ErrNoSpace if the remaining capacity cannot cover it.
+func (p *DevicePool) Allocate(blocks uint32) (*blockdev.Mem, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if blocks == 0 {
+		return nil, fmt.Errorf("volmgr: zero-block allocation: %w", fserr.ErrInvalid)
+	}
+	if p.used+blocks > p.capacity || p.used+blocks < p.used {
+		return nil, fmt.Errorf("volmgr: pool exhausted (%d used of %d, want %d): %w",
+			p.used, p.capacity, blocks, fserr.ErrNoSpace)
+	}
+	p.used += blocks
+	return blockdev.NewMem(blocks), nil
+}
+
+// Release returns blocks to the pool (volume destruction).
+func (p *DevicePool) Release(blocks uint32) {
+	p.mu.Lock()
+	if blocks > p.used {
+		blocks = p.used
+	}
+	p.used -= blocks
+	p.mu.Unlock()
+}
+
+// Capacity returns the pool's total size in blocks.
+func (p *DevicePool) Capacity() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Used returns the blocks currently allocated to volumes.
+func (p *DevicePool) Used() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Free returns the unallocated remainder.
+func (p *DevicePool) Free() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.used
+}

@@ -1,0 +1,149 @@
+package volmgr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fserr"
+	"repro/internal/telemetry"
+)
+
+// QoSConfig is one tenant's admission-control contract.
+type QoSConfig struct {
+	// OpsPerSec is the steady-state admitted operation rate; 0 means
+	// unlimited.
+	OpsPerSec float64
+	// Burst is the token bucket's depth — how many operations above the
+	// steady rate are absorbed before throttling. 0 defaults to one second
+	// of rate (minimum 16).
+	Burst int
+	// MaxQueueDepth caps the volume's concurrent in-flight operations; an
+	// arrival beyond the cap is shed immediately. 0 means uncapped.
+	MaxQueueDepth int
+	// MaxWait bounds how long an over-rate arrival may be delayed for a
+	// token before it is shed instead. 0 sheds immediately once the bucket
+	// is empty.
+	MaxWait time.Duration
+}
+
+func (q QoSConfig) fill() QoSConfig {
+	if q.OpsPerSec > 0 && q.Burst <= 0 {
+		q.Burst = int(q.OpsPerSec)
+		if q.Burst < 16 {
+			q.Burst = 16
+		}
+	}
+	return q
+}
+
+// tokenBucket is a standard rate/burst bucket. reserve either grants a token
+// (possibly with a delay the caller must sleep outside the lock) or refuses
+// because the required delay exceeds maxWait.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// reserve takes one token. It returns (delay, true) when admitted — the
+// caller sleeps delay before proceeding — or (0, false) when the bucket is so
+// far behind that the delay would exceed maxWait. A nil bucket admits
+// everything instantly.
+func (b *tokenBucket) reserve(maxWait time.Duration) (time.Duration, bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	// The bucket is in debt: compute the delay until one token accrues. A
+	// granted reservation takes the token now (going further negative) so
+	// concurrent reservers queue behind each other rather than all waiting
+	// for the same token.
+	delay := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if delay > maxWait {
+		return 0, false
+	}
+	b.tokens--
+	return delay, true
+}
+
+// admission is one volume's QoS enforcement point: queue-depth cap first
+// (cheap, sheds pile-ups instantly), then the token bucket (rates). Sheds
+// surface as fserr.ErrOverloaded before the operation touches the
+// filesystem.
+type admission struct {
+	bucket   *tokenBucket
+	maxWait  time.Duration
+	maxDepth int64
+
+	// telDepth doubles as the live depth count: admitted operations Add(1)/
+	// Add(-1) it, so the volume sink's gauge is always the true queue depth.
+	telDepth      *telemetry.Gauge     // volmgr.qos.depth (volume sink)
+	telShed       *telemetry.Counter   // volmgr.qos.shed (volume sink)
+	telFleetShed  *telemetry.Counter   // volmgr.qos.shed (fleet sink)
+	telThrottleNs *telemetry.Histogram // volmgr.qos.throttle_ns (volume sink)
+}
+
+func newAdmission(q QoSConfig, volSink *telemetry.Sink, fleetShed *telemetry.Counter) *admission {
+	q = q.fill()
+	return &admission{
+		bucket:        newTokenBucket(q.OpsPerSec, q.Burst),
+		maxWait:       q.MaxWait,
+		maxDepth:      int64(q.MaxQueueDepth),
+		telDepth:      volSink.Gauge("volmgr.qos.depth"),
+		telShed:       volSink.Counter("volmgr.qos.shed"),
+		telFleetShed:  fleetShed,
+		telThrottleNs: volSink.Histogram("volmgr.qos.throttle_ns"),
+	}
+}
+
+// enter admits or sheds one operation. On admission the caller must pair it
+// with exit.
+func (a *admission) enter(volume string) error {
+	d := a.telDepth
+	d.Add(1)
+	if a.maxDepth > 0 && d.Value() > a.maxDepth {
+		d.Add(-1)
+		return a.shed(volume, "queue depth %d at cap", a.maxDepth)
+	}
+	delay, ok := a.bucket.reserve(a.maxWait)
+	if !ok {
+		d.Add(-1)
+		return a.shed(volume, "rate limit (max wait %v exceeded)", a.maxWait)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+		a.telThrottleNs.Observe(delay)
+	}
+	return nil
+}
+
+// exit releases the queue slot taken by a successful enter.
+func (a *admission) exit() { a.telDepth.Add(-1) }
+
+func (a *admission) shed(volume, format string, args ...any) error {
+	a.telShed.Inc()
+	a.telFleetShed.Inc()
+	return fmt.Errorf("volmgr: volume %q: "+format+": %w",
+		append(append([]any{volume}, args...), fserr.ErrOverloaded)...)
+}

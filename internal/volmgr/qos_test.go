@@ -1,0 +1,105 @@
+package volmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fserr"
+	"repro/internal/telemetry"
+)
+
+func TestTokenBucketReserve(t *testing.T) {
+	b := newTokenBucket(100, 1) // 100 ops/s, burst 1
+	if d, ok := b.reserve(time.Second); !ok || d != 0 {
+		t.Fatalf("first reserve: d=%v ok=%v, want instant admit", d, ok)
+	}
+	d, ok := b.reserve(time.Second)
+	if !ok || d <= 0 {
+		t.Fatalf("second reserve: d=%v ok=%v, want throttled admit", d, ok)
+	}
+	// The bucket is now two tokens in debt; a tiny maxWait cannot cover the
+	// ~20ms refill, so the reservation is refused (the caller sheds).
+	if _, ok := b.reserve(time.Millisecond); ok {
+		t.Fatal("third reserve with 1ms budget should be refused")
+	}
+	if b := newTokenBucket(0, 0); b != nil {
+		t.Fatal("rate 0 should disable the bucket")
+	}
+}
+
+func TestAdmissionDepthCap(t *testing.T) {
+	sink := telemetry.New()
+	fleetShed := telemetry.New().Counter("volmgr.qos.shed")
+	a := newAdmission(QoSConfig{MaxQueueDepth: 2}, sink, fleetShed)
+	if err := a.enter("v"); err != nil {
+		t.Fatalf("enter 1: %v", err)
+	}
+	if err := a.enter("v"); err != nil {
+		t.Fatalf("enter 2: %v", err)
+	}
+	if err := a.enter("v"); !errors.Is(err, fserr.ErrOverloaded) {
+		t.Fatalf("enter 3 at cap: got %v, want ErrOverloaded", err)
+	}
+	a.exit()
+	if err := a.enter("v"); err != nil {
+		t.Fatalf("enter after exit: %v", err)
+	}
+	if got := sink.Snapshot().Counters["volmgr.qos.shed"]; got != 1 {
+		t.Fatalf("volume shed counter = %d, want 1", got)
+	}
+	if got := fleetShed.Value(); got != 1 {
+		t.Fatalf("fleet shed counter = %d, want 1", got)
+	}
+}
+
+// TestVolumeRateShed drives a volume past its rate contract end to end: the
+// second operation is shed with ErrOverloaded before touching the filesystem,
+// and the shed is visible on both the volume sink and the fleet rollup.
+func TestVolumeRateShed(t *testing.T) {
+	m := newManager(t, Config{})
+	vc := smallVol()
+	vc.QoS = &QoSConfig{OpsPerSec: 0.001, Burst: 1} // one op, then an ~17min refill
+	v, err := m.Create("limited", vc)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := v.Mkdir("/ok", 0o755); err != nil {
+		t.Fatalf("first op within burst: %v", err)
+	}
+	err = v.Mkdir("/shed", 0o755)
+	if !errors.Is(err, fserr.ErrOverloaded) {
+		t.Fatalf("second op: got %v, want ErrOverloaded", err)
+	}
+	if fserr.Errno(err) != 11 {
+		t.Fatalf("shed errno = %d, want 11 (EAGAIN)", fserr.Errno(err))
+	}
+	// The bucket stays in debt, so reads shed too: QoS gates the whole
+	// operation set, not just mutations.
+	if _, serr := v.Stat("/ok"); !errors.Is(serr, fserr.ErrOverloaded) {
+		t.Fatalf("read during overload: got %v, want ErrOverloaded", serr)
+	}
+	snap := m.FleetSnapshot()
+	if got := snap.Counters["volmgr.qos.shed"]; got < 1 {
+		t.Fatalf("fleet volmgr.qos.shed = %d, want >= 1", got)
+	}
+	if got := v.Telemetry().Snapshot().Counters["volmgr.qos.shed"]; got < 1 {
+		t.Fatalf("volume volmgr.qos.shed = %d, want >= 1", got)
+	}
+}
+
+// TestDefaultQoSInherited checks a volume without its own QoS picks up the
+// manager default.
+func TestDefaultQoSInherited(t *testing.T) {
+	m := newManager(t, Config{DefaultQoS: QoSConfig{OpsPerSec: 0.001, Burst: 1}})
+	v, err := m.Create("inherit", smallVol())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := v.Mkdir("/ok", 0o755); err != nil {
+		t.Fatalf("first op: %v", err)
+	}
+	if err := v.Mkdir("/shed", 0o755); !errors.Is(err, fserr.ErrOverloaded) {
+		t.Fatalf("second op: got %v, want ErrOverloaded", err)
+	}
+}

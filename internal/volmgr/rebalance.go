@@ -1,0 +1,137 @@
+package volmgr
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// The cache rebalancer. All open volumes' buffer caches share one fleet-wide
+// clean-buffer budget (Config.CacheBudgetBlocks); every rebalance window the
+// manager reads each volume's buffer-cache miss delta, treats it as demand
+// pressure, and redistributes the budget proportionally — hot tenants reclaim
+// capacity from cold ones, no tenant drops below the configured floor, and
+// the fleet-wide sum never exceeds the budget. Quotas apply through
+// core.FS.SetCacheBudget, which both resizes the live cache (evicting
+// immediately if shrunk) and pins the value across that volume's contained
+// reboots.
+
+// rebalancer holds the manager's rebalance state; one runOnce at a time.
+type rebalancer struct {
+	m  *Manager
+	mu sync.Mutex
+
+	telPasses *telemetry.Counter // volmgr.cache.rebalance
+	telMoved  *telemetry.Counter // volmgr.cache.rebalanced_blocks
+}
+
+func (rb *rebalancer) init(m *Manager) {
+	rb.m = m
+	rb.telPasses = m.fleet.Counter("volmgr.cache.rebalance")
+	rb.telMoved = m.fleet.Counter("volmgr.cache.rebalanced_blocks")
+}
+
+// RebalanceStats reports one rebalance pass.
+type RebalanceStats struct {
+	// Volumes is how many open volumes participated (a volume mid-lifecycle-
+	// transition is skipped and keeps its quota until the next pass).
+	Volumes int
+	// Moved is the total capacity change in blocks (sum of |new-old|).
+	Moved int
+	// Quotas is the per-volume quota after the pass.
+	Quotas map[string]int
+}
+
+// RebalanceOnce runs one synchronous rebalance pass and returns what it did.
+// The background loop calls this on its interval; tests and cmd/volserve call
+// it directly for determinism.
+func (m *Manager) RebalanceOnce() RebalanceStats {
+	return m.rebal.runOnce()
+}
+
+func (rb *rebalancer) runOnce() RebalanceStats {
+	m := rb.m
+	budget := m.cfg.CacheBudgetBlocks
+	if budget <= 0 {
+		return RebalanceStats{}
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+
+	// Collect participants under their read locks (held through application,
+	// so no supervisor goes away mid-pass). TryRLock skips volumes busy with
+	// a lifecycle transition rather than blocking the whole fleet's pass.
+	type cand struct {
+		v      *Volume
+		sup    *core.FS
+		weight int64
+	}
+	var cands []cand
+	var totalWeight int64
+	for _, v := range m.openVolumes() {
+		if !v.opmu.TryRLock() {
+			continue
+		}
+		if v.state != stateOpen || v.sup == nil {
+			v.opmu.RUnlock()
+			continue
+		}
+		_, misses, _, _, _, _ := v.sup.Base().CacheStats()
+		// The demand signal is this window's miss delta: misses say "my
+		// working set does not fit", hits say nothing about needing more.
+		delta := misses - v.lastMisses
+		if delta < 0 {
+			delta = 0 // a contained reboot reset the base's counters
+		}
+		v.lastMisses = misses
+		w := delta + 1 // +1 so idle volumes split leftovers instead of zeroing
+		cands = append(cands, cand{v: v, sup: v.sup, weight: w})
+		totalWeight += w
+	}
+	stats := RebalanceStats{Volumes: len(cands), Quotas: make(map[string]int, len(cands))}
+	if len(cands) == 0 {
+		return stats
+	}
+
+	floor := m.cfg.CacheMinPerVolume
+	distributable := budget - floor*len(cands)
+	if distributable < 0 {
+		// Overcommitted fleet: equal shares, floors abandoned.
+		floor = budget / len(cands)
+		distributable = budget - floor*len(cands)
+	}
+	assigned := 0
+	for i := range cands {
+		c := &cands[i]
+		share := int(int64(distributable) * c.weight / totalWeight)
+		quota := floor + share
+		if i == len(cands)-1 {
+			// The last volume absorbs integer-division remainder so the
+			// fleet sum is exactly the budget.
+			quota = budget - assigned
+		}
+		assigned += quota
+		old := c.sup.CacheBudget()
+		if quota != old {
+			c.sup.SetCacheBudget(quota)
+			d := quota - old
+			if d < 0 {
+				d = -d
+			}
+			stats.Moved += d
+		}
+		m.fleet.Gauge("volmgr.cache.quota." + c.v.name).Set(int64(quota))
+		stats.Quotas[c.v.name] = quota
+	}
+	for _, c := range cands {
+		c.v.opmu.RUnlock()
+	}
+	rb.telPasses.Inc()
+	if stats.Moved > 0 {
+		rb.telMoved.Add(int64(stats.Moved))
+		m.fleet.Event("rebalance", "moved %d cache blocks across %d volumes",
+			stats.Moved, stats.Volumes)
+	}
+	return stats
+}

@@ -1,0 +1,106 @@
+package volmgr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestRebalanceMovesCapacityToHotVolume: two volumes under one cache budget;
+// the one generating buffer-cache misses reclaims capacity from the idle one,
+// the fleet sum stays exactly at budget, and no volume drops below the floor.
+func TestRebalanceMovesCapacityToHotVolume(t *testing.T) {
+	const budget, floor = 160, 16
+	m := newManager(t, Config{CacheBudgetBlocks: budget, CacheMinPerVolume: floor})
+	hot, err := m.Create("hot", smallVol())
+	if err != nil {
+		t.Fatalf("Create hot: %v", err)
+	}
+	cold, err := m.Create("cold", smallVol())
+	if err != nil {
+		t.Fatalf("Create cold: %v", err)
+	}
+	// Zero the miss cursors so mount-time traffic doesn't count as demand.
+	m.RebalanceOnce()
+
+	// Hot working set: write well past the ~80-block equal share, sync so the
+	// buffers turn clean (and evictable), then read everything back — the
+	// evicted blocks miss.
+	payload := make([]byte, 4096)
+	for i := 0; i < 150; i++ {
+		writeFile(t, hot, fmt.Sprintf("/f%03d", i), payload)
+	}
+	if err := hot.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for i := 0; i < 150; i++ {
+		readFile(t, hot, fmt.Sprintf("/f%03d", i), len(payload))
+	}
+
+	stats := m.RebalanceOnce()
+	if stats.Volumes != 2 {
+		t.Fatalf("participants = %d, want 2", stats.Volumes)
+	}
+	qh, qc := stats.Quotas["hot"], stats.Quotas["cold"]
+	if qh+qc != budget {
+		t.Fatalf("quota sum %d+%d != budget %d", qh, qc, budget)
+	}
+	if qh <= qc {
+		t.Fatalf("hot quota %d not above cold quota %d", qh, qc)
+	}
+	if qc < floor {
+		t.Fatalf("cold quota %d below floor %d", qc, floor)
+	}
+	// The applied quotas are live on the supervisors and on the fleet sink.
+	// The cache splits its budget evenly across lock shards, so the live
+	// value rounds down to a shard multiple — compare with that tolerance.
+	if got := hot.Supervisor().CacheBudget(); qh-got >= 16 || got > qh {
+		t.Fatalf("hot live budget %d != quota %d", got, qh)
+	}
+	if got := cold.Supervisor().CacheBudget(); qc-got >= 16 || got > qc {
+		t.Fatalf("cold live budget %d != quota %d", got, qc)
+	}
+	snap := m.Telemetry().Snapshot()
+	if got := snap.Counters["volmgr.cache.rebalance"]; got != 2 {
+		t.Fatalf("rebalance passes = %d, want 2", got)
+	}
+	if snap.Counters["volmgr.cache.rebalanced_blocks"] == 0 {
+		t.Fatal("no capacity recorded as moved")
+	}
+	if got := snap.Gauges["volmgr.cache.quota.hot"]; got != int64(qh) {
+		t.Fatalf("quota gauge %d != %d", got, qh)
+	}
+}
+
+// TestQuotaSurvivesRecovery: a budgeted quota must persist across the
+// volume's contained reboot — the fresh base instance the recovery mounts
+// gets the quota, not the configured default cache size.
+func TestQuotaSurvivesRecovery(t *testing.T) {
+	const budget = 256 // well below the 1024-block default cache
+	m := newManager(t, Config{CacheBudgetBlocks: budget, CacheMinPerVolume: 16})
+	reg := faultinject.NewRegistry(3)
+	reg.Arm(&faultinject.Specimen{
+		ID: "reboot", Class: faultinject.Crash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "boom",
+		MaxFires: 1,
+	})
+	vc := smallVol()
+	vc.Core.Base.Injector = reg
+	v, err := m.Create("only", vc)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if got := v.Supervisor().CacheBudget(); got != budget {
+		t.Fatalf("seeded quota = %d, want %d", got, budget)
+	}
+	if err := v.Mkdir("/boom", 0o755); err != nil {
+		t.Fatalf("Mkdir /boom should be masked: %v", err)
+	}
+	if got := v.Stats().Recoveries; got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	if got := v.Supervisor().CacheBudget(); got != budget {
+		t.Fatalf("quota after contained reboot = %d, want %d", got, budget)
+	}
+}

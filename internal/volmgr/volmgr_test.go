@@ -1,0 +1,190 @@
+package volmgr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// newManager builds a manager with test-sized defaults and cleans it up.
+func newManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.PoolBlocks == 0 {
+		cfg.PoolBlocks = 64 * 1024
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { m.Shutdown() })
+	return m
+}
+
+// smallVol is a quick-to-format volume config for lifecycle tests.
+func smallVol() VolumeConfig {
+	return VolumeConfig{Blocks: 4096}
+}
+
+// writeFile creates path on v holding data.
+func writeFile(t *testing.T, v *Volume, path string, data []byte) {
+	t.Helper()
+	fd, err := v.Create(path, 0o644)
+	if err != nil {
+		t.Fatalf("Create %s: %v", path, err)
+	}
+	if _, err := v.WriteAt(fd, 0, data); err != nil {
+		t.Fatalf("WriteAt %s: %v", path, err)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatalf("Close %s: %v", path, err)
+	}
+}
+
+func readFile(t *testing.T, v *Volume, path string, n int) []byte {
+	t.Helper()
+	fd, err := v.Open(path)
+	if err != nil {
+		t.Fatalf("Open %s: %v", path, err)
+	}
+	data, err := v.ReadAt(fd, 0, n)
+	if err != nil {
+		t.Fatalf("ReadAt %s: %v", path, err)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatalf("Close %s: %v", path, err)
+	}
+	return data
+}
+
+func TestVolumeLifecycle(t *testing.T) {
+	m := newManager(t, Config{})
+	v, err := m.Create("a", smallVol())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	writeFile(t, v, "/hello", []byte("persisted across close/open"))
+	if err := v.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	if err := m.Close("a"); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := v.Stat("/hello"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("op on closed volume: got %v, want ErrInvalid", err)
+	}
+	if err := m.Close("a"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("double close: got %v, want ErrInvalid", err)
+	}
+
+	if _, err := m.Open("a"); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := readFile(t, v, "/hello", 64)
+	if string(got) != "persisted across close/open" {
+		t.Fatalf("data after reopen: %q", got)
+	}
+	if _, err := m.Open("a"); !errors.Is(err, fserr.ErrBusy) {
+		t.Fatalf("double open: got %v, want ErrBusy", err)
+	}
+
+	if err := m.Destroy("a"); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if _, err := v.Stat("/hello"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("op on destroyed volume: got %v, want ErrNotExist", err)
+	}
+	if _, err := m.Get("a"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("Get after destroy: got %v, want ErrNotExist", err)
+	}
+	if used := m.Pool().Used(); used != 0 {
+		t.Fatalf("pool used after destroy: %d, want 0", used)
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	m := newManager(t, Config{})
+	if _, err := m.Create("x", smallVol()); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := m.Create("x", smallVol()); !errors.Is(err, fserr.ErrExist) {
+		t.Fatalf("duplicate create: got %v, want ErrExist", err)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	m := newManager(t, Config{PoolBlocks: 8192})
+	if _, err := m.Create("a", smallVol()); err != nil {
+		t.Fatalf("Create a: %v", err)
+	}
+	if _, err := m.Create("b", smallVol()); err != nil {
+		t.Fatalf("Create b: %v", err)
+	}
+	if _, err := m.Create("c", smallVol()); !errors.Is(err, fserr.ErrNoSpace) {
+		t.Fatalf("over-capacity create: got %v, want ErrNoSpace", err)
+	}
+	// A failed create must not leak its name or blocks.
+	if _, err := m.Get("c"); !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("failed create left registration: %v", err)
+	}
+	if err := m.Destroy("a"); err != nil {
+		t.Fatalf("Destroy a: %v", err)
+	}
+	if _, err := m.Create("c", smallVol()); err != nil {
+		t.Fatalf("create after destroy freed space: %v", err)
+	}
+}
+
+func TestFleetSnapshot(t *testing.T) {
+	m := newManager(t, Config{})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("v%d", i)
+		v, err := m.Create(name, smallVol())
+		if err != nil {
+			t.Fatalf("Create %s: %v", name, err)
+		}
+		writeFile(t, v, "/f", []byte("x"))
+	}
+	snap := m.FleetSnapshot()
+	if got := snap.Gauges["volmgr.volumes"]; got != 3 {
+		t.Fatalf("volmgr.volumes = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("volmgr.op_ns.v%d", i)
+		if h := snap.Histograms[name]; h.Count == 0 {
+			t.Fatalf("%s has no observations in fleet rollup", name)
+		}
+	}
+	// Layer counters from the per-volume sinks must roll up: 3 volumes each
+	// recorded ops, so the merged oplog counter is the fleet sum.
+	var perVolume int64
+	for i := 0; i < 3; i++ {
+		v, _ := m.Get(fmt.Sprintf("v%d", i))
+		perVolume += v.Telemetry().Snapshot().Counters["oplog.appends"]
+	}
+	if perVolume == 0 {
+		t.Fatal("expected per-volume oplog.appends > 0")
+	}
+	if snap.Counters["oplog.appends"] != perVolume {
+		t.Fatalf("merged oplog.appends = %d, want %d", snap.Counters["oplog.appends"], perVolume)
+	}
+}
+
+func TestOpsAfterShutdown(t *testing.T) {
+	m := newManager(t, Config{})
+	v, err := m.Create("a", smallVol())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := m.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := v.Stat("/"); !errors.Is(err, fserr.ErrInvalid) {
+		t.Fatalf("op after shutdown: got %v, want ErrInvalid", err)
+	}
+}
+
+var _ fsapi.FS = (*Volume)(nil)
