@@ -1,23 +1,32 @@
 // Command bugstudy regenerates the paper's Table 1 and Figure 1 from the
-// structured bug corpus (experiments E1 and E2).
+// structured bug corpus (experiments E1 and E2), and can cross-check the
+// static study against the dynamic torture campaign.
 //
 // Usage:
 //
-//	bugstudy [-table1] [-fig1]
+//	bugstudy [-table1] [-fig1] [-torture] [-torture-seed N]
 //
-// With no flags, both artifacts are printed.
+// With no flags, both artifacts are printed. -torture appends a reduced-tier
+// campaign run: the study claims most runtime bugs are detectable and
+// recoverable, and the campaign is the dynamic evidence — on a healthy tree
+// it must report zero open signatures.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/bugstudy"
+	"repro/internal/torture"
 )
 
 func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 only")
 	fig1 := flag.Bool("fig1", false, "print Figure 1 only")
+	runTorture := flag.Bool("torture", false, "append a reduced-tier torture campaign cross-check")
+	tortureSeed := flag.Int64("torture-seed", 1, "seed for the -torture campaign")
 	flag.Parse()
 	both := !*table1 && !*fig1
 	corpus := bugstudy.Corpus()
@@ -30,5 +39,22 @@ func main() {
 	if *fig1 || both {
 		fmt.Println("Figure 1. Number of deterministic bugs by the year.")
 		fmt.Print(bugstudy.RenderFigure1(bugstudy.Figure1(corpus)))
+	}
+	if *runTorture {
+		fmt.Println()
+		fmt.Println("Dynamic cross-check: reduced-tier torture campaign.")
+		res, err := torture.Run(torture.ReducedTier(*tortureSeed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bugstudy: torture: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("seed=%d cases=%d unique signatures=%d elapsed=%s\n",
+			*tortureSeed, res.Cases, len(res.Unique), res.Elapsed.Round(time.Millisecond))
+		for _, f := range res.Unique {
+			fmt.Printf("  SIG %s\n", f.Signature())
+		}
+		if len(res.Unique) > 0 {
+			os.Exit(1)
+		}
 	}
 }

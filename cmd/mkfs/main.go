@@ -39,7 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mkfs: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d blocks (%d MiB), %d inodes, journal %d blocks, data region [%d,%d)\n",
+	fmt.Printf("%s: %d blocks (%d MiB), %d inodes, journal %d blocks, data region [%d,%d), backup superblock @%d\n",
 		*img, sb.NumBlocks, sb.NumBlocks*4/1024, sb.NumInodes, sb.JournalLen,
-		sb.DataStart, sb.NumBlocks)
+		sb.DataStart, sb.BackupBlk(), sb.BackupBlk())
 }

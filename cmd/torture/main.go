@@ -1,0 +1,141 @@
+// Command torture runs the B3-style bounded crash+fault campaign and
+// reports every unique failure signature, or replays a single committed
+// reproducer.
+//
+// Usage:
+//
+//	torture [-tier full|reduced] [-seed N] [-expect-cases N] [-timeout D] [-emit DIR]
+//	torture -repro FILE
+//
+// Exit codes:
+//
+//	0  campaign (or repro) ran and found nothing — zero open signatures
+//	1  open failure signatures (or the repro still reproduces)
+//	2  operational error (bad flags, unreadable repro, unit setup failure)
+//	3  determinism contract broken: the case count missed -expect-cases,
+//	   or the time budget truncated the run so the count is not comparable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/torture"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		tier        = flag.String("tier", "full", "campaign tier: full or reduced")
+		seed        = flag.Int64("seed", 1, "campaign seed; equal seeds produce equal runs")
+		expectCases = flag.Int("expect-cases", 0, "fail (exit 3) unless exactly this many cases ran; 0 disables")
+		timeout     = flag.Duration("timeout", 0, "stop dispatching new units after this long (0 = no budget)")
+		parallel    = flag.Int("parallel", 0, "concurrent workload units (0 = default)")
+		emit        = flag.String("emit", "", "write one replayable .repro.json per unique signature into this directory")
+		reproPath   = flag.String("repro", "", "replay one committed reproducer file instead of a campaign")
+	)
+	flag.Parse()
+
+	if *reproPath != "" {
+		return runRepro(*reproPath)
+	}
+
+	var cfg torture.Config
+	switch *tier {
+	case "full":
+		cfg = torture.FullTier(*seed)
+	case "reduced":
+		cfg = torture.ReducedTier(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "torture: unknown tier %q (want full or reduced)\n", *tier)
+		return 2
+	}
+	cfg.TimeBudget = *timeout
+	cfg.Parallelism = *parallel
+
+	res, err := torture.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("tier=%s seed=%d cases=%d failures=%d dedup=%d unique=%d elapsed=%s (%.0f cases/sec)\n",
+		*tier, *seed, res.Cases, res.Failures, res.Dedup, len(res.Unique),
+		res.Elapsed.Round(time.Millisecond), res.CasesPerSec)
+	if res.ShrinkAttempts > 0 {
+		fmt.Printf("shrink: %d re-runs, %d window ops removed\n",
+			res.ShrinkAttempts, res.ShrinkRemovedOps)
+	}
+	for _, f := range res.Unique {
+		fmt.Printf("  SIG %s\n      %s\n", f.Signature(), f)
+	}
+
+	if *emit != "" && len(res.Unique) > 0 {
+		if err := emitRepros(*emit, res.Unique); err != nil {
+			fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+			return 2
+		}
+	}
+
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "torture: run truncated by -timeout %s; case count is not comparable\n", *timeout)
+		return 3
+	}
+	if *expectCases > 0 && res.Cases != *expectCases {
+		fmt.Fprintf(os.Stderr, "torture: ran %d cases, expected exactly %d — determinism contract broken\n",
+			res.Cases, *expectCases)
+		return 3
+	}
+	if len(res.Unique) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runRepro(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+		return 2
+	}
+	r, err := torture.UnmarshalRepro(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+		return 2
+	}
+	f, err := r.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+		return 2
+	}
+	if f != nil {
+		fmt.Printf("REPRODUCES: %s\n  %s\n", f.Signature(), f)
+		return 1
+	}
+	fmt.Printf("clean: %s no longer reproduces %s|%s:%s\n", path, r.Class, r.Kind, r.Locus)
+	return 0
+}
+
+func emitRepros(dir string, unique []*torture.Failure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range unique {
+		data, err := f.Repro().Marshal()
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", f.Signature(), err)
+		}
+		name := fmt.Sprintf("%03d-%s-%s.repro.json", i, f.Class, f.Kind)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  emitted %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}

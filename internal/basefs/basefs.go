@@ -205,6 +205,11 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 	}
 	sb.Clean = 0
 	sb.Generation++
+	// Backup before primary: the in-place superblock update is the one write
+	// recovery cannot replay, so at most one copy may be torn by a crash.
+	if err := dev.WriteBlock(sb.BackupBlk(), disklayout.EncodeSuperblock(sb)); err != nil {
+		return nil, fmt.Errorf("basefs: mount backup superblock: %w", err)
+	}
 	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
 		return nil, fmt.Errorf("basefs: mount superblock: %w", err)
 	}
@@ -288,6 +293,11 @@ func (fs *FS) Unmount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.sb.Clean = 1
+	// Backup before primary, as at mount: a crash between the two writes
+	// leaves a valid primary (still unclean) and loses nothing.
+	if err := fs.dev.WriteBlock(fs.sb.BackupBlk(), disklayout.EncodeSuperblock(fs.sb)); err != nil {
+		return fmt.Errorf("basefs: unmount backup superblock: %w", err)
+	}
 	if err := fs.dev.WriteBlock(0, disklayout.EncodeSuperblock(fs.sb)); err != nil {
 		return fmt.Errorf("basefs: unmount superblock: %w", err)
 	}

@@ -64,10 +64,21 @@ type StatsSnapshot struct {
 // FaultPlan describes device-level fault injection. The zero value injects
 // nothing. Faults model the transient hardware errors the paper's runtime
 // checks defend against (silent corruption, torn writes, EIO).
+//
+// A plan is safe to share across devices and goroutines: the pseudo-random
+// stream and the block maps are guarded by the plan's mutex. Sharing is
+// still usually wrong for campaigns that need per-device reproducibility —
+// concurrent devices interleave draws from the one stream in scheduling
+// order, so which device sees which fault is nondeterministic. Use Fork to
+// give each device an independent plan with a derived seed instead.
 type FaultPlan struct {
 	mu sync.Mutex
-	// Seed drives the deterministic pseudo-random fault stream.
+	// rng is the deterministic pseudo-random fault stream, guarded by mu
+	// (lazily seeded from seed on first use so zero-value plans work).
 	rng *rand.Rand
+	// seed is the value the stream was (or will be) seeded with; Fork derives
+	// child seeds from it.
+	seed int64
 	// CorruptReadProb is the probability that a read returns a buffer with
 	// one flipped bit (silent data corruption).
 	CorruptReadProb float64
@@ -94,7 +105,55 @@ type FaultPlan struct {
 
 // NewFaultPlan returns a fault plan with the given deterministic seed.
 func NewFaultPlan(seed int64) *FaultPlan {
-	return &FaultPlan{rng: rand.New(rand.NewSource(seed))}
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive well-separated child
+// seeds from (seed, salt) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Fork returns an independent copy of the plan whose pseudo-random stream is
+// seeded from (parent seed, salt). Equal (plan, salt) pairs produce equal
+// streams, so a campaign that forks one template plan per device gets
+// per-device fault sequences that are reproducible regardless of how many
+// devices run in parallel or how their IO interleaves. The probability and
+// latency knobs are copied, and the block maps are deep-copied so later
+// mutation of the parent never races a child in use.
+func (p *FaultPlan) Fork(salt int64) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	childSeed := int64(splitmix64(uint64(p.seed) ^ splitmix64(uint64(salt))))
+	cp := &FaultPlan{
+		rng:             rand.New(rand.NewSource(childSeed)),
+		seed:            childSeed,
+		CorruptReadProb: p.CorruptReadProb,
+		ReadErrProb:     p.ReadErrProb,
+		WriteErrProb:    p.WriteErrProb,
+		TornWriteProb:   p.TornWriteProb,
+		ReadLatency:     p.ReadLatency,
+		WriteLatency:    p.WriteLatency,
+	}
+	if p.CorruptBlocks != nil {
+		cp.CorruptBlocks = make(map[uint32]bool, len(p.CorruptBlocks))
+		for b, v := range p.CorruptBlocks {
+			cp.CorruptBlocks[b] = v
+		}
+	}
+	if p.ReadErrBlocks != nil {
+		cp.ReadErrBlocks = make(map[uint32]bool, len(p.ReadErrBlocks))
+		for b, v := range p.ReadErrBlocks {
+			cp.ReadErrBlocks[b] = v
+		}
+	}
+	return cp
 }
 
 func (p *FaultPlan) roll(prob float64) bool {
@@ -104,7 +163,7 @@ func (p *FaultPlan) roll(prob float64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.rng == nil {
-		p.rng = rand.New(rand.NewSource(0))
+		p.rng = rand.New(rand.NewSource(p.seed))
 	}
 	return p.rng.Float64() < prob
 }
@@ -113,7 +172,7 @@ func (p *FaultPlan) pick(n int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.rng == nil {
-		p.rng = rand.New(rand.NewSource(0))
+		p.rng = rand.New(rand.NewSource(p.seed))
 	}
 	return p.rng.Intn(n)
 }

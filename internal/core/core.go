@@ -217,6 +217,7 @@ type Stats struct {
 	FaultResults   int64 // ErrCorrupt/ErrIO outcomes intercepted
 	FDsInvalidated int64 // descriptors lost to crash-restart semantics
 	AppFailures    int64 // operations that surfaced a failure to the app
+	SyncRetries    int64 // deferred sync re-runs retried past a device fault
 	OpsReplayed    int64
 	OpsReused      int64 // ops a warm resume did not have to re-replay
 	Discrepancies  int64
@@ -244,6 +245,7 @@ type counters struct {
 	faultResults   atomic.Int64
 	fdsInvalidated atomic.Int64
 	appFailures    atomic.Int64
+	syncRetries    atomic.Int64
 	opsReplayed    atomic.Int64
 	opsReused      atomic.Int64
 	discrepancies  atomic.Int64
@@ -437,6 +439,7 @@ func (r *FS) Stats() Stats {
 		FaultResults:   r.cnt.faultResults.Load(),
 		FDsInvalidated: r.cnt.fdsInvalidated.Load(),
 		AppFailures:    r.cnt.appFailures.Load(),
+		SyncRetries:    r.cnt.syncRetries.Load(),
 		OpsReplayed:    r.cnt.opsReplayed.Load(),
 		OpsReused:      r.cnt.opsReused.Load(),
 		Discrepancies:  r.cnt.discrepancies.Load(),

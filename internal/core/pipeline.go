@@ -45,6 +45,12 @@ const replayFeedBatch = 256
 // in memory between faults; a larger recovery is not retained.
 const warmMaxOverlayBlocks = 8192
 
+// deferredSyncRetries bounds the extra attempts the resume path gives a
+// deferred sync re-run that keeps hitting device-level faults before it
+// declares a degradation. Transient faults clear within a retry or two; a
+// device that refuses every attempt is genuinely unwritable.
+const deferredSyncRetries = 3
+
 // recoveryPlan freezes everything the overlapped stages need before the
 // contained reboot starts: the recovery input (snapshotted and round-tripped
 // through the wire format, proving it is self-contained), the shadow's
@@ -560,13 +566,33 @@ func (r *FS) raeRecover(tr *telemetry.Trace, inflight *oplog.Op) string {
 			// perform fsync again after the hand-off" (§3.3). The WARN that
 			// vetoed the original persist was consumed by this recovery, so
 			// the pre-persist barrier starts fresh for the re-run.
-			r.warnsHandled.Store(r.warns.n.Load())
-			r.withInjectionDisabled(func() {
-				_ = oplog.Apply(r.base.Load(), inflight)
-			})
+			//
+			// The re-run stays inside the detection envelope: injected
+			// specimens are disabled (a deterministic bug on the sync seam
+			// would re-fire on every attempt), and a device-level fault gets
+			// a bounded number of fresh attempts. A sync the device
+			// persistently refuses is a failure no shadow can mask — the
+			// application must see it, but only as an explicit degradation,
+			// never as a silently leaked errno.
+			for attempt := 0; ; attempt++ {
+				r.warnsHandled.Store(r.warns.n.Load())
+				r.withInjectionDisabled(func() {
+					_ = oplog.Apply(r.base.Load(), inflight)
+				})
+				if !fserr.IsFault(fserr.FromErrno(inflight.Errno)) || attempt >= deferredSyncRetries {
+					break
+				}
+				r.cnt.syncRetries.Add(1)
+			}
 			if inflight.Errno == 0 {
 				r.afterSuccess(inflight)
 			} else {
+				if fserr.IsFault(fserr.FromErrno(inflight.Errno)) {
+					r.cnt.degradations.Add(1)
+					r.tel.Event("degrade",
+						"deferred sync re-run still faulting after %d attempts: errno %d",
+						deferredSyncRetries+1, inflight.Errno)
+				}
 				r.cnt.appFailures.Add(1)
 			}
 		case out.inFlight != nil:

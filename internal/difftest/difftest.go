@@ -19,13 +19,87 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/disklayout"
 	"repro/internal/fsapi"
 	"repro/internal/oplog"
 )
+
+// Sentinel errors for the library-consumer contract: RunTrace, DumpState, and
+// VerifyEquivalence never panic and never loop forever, whatever the
+// implementation under test does. A torture campaign feeding thousands of
+// generated cases through these functions must be able to record "this case
+// poisoned the checker" as a typed finding and keep going.
+var (
+	// ErrMalformedTrace reports a trace the checker refuses to run: nil ops,
+	// or op kinds outside the recordable set.
+	ErrMalformedTrace = errors.New("difftest: malformed trace")
+	// ErrWalkLimit reports a state walk that exceeded its depth or entry
+	// budget — the signature of a directory cycle or a self-growing tree in a
+	// corrupt implementation.
+	ErrWalkLimit = errors.New("difftest: state walk exceeded limits")
+)
+
+// Walk budgets. A legitimate image stays far inside both; only a malformed
+// tree (cycles, fabricated dirents) can reach them.
+const (
+	walkMaxDepth   = 256
+	walkMaxEntries = 1 << 20
+)
+
+// PanicError is the typed wrapper for a panic recovered from the
+// implementation under test (or the oracle) while the checker was driving it.
+type PanicError struct {
+	// Stage says what the checker was doing: "apply", "oracle", or "walk".
+	Stage string
+	// Op is the operation in flight for apply/oracle panics, nil for walks.
+	Op *oplog.Op
+	// Path is the walk position for walk panics.
+	Path string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	switch {
+	case e.Op != nil:
+		return fmt.Sprintf("difftest: panic during %s of %s: %v", e.Stage, e.Op, e.Value)
+	case e.Path != "":
+		return fmt.Sprintf("difftest: panic during %s at %s: %v", e.Stage, e.Path, e.Value)
+	}
+	return fmt.Sprintf("difftest: panic during %s: %v", e.Stage, e.Value)
+}
+
+// validateTrace rejects traces the executor cannot safely run.
+func validateTrace(trace []*oplog.Op) error {
+	for i, o := range trace {
+		if o == nil {
+			return fmt.Errorf("%w: nil op at index %d", ErrMalformedTrace, i)
+		}
+		if o.Kind < oplog.KMkdir || o.Kind > oplog.KReadProbe {
+			return fmt.Errorf("%w: op %d has unknown kind %d", ErrMalformedTrace, i, int(o.Kind))
+		}
+	}
+	return nil
+}
+
+// safeApply runs oplog.Apply with panic containment. The returned error is
+// non-nil only for a contained panic: ordinary operation errors are part of
+// the recorded outcome, not checker failures.
+func safeApply(stage string, fs fsapi.FS, op *oplog.Op) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Stage: stage, Op: op, Value: p}
+		}
+	}()
+	_ = oplog.Apply(fs, op)
+	return nil
+}
 
 // Discrepancy is one observed disagreement between an implementation and
 // the oracle.
@@ -48,16 +122,24 @@ func (d Discrepancy) String() string {
 }
 
 // RunTrace applies an oracle trace to fs and returns every outcome
-// discrepancy. The trace is not mutated.
-func RunTrace(fs fsapi.FS, trace []*oplog.Op) []Discrepancy {
+// discrepancy. The trace is not mutated. A malformed trace or a panic inside
+// the implementation under test returns a typed error (ErrMalformedTrace or
+// *PanicError) along with the discrepancies found up to that point; RunTrace
+// itself never panics.
+func RunTrace(fs fsapi.FS, trace []*oplog.Op) ([]Discrepancy, error) {
+	if err := validateTrace(trace); err != nil {
+		return nil, err
+	}
 	var out []Discrepancy
 	for _, oracle := range trace {
 		op := oracle.Clone()
 		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-		_ = oplog.Apply(fs, op)
+		if err := safeApply("apply", fs, op); err != nil {
+			return out, err
+		}
 		out = append(out, CompareOutcome(op, oracle)...)
 	}
-	return out
+	return out, nil
 }
 
 // CompareOutcome checks one executed op against its oracle record.
@@ -113,10 +195,28 @@ type Entry struct {
 // DumpState walks the filesystem through its public API and returns the
 // canonical state map keyed by path. Content of every regular file is read
 // and hashed.
-func DumpState(fs fsapi.FS) (map[string]Entry, error) {
-	out := make(map[string]Entry)
-	var walk func(path string) error
-	walk = func(path string) error {
+//
+// The walk is defensive: panics inside the implementation surface as a typed
+// *PanicError, and depth/entry budgets (plus dirent-name validation) bound
+// the walk on malformed trees — a directory cycle returns ErrWalkLimit
+// instead of recursing forever.
+func DumpState(fs fsapi.FS) (out map[string]Entry, err error) {
+	var walkPath string
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, &PanicError{Stage: "walk", Path: walkPath, Value: p}
+		}
+	}()
+	out = make(map[string]Entry)
+	var walk func(path string, depth int) error
+	walk = func(path string, depth int) error {
+		walkPath = path
+		if depth > walkMaxDepth {
+			return fmt.Errorf("%w: depth %d at %s (directory cycle?)", ErrWalkLimit, depth, path)
+		}
+		if len(out) >= walkMaxEntries {
+			return fmt.Errorf("%w: more than %d entries", ErrWalkLimit, walkMaxEntries)
+		}
 		st, err := fs.Stat(path)
 		if err != nil {
 			return fmt.Errorf("difftest: stat %s: %w", path, err)
@@ -144,11 +244,14 @@ func DumpState(fs fsapi.FS) (map[string]Entry, error) {
 			e.Listing = fmt.Sprint(names)
 			out[path] = e
 			for _, de := range ents {
+				if de.Name == "" || de.Name == "." || de.Name == ".." || strings.ContainsRune(de.Name, '/') {
+					return fmt.Errorf("%w: dir %s lists unwalkable name %q", ErrWalkLimit, path, de.Name)
+				}
 				child := path + "/" + de.Name
 				if path == "/" {
 					child = "/" + de.Name
 				}
-				if err := walk(child); err != nil {
+				if err := walk(child, depth+1); err != nil {
 					return err
 				}
 			}
@@ -183,7 +286,7 @@ func DumpState(fs fsapi.FS) (map[string]Entry, error) {
 		out[path] = e
 		return nil
 	}
-	if err := walk("/"); err != nil {
+	if err := walk("/", 0); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -227,17 +330,28 @@ func describe(e Entry) string {
 
 // VerifyEquivalence runs a trace on fs and then compares both per-op
 // outcomes and final state against an oracle filesystem given the same
-// trace. It is the complete §4.3 check for one workload.
+// trace. It is the complete §4.3 check for one workload. Like RunTrace and
+// DumpState it never panics: malformed traces and contained panics (in
+// either implementation) come back as typed errors with the discrepancies
+// gathered so far.
 func VerifyEquivalence(fs, oracleFS fsapi.FS, trace []*oplog.Op) ([]Discrepancy, error) {
+	if err := validateTrace(trace); err != nil {
+		return nil, err
+	}
 	// Run the oracle first to (re)fill outcomes.
 	oracleTrace := make([]*oplog.Op, len(trace))
 	for i, o := range trace {
 		op := o.Clone()
 		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-		_ = oplog.Apply(oracleFS, op)
+		if err := safeApply("oracle", oracleFS, op); err != nil {
+			return nil, err
+		}
 		oracleTrace[i] = op
 	}
-	disc := RunTrace(fs, oracleTrace)
+	disc, err := RunTrace(fs, oracleTrace)
+	if err != nil {
+		return disc, err
+	}
 	gotState, err := DumpState(fs)
 	if err != nil {
 		return disc, err

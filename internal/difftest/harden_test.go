@@ -1,0 +1,174 @@
+package difftest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/oplog"
+)
+
+// hostileFS is a minimal fsapi.FS whose behavior is scripted per test: it can
+// panic on chosen calls or fabricate malformed directory trees. It stands in
+// for an implementation the torture campaign has driven into a corrupt state.
+type hostileFS struct {
+	panicOn string                             // method name to panic in ("" = never)
+	readdir func(path string) []fsapi.DirEntry // nil = empty dirs
+}
+
+var hostileDirMode = disklayout.MkMode(disklayout.TypeDir, 0o755)
+
+func (h *hostileFS) maybePanic(m string) {
+	if h.panicOn == m {
+		panic("hostileFS: scripted panic in " + m)
+	}
+}
+
+func (h *hostileFS) Mkdir(path string, perm uint16) error { h.maybePanic("Mkdir"); return nil }
+func (h *hostileFS) Rmdir(path string) error              { h.maybePanic("Rmdir"); return nil }
+func (h *hostileFS) Create(path string, perm uint16) (fsapi.FD, error) {
+	h.maybePanic("Create")
+	return 1, nil
+}
+func (h *hostileFS) Open(path string) (fsapi.FD, error) { h.maybePanic("Open"); return 1, nil }
+func (h *hostileFS) Close(fd fsapi.FD) error            { h.maybePanic("Close"); return nil }
+func (h *hostileFS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
+	h.maybePanic("WriteAt")
+	return len(data), nil
+}
+func (h *hostileFS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	h.maybePanic("ReadAt")
+	return nil, nil
+}
+func (h *hostileFS) Truncate(path string, size int64) error { h.maybePanic("Truncate"); return nil }
+func (h *hostileFS) Unlink(path string) error               { h.maybePanic("Unlink"); return nil }
+func (h *hostileFS) Rename(old, new string) error           { h.maybePanic("Rename"); return nil }
+func (h *hostileFS) Link(old, new string) error             { h.maybePanic("Link"); return nil }
+func (h *hostileFS) Symlink(target, path string) error      { h.maybePanic("Symlink"); return nil }
+func (h *hostileFS) Readlink(path string) (string, error) {
+	h.maybePanic("Readlink")
+	return "", nil
+}
+func (h *hostileFS) Stat(path string) (fsapi.Stat, error) {
+	h.maybePanic("Stat")
+	return fsapi.Stat{Mode: hostileDirMode, Nlink: 2, Ino: 1}, nil
+}
+func (h *hostileFS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	h.maybePanic("Fstat")
+	return fsapi.Stat{Mode: hostileDirMode, Nlink: 2, Ino: 1}, nil
+}
+func (h *hostileFS) SetPerm(path string, perm uint16) error { h.maybePanic("SetPerm"); return nil }
+func (h *hostileFS) Fsync(fd fsapi.FD) error                { h.maybePanic("Fsync"); return nil }
+func (h *hostileFS) Sync() error                            { h.maybePanic("Sync"); return nil }
+func (h *hostileFS) Readdir(path string) ([]fsapi.DirEntry, error) {
+	h.maybePanic("Readdir")
+	if h.readdir == nil {
+		return nil, nil
+	}
+	return h.readdir(path), nil
+}
+
+func TestRunTraceRejectsMalformedTrace(t *testing.T) {
+	fs := &hostileFS{}
+	// Nil op.
+	_, err := RunTrace(fs, []*oplog.Op{nil})
+	if !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("nil op: got %v, want ErrMalformedTrace", err)
+	}
+	// Out-of-range kind.
+	_, err = RunTrace(fs, []*oplog.Op{{Kind: oplog.Kind(200)}})
+	if !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("bad kind: got %v, want ErrMalformedTrace", err)
+	}
+	// VerifyEquivalence shares the validation.
+	_, err = VerifyEquivalence(fs, fs, []*oplog.Op{nil})
+	if !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("VerifyEquivalence nil op: got %v, want ErrMalformedTrace", err)
+	}
+}
+
+func TestRunTraceContainsImplementationPanic(t *testing.T) {
+	fs := &hostileFS{panicOn: "Mkdir"}
+	trace := []*oplog.Op{{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755}}
+	_, err := RunTrace(fs, trace)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Stage != "apply" || pe.Op == nil {
+		t.Fatalf("panic error missing context: %+v", pe)
+	}
+}
+
+func TestVerifyEquivalenceContainsOraclePanic(t *testing.T) {
+	impl := &hostileFS{}
+	oracle := &hostileFS{panicOn: "Mkdir"}
+	trace := []*oplog.Op{{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755}}
+	_, err := VerifyEquivalence(impl, oracle, trace)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Stage != "oracle" {
+		t.Fatalf("stage = %q, want oracle", pe.Stage)
+	}
+}
+
+func TestDumpStateContainsWalkPanic(t *testing.T) {
+	fs := &hostileFS{panicOn: "Readdir"}
+	_, err := DumpState(fs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Stage != "walk" || pe.Path != "/" {
+		t.Fatalf("panic error missing walk context: %+v", pe)
+	}
+}
+
+func TestDumpStateBoundsDirectoryCycle(t *testing.T) {
+	// Every directory claims one child "loop", so the tree is an infinite
+	// chain /loop/loop/... — the depth budget must cut it off.
+	fs := &hostileFS{
+		readdir: func(path string) []fsapi.DirEntry {
+			return []fsapi.DirEntry{{Name: "loop", Ino: 1, Type: 2}}
+		},
+	}
+	_, err := DumpState(fs)
+	if !errors.Is(err, ErrWalkLimit) {
+		t.Fatalf("got %v, want ErrWalkLimit", err)
+	}
+}
+
+func TestDumpStateRejectsUnwalkableDirentNames(t *testing.T) {
+	for _, bad := range []string{"", ".", "..", "a/b"} {
+		fs := &hostileFS{
+			readdir: func(path string) []fsapi.DirEntry {
+				if path != "/" {
+					return nil
+				}
+				return []fsapi.DirEntry{{Name: bad, Ino: 2, Type: 2}}
+			},
+		}
+		_, err := DumpState(fs)
+		if !errors.Is(err, ErrWalkLimit) {
+			t.Fatalf("name %q: got %v, want ErrWalkLimit", bad, err)
+		}
+	}
+}
+
+func TestRunTraceStillReportsOrdinaryErrors(t *testing.T) {
+	// A plain errno from the implementation is an outcome, not a checker
+	// error: the trace must complete and report the discrepancy.
+	fs := &hostileFS{}
+	oracleOp := &oplog.Op{Kind: oplog.KMkdir, Path: "/d", Perm: 0o755, Errno: fserr.Errno(fserr.ErrExist)}
+	disc, err := RunTrace(fs, []*oplog.Op{oracleOp})
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	if len(disc) != 1 || disc[0].Field != "errno" {
+		t.Fatalf("discrepancies = %v, want one errno mismatch", disc)
+	}
+}

@@ -14,7 +14,16 @@
 //	[BlockBitmapStart, ...)  data block allocation bitmap
 //	[InodeTableStart, ...)   inode table, 32 inodes of 128 B per block
 //	[JournalStart, ...)      physical-block write-ahead journal
-//	[DataStart, NumBlocks)   data and indirect blocks
+//	[DataStart, NumBlocks-1) data and indirect blocks
+//	block NumBlocks-1        backup superblock
+//
+// The last block holds a backup copy of the superblock. The primary is
+// rewritten in place at mount and unmount (and by journal checkpoints), so a
+// crash can tear it mid-write; without a second copy the image becomes
+// unrecoverable — the geometry needed to even locate the journal lives in
+// the block that was lost. Writers update the backup before the primary so at
+// most one copy is torn at any crash point, and recovery falls back to the
+// backup (then self-heals the primary) when the primary fails its checksum.
 package disklayout
 
 import (
@@ -252,8 +261,14 @@ func (sb *Superblock) Validate() error {
 	return nil
 }
 
-// DataBlocks returns the number of blocks in the data region.
-func (sb *Superblock) DataBlocks() uint32 { return sb.NumBlocks - sb.DataStart }
+// DataBlocks returns the number of blocks in the data region, excluding the
+// backup-superblock block reserved at the end of the image.
+func (sb *Superblock) DataBlocks() uint32 { return sb.NumBlocks - sb.DataStart - 1 }
+
+// BackupBlk returns the block number of the backup superblock: always the
+// last block of the image, so it is locatable from the device size alone
+// when the primary superblock is unreadable.
+func (sb *Superblock) BackupBlk() uint32 { return sb.NumBlocks - 1 }
 
 func bitmapBlocksFor(n uint32) uint32 {
 	bitsPerBlock := uint32(BlockSize * 8)
@@ -495,7 +510,9 @@ func Geometry(totalBlocks, numInodes, journalBlocks uint32) (*Superblock, error)
 	sb.JournalLen = journalBlocks
 	next += journalBlocks
 	sb.DataStart = next
-	if sb.DataStart >= totalBlocks {
+	// The last block is reserved for the backup superblock, so the data
+	// region needs at least one block before it.
+	if sb.DataStart >= totalBlocks-1 {
 		return nil, fmt.Errorf("disklayout: metadata (%d blocks) leaves no data region in %d-block image: %w",
 			sb.DataStart, totalBlocks, fserr.ErrInvalid)
 	}

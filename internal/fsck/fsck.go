@@ -196,7 +196,41 @@ func run(dev devReader) *Report {
 	c.walkDirs()
 	c.checkLinkCounts()
 	c.checkBitmapConsistency()
+	c.checkBackupSuperblock()
 	return rep
+}
+
+// checkBackupSuperblock validates the backup copy in the image's last block.
+// A backup that fails its checksum is only a warning — a crash can tear it,
+// and recovery heals it — but a well-formed backup that disagrees with the
+// primary's geometry means the two copies describe different filesystems,
+// and a missing allocation bit would let the allocator hand the block out as
+// data; both are corruption.
+func (c *checker) checkBackupSuperblock() {
+	blk := c.sb.BackupBlk()
+	c.rep.check()
+	if c.blockBitKnown(blk) && !disklayout.TestBit(c.bbm, blk) {
+		c.rep.add(Corrupt, "backup superblock", "block %d free in bitmap", blk)
+	}
+	b, err := c.dev.ReadBlock(blk)
+	if err != nil {
+		c.rep.add(Warn, "backup superblock", "unreadable: %v", err)
+		return
+	}
+	bsb, err := disklayout.DecodeSuperblock(b)
+	if err != nil {
+		c.rep.add(Warn, "backup superblock", "invalid (healed on next recovery): %v", err)
+		return
+	}
+	// Mutable fields (Clean, Generation, LastClock) legitimately lag the
+	// primary; the geometry must match exactly.
+	p, q := *c.sb, *bsb
+	p.Clean, q.Clean = 0, 0
+	p.Generation, q.Generation = 0, 0
+	p.LastClock, q.LastClock = 0, 0
+	if p != q {
+		c.rep.add(Corrupt, "backup superblock", "geometry disagrees with primary")
+	}
 }
 
 // prepare performs the superblock and bitmap phase. A nil checker means the
@@ -575,6 +609,11 @@ func (c *checker) checkLinkCounts() {
 // checkBitmapConsistency flags blocks marked used that nothing owns (leaks).
 func (c *checker) checkBitmapConsistency() {
 	for blk := c.sb.DataStart; blk < c.sb.NumBlocks; blk++ {
+		if blk == c.sb.BackupBlk() {
+			// The backup superblock is permanently allocated but owned by no
+			// inode; checkBackupSuperblock validates it instead.
+			continue
+		}
 		if !c.blockBitKnown(blk) {
 			continue
 		}

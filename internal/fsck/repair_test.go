@@ -103,8 +103,10 @@ func TestRepairClearsGhostAndLeak(t *testing.T) {
 		r.Mode = disklayout.MkMode(disklayout.TypeFile, 0o644)
 		r.Nlink = 1
 	})
-	// Leak a block: set a free data block's bit with no owner.
-	leakBlk := sb.NumBlocks - 1
+	// Leak a block: set a free data block's bit with no owner. (NumBlocks-1
+	// is the backup superblock, legitimately allocated — use the block
+	// before it.)
+	leakBlk := sb.NumBlocks - 2
 	bmBlk := sb.BlockBitmapStart + leakBlk/disklayout.BitsPerBlock
 	b, _ := dev.ReadBlock(bmBlk)
 	disklayout.SetBit(b, leakBlk%disklayout.BitsPerBlock)

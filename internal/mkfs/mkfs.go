@@ -4,6 +4,7 @@
 package mkfs
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/blockdev"
@@ -44,6 +45,9 @@ func Format(dev blockdev.Device, opts Options) (*disklayout.Superblock, error) {
 	for b := sb.NumBlocks; b < sb.BlockBitmapLen*disklayout.BitsPerBlock; b++ {
 		disklayout.SetBit(bbm, b)
 	}
+	// The backup superblock's block is permanently allocated too, so neither
+	// filesystem can hand it out as a data block.
+	disklayout.SetBit(bbm, sb.BackupBlk())
 
 	if err := writeRegion(dev, sb.InodeBitmapStart, ibm); err != nil {
 		return nil, fmt.Errorf("mkfs: inode bitmap: %w", err)
@@ -88,6 +92,11 @@ func Format(dev blockdev.Device, opts Options) (*disklayout.Superblock, error) {
 		return nil, fmt.Errorf("mkfs: journal superblock: %w", err)
 	}
 
+	// Backup first, then primary: the image is only valid once the primary
+	// lands, and the backup is already in place by then.
+	if err := dev.WriteBlock(sb.BackupBlk(), disklayout.EncodeSuperblock(sb)); err != nil {
+		return nil, fmt.Errorf("mkfs: backup superblock: %w", err)
+	}
 	if err := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); err != nil {
 		return nil, fmt.Errorf("mkfs: superblock: %w", err)
 	}
@@ -123,24 +132,80 @@ func ReadSuperblock(dev blockdev.Device) (*disklayout.Superblock, error) {
 	return sb, nil
 }
 
+// ReadBackupSuperblock loads and validates the backup superblock from the
+// last block of the device. The backup must describe an image whose final
+// block is exactly where it was found — a truncated or relocated image fails
+// rather than recovering against the wrong geometry.
+func ReadBackupSuperblock(dev blockdev.Device) (*disklayout.Superblock, error) {
+	blk := dev.NumBlocks() - 1
+	b, err := dev.ReadBlock(blk)
+	if err != nil {
+		return nil, fmt.Errorf("mkfs: read backup superblock: %w", err)
+	}
+	sb, err := disklayout.DecodeSuperblock(b)
+	if err != nil {
+		return nil, err
+	}
+	if sb.NumBlocks != dev.NumBlocks() {
+		return nil, fmt.Errorf("mkfs: backup superblock claims %d blocks but device has %d: %w",
+			sb.NumBlocks, dev.NumBlocks(), fserr.ErrCorrupt)
+	}
+	return sb, nil
+}
+
 // Recover replays the journal on a formatted device, the crash-recovery step
 // both mount and the contained reboot perform before trusting on-disk state.
+//
+// The primary superblock is rewritten in place at mount, unmount, and
+// journal checkpoints, so a crash can leave it torn. When the primary fails
+// validation, Recover falls back to the backup copy in the last block to
+// locate the journal, replays it (which itself rewrites block 0 when the
+// torn write was a journaled checkpoint), and self-heals whichever copy is
+// still invalid afterwards so both copies leave recovery intact.
 func Recover(dev blockdev.Device) (*disklayout.Superblock, journal.ReplayStats, error) {
-	sb, err := ReadSuperblock(dev)
-	if err != nil {
-		return nil, journal.ReplayStats{}, err
+	sb, primaryErr := ReadSuperblock(dev)
+	if primaryErr != nil {
+		if !errors.Is(primaryErr, fserr.ErrCorrupt) {
+			return nil, journal.ReplayStats{}, primaryErr
+		}
+		bsb, berr := ReadBackupSuperblock(dev)
+		if berr != nil {
+			// Both copies gone: report the primary's failure, the one a
+			// single-superblock layout would have shown.
+			return nil, journal.ReplayStats{}, primaryErr
+		}
+		sb = bsb
 	}
 	st, err := journal.Replay(dev, sb)
 	if err != nil {
 		return nil, st, err
 	}
-	if st.Blocks > 0 {
+	if st.Blocks > 0 || primaryErr != nil {
 		// A replayed transaction may have targeted block 0 (the sync path
 		// journals superblock clock updates), so the copy read above can be
 		// stale. Re-read after replay.
-		sb, err = ReadSuperblock(dev)
-		if err != nil {
+		fresh, err := ReadSuperblock(dev)
+		switch {
+		case err == nil:
+			sb = fresh
+		case errors.Is(err, fserr.ErrCorrupt) && primaryErr != nil:
+			// Replay did not repair the torn primary (the tear came from an
+			// in-place mount/unmount write, not a journaled one): heal it
+			// from the copy that got us here.
+			if werr := dev.WriteBlock(0, disklayout.EncodeSuperblock(sb)); werr != nil {
+				return nil, st, fmt.Errorf("mkfs: heal primary superblock: %w", werr)
+			}
+		default:
 			return nil, st, fmt.Errorf("mkfs: reload superblock after replay: %w", err)
+		}
+	}
+	// Heal the backup if it is the torn copy, so post-recovery images always
+	// carry two valid superblocks.
+	if bb, err := dev.ReadBlock(sb.BackupBlk()); err == nil {
+		if _, derr := disklayout.DecodeSuperblock(bb); derr != nil {
+			if werr := dev.WriteBlock(sb.BackupBlk(), disklayout.EncodeSuperblock(sb)); werr != nil {
+				return nil, st, fmt.Errorf("mkfs: heal backup superblock: %w", werr)
+			}
 		}
 	}
 	return sb, st, nil

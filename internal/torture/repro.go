@@ -1,0 +1,98 @@
+package torture
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/disklayout"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// Repro is a self-contained, replayable failure case: the exact prelude and
+// (shrunk) window plus the fault class and point, serialized as JSON so a
+// case found by one campaign run can be committed, shipped in a bug report,
+// and re-executed byte-for-byte by `torture -repro`.
+type Repro struct {
+	Version int    `json:"version"`
+	Class   string `json:"class"`
+	Kind    string `json:"kind"`
+	Locus   string `json:"locus"`
+	Detail  string `json:"detail,omitempty"`
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	Point   int    `json:"point"`
+	Shape   string `json:"shape"`
+	// Prelude and Window carry the operations verbatim (Data pages encode as
+	// base64 through encoding/json).
+	Prelude []*oplog.Op `json:"prelude"`
+	Window  []*oplog.Op `json:"window"`
+}
+
+// reproVersion guards the on-disk format.
+const reproVersion = 1
+
+// Repro converts a failure into its replayable form.
+func (f *Failure) Repro() *Repro {
+	return &Repro{
+		Version: reproVersion,
+		Class:   f.Class.String(),
+		Kind:    f.Kind,
+		Locus:   f.Locus,
+		Detail:  f.Detail,
+		Profile: f.Profile.String(),
+		Seed:    f.Seed,
+		Point:   f.Point,
+		Shape:   f.Shape,
+		Prelude: f.Prelude,
+		Window:  f.Window,
+	}
+}
+
+// Marshal serializes the repro.
+func (r *Repro) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// UnmarshalRepro parses a serialized repro.
+func UnmarshalRepro(data []byte) (*Repro, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("torture: bad repro: %w", err)
+	}
+	if r.Version != reproVersion {
+		return nil, fmt.Errorf("torture: repro version %d, want %d", r.Version, reproVersion)
+	}
+	if _, ok := classFromString(r.Class); !ok {
+		return nil, fmt.Errorf("torture: repro has unknown class %q", r.Class)
+	}
+	return &r, nil
+}
+
+// Run re-executes the repro and returns the failure it reproduces, or nil
+// when the tree no longer exhibits the bug (the expected outcome once the
+// fix lands: a committed repro doubles as a regression test).
+func (r *Repro) Run() (*Failure, error) {
+	class, ok := classFromString(r.Class)
+	if !ok {
+		return nil, fmt.Errorf("torture: unknown class %q", r.Class)
+	}
+	var profile workload.Profile
+	found := false
+	for _, p := range workload.Profiles() {
+		if p.String() == r.Profile {
+			profile, found = p, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("torture: unknown profile %q", r.Profile)
+	}
+	sb, err := disklayout.Geometry(devBlocks, devInodes, devJournal)
+	if err != nil {
+		return nil, err
+	}
+	want := &Failure{Class: class, Kind: r.Kind, Locus: r.Locus,
+		Profile: profile, Seed: r.Seed, WinLen: len(r.Window), Point: r.Point}
+	return reexecute(want, r.Prelude, r.Window, sb)
+}

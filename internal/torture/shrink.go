@@ -1,0 +1,98 @@
+package torture
+
+import (
+	"repro/internal/disklayout"
+	"repro/internal/oplog"
+)
+
+// shrinkFailure minimizes one failure's window to a smaller reproducer:
+// greedy op removal to a fixpoint (ddmin-lite — windows are ≤3 ops, so
+// single-op removal converges immediately), then write-payload truncation.
+// Every candidate is validated by a full re-execution of the failure's
+// class; a candidate counts only if it reproduces the same (class, kind,
+// locus) signature. Returns the (possibly unchanged) failure, the number of
+// executor runs spent, and the number of ops removed.
+func shrinkFailure(f *Failure, sb *disklayout.Superblock, budget int) (*Failure, int, int) {
+	attempts := 0
+	best := f
+	orig := len(f.Window)
+
+	reproduces := func(window []*oplog.Op) *Failure {
+		if attempts >= budget {
+			return nil
+		}
+		attempts++
+		g, err := reexecute(f, f.Prelude, window, sb)
+		if err != nil || !f.matches(g) {
+			return nil
+		}
+		return g
+	}
+
+	// Op removal to fixpoint.
+	for {
+		reduced := false
+		for i := 0; i < len(best.Window) && len(best.Window) > 1; i++ {
+			cand := make([]*oplog.Op, 0, len(best.Window)-1)
+			cand = append(cand, best.Window[:i]...)
+			cand = append(cand, best.Window[i+1:]...)
+			if g := reproduces(cand); g != nil {
+				best = g
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			break
+		}
+	}
+
+	// Payload truncation: halve write payloads while the failure holds.
+	for i, o := range best.Window {
+		for o.Kind == oplog.KWrite && len(o.Data) > 16 {
+			cand := make([]*oplog.Op, len(best.Window))
+			copy(cand, best.Window)
+			trimmed := o.Clone()
+			trimmed.Data = trimmed.Data[:len(trimmed.Data)/2]
+			cand[i] = trimmed
+			g := reproduces(cand)
+			if g == nil {
+				break
+			}
+			best = g
+			o = best.Window[i]
+		}
+	}
+
+	removed := orig - len(best.Window)
+	if removed > 0 || attempts > 0 && best != f {
+		best.Shrunk = best != f
+		best.OrigOps = orig
+	}
+	return best, attempts, removed
+}
+
+// reexecute runs one failure's class against an explicit (prelude, window)
+// pair and returns the first failure it produces, nil when the run is clean.
+// Crash and torn classes re-enumerate every crash point of the candidate
+// window (a reduced window moves the persistence points, so the original
+// point index does not transfer); fault classes replay the exact salt.
+func reexecute(f *Failure, prelude, window []*oplog.Op, sb *disklayout.Superblock) (*Failure, error) {
+	pl := newPlan(prelude, window, sb)
+	id := caseID{profile: f.Profile, seed: f.Seed, winLen: f.WinLen}
+	switch f.Class {
+	case ClassCrash, ClassTorn, ClassOracle:
+		res, err := runCrashEnum(id, pl, sb)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range res.failures {
+			if f.matches(g) {
+				return g, nil
+			}
+		}
+		return nil, nil
+	default:
+		return runFaultCase(id, pl, sb, f.Class, f.Point)
+	}
+}

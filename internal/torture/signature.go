@@ -1,0 +1,58 @@
+package torture
+
+import (
+	"strings"
+
+	"repro/internal/oplog"
+)
+
+// Signature is the dedup key: fault class, window op-kind shape, and the
+// first finding's kind and normalized locus. Two cases that crash the same
+// window shape into the same violated invariant at the same (normalized)
+// place are the same bug for triage purposes.
+func (f *Failure) Signature() string {
+	return f.Class.String() + "|" + f.Shape + "|" + f.Kind + ":" + f.Locus
+}
+
+// matches reports whether a re-execution failure represents the same
+// underlying bug as f. Shrinking changes the window shape on purpose, so
+// only the class and the finding identity take part.
+func (f *Failure) matches(g *Failure) bool {
+	return g != nil && f.Class == g.Class && f.Kind == g.Kind && f.Locus == g.Locus
+}
+
+// shapeOf renders a window as its comma-joined op kinds.
+func shapeOf(window []*oplog.Op) string {
+	parts := make([]string, len(window))
+	for i, o := range window {
+		parts[i] = o.Kind.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// normalizeLocus makes loci stable across case instances: digit runs
+// collapse to "N" (inode numbers, block numbers, sizes), path name suffixes
+// collapse too ("/dir3/mail123456" and "/dir0/mail99" dedup together).
+func normalizeLocus(s string) string {
+	if s == "" {
+		return "?"
+	}
+	var b strings.Builder
+	inDigits := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				b.WriteByte('N')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	out := b.String()
+	if len(out) > 96 {
+		out = out[:96]
+	}
+	return out
+}
