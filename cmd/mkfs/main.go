@@ -1,8 +1,10 @@
-// Command mkfs formats a file-backed image with the shared on-disk layout.
+// Command mkfs formats a file-backed image with the shared on-disk layout,
+// or upgrades an existing image's regular files to the extent layout.
 //
 // Usage:
 //
 //	mkfs -img disk.img -blocks 16384 [-inodes 4096] [-journal 64]
+//	mkfs -img disk.img -blocks 16384 -upgrade
 package main
 
 import (
@@ -19,18 +21,28 @@ func main() {
 	blocks := flag.Uint("blocks", 16384, "image size in 4 KiB blocks")
 	inodes := flag.Uint("inodes", 0, "inode table capacity (0 = derive from size)")
 	journal := flag.Uint("journal", 0, "journal region length in blocks (0 = default 64)")
+	upgrade := flag.Bool("upgrade", false, "convert an existing image's regular files to the extent layout instead of formatting")
 	flag.Parse()
 	if *img == "" {
 		fmt.Fprintln(os.Stderr, "mkfs: -img is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	dev, err := blockdev.OpenFile(*img, uint32(*blocks), true)
+	dev, err := blockdev.OpenFile(*img, uint32(*blocks), !*upgrade)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mkfs: %v\n", err)
 		os.Exit(1)
 	}
 	defer dev.Close()
+	if *upgrade {
+		n, err := mkfs.UpgradeExtents(dev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkfs: upgrade: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d files converted to the extent layout\n", *img, n)
+		return
+	}
 	sb, err := mkfs.Format(dev, mkfs.Options{
 		NumInodes:     uint32(*inodes),
 		JournalBlocks: uint32(*journal),

@@ -1,14 +1,19 @@
 // Command shadowbench regenerates the quantitative experiment series as
 // printed tables: common-case throughput (E3), recovery latency vs recorded
 // sequence length (E4), availability under a deterministic bug stream (E5),
-// and recording overhead (E6).
+// recording overhead (E6), and the extent-layout series (E16).
 //
 // Usage:
 //
-//	shadowbench [-series thput|recovery|avail|overhead|all] [-ops N] [-seed S]
+//	shadowbench [-series thput|recovery|avail|overhead|extent|all] [-ops N] [-seed S] [-json]
+//
+// With -json, each series additionally writes BENCH_<series>.json — a flat
+// machine-readable metric map (op/s, latency percentiles, bytes/s) — so the
+// perf trajectory can be tracked across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +27,22 @@ import (
 	"repro/internal/workload"
 )
 
+// benchMetrics collects the active series' machine-readable numbers when
+// -json is set; record is a no-op otherwise.
+var benchMetrics map[string]float64
+
+func record(key string, v float64) {
+	if benchMetrics != nil {
+		benchMetrics[key] = v
+	}
+}
+
 func main() {
-	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, fsck, multitenant, all")
+	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, fsck, multitenant, extent, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<series>.json per series")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *series != "all" && *series != name {
@@ -35,7 +51,14 @@ func main() {
 		// Each series starts from a clean process-global sink so its snapshot
 		// reflects only that series' activity.
 		telemetry.Default().Reset()
+		if *jsonOut {
+			benchMetrics = map[string]float64{}
+		}
 		f()
+		if *jsonOut {
+			writeJSON(name, *ops, *seed)
+			benchMetrics = nil
+		}
 		if *stats {
 			printSnapshot(name)
 		}
@@ -51,6 +74,72 @@ func main() {
 	run("concurrency", func() { concurrency(*ops, *seed) })
 	run("fsck", func() { fsckScale(*seed) })
 	run("multitenant", func() { multiTenant(*ops, *seed) })
+	run("extent", func() { extent(*seed) })
+}
+
+// writeJSON dumps the recorded metric map as BENCH_<series>.json in the
+// current directory.
+func writeJSON(series string, ops int, seed int64) {
+	doc := struct {
+		Series  string             `json:"series"`
+		Ops     int                `json:"ops"`
+		Seed    int64              `json:"seed"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{series, ops, seed, benchMetrics}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	check(err)
+	name := fmt.Sprintf("BENCH_%s.json", series)
+	check(os.WriteFile(name, append(b, '\n'), 0o644))
+	fmt.Printf("-- wrote %s (%d metrics) --\n\n", name, len(benchMetrics))
+}
+
+// extent prints the E16 series: large-file sequential throughput on the
+// extent layout vs the legacy bmap under a fixed per-IO service time, and
+// the scoped metadata check's device-IO cost as the image grows 16x.
+func extent(seed int64) {
+	const fileMB = 16
+	fmt.Println("== E16: extent layout — vectored sequential IO and metadata locality ==")
+	fmt.Printf("(one %d MiB sequential file; per-IO device service time %v)\n",
+		fileMB, experiments.ExtentIOLatency)
+	rows, err := experiments.ExtentSequential(fileMB, experiments.ExtentIOLatency, seed)
+	check(err)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "layout", "write MB/s", "wr calls", "read MB/s", "rd calls")
+	byLayout := map[string]experiments.ExtentSeqResult{}
+	for _, r := range rows {
+		byLayout[r.Layout] = r
+		fmt.Printf("%-8s %12.1f %12d %12.1f %12d\n",
+			r.Layout, r.WriteMBps, r.WriteCalls, r.ReadMBps, r.ReadCalls)
+		record("extent.seq."+r.Layout+".write_bytes_per_sec", r.WriteMBps*1e6)
+		record("extent.seq."+r.Layout+".read_bytes_per_sec", r.ReadMBps*1e6)
+		record("extent.seq."+r.Layout+".write_calls", float64(r.WriteCalls))
+		record("extent.seq."+r.Layout+".read_calls", float64(r.ReadCalls))
+	}
+	wSpeed := byLayout["extent"].WriteMBps / byLayout["bmap"].WriteMBps
+	rSpeed := byLayout["extent"].ReadMBps / byLayout["bmap"].ReadMBps
+	record("extent.seq.write_speedup", wSpeed)
+	record("extent.seq.read_speedup", rSpeed)
+	fmt.Printf("speedup: write %.1fx, read %.1fx (target >= 4x)\n\n", wSpeed, rSpeed)
+
+	sizes := []uint32{65536, 262144, 1048576}
+	fmt.Println("-- scoped metadata check vs image size (live data fixed: 4 MiB + 8 small files) --")
+	srows, err := experiments.ExtentMetadataScale(sizes, 4, seed)
+	check(err)
+	fmt.Printf("%-12s %12s %14s %14s\n", "image blks", "scope blks", "scoped reads", "elapsed")
+	minR, maxR := srows[0].ScopedReads, srows[0].ScopedReads
+	for _, r := range srows {
+		fmt.Printf("%-12d %12d %14d %14v\n", r.ImageBlocks, r.ScopeBlocks, r.ScopedReads, r.ScopedTime)
+		record(fmt.Sprintf("extent.meta.scoped_reads.%d", r.ImageBlocks), float64(r.ScopedReads))
+		if r.ScopedReads < minR {
+			minR = r.ScopedReads
+		}
+		if r.ScopedReads > maxR {
+			maxR = r.ScopedReads
+		}
+	}
+	flat := float64(maxR) / float64(minR)
+	record("extent.meta.flatness", flat)
+	fmt.Printf("flatness across %dx image growth: max/min reads = %.2fx (target <= 1.10x)\n\n",
+		sizes[len(sizes)-1]/sizes[0], flat)
 }
 
 // multiTenant prints the E14 series: a fleet of volumes under one volume
@@ -203,6 +292,8 @@ func latency(ops int, seed int64) {
 		check(err)
 		fmt.Printf("%-10.3f %8d %12v %12v %12v %12v %12v\n",
 			r.BugRate, r.Recoveries, r.P50, r.P95, r.P99, r.Max, r.Mean)
+		record(fmt.Sprintf("latency.rate%.3f.p50_ns", rate), float64(r.P50))
+		record(fmt.Sprintf("latency.rate%.3f.p99_ns", rate), float64(r.P99))
 	}
 	fmt.Println()
 }
@@ -233,6 +324,7 @@ func thput(ops int, seed int64) {
 			r, err := experiments.Throughput(sys, p, ops, seed)
 			check(err)
 			row[sys] = r.OpsPerSec
+			record(fmt.Sprintf("thput.%s.%s.ops_per_sec", p, sys), r.OpsPerSec)
 		}
 		fmt.Printf("%-12s %12.0f %12.0f %12.0f %12.0f %13.1fx\n",
 			p, row[experiments.SysBase], row[experiments.SysShadow],
@@ -302,6 +394,8 @@ func overhead(ops int, seed int64) {
 		r, err := experiments.RecordingOverhead(p, ops, seed)
 		check(err)
 		fmt.Printf("%-12s %14.0f %14.0f %9.1f%%\n", r.Profile, r.BaseOpsSec, r.RAEOpsSec, r.OverheadPct)
+		record(fmt.Sprintf("overhead.%s.base_ops_per_sec", p), r.BaseOpsSec)
+		record(fmt.Sprintf("overhead.%s.rae_ops_per_sec", p), r.RAEOpsSec)
 	}
 	fmt.Println()
 }

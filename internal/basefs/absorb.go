@@ -48,6 +48,15 @@ func (fs *FS) checkAbsorbRange(blk uint32) error {
 // Each inode must decode and be allocated in the absorbed state; that read
 // goes through the just-installed buffers.
 func (fs *FS) restoreLocked(fds []handoff.FDEntry, clock uint64) error {
+	// The absorbed bitmaps and inode table replace whatever the mount seeded
+	// the space accounting from; recompute it over the installed state. Any
+	// stale per-file extent state is invalidated wholesale.
+	fs.delMu.Lock()
+	fs.delalloc = make(map[uint32]*delFile)
+	fs.delMu.Unlock()
+	if err := fs.seedAccounting(); err != nil {
+		return fmt.Errorf("basefs: absorb accounting: %w", err)
+	}
 	fs.fds = make(map[fsapi.FD]*fdEntry, len(fds))
 	for _, e := range fds {
 		ci, err := fs.getAllocInode(e.Ino)

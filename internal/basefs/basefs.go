@@ -50,6 +50,11 @@ type Options struct {
 	// for plain LRU, "2q" for the scan-resistant 2Q policy the paper names
 	// among the base's sophisticated caching machinery.
 	CachePolicy string
+	// LegacyLayout forces new regular files onto the per-block direct/indirect
+	// pointer tree instead of extents. Existing extent files remain readable
+	// either way; this is the ablation knob the extent benchmarks compare
+	// against.
+	LegacyLayout bool
 	// ExtraChecks enables the expensive validations the base normally skips
 	// (pointer validation on every inode load, dirent re-validation on every
 	// scan). Used for ablations; the shadow always checks.
@@ -129,8 +134,21 @@ type FS struct {
 	jnl   *journal.Journal
 
 	// allocMu serializes bitmap scans so concurrent data-path allocations
-	// don't double-allocate.
+	// don't double-allocate. It also guards usedData.
 	allocMu sync.Mutex
+	// usedData is the logical data-region charge in blocks — the count the
+	// specification model would have for the same namespace. For legacy files
+	// it equals the physical blocks consumed; for extent files (whose physical
+	// footprint is smaller) the difference is tracked so ENOSPC fires at
+	// exactly the model's time. Guarded by allocMu.
+	usedData int64
+	// dataBlocks caches sb.DataBlocks() (the model's capacity).
+	dataBlocks int64
+
+	// delMu guards the delalloc map itself; each delFile's contents are
+	// guarded by its inode's lock (data path) or the namespace write lock.
+	delMu    sync.Mutex
+	delalloc map[uint32]*delFile
 
 	// syncMu guards the sync-round coordination state (see syncShared):
 	// concurrent fsyncs coalesce onto rounds instead of serializing whole
@@ -172,6 +190,10 @@ type FS struct {
 	telSyncRounds     *telemetry.Counter
 	telCkptBlocks     *telemetry.Counter
 	telFlushesPerSync *telemetry.Gauge
+	telExtFiles       *telemetry.Counter
+	telExtMatBlocks   *telemetry.Counter
+	telExtMatRuns     *telemetry.Counter
+	telExtDemotions   *telemetry.Counter
 	opHist            map[string]*telemetry.Histogram
 }
 
@@ -239,16 +261,26 @@ func Mount(dev blockdev.Device, opts Options) (*FS, error) {
 		jnl:         jnl,
 		unstable:    make(map[uint32][]byte),
 		fds:         make(map[fsapi.FD]*fdEntry),
+		delalloc:    make(map[uint32]*delFile),
+		dataBlocks:  int64(sb.DataBlocks()),
 		mountReplay: rst,
 		opts:        opts,
 	}
 	fs.clock.Store(sb.LastClock)
+	if err := fs.seedAccounting(); err != nil {
+		q.Close()
+		return nil, fmt.Errorf("basefs: mount accounting: %w", err)
+	}
 	if tel := opts.Telemetry; tel != nil {
 		fs.tel = tel
 		fs.telWarns = tel.Counter("basefs.warns")
 		fs.telSyncRounds = tel.Counter("basefs.sync.rounds")
 		fs.telCkptBlocks = tel.Counter("basefs.sync.checkpointed_blocks")
 		fs.telFlushesPerSync = tel.Gauge("basefs.sync.flushes_per_sync")
+		fs.telExtFiles = tel.Counter("extent.files")
+		fs.telExtMatBlocks = tel.Counter("extent.delalloc.materialized_blocks")
+		fs.telExtMatRuns = tel.Counter("extent.delalloc.write_runs")
+		fs.telExtDemotions = tel.Counter("extent.demotions")
 		fs.opHist = make(map[string]*telemetry.Histogram, len(opNames))
 		for _, op := range opNames {
 			fs.opHist[op] = tel.Histogram("basefs.op." + op)

@@ -329,7 +329,14 @@ func (fs *FS) truncateDouble(blk uint32, relKeep int64) (empty bool, err error) 
 }
 
 // freeAllBlocks releases every block an inode maps (unlink of the last
-// reference or replacement by rename).
+// reference or replacement by rename), whichever layout it uses.
 func (fs *FS) freeAllBlocks(ci *cache.CachedInode) error {
+	if ci.Inode.IsExtents() {
+		if err := fs.truncateExtents(ci, 0); err != nil {
+			return err
+		}
+		fs.dropDelFile(ci.Ino)
+		return nil
+	}
 	return fs.truncateBlocks(ci, 0)
 }

@@ -1,0 +1,85 @@
+package basefs
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/mkfs"
+	"repro/internal/oplog"
+	"repro/internal/workload"
+)
+
+// debugCounts reports (usedData, dataBlocks, physical data-region population
+// minus the backup block) for the accounting-invariant test.
+func (fs *FS) debugCounts() (used, total, phys int64) {
+	fs.allocMu.Lock()
+	used, total = fs.usedData, fs.dataBlocks
+	fs.allocMu.Unlock()
+	for rel := uint32(0); rel < fs.sb.BlockBitmapLen; rel++ {
+		buf, err := fs.bc.Get(fs.sb.BlockBitmapStart + rel)
+		if err != nil {
+			return used, total, -1
+		}
+		base := rel * disklayout.BitsPerBlock
+		if base >= fs.sb.NumBlocks {
+			fs.bc.Release(buf)
+			break
+		}
+		limit := uint32(disklayout.BitsPerBlock)
+		if fs.sb.NumBlocks-base < limit {
+			limit = fs.sb.NumBlocks - base
+		}
+		lo := uint32(0)
+		if fs.sb.DataStart > base {
+			lo = fs.sb.DataStart - base
+		}
+		for i := lo; i < limit; i++ {
+			if disklayout.TestBit(buf.Data, i) {
+				phys++
+			}
+		}
+		fs.bc.Release(buf)
+	}
+	phys-- // backup superblock bit is permanently set
+	return used, total, phys
+}
+
+// TestExtentAccountingInvariant pins the feasibility invariant the delayed
+// allocator's ENOSPC parity rests on:
+//
+//	physical blocks used  <=  fs.usedData  <=  fs.dataBlocks
+//
+// after every operation of a space-pressured workload. The regression it
+// guards: demoteToBmap used to re-allocate physical homes for pending
+// buffers whose runs a sync round had already allocated, leaking the first
+// allocation and pushing physical use past the logical charge — which
+// surfaced as sync() returning ENOSPC where the specification model says
+// success.
+func TestExtentAccountingInvariant(t *testing.T) {
+	for _, seed := range []int64{7, 42, 99} {
+		dev := blockdev.NewMem(400)
+		sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Mount(dev, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := workload.Generate(workload.Config{
+			Profile: workload.DataHeavy, Seed: seed, NumOps: 600, Superblock: sb,
+		})
+		for i, op := range trace {
+			o := op.Clone()
+			o.Errno, o.RetFD, o.RetIno, o.RetN = 0, 0, 0, 0
+			_ = oplog.Apply(fs, o)
+			used, total, phys := fs.debugCounts()
+			if phys > used || used > total {
+				t.Fatalf("seed %d op %d (%s): invariant broken: phys=%d used=%d total=%d",
+					seed, i, o.String(), phys, used, total)
+			}
+		}
+		fs.Kill()
+	}
+}

@@ -137,10 +137,20 @@ func (fs *FS) freeInode(ci *cache.CachedInode) error {
 }
 
 // allocBlock claims the lowest free data block and marks the bitmap dirty.
+// This is the legacy-layout path, where one physical block is one unit of
+// the model's charge; it fails with ErrNoSpace when the logical budget is
+// exhausted even if extent slack leaves physical blocks free.
 func (fs *FS) allocBlock() (uint32, error) {
 	fs.allocMu.Lock()
 	defer fs.allocMu.Unlock()
-	return fs.allocBlockLocked()
+	if fs.usedData+1 > fs.dataBlocks {
+		return 0, fserr.ErrNoSpace
+	}
+	p, err := fs.allocBlockLocked()
+	if err == nil {
+		fs.usedData++
+	}
+	return p, err
 }
 
 func (fs *FS) allocBlockLocked() (uint32, error) {
@@ -166,8 +176,14 @@ func (fs *FS) allocBlockLocked() (uint32, error) {
 	return 0, fserr.ErrNoSpace
 }
 
-// freeBlock returns a data block to the bitmap and drops any cached buffer.
+// freeBlock returns a data block to the bitmap, releases its unit of the
+// logical charge (the legacy-path counterpart of allocBlock), and drops any
+// cached buffer.
 func (fs *FS) freeBlock(blk uint32) error {
+	return fs.freeBlockCharged(blk, true)
+}
+
+func (fs *FS) freeBlockCharged(blk uint32, charge bool) error {
 	if blk < fs.sb.DataStart || blk >= fs.sb.NumBlocks {
 		return fmt.Errorf("basefs: freeing block %d outside data region: %w", blk, fserr.ErrCorrupt)
 	}
@@ -181,6 +197,9 @@ func (fs *FS) freeBlock(blk uint32) error {
 	disklayout.ClearBit(buf.Data, blk%disklayout.BitsPerBlock)
 	fs.bc.MarkDirtyMeta(buf)
 	fs.bc.Release(buf)
+	if charge {
+		fs.usedData--
+	}
 	fs.allocMu.Unlock()
 	fs.bc.Drop(blk)
 	return nil

@@ -122,6 +122,10 @@ func (fs *FS) Create(path string, perm uint16) (fsapi.FD, error) {
 		return -1, err
 	}
 	ci.Inode.Nlink = 1
+	if !fs.opts.LegacyLayout {
+		ci.Inode.Flags |= disklayout.FlagExtents
+		fs.telExtFiles.Inc()
+	}
 	if err := fs.fire(&faultinject.Site{
 		Op: "create", Point: "alloc", Path: path,
 		InodeSize: &ci.Inode.Size, InodePtr: &ci.Inode.Direct[0],
@@ -248,6 +252,12 @@ func (fs *FS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
 		end = size
 	}
 	out := make([]byte, end-off)
+	if ci.Inode.IsExtents() {
+		if err := fs.extReadInto(ci, off, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for pos := off; pos < end; {
 		bi := pos / disklayout.BlockSize
 		boff := pos % disklayout.BlockSize
@@ -297,37 +307,49 @@ func (fs *FS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
 	}
 	ci.Mu.Lock()
 	defer ci.Mu.Unlock()
+	// The corruption target must be a pointer word the sync path persists
+	// as-is: on extent inodes Direct[0] is inline-extent storage that
+	// materialization rewrites, so scribble DblIndir (must be zero there)
+	// instead.
+	ptrWord := &ci.Inode.Direct[0]
+	if ci.Inode.IsExtents() {
+		ptrWord = &ci.Inode.DblIndir
+	}
 	if err := fs.fire(&faultinject.Site{
 		Op: "writeat", Point: "inode",
-		InodeSize: &ci.Inode.Size, InodePtr: &ci.Inode.Direct[0],
+		InodeSize: &ci.Inode.Size, InodePtr: ptrWord,
 	}); err != nil {
 		return 0, err
 	}
 	written := 0
 	end := off + int64(len(data))
 	var werr error
-	for pos := off; pos < end; {
-		bi := pos / disklayout.BlockSize
-		boff := pos % disklayout.BlockSize
-		chunk := disklayout.BlockSize - boff
-		if pos+chunk > end {
-			chunk = end - pos
+	if ci.Inode.IsExtents() {
+		written, werr = fs.extWriteBlocks(ci, off, data)
+	} else {
+		for pos := off; pos < end; {
+			bi := pos / disklayout.BlockSize
+			boff := pos % disklayout.BlockSize
+			chunk := disklayout.BlockSize - boff
+			if pos+chunk > end {
+				chunk = end - pos
+			}
+			p, err := fs.bmapAlloc(ci, bi)
+			if err != nil {
+				werr = err
+				break
+			}
+			buf, err := fs.bc.Get(p)
+			if err != nil {
+				werr = err
+				break
+			}
+			copy(buf.Data[boff:boff+chunk], data[written:written+int(chunk)])
+			fs.bc.MarkDirty(buf)
+			fs.bc.Release(buf)
+			written += int(chunk)
+			pos += chunk
 		}
-		p, err := fs.bmapAlloc(ci, bi)
-		if err != nil {
-			werr = err
-			break
-		}
-		buf, err := fs.bc.Get(p)
-		if err != nil {
-			werr = err
-			break
-		}
-		copy(buf.Data[boff:boff+chunk], data[written:written+int(chunk)])
-		fs.bc.MarkDirty(buf)
-		fs.bc.Release(buf)
-		written += int(chunk)
-		pos += chunk
 	}
 	if written > 0 {
 		if off+int64(written) > ci.Inode.Size {
@@ -366,12 +388,21 @@ func (fs *FS) Truncate(path string, size int64) error {
 	switch {
 	case size < old:
 		keep := (size + disklayout.BlockSize - 1) / disklayout.BlockSize
-		if err := fs.truncateBlocks(ci, keep); err != nil {
+		if ci.Inode.IsExtents() {
+			if err := fs.truncateExtents(ci, keep); err != nil {
+				return err
+			}
+		} else if err := fs.truncateBlocks(ci, keep); err != nil {
 			return err
 		}
 		// Zero the tail of the last kept block so a later extension reads
-		// zeros, as POSIX requires.
-		if tail := size % disklayout.BlockSize; tail != 0 {
+		// zeros, as POSIX requires. A truncate can demote an over-fragmented
+		// extent file, so re-check the layout here.
+		if ci.Inode.IsExtents() {
+			if err := fs.extZeroTail(ci, size); err != nil {
+				return err
+			}
+		} else if tail := size % disklayout.BlockSize; tail != 0 {
 			p, err := fs.bmap(ci, size/disklayout.BlockSize)
 			if err != nil {
 				return err

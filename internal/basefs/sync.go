@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/blockdev"
 	"repro/internal/cache"
 	"repro/internal/disklayout"
 	"repro/internal/faultinject"
@@ -170,6 +171,14 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 	if err := fs.fire(&faultinject.Site{Op: "sync", Point: "entry"}); err != nil {
 		return err
 	}
+	// Materialize delayed allocations first: run and node allocation dirties
+	// bitmap, node, and inode state that this round's snapshot must cover.
+	// The returned runs are written home in Phase B before the journal
+	// commit, preserving ordered-mode crash safety for delalloc data.
+	runs, rets, err := fs.materializeDelalloc()
+	if err != nil {
+		return err
+	}
 	// Fold dirty inodes into their table blocks.
 	for _, ci := range fs.ic.DirtyInodes() {
 		if err := fs.validateInodeForPersist(ci); err != nil {
@@ -226,15 +235,36 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 	// target (it held journaled metadata, was freed, and was reallocated as
 	// data), writing it home now would let a crash replay stale metadata
 	// over the new data. Checkpoint first to retire those records.
+	guard := false
 	for _, s := range data {
 		if fs.jnl.Contains(s.Blk) {
-			n, err := fs.checkpoint()
-			flushes += n
-			if err != nil {
-				return err
-			}
+			guard = true
 			break
 		}
+	}
+	for _, r := range runs {
+		if guard {
+			break
+		}
+		for i := range r.Bufs {
+			if fs.jnl.Contains(r.Blk + uint32(i)) {
+				guard = true
+				break
+			}
+		}
+	}
+	if guard {
+		n, err := fs.checkpoint()
+		flushes += n
+		if err != nil {
+			return err
+		}
+	}
+	// Delalloc runs first so the large vectored writes overlap the per-block
+	// write-back below.
+	var vecReqs []*blockdev.Request
+	for _, r := range runs {
+		vecReqs = append(vecReqs, fs.queue.WriteVecAsync(r.Blk, r.Bufs))
 	}
 	var reqs []*struct {
 		snap cache.DirtySnap
@@ -253,12 +283,18 @@ func (fs *FS) runSyncRound(ckpt bool) error {
 		}
 		fs.bc.MarkCleanVer(r.snap.Buf, r.snap.Ver)
 	}
+	for _, r := range vecReqs {
+		if err := r.Wait(); err != nil {
+			return fmt.Errorf("basefs: sync delalloc write-back: %w", err)
+		}
+	}
+	fs.retireDelalloc(rets)
 	// Data needs a flush barrier before the commit record, but when a commit
 	// follows (the common case: any metadata changed), its pre-commit-record
 	// flush is that barrier — the data writes above have already completed at
 	// the device, so the journal's first flush covers them. Only a data-only
 	// round pays its own flush.
-	if len(data) > 0 && len(meta) == 0 {
+	if (len(data) > 0 || len(runs) > 0) && len(meta) == 0 {
 		if err := fs.queue.Flush(); err != nil {
 			return fmt.Errorf("basefs: sync data flush: %w", err)
 		}

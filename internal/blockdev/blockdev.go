@@ -43,6 +43,12 @@ type Stats struct {
 	Flushes     atomic.Int64
 	ReadErrors  atomic.Int64
 	WriteErrors atomic.Int64
+	// ReadCalls and WriteCalls count device-level IO calls: a vectored run
+	// of any length is one call, a per-block transfer is one call per block.
+	// Reads/Writes keep counting blocks, so calls vs blocks is the
+	// coalescing ratio.
+	ReadCalls  atomic.Int64
+	WriteCalls atomic.Int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -53,12 +59,15 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Flushes:     s.Flushes.Load(),
 		ReadErrors:  s.ReadErrors.Load(),
 		WriteErrors: s.WriteErrors.Load(),
+		ReadCalls:   s.ReadCalls.Load(),
+		WriteCalls:  s.WriteCalls.Load(),
 	}
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
 	Reads, Writes, Flushes, ReadErrors, WriteErrors int64
+	ReadCalls, WriteCalls                           int64
 }
 
 // FaultPlan describes device-level fault injection. The zero value injects
@@ -234,6 +243,7 @@ func (d *Mem) ReadBlock(blk uint32) ([]byte, error) {
 	d.mu.RUnlock()
 
 	d.stats.Reads.Add(1)
+	d.stats.ReadCalls.Add(1)
 	if faults != nil {
 		if faults.ReadLatency > 0 {
 			time.Sleep(faults.ReadLatency)
@@ -301,6 +311,7 @@ func (d *Mem) WriteBlock(blk uint32, data []byte) error {
 	hook := d.onWrite
 	d.mu.Unlock()
 	d.stats.Writes.Add(1)
+	d.stats.WriteCalls.Add(1)
 	if hook != nil {
 		hook(blk)
 	}
@@ -416,6 +427,7 @@ func (d *File) ReadBlock(blk uint32) ([]byte, error) {
 		return nil, fmt.Errorf("blockdev: read block %d: %v: %w", blk, err, fserr.ErrIO)
 	}
 	d.stat.Reads.Add(1)
+	d.stat.ReadCalls.Add(1)
 	return buf, nil
 }
 
@@ -436,6 +448,7 @@ func (d *File) WriteBlock(blk uint32, data []byte) error {
 		return fmt.Errorf("blockdev: write block %d: %v: %w", blk, err, fserr.ErrIO)
 	}
 	d.stat.Writes.Add(1)
+	d.stat.WriteCalls.Add(1)
 	return nil
 }
 
@@ -541,17 +554,55 @@ type Prefetched struct {
 	mu     sync.RWMutex
 	blocks map[uint32][]byte
 
-	next    atomic.Uint32 // next block the worker crew will fetch
+	spans   []BlockRange  // chunked work list the crew claims from
+	next    atomic.Uint32 // next span index the worker crew will fetch
 	stopped atomic.Bool
 	done    sync.WaitGroup
 }
 
-// NewPrefetched wraps the frozen view and starts workers background
-// readers. Callers must Release when the consumers are finished so the
-// cache memory and the worker crew are reclaimed.
+// BlockRange is a contiguous block range [Start, Start+Len).
+type BlockRange struct {
+	Start, Len uint32
+}
+
+// prefetchChunk is the largest run one prefetch claim transfers. Adjacent
+// blocks within a claim are read in one ranged device call rather than one
+// call per block.
+const prefetchChunk = 32
+
+// NewPrefetched wraps the frozen view and starts workers background readers
+// over the whole device. Callers must Release when the consumers are
+// finished so the cache memory and the worker crew are reclaimed.
 func NewPrefetched(dev Device, workers int) *Prefetched {
+	return NewPrefetchedRanges(dev, workers, []BlockRange{{Start: 0, Len: dev.NumBlocks()}})
+}
+
+// NewPrefetchedRanges is NewPrefetched restricted to the given block ranges
+// — the extent-keyed variant: a caller that knows where the live data sits
+// (an extent walk, a recovery plan's touched set) prefetches exactly that,
+// so the crew's IO tracks live data instead of device size. Ranges are
+// clipped to the device and fetched in order; blocks outside them are still
+// served by read-through.
+func NewPrefetchedRanges(dev Device, workers int, ranges []BlockRange) *Prefetched {
 	p := &Prefetched{dev: dev, blocks: make(map[uint32][]byte)}
 	n := dev.NumBlocks()
+	for _, r := range ranges {
+		if r.Start >= n {
+			continue
+		}
+		if uint64(r.Start)+uint64(r.Len) > uint64(n) {
+			r.Len = n - r.Start
+		}
+		// Split into claim-sized spans so the crew load-balances within big
+		// ranges.
+		for off := uint32(0); off < r.Len; off += prefetchChunk {
+			l := r.Len - off
+			if l > prefetchChunk {
+				l = prefetchChunk
+			}
+			p.spans = append(p.spans, BlockRange{Start: r.Start + off, Len: l})
+		}
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -560,29 +611,65 @@ func NewPrefetched(dev Device, workers int) *Prefetched {
 		go func() {
 			defer p.done.Done()
 			for {
-				blk := p.next.Add(1) - 1
-				if blk >= n || p.stopped.Load() {
+				i := int(p.next.Add(1)) - 1
+				if i >= len(p.spans) || p.stopped.Load() {
 					return
 				}
-				p.mu.RLock()
-				_, have := p.blocks[blk]
-				p.mu.RUnlock()
-				if have {
-					continue
-				}
-				buf, err := p.dev.ReadBlock(blk)
-				if err != nil {
-					continue // consumers re-read and surface the error themselves
-				}
-				p.mu.Lock()
-				if _, have := p.blocks[blk]; !have {
-					p.blocks[blk] = buf
-				}
-				p.mu.Unlock()
+				p.fetchSpan(p.spans[i])
 			}
 		}()
 	}
 	return p
+}
+
+// fetchSpan pulls one span into the cache, coalescing the blocks not yet
+// cached into ranged reads. A failed ranged read falls back to per-block
+// reads so one bad sector doesn't forfeit its neighbors (and consumers
+// re-read and surface the error themselves, as before).
+func (p *Prefetched) fetchSpan(span BlockRange) {
+	missing := make([]uint32, 0, span.Len)
+	p.mu.RLock()
+	for b := span.Start; b < span.Start+span.Len; b++ {
+		if _, have := p.blocks[b]; !have {
+			missing = append(missing, b)
+		}
+	}
+	p.mu.RUnlock()
+	for i := 0; i < len(missing); {
+		j := i + 1
+		for j < len(missing) && missing[j] == missing[j-1]+1 {
+			j++
+		}
+		start, count := missing[i], j-i
+		backing := make([]byte, count*disklayout.BlockSize)
+		bufs := make([][]byte, count)
+		for k := range bufs {
+			bufs[k] = backing[k*disklayout.BlockSize : (k+1)*disklayout.BlockSize]
+		}
+		if err := ReadVec(p.dev, []Run{{Blk: start, Bufs: bufs}}); err != nil {
+			for k := 0; k < count; k++ {
+				buf, err := p.dev.ReadBlock(start + uint32(k))
+				if err != nil {
+					continue
+				}
+				p.install(start+uint32(k), buf)
+			}
+		} else {
+			for k := 0; k < count; k++ {
+				p.install(start+uint32(k), bufs[k])
+			}
+		}
+		i = j
+	}
+}
+
+// install caches one fetched block unless a concurrent fetch beat it there.
+func (p *Prefetched) install(blk uint32, buf []byte) {
+	p.mu.Lock()
+	if _, have := p.blocks[blk]; !have {
+		p.blocks[blk] = buf
+	}
+	p.mu.Unlock()
 }
 
 // ReadBlock implements Device: cache hit or read-through (populating the

@@ -62,13 +62,17 @@ const (
 	OpRead OpKind = iota
 	OpWrite
 	OpFlush
+	// OpWriteVec writes the contiguous run [Blk, Blk+len(Bufs)) in one
+	// device-level call when the device supports it.
+	OpWriteVec
 )
 
 // Request is one queued block IO.
 type Request struct {
 	Kind OpKind
 	Blk  uint32
-	Data []byte // payload for writes; result buffer for reads
+	Data []byte   // payload for writes; result buffer for reads
+	Bufs [][]byte // payload run for OpWriteVec, one buffer per block
 	Err  error
 	done chan struct{}
 	// epoch is the flush epoch this request was submitted under.
@@ -112,6 +116,11 @@ func (q *Queue) worker() {
 			r.Err = q.dev.WriteBlock(r.Blk, r.Data)
 			t.Stop()
 			q.tel.writes.Inc()
+		case OpWriteVec:
+			t := telemetry.StartTimer(q.tel.hWrite)
+			r.Err = WriteVec(q.dev, []Run{{Blk: r.Blk, Bufs: r.Bufs}})
+			t.Stop()
+			q.tel.writes.Add(int64(len(r.Bufs)))
 		case OpFlush:
 			t := telemetry.StartTimer(q.tel.hFlush)
 			r.Err = q.dev.Flush()
@@ -159,6 +168,13 @@ func (q *Queue) Write(blk uint32, data []byte) error {
 // write-back path uses this to overlap IO.
 func (q *Queue) WriteAsync(blk uint32, data []byte) *Request {
 	return q.Submit(&Request{Kind: OpWrite, Blk: blk, Data: data})
+}
+
+// WriteVecAsync enqueues one contiguous run as a single request. The base's
+// extent write-back turns each allocated run into one of these, so a large
+// sequential sync costs a handful of queue round-trips and device calls.
+func (q *Queue) WriteVecAsync(blk uint32, bufs [][]byte) *Request {
+	return q.Submit(&Request{Kind: OpWriteVec, Blk: blk, Bufs: bufs})
 }
 
 // sealEpoch atomically replaces the current epoch and returns the old one,

@@ -512,6 +512,45 @@ func (c *BufferCache) Install(blk uint32, data []byte, meta bool) {
 	b.ver++
 }
 
+// Peek returns the cached buffer for blk pinned, or nil without performing
+// any IO. The vectored read path uses it to separate cache hits (which may be
+// dirtier than disk) from the misses it batches into device-level runs.
+func (c *BufferCache) Peek(blk uint32) *Buf {
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	b, ok := s.bufs[blk]
+	if !ok {
+		return nil
+	}
+	b.pins++
+	if b.elem != nil {
+		s.lru.MoveToBack(b.elem)
+	}
+	s.hits++
+	c.telHits.Inc()
+	s.touchPolicyLocked(blk)
+	return b
+}
+
+// InstallClean adopts externally produced contents that are known to match
+// the device (a completed vectored read or write-back) as a clean, unpinned
+// buffer. If the block is already cached, the existing buffer — which may
+// carry newer, dirty content — wins and the install is a no-op. The caller
+// hands over ownership of data.
+func (c *BufferCache) InstallClean(blk uint32, data []byte) {
+	s := c.shardFor(blk)
+	c.lock(s)
+	defer s.mu.Unlock()
+	if _, ok := s.bufs[blk]; ok {
+		return
+	}
+	b := &Buf{Blk: blk, Data: data}
+	s.bufs[blk] = b
+	s.touchPolicyLocked(blk)
+	s.maybeCacheLocked(b)
+}
+
 // Drop removes a block from the cache regardless of state (used when a block
 // is freed). If the buffer is still pinned, its holder may keep using it,
 // but it is marked dropped and will never re-enter the cache.

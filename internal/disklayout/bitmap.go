@@ -60,6 +60,49 @@ func FindFree(bm []byte, hint, limit uint32) (uint32, bool) {
 	return 0, false
 }
 
+// FindFreeRun returns the start of the longest run of clear bits it can find
+// of length at most want, preferring the first run at or after hint that
+// satisfies want in full. It scans at most limit bits, wrapping once. The
+// returned length is min(run length, want); ok is false when no bit is free.
+// Delayed allocation uses this to place a whole dirty range contiguously,
+// falling back to whatever shorter runs exist under fragmentation.
+func FindFreeRun(bm []byte, hint, limit, want uint32) (start, n uint32, ok bool) {
+	if limit == 0 || want == 0 {
+		return 0, 0, false
+	}
+	if hint >= limit {
+		hint = 0
+	}
+	var bestStart, bestLen uint32
+	scan := func(from, to uint32) bool {
+		i := from
+		for i < to {
+			if TestBit(bm, i) {
+				i++
+				continue
+			}
+			runStart := i
+			for i < to && i-runStart < want && !TestBit(bm, i) {
+				i++
+			}
+			if runLen := i - runStart; runLen > bestLen {
+				bestStart, bestLen = runStart, runLen
+				if bestLen >= want {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !scan(hint, limit) {
+		scan(0, hint)
+	}
+	if bestLen == 0 {
+		return 0, 0, false
+	}
+	return bestStart, bestLen, true
+}
+
 // CountSet returns the number of set bits among the first limit bits of bm.
 func CountSet(bm []byte, limit uint32) uint32 {
 	var n uint32

@@ -382,8 +382,12 @@ func DecodeInode(b []byte) (*Inode, error) {
 
 // ValidatePointers checks that every block pointer in ino lies in the data
 // region described by sb (or is the nil pointer 0). Indirect blocks' contents
-// are validated separately when read.
+// are validated separately when read. Extent inodes validate their inline
+// runs and chain head instead of the pointer tree.
 func (ino *Inode) ValidatePointers(sb *Superblock) error {
+	if ino.IsExtents() {
+		return ino.validateExtentPointers(sb)
+	}
 	check := func(what string, p uint32) error {
 		if p != 0 && (p < sb.DataStart || p >= sb.NumBlocks) {
 			return fmt.Errorf("inode: %s pointer %d outside data region [%d,%d): %w",

@@ -1,0 +1,258 @@
+package disklayout
+
+// Extent-based file mapping. An inode with FlagExtents set stores its data
+// map as a sorted list of extents — (file block, start block, length) runs —
+// instead of the per-block direct/indirect pointer tree. The first
+// MaxInlineExtents extents live inline in the inode's pointer area (the
+// Direct array reinterpreted as 3-word records); when a file fragments
+// beyond that, the tail of the list spills into a chain of CRC-covered
+// extent-node blocks linked from the Indirect field. DblIndir is unused and
+// must be zero on extent inodes.
+//
+// The two layouts coexist in one image: directories and symlinks always use
+// the legacy block map (their access pattern is pointer-chasing anyway), and
+// regular files written by a legacy-layout mount remain readable — every
+// reader branches on FlagExtents, which is the bmap→extent compatibility
+// contract. mkfs.UpgradeExtents converts legacy regular files in place.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/fserr"
+)
+
+// Inode.Flags bits.
+const (
+	// FlagExtents marks an inode whose data map is the extent list described
+	// above rather than the direct/indirect pointer tree.
+	FlagExtents = uint32(1) << 0
+)
+
+// Extent geometry.
+const (
+	// MaxInlineExtents is the number of extents stored inline in the inode's
+	// Direct pointer area (NumDirect u32 slots / 3 words per extent).
+	MaxInlineExtents = NumDirect / 3
+	// ExtentNodeMagic identifies an extent overflow node block.
+	ExtentNodeMagic = 0x5AD0E741
+	// extentNodeHeader is the byte size of the node header: magic u32,
+	// count u16, pad u16, next u32, reserved u32.
+	extentNodeHeader = 16
+	// ExtentSize is the encoded size of one extent record.
+	ExtentSize = 12
+	// ExtentsPerNode is how many extents one overflow node block holds.
+	ExtentsPerNode = (BlockSize - extentNodeHeader - 4) / ExtentSize
+	// maxExtentNodes bounds an extent chain walk: enough for a maximally
+	// fragmented (all single-block extents) maximum-size file, and small
+	// enough that a pointer cycle is detected rather than walked forever.
+	maxExtentNodes = MaxFileBlocks/ExtentsPerNode + 2
+)
+
+// Extent describes one contiguous run of file data: file blocks
+// [FileOff, FileOff+Len) live in device blocks [Start, Start+Len).
+// Offsets and lengths are in blocks. A zero-Len extent is an unused slot.
+type Extent struct {
+	FileOff uint32
+	Start   uint32
+	Len     uint32
+}
+
+// End returns the first file block past the extent.
+func (e Extent) End() uint32 { return e.FileOff + e.Len }
+
+// IsExtents reports whether the inode uses the extent mapping.
+func (ino *Inode) IsExtents() bool { return ino.Flags&FlagExtents != 0 }
+
+// InlineExtents decodes the inode's inline extent slots (used and unused).
+// Only meaningful when IsExtents.
+func (ino *Inode) InlineExtents() [MaxInlineExtents]Extent {
+	var out [MaxInlineExtents]Extent
+	for i := range out {
+		out[i] = Extent{
+			FileOff: ino.Direct[3*i],
+			Start:   ino.Direct[3*i+1],
+			Len:     ino.Direct[3*i+2],
+		}
+	}
+	return out
+}
+
+// SetInlineExtents stores exts (at most MaxInlineExtents) into the inode's
+// pointer area, zeroing unused slots.
+func (ino *Inode) SetInlineExtents(exts []Extent) {
+	if len(exts) > MaxInlineExtents {
+		panic(fmt.Sprintf("disklayout: %d inline extents exceed %d", len(exts), MaxInlineExtents))
+	}
+	for i := 0; i < MaxInlineExtents; i++ {
+		var e Extent
+		if i < len(exts) {
+			e = exts[i]
+		}
+		ino.Direct[3*i] = e.FileOff
+		ino.Direct[3*i+1] = e.Start
+		ino.Direct[3*i+2] = e.Len
+	}
+}
+
+// ExtentNode is the in-memory form of one overflow node block.
+type ExtentNode struct {
+	// Next is the block number of the following node in the chain, 0 at the
+	// tail.
+	Next uint32
+	// Extents holds the node's used extent records in file order.
+	Extents []Extent
+}
+
+// EncodeExtentNode serializes n into a full block with a trailing checksum.
+func EncodeExtentNode(n *ExtentNode) []byte {
+	if len(n.Extents) > ExtentsPerNode {
+		panic(fmt.Sprintf("disklayout: %d extents exceed node capacity %d", len(n.Extents), ExtentsPerNode))
+	}
+	b := make([]byte, BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], ExtentNodeMagic)
+	le.PutUint16(b[4:], uint16(len(n.Extents)))
+	le.PutUint32(b[8:], n.Next)
+	off := extentNodeHeader
+	for _, e := range n.Extents {
+		le.PutUint32(b[off:], e.FileOff)
+		le.PutUint32(b[off+4:], e.Start)
+		le.PutUint32(b[off+8:], e.Len)
+		off += ExtentSize
+	}
+	le.PutUint32(b[BlockSize-4:], Checksum(b[:BlockSize-4]))
+	return b
+}
+
+// DecodeExtentNode parses and validates one overflow node block.
+func DecodeExtentNode(b []byte) (*ExtentNode, error) {
+	if len(b) != BlockSize {
+		return nil, fmt.Errorf("extent node: got %d bytes, want %d: %w", len(b), BlockSize, fserr.ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if got, want := le.Uint32(b[BlockSize-4:]), Checksum(b[:BlockSize-4]); got != want {
+		return nil, fmt.Errorf("extent node: checksum %#x, want %#x: %w", got, want, fserr.ErrCorrupt)
+	}
+	if m := le.Uint32(b[0:]); m != ExtentNodeMagic {
+		return nil, fmt.Errorf("extent node: magic %#x, want %#x: %w", m, uint32(ExtentNodeMagic), fserr.ErrCorrupt)
+	}
+	count := int(le.Uint16(b[4:]))
+	if count > ExtentsPerNode {
+		return nil, fmt.Errorf("extent node: count %d exceeds capacity %d: %w", count, ExtentsPerNode, fserr.ErrCorrupt)
+	}
+	n := &ExtentNode{Next: le.Uint32(b[8:])}
+	off := extentNodeHeader
+	for i := 0; i < count; i++ {
+		e := Extent{
+			FileOff: le.Uint32(b[off:]),
+			Start:   le.Uint32(b[off+4:]),
+			Len:     le.Uint32(b[off+8:]),
+		}
+		if e.Len == 0 {
+			return nil, fmt.Errorf("extent node: zero-length extent at slot %d: %w", i, fserr.ErrCorrupt)
+		}
+		n.Extents = append(n.Extents, e)
+		off += ExtentSize
+	}
+	return n, nil
+}
+
+// ValidateExtent checks one extent's run against the data region of sb.
+func (sb *Superblock) ValidateExtent(e Extent) error {
+	if e.Len == 0 {
+		return nil
+	}
+	end := uint64(e.Start) + uint64(e.Len)
+	if e.Start < sb.DataStart || end > uint64(sb.NumBlocks) {
+		return fmt.Errorf("extent [%d,%d) outside data region [%d,%d): %w",
+			e.Start, end, sb.DataStart, sb.NumBlocks, fserr.ErrCorrupt)
+	}
+	if uint64(e.FileOff)+uint64(e.Len) > uint64(MaxFileBlocks) {
+		return fmt.Errorf("extent maps file blocks [%d,%d) past max %d: %w",
+			e.FileOff, uint64(e.FileOff)+uint64(e.Len), uint64(MaxFileBlocks), fserr.ErrCorrupt)
+	}
+	return nil
+}
+
+// ExtentWalk iterates the inode's extent list in storage order: inline slots
+// first, then each overflow node down the chain. nodeFn, when non-nil, is
+// called with every overflow node's block number before that node's extents
+// are emitted (fsck uses it to claim the node blocks themselves). extFn is
+// called for every used extent. Both callbacks stop the walk by returning an
+// error. read loads raw blocks; a broken chain (bad checksum, cycle, pointer
+// outside the data region) returns fserr.ErrCorrupt.
+func (ino *Inode) ExtentWalk(sb *Superblock, read func(uint32) ([]byte, error),
+	nodeFn func(uint32) error, extFn func(Extent) error) error {
+	if !ino.IsExtents() {
+		return fmt.Errorf("extent walk on non-extent inode: %w", fserr.ErrInvalid)
+	}
+	for _, e := range ino.InlineExtents() {
+		if e.Len == 0 {
+			continue
+		}
+		if err := extFn(e); err != nil {
+			return err
+		}
+	}
+	next := ino.Indirect
+	for hops := 0; next != 0; hops++ {
+		if hops >= maxExtentNodes {
+			return fmt.Errorf("extent chain exceeds %d nodes (cycle?): %w", maxExtentNodes, fserr.ErrCorrupt)
+		}
+		if next < sb.DataStart || next >= sb.NumBlocks {
+			return fmt.Errorf("extent node pointer %d outside data region [%d,%d): %w",
+				next, sb.DataStart, sb.NumBlocks, fserr.ErrCorrupt)
+		}
+		if nodeFn != nil {
+			if err := nodeFn(next); err != nil {
+				return err
+			}
+		}
+		b, err := read(next)
+		if err != nil {
+			return err
+		}
+		n, err := DecodeExtentNode(b)
+		if err != nil {
+			return fmt.Errorf("extent node %d: %w", next, err)
+		}
+		for _, e := range n.Extents {
+			if err := extFn(e); err != nil {
+				return err
+			}
+		}
+		next = n.Next
+	}
+	return nil
+}
+
+// validateExtentPointers is the FlagExtents branch of ValidatePointers:
+// inline runs must sit in the data region and be non-overlapping in file
+// space, the overflow chain head must point into the data region, and the
+// double-indirect slot must be unused.
+func (ino *Inode) validateExtentPointers(sb *Superblock) error {
+	var prevEnd uint64
+	for i, e := range ino.InlineExtents() {
+		if e.Len == 0 {
+			continue
+		}
+		if err := sb.ValidateExtent(e); err != nil {
+			return fmt.Errorf("inode: inline extent %d: %w", i, err)
+		}
+		if uint64(e.FileOff) < prevEnd {
+			return fmt.Errorf("inode: inline extent %d at file block %d overlaps previous run ending at %d: %w",
+				i, e.FileOff, prevEnd, fserr.ErrCorrupt)
+		}
+		prevEnd = uint64(e.FileOff) + uint64(e.Len)
+	}
+	if p := ino.Indirect; p != 0 && (p < sb.DataStart || p >= sb.NumBlocks) {
+		return fmt.Errorf("inode: extent chain pointer %d outside data region [%d,%d): %w",
+			p, sb.DataStart, sb.NumBlocks, fserr.ErrCorrupt)
+	}
+	if ino.DblIndir != 0 {
+		return fmt.Errorf("inode: extent inode has double-indirect pointer %d (must be 0): %w",
+			ino.DblIndir, fserr.ErrCorrupt)
+	}
+	return nil
+}

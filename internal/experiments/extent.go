@@ -1,0 +1,209 @@
+package experiments
+
+// E16: the extent-layout series. Two claims are measured. First, large-file
+// sequential IO: delayed allocation plus the vectored device path turns a
+// sequential write (and the cold read-back) of one big file into a handful
+// of ranged device calls, where the legacy bmap pays one call per block —
+// on a device with a fixed per-IO service time that is the throughput gap.
+// Second, metadata locality: a region-scoped metadata check over the same
+// live data costs the same device IO however large the image is, because
+// extent metadata is proportional to live runs, not device size.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fsck"
+	"repro/internal/mkfs"
+)
+
+// ExtentIOLatency is the per-IO device service time armed for the E16
+// sequential series: large enough that device calls dominate memory copies.
+const ExtentIOLatency = 20 * time.Microsecond
+
+// ExtentSeqResult is one row of the E16 sequential-throughput table.
+type ExtentSeqResult struct {
+	Layout     string // "extent" or "bmap"
+	FileMB     int
+	WriteTime  time.Duration
+	ReadTime   time.Duration
+	WriteMBps  float64
+	ReadMBps   float64
+	WriteCalls int64 // device-level write calls during write+sync
+	ReadCalls  int64 // device-level read calls during the cold read-back
+}
+
+// ExtentSequential writes one fileMB-sized file sequentially (then syncs),
+// remounts to drop the cache, and reads it back, once on the extent layout
+// and once on the legacy bmap. The device charges ioLat per IO call, so the
+// bytes/s ratio is the vectoring win.
+func ExtentSequential(fileMB int, ioLat time.Duration, seed int64) ([]ExtentSeqResult, error) {
+	const chunk = 256 << 10
+	fileBlocks := uint32(fileMB) << 20 / disklayout.BlockSize
+	imageBlocks := fileBlocks*2 + 4096 // room for metadata and the journal
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	var res []ExtentSeqResult
+	for _, layout := range []string{"extent", "bmap"} {
+		dev := blockdev.NewMem(imageBlocks)
+		if _, err := mkfs.Format(dev, mkfs.Options{}); err != nil {
+			return nil, err
+		}
+		plan := blockdev.NewFaultPlan(seed)
+		plan.ReadLatency, plan.WriteLatency = ioLat, ioLat
+		dev.SetFaults(plan)
+		opts := basefs.Options{LegacyLayout: layout == "bmap"}
+		fs, err := basefs.Mount(dev, opts)
+		if err != nil {
+			return nil, err
+		}
+		r := ExtentSeqResult{Layout: layout, FileMB: fileMB}
+
+		w0 := dev.Stats().WriteCalls.Load()
+		start := time.Now()
+		fd, err := fs.Create("/big", 0o644)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < int64(fileMB)<<20; off += chunk {
+			if _, err := fs.WriteAt(fd, off, buf); err != nil {
+				return nil, fmt.Errorf("experiments: %s write at %d: %w", layout, off, err)
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			return nil, err
+		}
+		r.WriteTime = time.Since(start)
+		r.WriteCalls = dev.Stats().WriteCalls.Load() - w0
+		if err := fs.Close(fd); err != nil {
+			return nil, err
+		}
+		if err := fs.Unmount(); err != nil {
+			return nil, err
+		}
+
+		// Cold read-back: a fresh mount has an empty buffer cache, so every
+		// byte comes off the device — per run on extents, per block on bmap.
+		fs, err = basefs.Mount(dev, opts)
+		if err != nil {
+			return nil, err
+		}
+		c0 := dev.Stats().ReadCalls.Load()
+		start = time.Now()
+		fd, err = fs.Open("/big")
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < int64(fileMB)<<20; off += chunk {
+			got, err := fs.ReadAt(fd, off, chunk)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s read at %d: %w", layout, off, err)
+			}
+			if len(got) != chunk || got[0] != buf[0] || got[chunk-1] != buf[chunk-1] {
+				return nil, fmt.Errorf("experiments: %s read-back mismatch at %d", layout, off)
+			}
+		}
+		r.ReadTime = time.Since(start)
+		r.ReadCalls = dev.Stats().ReadCalls.Load() - c0
+		mb := float64(fileMB)
+		r.WriteMBps = mb / r.WriteTime.Seconds()
+		r.ReadMBps = mb / r.ReadTime.Seconds()
+		res = append(res, r)
+		if err := fs.Unmount(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExtentScaleResult is one row of the E16 metadata-locality sweep.
+type ExtentScaleResult struct {
+	ImageBlocks uint32
+	ScopeBlocks int   // blocks the live data set touched
+	ScopedReads int64 // device reads the scoped metadata check cost
+	ScopedTime  time.Duration
+}
+
+// ExtentMetadataScale writes the same live data set — one fileMB sequential
+// file plus a handful of small files — onto images of each given size, then
+// runs the region-scoped metadata check over the touched set and reports its
+// device-read cost. On the extent layout that cost tracks live data, so the
+// column stays flat as the image grows.
+func ExtentMetadataScale(imageSizes []uint32, fileMB int, seed int64) ([]ExtentScaleResult, error) {
+	const chunk = 256 << 10
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 13)
+	}
+	var res []ExtentScaleResult
+	for _, blocks := range imageSizes {
+		dev := blockdev.NewMem(blocks)
+		// Fixed inode capacity: the sweep varies device size only, so the
+		// metadata structures the live data touches stay comparable.
+		if _, err := mkfs.Format(dev, mkfs.Options{NumInodes: 4096}); err != nil {
+			return nil, err
+		}
+		sc := fsck.NewScope()
+		sc.Add(0)
+		// The hook fires from concurrent queue workers; Scope is not.
+		var scMu sync.Mutex
+		dev.SetWriteHook(func(blk uint32) {
+			scMu.Lock()
+			sc.Add(blk)
+			scMu.Unlock()
+		})
+		fs, err := basefs.Mount(dev, basefs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		fd, err := fs.Create("/big", 0o644)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < int64(fileMB)<<20; off += chunk {
+			if _, err := fs.WriteAt(fd, off, buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := fs.Close(fd); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 8; i++ {
+			fd, err := fs.Create(fmt.Sprintf("/small-%d", i), 0o644)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fs.WriteAt(fd, 0, buf[:disklayout.BlockSize]); err != nil {
+				return nil, err
+			}
+			if err := fs.Close(fd); err != nil {
+				return nil, err
+			}
+		}
+		if err := fs.Unmount(); err != nil {
+			return nil, err
+		}
+		dev.SetWriteHook(nil)
+		r0 := dev.Stats().Reads.Load()
+		start := time.Now()
+		rep := fsck.CheckScoped(dev, sc, 4)
+		dur := time.Since(start)
+		if !rep.Clean() {
+			return nil, fmt.Errorf("experiments: %d-block image scoped-checked unclean: %d problems",
+				blocks, len(rep.Problems))
+		}
+		res = append(res, ExtentScaleResult{
+			ImageBlocks: blocks,
+			ScopeBlocks: sc.Len(),
+			ScopedReads: dev.Stats().Reads.Load() - r0,
+			ScopedTime:  dur,
+		})
+	}
+	return res, nil
+}

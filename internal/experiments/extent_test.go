@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+// TestExtentSequentialVectoringWins pins the E16 headline claim at a small,
+// fast geometry: the extent layout's delayed allocation + vectored device
+// path must move a sequential file in far fewer device calls than the
+// legacy bmap, and at >= 4x the bytes/s once a per-IO service time makes
+// calls the dominant cost. The service time is 10x the E16 latency so the
+// call-count gap stays the dominant term even under -race, whose
+// instrumentation multiplies the CPU side of every block copy.
+func TestExtentSequentialVectoringWins(t *testing.T) {
+	rows, err := ExtentSequential(4, 10*ExtentIOLatency, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]ExtentSeqResult{}
+	for _, r := range rows {
+		by[r.Layout] = r
+	}
+	ext, bmap := by["extent"], by["bmap"]
+	if ext.Layout == "" || bmap.Layout == "" {
+		t.Fatalf("missing layout rows: %+v", rows)
+	}
+	// 4 MiB = 1024 blocks: per-block IO costs ~1024 calls each way; the
+	// vectored path must be well under a tenth of that.
+	if ext.WriteCalls*10 >= bmap.WriteCalls {
+		t.Errorf("write calls: extent %d vs bmap %d, want >= 10x fewer", ext.WriteCalls, bmap.WriteCalls)
+	}
+	if ext.ReadCalls*10 >= bmap.ReadCalls {
+		t.Errorf("read calls: extent %d vs bmap %d, want >= 10x fewer", ext.ReadCalls, bmap.ReadCalls)
+	}
+	if ext.WriteMBps < 4*bmap.WriteMBps {
+		t.Errorf("write throughput %.1f MB/s vs %.1f: below the 4x target", ext.WriteMBps, bmap.WriteMBps)
+	}
+	if ext.ReadMBps < 4*bmap.ReadMBps {
+		t.Errorf("read throughput %.1f MB/s vs %.1f: below the 4x target", ext.ReadMBps, bmap.ReadMBps)
+	}
+}
+
+// TestExtentMetadataScaleFlat pins the locality claim: the scoped metadata
+// check over a fixed live-data set costs the same device reads on a 4x
+// larger image (the sweep's sizes share the >1-bitmap-block geometry, so the
+// backup-superblock coverage block is present in both).
+func TestExtentMetadataScaleFlat(t *testing.T) {
+	rows, err := ExtentMetadataScale([]uint32{65536, 262144}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if small.ScopeBlocks != big.ScopeBlocks {
+		t.Logf("scope sizes differ: %d vs %d (live data should match)", small.ScopeBlocks, big.ScopeBlocks)
+	}
+	lo, hi := float64(small.ScopedReads), float64(big.ScopedReads)
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi > lo*1.10 {
+		t.Errorf("scoped reads not flat: %d @ %d blocks vs %d @ %d blocks (>10%% apart)",
+			small.ScopedReads, small.ImageBlocks, big.ScopedReads, big.ImageBlocks)
+	}
+}

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/basefs"
@@ -136,7 +137,13 @@ func ScopedFsckScale(imageSizes []uint32, gapOps, numOps int, seed int64, worker
 		// The gap: a short session with every written block recorded.
 		sc := fsck.NewScope()
 		sc.Add(0)
-		dev.SetWriteHook(func(blk uint32) { sc.Add(blk) })
+		// The hook fires from concurrent queue workers; Scope is not.
+		var scMu sync.Mutex
+		dev.SetWriteHook(func(blk uint32) {
+			scMu.Lock()
+			sc.Add(blk)
+			scMu.Unlock()
+		})
 		fs, err := basefs.Mount(dev, basefs.Options{})
 		if err != nil {
 			return nil, err

@@ -235,7 +235,15 @@ func (c *checker) checkBackupSuperblock() {
 
 // prepare performs the superblock and bitmap phase. A nil checker means the
 // image failed early validation and rep already holds the reason.
-func prepare(dev devReader) (*Report, *checker) {
+func prepare(dev devReader) (*Report, *checker) { return prepareScoped(dev, nil) }
+
+// prepareScoped is prepare restricted to a scope: only the bitmap blocks
+// covering scoped structures are read — the rest become silently unknown,
+// the same degraded state an unreadable bitmap block produces, so every
+// downstream bitmap check skips them. This keeps the scoped check's IO
+// proportional to the scope instead of the image's bitmap size. A nil scope
+// loads everything.
+func prepareScoped(dev devReader, sc *Scope) (*Report, *checker) {
 	rep := &Report{fix: &repairables{nlinkFix: map[uint32]uint16{}}}
 	b, err := dev.ReadBlock(0)
 	if err != nil {
@@ -261,18 +269,54 @@ func prepare(dev devReader) (*Report, *checker) {
 		subdirs:   make(map[uint32]int),
 		dirSeen:   make(map[uint32]bool),
 	}
-	c.loadBitmaps()
+	c.loadBitmaps(sc)
 	return rep, c
+}
+
+// bitmapCoverage maps a scope to the bitmap blocks the scoped check needs:
+// bitmap blocks in scope themselves, the inode-bitmap blocks covering the
+// inodes of scoped table blocks (ghost/orphan bits), and the block-bitmap
+// blocks covering every scoped block (ownership-lie bits for claims that
+// land inside the scope). Both sets are O(scope), never O(image).
+func bitmapCoverage(sb *disklayout.Superblock, sc *Scope) (ibmNeed, bbmNeed map[uint32]bool) {
+	ibmNeed = make(map[uint32]bool)
+	bbmNeed = make(map[uint32]bool)
+	for blk := range sc.m {
+		if blk >= sb.InodeBitmapStart && blk < sb.InodeBitmapStart+sb.InodeBitmapLen {
+			ibmNeed[blk-sb.InodeBitmapStart] = true
+		}
+		if blk >= sb.BlockBitmapStart && blk < sb.BlockBitmapStart+sb.BlockBitmapLen {
+			bbmNeed[blk-sb.BlockBitmapStart] = true
+		}
+		if blk >= sb.InodeTableStart && blk < sb.InodeTableStart+sb.InodeTableLen {
+			// InodesPerBlock divides BitsPerBlock, so one table block's inode
+			// range never straddles two bitmap blocks.
+			ino := (blk - sb.InodeTableStart) * disklayout.InodesPerBlock
+			ibmNeed[ino/disklayout.BitsPerBlock] = true
+		}
+		bbmNeed[blk/disklayout.BitsPerBlock] = true
+	}
+	return ibmNeed, bbmNeed
 }
 
 // loadBitmaps reads both allocation bitmaps. An unreadable bitmap block
 // degrades to a per-block finding plus an "unknown" range — it no longer
 // aborts the whole check, so one bad bitmap block cannot mask every other
-// problem on the image.
-func (c *checker) loadBitmaps() {
-	read := func(start, n uint32, unk map[uint32]bool) []byte {
+// problem on the image. A non-nil scope restricts the reads to the blocks
+// bitmapCoverage derives; the rest are silently unknown.
+func (c *checker) loadBitmaps(sc *Scope) {
+	var ibmNeed, bbmNeed map[uint32]bool
+	if sc != nil {
+		ibmNeed, bbmNeed = bitmapCoverage(c.sb, sc)
+	}
+	read := func(start, n uint32, unk, need map[uint32]bool) []byte {
 		out := make([]byte, 0, int(n)*disklayout.BlockSize)
 		for i := uint32(0); i < n; i++ {
+			if need != nil && !need[i] {
+				unk[i] = true
+				out = append(out, make([]byte, disklayout.BlockSize)...)
+				continue
+			}
 			b, err := c.dev.ReadBlock(start + i)
 			if err != nil {
 				c.rep.add(Corrupt, fmt.Sprintf("bitmap block %d", start+i), "unreadable: %v", err)
@@ -286,8 +330,8 @@ func (c *checker) loadBitmaps() {
 	}
 	c.ibmUnk = make(map[uint32]bool)
 	c.bbmUnk = make(map[uint32]bool)
-	c.ibm = read(c.sb.InodeBitmapStart, c.sb.InodeBitmapLen, c.ibmUnk)
-	c.bbm = read(c.sb.BlockBitmapStart, c.sb.BlockBitmapLen, c.bbmUnk)
+	c.ibm = read(c.sb.InodeBitmapStart, c.sb.InodeBitmapLen, c.ibmUnk, ibmNeed)
+	c.bbm = read(c.sb.BlockBitmapStart, c.sb.BlockBitmapLen, c.bbmUnk, bbmNeed)
 }
 
 // inodeBitKnown reports whether ino's allocation bit came from a readable
@@ -348,9 +392,14 @@ func (c *checker) own(ino, blk uint32) bool {
 	return true
 }
 
-// blocksOf walks an inode's extent tree, claiming every block and returning
-// the number of data blocks (for size plausibility).
+// blocksOf walks an inode's block map, claiming every block and returning
+// the number of data blocks (for size plausibility). Extent inodes walk
+// their run list (claiming overflow node blocks and every block of every
+// run); legacy inodes walk the direct/indirect pointer tree.
 func (c *checker) blocksOf(ino uint32, rec *disklayout.Inode) int64 {
+	if rec.IsExtents() {
+		return c.blocksOfExtents(ino, rec)
+	}
 	var data int64
 	for _, p := range rec.Direct {
 		if p != 0 && c.own(ino, p) {
@@ -386,6 +435,46 @@ func (c *checker) blocksOf(ino uint32, rec *disklayout.Inode) int64 {
 				}
 			}
 		}
+	}
+	return data
+}
+
+// blocksOfExtents is the FlagExtents arm of blocksOf: it claims every
+// overflow node block and every block of every run, validating run bounds
+// and file-space ordering as it goes. Runs are claimed block-by-block so
+// double-ownership detection works at the same granularity as the legacy
+// walk. A broken chain (bad checksum, cycle, out-of-range node pointer)
+// terminates the walk with a corruption finding; blocks claimed before the
+// break stay claimed.
+func (c *checker) blocksOfExtents(ino uint32, rec *disklayout.Inode) int64 {
+	var data int64
+	var prevEnd uint64
+	read := c.dev.ReadBlock
+	nodeFn := func(blk uint32) error {
+		c.own(ino, blk)
+		return nil
+	}
+	extFn := func(e disklayout.Extent) error {
+		c.rep.check()
+		if err := c.sb.ValidateExtent(e); err != nil {
+			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "%v", err)
+			return nil
+		}
+		if uint64(e.FileOff) < prevEnd {
+			c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
+				"extent at file block %d overlaps previous run ending at %d", e.FileOff, prevEnd)
+			return nil
+		}
+		prevEnd = uint64(e.FileOff) + uint64(e.Len)
+		for i := uint32(0); i < e.Len; i++ {
+			if c.own(ino, e.Start+i) {
+				data++
+			}
+		}
+		return nil
+	}
+	if err := rec.ExtentWalk(c.sb, read, nodeFn, extFn); err != nil {
+		c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "extent walk: %v", err)
 	}
 	return data
 }
@@ -427,6 +516,14 @@ func (c *checker) checkInode(ino uint32) {
 	}
 	if err := rec.ValidatePointers(c.sb); err != nil {
 		c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino), "%v", err)
+		return
+	}
+	if rec.IsExtents() && rec.Type() != disklayout.TypeFile {
+		// Only regular files use the extent layout; a flagged directory or
+		// symlink would have its inline extent words misread as block
+		// pointers by every legacy consumer.
+		c.rep.add(Corrupt, fmt.Sprintf("inode %d", ino),
+			"extent flag on type %d (only regular files use extents)", rec.Type())
 		return
 	}
 	data := c.blocksOf(ino, rec)

@@ -200,14 +200,14 @@ func TestCraftedImageCorpus(t *testing.T) {
 				var victim uint32
 				var blk uint32
 				forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
-					if rec.IsFile() && rec.Direct[0] != 0 {
+					if rec.IsFile() && firstDataBlock(rec) != 0 {
 						if victim == 0 {
 							victim = ino
-							blk = rec.Direct[0]
+							blk = firstDataBlock(rec)
 							return true
 						}
 						rewriteInode(t, dev, sb, ino, func(r *disklayout.Inode) {
-							r.Direct[0] = blk
+							claimBlock(r, blk)
 						})
 						return false
 					}
@@ -238,8 +238,8 @@ func TestCraftedImageCorpus(t *testing.T) {
 			name: "block in use but free in bitmap",
 			craft: func(t *testing.T, dev *blockdev.Mem, sb *disklayout.Superblock) {
 				forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
-					if rec.IsFile() && rec.Direct[0] != 0 {
-						clearBlockBit(t, dev, sb, rec.Direct[0])
+					if rec.IsFile() && firstDataBlock(rec) != 0 {
+						clearBlockBit(t, dev, sb, firstDataBlock(rec))
 						return false
 					}
 					return true
@@ -398,6 +398,38 @@ func findFreeSlot(t *testing.T, b []byte) int {
 	}
 	t.Fatal("no free dirent slot")
 	return 0
+}
+
+// firstDataBlock returns the first mapped data block of a file inode under
+// either layout (0 if it maps nothing inline).
+func firstDataBlock(rec *disklayout.Inode) uint32 {
+	if rec.IsExtents() {
+		for _, e := range rec.InlineExtents() {
+			if e.Len != 0 {
+				return e.Start
+			}
+		}
+		return 0
+	}
+	for _, p := range rec.Direct {
+		if p != 0 {
+			return p
+		}
+	}
+	return 0
+}
+
+// claimBlock rewrites a file record so its mapping claims exactly blk,
+// whichever layout the record uses. Previously owned blocks become leaks.
+func claimBlock(r *disklayout.Inode, blk uint32) {
+	if r.IsExtents() {
+		r.SetInlineExtents([]disklayout.Extent{{FileOff: 0, Start: blk, Len: 1}})
+		r.Indirect = 0
+		return
+	}
+	r.Direct = [disklayout.NumDirect]uint32{blk}
+	r.Indirect = 0
+	r.DblIndir = 0
 }
 
 func forEachInode(t *testing.T, dev *blockdev.Mem, sb *disklayout.Superblock, f func(uint32, *disklayout.Inode) bool) {

@@ -160,6 +160,24 @@ func scanTableBlock(src *cachedReader, sb *disklayout.Superblock, blk uint32) {
 		if err != nil || rec.IsFree() {
 			continue
 		}
+		if rec.IsExtents() {
+			// Walk the overflow node chain so the merge's extent walk hits
+			// the cache. Decode failures just stop the prefetch; the merge
+			// re-reads and reports them.
+			next := rec.Indirect
+			for hops := 0; next != 0 && inRange(next) && hops < 64; hops++ {
+				nb, err := src.ReadBlock(next)
+				if err != nil {
+					break
+				}
+				n, err := disklayout.DecodeExtentNode(nb)
+				if err != nil {
+					break
+				}
+				next = n.Next
+			}
+			continue
+		}
 		if rec.Indirect != 0 && inRange(rec.Indirect) {
 			ib, err := src.ReadBlock(rec.Indirect)
 			if err == nil && rec.IsDir() {

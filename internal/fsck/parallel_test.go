@@ -269,8 +269,8 @@ func TestBitmapReadFaultDegradesPerBlock(t *testing.T) {
 	// cleared in the bitmap.
 	planted := false
 	forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
-		if rec.IsFile() && rec.Direct[0] != 0 && rec.Direct[0] < disklayout.BitsPerBlock {
-			clearBlockBit(t, dev, sb, rec.Direct[0])
+		if p := firstDataBlock(rec); rec.IsFile() && p != 0 && p < disklayout.BitsPerBlock {
+			clearBlockBit(t, dev, sb, p)
 			planted = true
 			return false
 		}

@@ -116,6 +116,41 @@ func freeInodeOnDisk(dev blockdev.Device, sb *disklayout.Superblock, ino uint32)
 		freed++
 		return nil
 	}
+	if rec.IsExtents() {
+		// Free every run block and every overflow node block. A broken chain
+		// stops the walk; whatever was freed before the break stays freed and
+		// the re-check after repair reports the remainder.
+		var freeErr error
+		setErr := func(err error) error {
+			freeErr = err
+			return err
+		}
+		_ = rec.ExtentWalk(sb, dev.ReadBlock,
+			func(node uint32) error {
+				if err := free(node); err != nil {
+					return setErr(err)
+				}
+				return nil
+			},
+			func(e disklayout.Extent) error {
+				if sb.ValidateExtent(e) != nil {
+					return nil
+				}
+				for i := uint32(0); i < e.Len; i++ {
+					if err := free(e.Start + i); err != nil {
+						return setErr(err)
+					}
+				}
+				return nil
+			})
+		if freeErr != nil {
+			return freed, freeErr
+		}
+		if err := setInodeBitOnDisk(dev, sb, ino, false); err != nil {
+			return freed, err
+		}
+		return freed, writeFreeRecord(dev, sb, ino)
+	}
 	for _, p := range rec.Direct {
 		if err := free(p); err != nil {
 			return freed, err

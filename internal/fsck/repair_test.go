@@ -143,8 +143,8 @@ func TestRepairLeavesStructuralDamage(t *testing.T) {
 	dev, sb := populatedImage(t, 14)
 	// Out-of-region pointer: unrepairable.
 	forEachInode(t, dev, sb, func(ino uint32, rec *disklayout.Inode) bool {
-		if rec.IsFile() && rec.Direct[0] != 0 {
-			rewriteInode(t, dev, sb, ino, func(r *disklayout.Inode) { r.Direct[0] = 1 })
+		if rec.IsFile() && firstDataBlock(rec) != 0 {
+			rewriteInode(t, dev, sb, ino, func(r *disklayout.Inode) { claimBlock(r, 1) })
 			return false
 		}
 		return true

@@ -46,17 +46,21 @@ func (s *Scope) Has(blk uint32) bool {
 func (s *Scope) Len() int { return len(s.m) }
 
 // CheckScoped verifies the regions of the image implicated by sc using the
-// parallel scan engine. The superblock and both bitmaps are always checked;
-// inode records are checked for every inode-table block in scope, including
-// their extent claims and (for directories) dirent decoding and reference
-// validity. If the scope covers the entire inode table the call degenerates
-// to CheckParallel, which is strictly stronger and no more expensive.
+// parallel scan engine. The superblock is always checked; bitmap blocks are
+// loaded only where they cover scoped structures (the rest degrade to
+// unknown, skipping their checks, so the call's IO tracks the scope rather
+// than the image's bitmap size); inode records are checked for every
+// inode-table block in
+// scope, including their extent claims and (for directories) dirent decoding
+// and reference validity. If the scope covers the entire inode table the
+// call degenerates to CheckParallel, which is strictly stronger and no more
+// expensive.
 func CheckScoped(dev blockdev.Device, sc *Scope, workers int) *Report {
 	if workers < 1 {
 		workers = 1
 	}
 	src := newCachedReader(dev)
-	rep, c := prepare(src)
+	rep, c := prepareScoped(src, sc)
 	if c == nil {
 		rep.Scoped = true
 		rep.ScopeBlocks = sc.Len()

@@ -1,0 +1,203 @@
+package mkfs
+
+// Offline layout upgrade: convert legacy bmap regular files to the extent
+// mapping in place. The two layouts coexist per inode (readers branch on
+// FlagExtents), so an image never needs this to be readable — the upgrade
+// exists so old images gain the vectored data path's read performance and
+// shed their pointer-spine blocks.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+)
+
+// UpgradeExtents converts every legacy regular file on a cleanly-unmounted
+// image to the extent layout, in place, and returns how many files were
+// converted. For each file the bmap is walked in file order, coalesced into
+// extents, and the chain nodes (if the list outgrows the four inline slots)
+// are carved out of the spine blocks the conversion frees — so a converted
+// file never uses more physical blocks than before, and usually fewer.
+// Files so fragmented that the chain would outgrow the freed spine are left
+// on the legacy map: the per-inode flag makes mixed images fully valid, and
+// forcing those files over would grow the image for no IO win.
+//
+// The image must be clean (journal empty); run Recover first after a crash.
+func UpgradeExtents(dev blockdev.Device) (int, error) {
+	sb, err := ReadSuperblock(dev)
+	if err != nil {
+		return 0, fmt.Errorf("mkfs: upgrade: %w", err)
+	}
+	if sb.Clean != 1 {
+		return 0, fmt.Errorf("mkfs: upgrade: image not cleanly unmounted (run recovery first)")
+	}
+	// Block bitmap, whole and in memory: spine frees and node reuse below
+	// edit it, and it is written back once at the end.
+	bbm := make([]byte, int(sb.BlockBitmapLen)*disklayout.BlockSize)
+	for i := uint32(0); i < sb.BlockBitmapLen; i++ {
+		b, err := dev.ReadBlock(sb.BlockBitmapStart + i)
+		if err != nil {
+			return 0, fmt.Errorf("mkfs: upgrade: block bitmap: %w", err)
+		}
+		copy(bbm[int(i)*disklayout.BlockSize:], b)
+	}
+	converted := 0
+	for t := uint32(0); t < sb.InodeTableLen; t++ {
+		tblk := sb.InodeTableStart + t
+		buf, err := dev.ReadBlock(tblk)
+		if err != nil {
+			return 0, fmt.Errorf("mkfs: upgrade: inode table block %d: %w", tblk, err)
+		}
+		dirty := false
+		for s := 0; s < disklayout.InodesPerBlock; s++ {
+			ino := t*disklayout.InodesPerBlock + uint32(s)
+			if ino < 1 || ino >= sb.NumInodes {
+				continue
+			}
+			rec, err := disklayout.DecodeInode(buf[s*disklayout.InodeSize:])
+			if err != nil {
+				return converted, fmt.Errorf("mkfs: upgrade: inode %d: %w", ino, err)
+			}
+			if !rec.IsFile() || rec.IsExtents() {
+				continue
+			}
+			ok, err := upgradeFile(dev, sb, rec, bbm)
+			if err != nil {
+				return converted, fmt.Errorf("mkfs: upgrade: inode %d: %w", ino, err)
+			}
+			if !ok {
+				continue
+			}
+			disklayout.PutInode(buf[s*disklayout.InodeSize:], rec)
+			dirty = true
+			converted++
+		}
+		if dirty {
+			if err := dev.WriteBlock(tblk, buf); err != nil {
+				return converted, fmt.Errorf("mkfs: upgrade: inode table block %d: %w", tblk, err)
+			}
+		}
+	}
+	for i := uint32(0); i < sb.BlockBitmapLen; i++ {
+		if err := dev.WriteBlock(sb.BlockBitmapStart+i, bbm[int(i)*disklayout.BlockSize:int(i+1)*disklayout.BlockSize]); err != nil {
+			return converted, fmt.Errorf("mkfs: upgrade: block bitmap: %w", err)
+		}
+	}
+	if err := dev.Flush(); err != nil {
+		return converted, fmt.Errorf("mkfs: upgrade: flush: %w", err)
+	}
+	return converted, nil
+}
+
+// upgradeFile rewrites one legacy file inode to the extent layout, or
+// reports false to leave it as-is. rec and bbm are mutated only on success.
+func upgradeFile(dev blockdev.Device, sb *disklayout.Superblock, rec *disklayout.Inode, bbm []byte) (bool, error) {
+	type mapping struct{ idx, phys uint32 }
+	var maps []mapping
+	var spine []uint32
+	add := func(idx, p uint32) {
+		if p != 0 {
+			maps = append(maps, mapping{idx, p})
+		}
+	}
+	for i := uint32(0); i < disklayout.NumDirect; i++ {
+		add(i, rec.Direct[i])
+	}
+	le := binary.LittleEndian
+	readPtrs := func(blk uint32) ([]uint32, error) {
+		b, err := dev.ReadBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint32, disklayout.PtrsPerBlock)
+		for i := range out {
+			out[i] = le.Uint32(b[4*i:])
+		}
+		return out, nil
+	}
+	if rec.Indirect != 0 {
+		spine = append(spine, rec.Indirect)
+		ptrs, err := readPtrs(rec.Indirect)
+		if err != nil {
+			return false, err
+		}
+		for i, p := range ptrs {
+			add(disklayout.NumDirect+uint32(i), p)
+		}
+	}
+	if rec.DblIndir != 0 {
+		spine = append(spine, rec.DblIndir)
+		l1, err := readPtrs(rec.DblIndir)
+		if err != nil {
+			return false, err
+		}
+		for j, l2blk := range l1 {
+			if l2blk == 0 {
+				continue
+			}
+			spine = append(spine, l2blk)
+			l2, err := readPtrs(l2blk)
+			if err != nil {
+				return false, err
+			}
+			base := disklayout.NumDirect + disklayout.PtrsPerBlock*(1+uint32(j))
+			for i, p := range l2 {
+				add(base+uint32(i), p)
+			}
+		}
+	}
+	// The bmap walk visits file indices in ascending order, so maps is
+	// sorted; coalesce runs contiguous in both file and device space.
+	var exts []disklayout.Extent
+	for _, m := range maps {
+		if n := len(exts); n > 0 && exts[n-1].End() == m.idx && exts[n-1].Start+exts[n-1].Len == m.phys {
+			exts[n-1].Len++
+		} else {
+			exts = append(exts, disklayout.Extent{FileOff: m.idx, Start: m.phys, Len: 1})
+		}
+	}
+	nodesNeeded := 0
+	if len(exts) > disklayout.MaxInlineExtents {
+		rest := len(exts) - disklayout.MaxInlineExtents
+		nodesNeeded = (rest + disklayout.ExtentsPerNode - 1) / disklayout.ExtentsPerNode
+	}
+	if nodesNeeded > len(spine) {
+		return false, nil // over-fragmented: stays on the legacy map
+	}
+	// Chain nodes reuse freed spine blocks (already allocated in the
+	// bitmap); the remainder of the spine is freed.
+	nodes := spine[:nodesNeeded]
+	for _, blk := range spine[nodesNeeded:] {
+		disklayout.ClearBit(bbm, blk)
+	}
+	for i := 0; i < nodesNeeded; i++ {
+		lo := disklayout.MaxInlineExtents + i*disklayout.ExtentsPerNode
+		hi := lo + disklayout.ExtentsPerNode
+		if hi > len(exts) {
+			hi = len(exts)
+		}
+		var next uint32
+		if i+1 < nodesNeeded {
+			next = nodes[i+1]
+		}
+		enc := disklayout.EncodeExtentNode(&disklayout.ExtentNode{Next: next, Extents: exts[lo:hi]})
+		if err := dev.WriteBlock(nodes[i], enc); err != nil {
+			return false, err
+		}
+	}
+	head := exts
+	if len(head) > disklayout.MaxInlineExtents {
+		head = head[:disklayout.MaxInlineExtents]
+	}
+	rec.Direct = [disklayout.NumDirect]uint32{}
+	rec.SetInlineExtents(head)
+	rec.Indirect = 0
+	if nodesNeeded > 0 {
+		rec.Indirect = nodes[0]
+	}
+	rec.DblIndir = 0
+	rec.Flags |= disklayout.FlagExtents
+	return true, nil
+}

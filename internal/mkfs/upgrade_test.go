@@ -1,0 +1,163 @@
+package mkfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/disklayout"
+	"repro/internal/fsck"
+	"repro/internal/mkfs"
+)
+
+// TestUpgradeExtents converts a legacy-layout image in place and proves the
+// three contracts: every regular file flips to the extent map (spine blocks
+// reclaimed into chain nodes or freed), fsck stays clean, and a non-legacy
+// mount reads back byte-identical content.
+func TestUpgradeExtents(t *testing.T) {
+	dev := blockdev.NewMem(4096)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 256, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := basefs.Mount(dev, basefs.Options{LegacyLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(n int, salt byte) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i)*7 + salt
+		}
+		return b
+	}
+	// small: direct-only; big: spans the indirect block; sparse: a hole
+	// between two data runs; empty: no data at all.
+	want := map[string][]byte{
+		"/small": payload(3*disklayout.BlockSize, 1),
+		"/big":   payload(20*disklayout.BlockSize, 2),
+		"/empty": nil,
+	}
+	for _, name := range []string{"/small", "/big", "/empty"} {
+		fd, err := fs.Create(name, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data := want[name]; len(data) > 0 {
+			if _, err := fs.WriteAt(fd, 0, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sparse := make([]byte, 18*disklayout.BlockSize)
+	copy(sparse, payload(2*disklayout.BlockSize, 3))
+	tail := payload(2*disklayout.BlockSize, 4)
+	copy(sparse[16*disklayout.BlockSize:], tail)
+	fd, err := fs.Create("/sparse", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 0, sparse[:2*disklayout.BlockSize]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteAt(fd, 16*disklayout.BlockSize, tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	want["/sparse"] = sparse
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := mkfs.UpgradeExtents(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("converted %d files, want 4", n)
+	}
+	if rep := fsck.Check(dev); !rep.Clean() {
+		for _, p := range rep.Problems {
+			t.Errorf("fsck after upgrade: %s", p)
+		}
+	}
+	// Every regular file now carries FlagExtents on disk.
+	for t2 := uint32(0); t2 < sb.InodeTableLen; t2++ {
+		buf, err := dev.ReadBlock(sb.InodeTableStart + t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < disklayout.InodesPerBlock; s++ {
+			rec, err := disklayout.DecodeInode(buf[s*disklayout.InodeSize:])
+			if err != nil {
+				continue
+			}
+			if rec.IsFile() && !rec.IsExtents() {
+				t.Errorf("inode %d still on legacy map after upgrade",
+					t2*disklayout.InodesPerBlock+uint32(s))
+			}
+		}
+	}
+
+	fs, err = basefs.Mount(dev, basefs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	for name, data := range want {
+		fd, err := fs.Open(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := fs.Fstat(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size != int64(len(data)) {
+			t.Errorf("%s: size %d, want %d", name, st.Size, len(data))
+		}
+		var got []byte
+		if len(data) > 0 {
+			got, err = fs.ReadAt(fd, 0, len(data))
+			if err != nil {
+				t.Fatalf("%s: read: %v", name, err)
+			}
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: content differs after upgrade", name)
+		}
+		if err := fs.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUpgradeExtentsRejectsDirtyImage pins the precondition: an image that
+// was not cleanly unmounted (journal possibly non-empty) must be refused,
+// not silently converted under a pending replay.
+func TestUpgradeExtentsRejectsDirtyImage(t *testing.T) {
+	dev := blockdev.NewMem(2048)
+	if _, err := mkfs.Format(dev, mkfs.Options{NumInodes: 128, JournalBlocks: 32}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := basefs.Mount(dev, basefs.Options{LegacyLayout: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mounted = superblock marked dirty on disk.
+	if _, err := mkfs.UpgradeExtents(dev); err == nil {
+		t.Fatal("upgrade accepted a dirty image")
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mkfs.UpgradeExtents(dev); err != nil {
+		t.Fatalf("upgrade rejected a clean image: %v", err)
+	}
+}

@@ -61,6 +61,13 @@ type Shadow struct {
 	deltaDirty map[uint32]bool
 	deltaFreed map[uint32]bool
 
+	// physFree counts free data-region blocks; slack is the image's total
+	// extent slack (see extent.go). The charged allocator refuses once
+	// physFree falls to slack, matching the specification model's ENOSPC
+	// timing and reserving the blocks demotion needs.
+	physFree int64
+	slack    int64
+
 	// Constrained-mode constraints for the next allocating/opening
 	// operation; zero values mean autonomous decisions.
 	wantIno    uint32
@@ -106,6 +113,9 @@ func New(dev blockdev.Device, opts Options) (*Shadow, error) {
 		deltaFreed: make(map[uint32]bool),
 	}
 	s.clock.Set(sb.LastClock)
+	if err := s.seedSpace(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -332,15 +342,28 @@ func (s *Shadow) setBlockBit(blk uint32, v bool) error {
 	}
 	if v {
 		disklayout.SetBit(b, bit)
+		s.physFree--
 	} else {
 		disklayout.ClearBit(b, bit)
+		s.physFree++
 	}
 	return s.writeBlock(bmBlk, b, true)
 }
 
 // allocBlock claims the lowest free data block and returns it zeroed in the
-// overlay.
+// overlay. This is the model-charged allocator: it fails once the free count
+// falls to the image's extent slack, which is exactly when the model's
+// logical budget runs out (extent.go).
 func (s *Shadow) allocBlock(meta bool) (uint32, error) {
+	if s.physFree <= s.slack {
+		return 0, fserr.ErrNoSpace
+	}
+	return s.allocBlockRaw(meta)
+}
+
+// allocBlockRaw is allocBlock without the slack reserve — for demotion's
+// spine blocks, whose cost the model has already charged.
+func (s *Shadow) allocBlockRaw(meta bool) (uint32, error) {
 	for blk := s.sb.DataStart; blk < s.sb.NumBlocks; blk++ {
 		used, err := s.blockBit(blk)
 		if err != nil {
@@ -413,6 +436,9 @@ func (s *Shadow) bmap(rec *disklayout.Inode, idx int64) (uint32, error) {
 	if err := s.assert(idx >= 0 && idx < disklayout.MaxFileBlocks, "block index %d", idx); err != nil {
 		return 0, err
 	}
+	if rec.IsExtents() {
+		return s.extentLookup(rec, idx)
+	}
 	switch {
 	case idx < disklayout.NumDirect:
 		return rec.Direct[idx], nil
@@ -439,6 +465,14 @@ func (s *Shadow) bmap(rec *disklayout.Inode, idx int64) (uint32, error) {
 func (s *Shadow) bmapAlloc(rec *disklayout.Inode, idx int64) (uint32, error) {
 	if p, err := s.bmap(rec, idx); err != nil || p != 0 {
 		return p, err
+	}
+	if rec.IsExtents() {
+		// First write into an unmapped block of an extent file: demote it to
+		// the legacy map (the shadow does not grow extent lists) and let the
+		// legacy allocator below materialize the block.
+		if err := s.demoteExtents(rec); err != nil {
+			return 0, err
+		}
 	}
 	var undo []uint32
 	fail := func(err error) (uint32, error) {
@@ -537,6 +571,16 @@ func (s *Shadow) bmapAlloc(rec *disklayout.Inode, idx int64) (uint32, error) {
 // truncateBlocks frees every block at index >= keep, pruning empty indirect
 // blocks.
 func (s *Shadow) truncateBlocks(rec *disklayout.Inode, keep int64) error {
+	if rec.IsExtents() {
+		if keep <= 0 {
+			return s.freeExtents(rec)
+		}
+		// Shrinking an extent file rewrites its mapping; demote first and
+		// fall through to the legacy walk.
+		if err := s.demoteExtents(rec); err != nil {
+			return err
+		}
+	}
 	for i := keep; i < disklayout.NumDirect; i++ {
 		if i < 0 {
 			continue

@@ -18,6 +18,10 @@
 //	DataHeavy  – fileserver-like: whole-file writes and appends, larger IO
 //	ReadMostly – webserver-like: build a corpus, then ~90% reads
 //	Soup       – uniform random valid and invalid operations, for coverage
+//	BigFile    – large-file growth: multi-block sequential appends, shrinking
+//	             truncates, and hole-leaving far-offset writes, shaped so
+//	             crash/fault windows land inside extent-split and
+//	             delayed-allocation seams
 package workload
 
 import (
@@ -39,6 +43,7 @@ const (
 	DataHeavy
 	ReadMostly
 	Soup
+	BigFile
 )
 
 // String returns the profile name used in experiment tables.
@@ -52,12 +57,16 @@ func (p Profile) String() string {
 		return "readmostly"
 	case Soup:
 		return "soup"
+	case BigFile:
+		return "bigfile"
 	}
 	return fmt.Sprintf("profile(%d)", int(p))
 }
 
 // Profiles lists every profile, for experiment sweeps.
-func Profiles() []Profile { return []Profile{MetaHeavy, DataHeavy, ReadMostly, Soup} }
+func Profiles() []Profile {
+	return []Profile{MetaHeavy, DataHeavy, ReadMostly, Soup, BigFile}
+}
 
 // Config parameterizes generation.
 type Config struct {
@@ -289,6 +298,8 @@ func (g *gen) step() {
 		g.stepDataHeavy()
 	case ReadMostly:
 		g.stepReadMostly()
+	case BigFile:
+		g.stepBigFile()
 	default:
 		g.stepSoup()
 	}
@@ -420,6 +431,56 @@ func (g *gen) stepSoup() {
 		} else {
 			g.emit(&oplog.Op{Kind: oplog.KStatProbe, Path: "/"})
 		}
+	}
+}
+
+// stepBigFile grows a handful of large files with multi-block sequential
+// appends, punctuated by shrinking truncates and writes past EOF that leave
+// holes. The shapes target the extent layout's seams: appends extend (and
+// split) the tail extent through delayed allocation, truncates trim or
+// shorten extents, and far-offset writes force a discontiguous extent after
+// a hole — so short crash/fault windows cut from this profile land inside
+// extent-split and delalloc materialization.
+func (g *gen) stepBigFile() {
+	const maxSize = 64 * disklayout.BlockSize
+	switch r := g.rng.Intn(100); {
+	case r < 12 || len(g.fds) == 0: // start another big file
+		g.emit(&oplog.Op{Kind: oplog.KCreate, Path: g.freshName(g.randDir(), "big"), Perm: 0o644})
+	case r < 50: // multi-block sequential append
+		f := g.fds[g.rng.Intn(len(g.fds))]
+		if f.size >= maxSize { // keep the working set bounded
+			g.emit(&oplog.Op{Kind: oplog.KTruncate, Path: f.path, Size: f.size / 4})
+			return
+		}
+		g.emit(&oplog.Op{Kind: oplog.KWrite, FD: f.fd, Off: f.size,
+			Data: g.payload(2*disklayout.BlockSize + g.rng.Intn(6*disklayout.BlockSize))})
+		if g.rng.Intn(3) == 0 {
+			g.emit(&oplog.Op{Kind: oplog.KFsync, FD: f.fd})
+		}
+	case r < 64: // write past EOF, leaving a hole before the new extent
+		f := g.fds[g.rng.Intn(len(g.fds))]
+		off := f.size + int64(1+g.rng.Intn(12))*disklayout.BlockSize
+		g.emit(&oplog.Op{Kind: oplog.KWrite, FD: f.fd, Off: off,
+			Data: g.payload(1 + g.rng.Intn(disklayout.BlockSize))})
+	case r < 78 && len(g.files) > 0: // shrink trims extents; grow adds a tail hole
+		g.emit(&oplog.Op{Kind: oplog.KTruncate, Path: g.files[g.rng.Intn(len(g.files))],
+			Size: g.rng.Int63n(32 * disklayout.BlockSize)})
+	case r < 86: // overwrite inside allocated range (mid-extent split shapes)
+		f := g.fds[g.rng.Intn(len(g.fds))]
+		off := int64(0)
+		if f.size > 0 {
+			off = g.rng.Int63n(f.size)
+		}
+		g.emit(&oplog.Op{Kind: oplog.KWrite, FD: f.fd, Off: off,
+			Data: g.payload(1 + g.rng.Intn(2*disklayout.BlockSize))})
+	case r < 92:
+		f := g.fds[g.rng.Intn(len(g.fds))]
+		g.emit(&oplog.Op{Kind: oplog.KReadProbe, FD: f.fd,
+			Off: g.rng.Int63n(maxSize), Size: int64(g.rng.Intn(2 * disklayout.BlockSize))})
+	case r < 96:
+		g.emit(&oplog.Op{Kind: oplog.KFsync, FD: g.fds[g.rng.Intn(len(g.fds))].fd})
+	default:
+		g.emit(&oplog.Op{Kind: oplog.KSync})
 	}
 }
 
