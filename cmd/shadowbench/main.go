@@ -1,11 +1,12 @@
 // Command shadowbench regenerates the quantitative experiment series as
 // printed tables: common-case throughput (E3), recovery latency vs recorded
 // sequence length (E4), availability under a deterministic bug stream (E5),
-// recording overhead (E6), and the extent-layout series (E16).
+// recording overhead (E6), the extent-layout series (E16), and the networked
+// serving series (E17).
 //
 // Usage:
 //
-//	shadowbench [-series thput|recovery|avail|overhead|extent|all] [-ops N] [-seed S] [-json]
+//	shadowbench [-series thput|recovery|avail|overhead|extent|server|all] [-ops N] [-seed S] [-json]
 //
 // With -json, each series additionally writes BENCH_<series>.json — a flat
 // machine-readable metric map (op/s, latency percentiles, bytes/s) — so the
@@ -38,7 +39,7 @@ func record(key string, v float64) {
 }
 
 func main() {
-	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, fsck, multitenant, extent, all")
+	series := flag.String("series", "all", "which series: thput, recovery, avail, overhead, fsync, ablate, latency, io, concurrency, fsck, multitenant, extent, server, all")
 	ops := flag.Int("ops", 4000, "operations per measurement")
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
@@ -75,6 +76,38 @@ func main() {
 	run("fsck", func() { fsckScale(*seed) })
 	run("multitenant", func() { multiTenant(*ops, *seed) })
 	run("extent", func() { extent(*seed) })
+	run("server", func() { server(*ops, *seed) })
+}
+
+// server prints the E17 series: a volmgr fleet served over TCP loopback via
+// the fswire protocol, concurrent remote clients, and a recurring fault
+// storm on vol0. The claims: recoveries stay behind the wire (zero client-
+// visible fault-class errors), healthy tenants never recover, and the wire
+// counters quantify serving cost.
+func server(ops int, seed int64) {
+	const volumes, clients = 4, 8
+	fmt.Println("== E17: networked serving — remote clients vs a fleet under a fault storm ==")
+	fmt.Printf("(%d fswire clients over TCP loopback, %d volumes, %d ops/client, metaheavy; storm = recurring crash on vol0)\n",
+		clients, volumes, ops)
+	r, err := experiments.Server(volumes, clients, ops, seed)
+	check(err)
+	fmt.Printf("clients: %d ops in %v (%.0f op/s end-to-end), %d fault-class errors observed (must be 0)\n",
+		r.TotalOps, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.ClientFaults)
+	fmt.Printf("storm volume: %d recoveries masked, %d app failures (must be 0)\n",
+		r.StormRecoveries, r.StormAppFailures)
+	fmt.Printf("healthy volumes: %d recoveries (must be 0)\n", r.HealthyRecoveries)
+	fmt.Printf("wire: %d ops, %d bytes (%.1f MB/s), %d error replies\n",
+		r.WireOps, r.WireBytes, r.WireBytesPerSec/1e6, r.WireErrs)
+	record("server.ops_per_sec", r.OpsPerSec)
+	record("server.total_ops", float64(r.TotalOps))
+	record("server.client_faults", float64(r.ClientFaults))
+	record("server.storm_recoveries", float64(r.StormRecoveries))
+	record("server.storm_app_failures", float64(r.StormAppFailures))
+	record("server.healthy_recoveries", float64(r.HealthyRecoveries))
+	record("server.wire_ops", float64(r.WireOps))
+	record("server.wire_bytes_per_sec", r.WireBytesPerSec)
+	record("server.wire_errs", float64(r.WireErrs))
+	fmt.Println()
 }
 
 // writeJSON dumps the recorded metric map as BENCH_<series>.json in the

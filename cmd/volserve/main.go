@@ -11,7 +11,9 @@
 //
 //	volserve -volumes 8 -ops 2000            run the fleet, print the rollup
 //	volserve -volumes 2 -ops 500 -storm      CI smoke: one tenant under storm
-//	volserve -listen :8080                   ...and serve /fleet until interrupted
+//	volserve -listen :5640                   ...and serve the fleet over fswire
+//	                                         (attach by volume name: vol0, vol1, ...)
+//	volserve -http :8080                     ...and serve the /fleet rollup over HTTP
 //	volserve -rate 500 -burst 64             per-tenant QoS (ops/sec token bucket)
 //
 // Exit status is non-zero if any healthy volume recorded a recovery or the
@@ -22,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"sync"
@@ -30,8 +33,8 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/fswire"
 	"repro/internal/mkfs"
-	"repro/internal/oplog"
 	"repro/internal/volmgr"
 	"repro/internal/workload"
 )
@@ -44,7 +47,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-tenant QoS rate in ops/sec (0 = unlimited)")
 	burst := flag.Int("burst", 0, "per-tenant QoS burst (0 = rate-derived default)")
 	cache := flag.Int("cache", 0, "shared clean-cache budget in blocks (0 = 96/volume)")
-	listen := flag.String("listen", "", "serve the fleet rollup at this address under /fleet")
+	listen := flag.String("listen", "", "serve the fleet over the fswire protocol at this address")
+	httpAddr := flag.String("http", "", "serve the fleet rollup at this address under /fleet")
 	asJSON := flag.Bool("json", false, "emit the final rollup as JSON")
 	flag.Parse()
 
@@ -97,6 +101,16 @@ func main() {
 	}
 
 	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		check(err)
+		srv := fswire.NewServer(fswire.Volumes(m), fswire.WithTelemetry(m.Telemetry()))
+		go func() {
+			fmt.Fprintf(os.Stderr, "volserve: serving fswire on %s (attach: vol0..vol%d)\n",
+				ln.Addr(), *volumes-1)
+			check(srv.Serve(ln))
+		}()
+	}
+	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
 			snap := m.FleetSnapshot()
@@ -109,8 +123,8 @@ func main() {
 			_ = snap.WriteText(w)
 		})
 		go func() {
-			fmt.Fprintf(os.Stderr, "volserve: serving fleet rollup on http://%s/fleet (?format=json)\n", *listen)
-			check(http.ListenAndServe(*listen, mux))
+			fmt.Fprintf(os.Stderr, "volserve: serving fleet rollup on http://%s/fleet (?format=json)\n", *httpAddr)
+			check(http.ListenAndServe(*httpAddr, mux))
 		}()
 	}
 
@@ -129,11 +143,7 @@ func main() {
 				Profile: workload.MetaHeavy, Seed: *seed + int64(i)*101,
 				NumOps: *ops, Superblock: sb, SyncEvery: 100,
 			})
-			for _, rec := range trace {
-				op := rec.Clone()
-				op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-				_ = oplog.Apply(v, op)
-			}
+			workload.Drive(v, trace)
 		}(i, v)
 	}
 	wg.Wait()
@@ -171,8 +181,8 @@ func main() {
 		check(snap.WriteText(os.Stdout))
 	}
 
-	if *listen != "" {
-		fmt.Fprintln(os.Stderr, "volserve: workload done; still serving /fleet (interrupt to exit)")
+	if *listen != "" || *httpAddr != "" {
+		fmt.Fprintln(os.Stderr, "volserve: workload done; still serving (interrupt to exit)")
 		select {}
 	}
 	check(m.Shutdown())

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"fmt"
+	"io/fs"
 
 	"repro"
 )
@@ -43,4 +44,44 @@ func Example() {
 	// Output:
 	// content: you've got mail
 	// recoveries: 1, app-visible failures: 0
+}
+
+// ExampleStdFS shows the standard io/fs frontend: a supervised filesystem
+// driven through os-style write calls and walked with fs.WalkDir, exactly as
+// any stdlib-compatible code would.
+func ExampleStdFS() {
+	dev := repro.NewMemDevice(4096)
+	if _, err := repro.Format(dev); err != nil {
+		panic(err)
+	}
+	sup, err := repro.Mount(dev, repro.Config{})
+	if err != nil {
+		panic(err)
+	}
+
+	std := repro.StdFS(sup)
+	if err := std.MkdirAll("notes/2026", 0o755); err != nil {
+		panic(err)
+	}
+	if err := std.WriteFile("notes/2026/august.md", []byte("# august\n"), 0o644); err != nil {
+		panic(err)
+	}
+	data, err := fs.ReadFile(std, "notes/2026/august.md")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("content: %s", data)
+	_ = fs.WalkDir(std, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(path)
+		return nil
+	})
+	// Output:
+	// content: # august
+	// .
+	// notes
+	// notes/2026
+	// notes/2026/august.md
 }

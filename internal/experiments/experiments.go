@@ -62,12 +62,7 @@ func newImage(blocks uint32) (*blockdev.Mem, *disklayout.Superblock, error) {
 
 // applyTrace runs every op of a trace against fs, returning ops applied.
 func applyTrace(fs fsapi.FS, trace []*oplog.Op) int {
-	for _, rec := range trace {
-		op := rec.Clone()
-		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-		_ = oplog.Apply(fs, op)
-	}
-	return len(trace)
+	return workload.Drive(fs, trace).Applied
 }
 
 // ThroughputResult is one cell of the E3/E6 table.
@@ -254,17 +249,10 @@ func Availability(mode core.Mode, numOps int, seed int64) (AvailabilityResult, e
 		Profile: workload.MetaHeavy, Seed: seed, NumOps: numOps, Superblock: sb, SyncEvery: 100,
 	})
 	start := time.Now()
-	for _, rec := range trace {
-		op := rec.Clone()
-		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-		_ = oplog.Apply(sup, op)
-		// An operation "completes" for availability purposes when it returns
-		// the outcome the bug-free specification would: same errno and, for
-		// allocating ops, same numbers.
-		if op.Errno == rec.Errno && op.RetFD == rec.RetFD && op.RetIno == rec.RetIno && op.RetN == rec.RetN {
-			res.Completed++
-		}
-	}
+	// An operation "completes" for availability purposes when it returns
+	// the outcome the bug-free specification would: same errno and, for
+	// allocating ops, same numbers — DriveStats.Matched.
+	res.Completed = int64(workload.Drive(sup, trace).Matched)
 	res.Elapsed = time.Since(start)
 	st := sup.Stats()
 	res.AppFailures = st.AppFailures

@@ -202,15 +202,11 @@ func multiTenantPhase(volumes, opsPerVolume int, seed int64, storm bool) (phaseO
 		go func(i int) {
 			defer wg.Done()
 			samples := make([]time.Duration, 0, len(traces[i]))
-			for _, rec := range traces[i] {
-				op := rec.Clone()
-				op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
-				t0 := time.Now()
-				_ = oplog.Apply(vols[i], op)
-				samples = append(samples, time.Since(t0))
-			}
+			st := workload.DriveObserved(vols[i], traces[i], func(_, _ *oplog.Op, d time.Duration) {
+				samples = append(samples, d)
+			})
 			latencies[i] = samples
-			applied[i] = len(traces[i])
+			applied[i] = st.Applied
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/faultinject"
+	"repro/internal/fserr"
+	"repro/internal/fswire"
+	"repro/internal/mkfs"
+	"repro/internal/oplog"
+	"repro/internal/volmgr"
+	"repro/internal/workload"
+)
+
+// E17: the networked serving experiment. An fswire server exposes a volmgr
+// fleet over TCP loopback; N remote clients (each its own connection, FID
+// table, and workload seed) drive the fleet concurrently while volume 0 is
+// under the recurring deterministic fault storm E14 uses. The claim is that
+// the paper's masking property composes with the network layer: every
+// recovery on the storm tenant stays behind the wire (no client ever sees a
+// fault-class errno), healthy tenants never recover at all, and the wire
+// adds bookkeeping — conns, ops, bytes — that quantifies the serving cost.
+
+// ServerResult is the E17 table.
+type ServerResult struct {
+	Volumes      int
+	Clients      int
+	OpsPerClient int
+	Elapsed      time.Duration
+
+	// Client-side outcome.
+	TotalOps     int
+	OpsPerSec    float64
+	ClientFaults int // fault-class errnos observed at any client; must be 0
+
+	// Server-side outcome.
+	StormRecoveries   int64
+	StormAppFailures  int64
+	HealthyRecoveries int64 // must be 0
+
+	// Wire accounting from the fswire.* instruments.
+	WireConns       int64
+	WireOps         int64
+	WireBytes       int64
+	WireErrs        int64
+	WireBytesPerSec float64
+}
+
+// Server runs E17. volumes must be >= 2 (storm tenant + healthy neighbor);
+// clients are distributed round-robin over the volumes.
+func Server(volumes, clients, opsPerClient int, seed int64) (ServerResult, error) {
+	res := ServerResult{Volumes: volumes, Clients: clients, OpsPerClient: opsPerClient}
+	if volumes < 2 {
+		return res, fmt.Errorf("experiments: server needs >= 2 volumes, got %d", volumes)
+	}
+	if clients < 1 {
+		return res, fmt.Errorf("experiments: server needs >= 1 client, got %d", clients)
+	}
+
+	m, err := volmgr.New(volmgr.Config{
+		PoolBlocks:        uint32(volumes) * MultiTenantVolumeBlocks,
+		CacheBudgetBlocks: 96 * volumes,
+		CacheMinPerVolume: 32,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer m.Shutdown()
+
+	vols := make([]*volmgr.Volume, volumes)
+	for i := range vols {
+		vc := volmgr.VolumeConfig{Blocks: MultiTenantVolumeBlocks}
+		if i == 0 {
+			reg := faultinject.NewRegistry(seed)
+			reg.Arm(&faultinject.Specimen{
+				ID: "e17-storm", Class: faultinject.Crash,
+				Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "box",
+			})
+			vc.Core.Base.Injector = reg
+		}
+		if vols[i], err = m.Create(fmt.Sprintf("vol%d", i), vc); err != nil {
+			return res, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	srv := fswire.NewServer(fswire.Volumes(m), fswire.WithTelemetry(m.Telemetry()))
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+
+	// The geometry is deterministic for a given device size, so a throwaway
+	// format yields the superblock every client's generator needs.
+	sb, err := mkfs.Format(blockdev.NewMem(MultiTenantVolumeBlocks), mkfs.Options{})
+	if err != nil {
+		return res, err
+	}
+
+	type clientOutcome struct {
+		applied int
+		faults  int
+		err     error
+	}
+	outcomes := make([]clientOutcome, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			volume := fmt.Sprintf("vol%d", ci%volumes)
+			c, err := fswire.Dial(ln.Addr().String(), volume)
+			if err != nil {
+				outcomes[ci].err = fmt.Errorf("client %d: dial %s: %w", ci, volume, err)
+				return
+			}
+			defer c.Hangup()
+			trace := workload.Generate(workload.Config{
+				Profile: workload.MetaHeavy, Seed: seed + int64(ci)*101,
+				NumOps: opsPerClient, Superblock: sb, SyncEvery: 100,
+			})
+			st := workload.DriveObserved(c, trace, func(_, got *oplog.Op, _ time.Duration) {
+				if got.Errno != 0 && fserr.IsFault(fserr.FromErrno(got.Errno)) {
+					outcomes[ci].faults++
+				}
+			})
+			outcomes[ci].applied = st.Applied
+		}(ci)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	for _, o := range outcomes {
+		if o.err != nil {
+			return res, o.err
+		}
+		res.TotalOps += o.applied
+		res.ClientFaults += o.faults
+	}
+	res.OpsPerSec = float64(res.TotalOps) / res.Elapsed.Seconds()
+
+	for i, v := range vols {
+		st := v.Stats()
+		if i == 0 {
+			res.StormRecoveries = st.Recoveries
+			res.StormAppFailures = st.AppFailures
+		} else {
+			res.HealthyRecoveries += st.Recoveries
+		}
+	}
+	snap := m.Telemetry().Snapshot()
+	res.WireConns = snap.Gauges["fswire.conns"]
+	res.WireOps = snap.Counters["fswire.ops"]
+	res.WireBytes = snap.Counters["fswire.bytes"]
+	res.WireErrs = snap.Counters["fswire.errs"]
+	res.WireBytesPerSec = float64(res.WireBytes) / res.Elapsed.Seconds()
+	return res, nil
+}

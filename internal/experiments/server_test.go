@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestServer(t *testing.T) {
+	res, err := Server(2, 4, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps < 4*120 {
+		t.Errorf("TotalOps = %d, want >= %d", res.TotalOps, 4*120)
+	}
+	if res.ClientFaults != 0 {
+		t.Errorf("clients observed %d fault-class errors over the wire, want 0", res.ClientFaults)
+	}
+	if res.StormRecoveries == 0 {
+		t.Error("storm volume never recovered — specimen did not fire")
+	}
+	if res.StormAppFailures != 0 {
+		t.Errorf("storm volume surfaced %d app failures, want 0", res.StormAppFailures)
+	}
+	if res.HealthyRecoveries != 0 {
+		t.Errorf("healthy volumes recovered %d times, want 0", res.HealthyRecoveries)
+	}
+	if res.WireOps == 0 || res.WireBytes == 0 {
+		t.Errorf("wire telemetry empty: ops=%d bytes=%d", res.WireOps, res.WireBytes)
+	}
+	if res.OpsPerSec <= 0 || res.WireBytesPerSec <= 0 {
+		t.Errorf("rates not positive: op/s=%f wire B/s=%f", res.OpsPerSec, res.WireBytesPerSec)
+	}
+}
+
+func TestServerRejectsBadGeometry(t *testing.T) {
+	if _, err := Server(1, 4, 10, 1); err == nil {
+		t.Error("Server(volumes=1) should fail: no healthy neighbor to isolate")
+	}
+	if _, err := Server(2, 0, 10, 1); err == nil {
+		t.Error("Server(clients=0) should fail")
+	}
+}

@@ -51,8 +51,14 @@ type DirEntry struct {
 
 // FS is the filesystem operation set shared by base, shadow, and model.
 //
-// The mutating subset (everything except ReadAt, Stat, Fstat, Readdir, and
-// Readlink) is what the RAE supervisor records in the operation log.
+// The RAE supervisor records in the operation log every state-changing call
+// (Mkdir, Rmdir, Create, Truncate, Unlink, Rename, Link, Symlink, SetPerm,
+// WriteAt) plus the descriptor-lifecycle and durability calls the shadow
+// needs to reconstruct the fd table and the stable point (Open, Close,
+// Fsync, Sync) — see oplog.Kind.Mutating. The read-only calls — ReadAt,
+// Stat, Fstat, Readdir, Readlink — are never recorded: reads don't widen the
+// gap between the applications' view and the on-disk state (noatime), so
+// replay doesn't need them.
 type FS interface {
 	// Mkdir creates a directory. The parent must exist.
 	Mkdir(path string, perm uint16) error

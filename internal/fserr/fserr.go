@@ -3,57 +3,98 @@
 // the fsck checker. Using one sentinel set lets the differential tester and
 // the shadow's constrained mode compare outcomes across implementations with
 // errors.Is instead of string matching.
+//
+// Sentinels with a standard-library counterpart additionally unwrap to it, so
+// code written against io/fs and os conventions works unchanged against any
+// filesystem in this repository:
+//
+//	errors.Is(fserr.ErrNotExist, fs.ErrNotExist)  // true
+//	errors.Is(fserr.ErrExist,    fs.ErrExist)     // true
+//	errors.Is(fserr.ErrInvalid,  fs.ErrInvalid)   // true
+//	errors.Is(fserr.ErrBadFD,    os.ErrClosed)    // true (os.ErrClosed == fs.ErrClosed)
+//
+// The reverse direction is deliberately not true: a bare fs.ErrNotExist from
+// some other package does not satisfy errors.Is(err, fserr.ErrNotExist), so
+// the differential checks stay anchored on this package's taxonomy.
 package fserr
 
-import "errors"
+import (
+	"errors"
+	"io/fs"
+)
+
+// sentinelError is one taxonomy sentinel. Identity comparison (errors.Is
+// against the package variables) works by pointer, exactly as with
+// errors.New; std, when non-nil, is the standard-library sentinel this error
+// unwraps to.
+type sentinelError struct {
+	msg string
+	std error
+}
+
+func (e *sentinelError) Error() string { return e.msg }
+
+// Unwrap exposes the standard-library counterpart (nil for sentinels with no
+// io/fs analogue, which errors.Is treats as the end of the chain).
+func (e *sentinelError) Unwrap() error { return e.std }
+
+// sentinel builds a taxonomy error with no standard counterpart.
+func sentinel(msg string) error { return &sentinelError{msg: msg} }
+
+// sentinelStd builds a taxonomy error that unwraps to std.
+func sentinelStd(msg string, std error) error { return &sentinelError{msg: msg, std: std} }
 
 // Sentinel errors. Each corresponds to a POSIX errno the paper's filesystems
 // would return through the VFS layer.
 var (
 	// ErrNotExist reports that a path component or file does not exist (ENOENT).
-	ErrNotExist = errors.New("fserr: no such file or directory")
+	// Unwraps to fs.ErrNotExist.
+	ErrNotExist = sentinelStd("fserr: no such file or directory", fs.ErrNotExist)
 	// ErrExist reports that the target of a create already exists (EEXIST).
-	ErrExist = errors.New("fserr: file exists")
+	// Unwraps to fs.ErrExist.
+	ErrExist = sentinelStd("fserr: file exists", fs.ErrExist)
 	// ErrNotDir reports that a non-final path component, or the target of a
 	// directory-only operation, is not a directory (ENOTDIR).
-	ErrNotDir = errors.New("fserr: not a directory")
+	ErrNotDir = sentinel("fserr: not a directory")
 	// ErrIsDir reports a file-only operation applied to a directory (EISDIR).
-	ErrIsDir = errors.New("fserr: is a directory")
+	ErrIsDir = sentinel("fserr: is a directory")
 	// ErrNotEmpty reports rmdir of a non-empty directory (ENOTEMPTY).
-	ErrNotEmpty = errors.New("fserr: directory not empty")
+	ErrNotEmpty = sentinel("fserr: directory not empty")
 	// ErrNoSpace reports block or inode exhaustion (ENOSPC).
-	ErrNoSpace = errors.New("fserr: no space left on device")
+	ErrNoSpace = sentinel("fserr: no space left on device")
 	// ErrNameTooLong reports a path component longer than the on-disk
 	// directory entry can store (ENAMETOOLONG).
-	ErrNameTooLong = errors.New("fserr: file name too long")
+	ErrNameTooLong = sentinel("fserr: file name too long")
 	// ErrBadFD reports an operation on a closed or never-opened file
-	// descriptor (EBADF).
-	ErrBadFD = errors.New("fserr: bad file descriptor")
+	// descriptor (EBADF). Unwraps to fs.ErrClosed (== os.ErrClosed), the
+	// standard library's closest analogue.
+	ErrBadFD = sentinelStd("fserr: bad file descriptor", fs.ErrClosed)
 	// ErrInvalid reports an argument outside the operation's domain (EINVAL).
-	ErrInvalid = errors.New("fserr: invalid argument")
+	// Unwraps to fs.ErrInvalid.
+	ErrInvalid = sentinelStd("fserr: invalid argument", fs.ErrInvalid)
 	// ErrTooBig reports a write or truncate beyond the maximum file size the
 	// inode geometry can address (EFBIG).
-	ErrTooBig = errors.New("fserr: file too large")
+	ErrTooBig = sentinel("fserr: file too large")
 	// ErrCorrupt reports on-disk or in-memory structural corruption detected
 	// by an integrity check. It is a detectable runtime error in the sense of
 	// the paper's fault model: the supervisor treats it as a recovery trigger,
 	// never as an application-visible result.
-	ErrCorrupt = errors.New("fserr: filesystem structure corrupt")
+	ErrCorrupt = sentinel("fserr: filesystem structure corrupt")
 	// ErrReadOnly reports a mutation attempted through a read-only handle,
 	// e.g. the shadow filesystem touching its write path (EROFS).
-	ErrReadOnly = errors.New("fserr: read-only filesystem")
+	ErrReadOnly = sentinel("fserr: read-only filesystem")
 	// ErrIO reports a device-level read or write failure (EIO).
-	ErrIO = errors.New("fserr: input/output error")
+	ErrIO = sentinel("fserr: input/output error")
 	// ErrBusy reports an operation that conflicts with an in-use resource,
 	// e.g. unlinking a directory serving as another thread's cwd (EBUSY).
-	ErrBusy = errors.New("fserr: resource busy")
+	ErrBusy = sentinel("fserr: resource busy")
 	// ErrOverloaded reports an operation shed by admission control before it
 	// reached any filesystem: the volume's token bucket was empty or its
 	// queue-depth cap was hit (EAGAIN). It is an ordinary application-visible
 	// outcome — retry later — never a recovery trigger.
-	ErrOverloaded = errors.New("fserr: volume overloaded, operation shed")
+	ErrOverloaded = sentinel("fserr: volume overloaded, operation shed")
 	// ErrCrossDevice reports a rename or link across filesystems (EXDEV).
-	ErrCrossDevice = errors.New("fserr: cross-device link")
+	ErrCrossDevice = sentinel("fserr: cross-device link")
 )
 
 // IsUserError reports whether err is an ordinary, application-visible POSIX

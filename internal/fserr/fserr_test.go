@@ -3,6 +3,8 @@ package fserr
 import (
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"testing"
 )
 
@@ -68,6 +70,58 @@ func TestIsUserError(t *testing.T) {
 	for _, err := range []error{nil, ErrCorrupt, ErrIO, errors.New("other")} {
 		if IsUserError(err) {
 			t.Errorf("IsUserError(%v) = true", err)
+		}
+	}
+}
+
+// TestStdlibErrorMapping pins the io/fs unwrapping contract: exactly the four
+// sentinels with a standard counterpart satisfy errors.Is against it, every
+// other (sentinel, std) pair does not, and the mapping is one-way — a bare
+// standard error never satisfies errors.Is against a taxonomy sentinel.
+func TestStdlibErrorMapping(t *testing.T) {
+	stdFor := map[error]error{
+		ErrNotExist: fs.ErrNotExist,
+		ErrExist:    fs.ErrExist,
+		ErrInvalid:  fs.ErrInvalid,
+		ErrBadFD:    fs.ErrClosed,
+	}
+	stds := []error{fs.ErrNotExist, fs.ErrExist, fs.ErrInvalid, fs.ErrClosed, fs.ErrPermission}
+	for _, sent := range allSentinels() {
+		want := stdFor[sent]
+		for _, std := range stds {
+			got := errors.Is(sent, std)
+			if got != (std == want) {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", sent, std, got, std == want)
+			}
+		}
+		// Wrapping must preserve the chain end to end.
+		if want != nil && !errors.Is(fmt.Errorf("op failed: %w", sent), want) {
+			t.Errorf("wrapped %v does not reach %v", sent, want)
+		}
+		// One-way: the standard sentinel alone is not one of ours.
+		if want != nil && errors.Is(want, sent) {
+			t.Errorf("errors.Is(%v, %v) = true; mapping must be one-way", want, sent)
+		}
+	}
+	// os aliases the io/fs sentinels, so the os spellings hold too.
+	if !errors.Is(ErrBadFD, os.ErrClosed) {
+		t.Error("errors.Is(ErrBadFD, os.ErrClosed) = false")
+	}
+	if !errors.Is(ErrNotExist, os.ErrNotExist) {
+		t.Error("errors.Is(ErrNotExist, os.ErrNotExist) = false")
+	}
+}
+
+// TestStdlibMappingKeepsTaxonomyDistinct guards against the unwrap chain
+// collapsing taxonomy distinctions: no sentinel may satisfy errors.Is against
+// a different sentinel.
+func TestStdlibMappingKeepsTaxonomyDistinct(t *testing.T) {
+	all := allSentinels()
+	for i, a := range all {
+		for j, b := range all {
+			if got := errors.Is(a, b); got != (i == j) {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", a, b, got, i == j)
+			}
 		}
 	}
 }

@@ -1,0 +1,400 @@
+package fswire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// Client is a remote filesystem: it speaks the fswire protocol over one
+// connection and implements fsapi.FS, so everything written against that
+// interface — the vfs adapter, the workload driver, the differential tester —
+// runs unchanged against a served volume.
+//
+// FIDs (the fsapi.FD values Create and Open return) are allocated here,
+// lowest-free-first, mirroring the local implementations' POSIX descriptor
+// discipline: a sequential trace run remotely yields the same descriptor
+// numbers as a local run. The client is safe for concurrent use — requests
+// are tagged and may complete out of order — but concurrent callers forfeit
+// descriptor determinism exactly as they would against a local filesystem.
+type Client struct {
+	c net.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint16]chan []byte
+	fids    map[uint32]bool
+	closed  bool
+	readErr error
+}
+
+var _ fsapi.FS = (*Client)(nil)
+
+// Dial connects to an fswire server and attaches to the named volume
+// (servers backed by Single accept any name, "" by convention).
+func Dial(addr, volume string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, volume)
+}
+
+// NewClient attaches to a volume over an existing connection, taking
+// ownership of it. On error the connection is closed.
+func NewClient(conn net.Conn, volume string) (*Client, error) {
+	c := &Client{
+		c:       conn,
+		pending: make(map[uint16]chan []byte),
+		fids:    make(map[uint32]bool),
+	}
+	go c.readLoop()
+	e := &enc{}
+	e.str(volume)
+	d, err := c.rpc(tAttach, e.b)
+	if err == nil {
+		err = d.err()
+	}
+	if err != nil {
+		c.Hangup()
+		return nil, fmt.Errorf("fswire: attach %q: %w", volume, err)
+	}
+	return c, nil
+}
+
+// Hangup closes the connection; in-flight and future operations fail with
+// an fserr.ErrIO-wrapped error. (Not named Close: that is fsapi.FS's
+// descriptor-close operation.)
+func (c *Client) Hangup() error {
+	err := c.c.Close()
+	c.fail(fmt.Errorf("fswire: connection closed locally: %w", fserr.ErrIO))
+	return err
+}
+
+// fail poisons the client: every pending and future rpc returns err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.readErr = err
+	for tag, ch := range c.pending {
+		close(ch)
+		delete(c.pending, tag)
+	}
+}
+
+// readLoop dispatches response frames to their tag's waiter.
+func (c *Client) readLoop() {
+	for {
+		_, tag, payload, _, err := readFrame(c.c)
+		if err != nil {
+			c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[tag]
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		if ok {
+			ch <- payload
+		}
+	}
+}
+
+// rpc performs one tagged round trip and returns a decoder positioned after
+// the errno word, or the operation's error.
+func (c *Client) rpc(typ uint8, payload []byte) (*dec, error) {
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	var tag uint16
+	for {
+		if _, used := c.pending[tag]; !used {
+			break
+		}
+		tag++
+	}
+	c.pending[tag] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	_, err := writeFrame(c.c, typ, tag, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
+		return nil, c.readErr
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	d := &dec{b: resp}
+	if opErr := errnoErr(d.u32()); opErr != nil {
+		return nil, opErr
+	}
+	if d.bad {
+		return nil, fmt.Errorf("fswire: truncated response: %w", fserr.ErrIO)
+	}
+	return d, nil
+}
+
+// allocFID reserves the lowest free FID.
+func (c *Client) allocFID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fid uint32
+	for c.fids[fid] {
+		fid++
+	}
+	c.fids[fid] = true
+	return fid
+}
+
+// releaseFID returns a FID to the free pool.
+func (c *Client) releaseFID(fid uint32) {
+	c.mu.Lock()
+	delete(c.fids, fid)
+	c.mu.Unlock()
+}
+
+// pathReq runs an op whose request is a single path and whose response is
+// errno-only.
+func (c *Client) pathReq(typ uint8, path string) error {
+	e := &enc{}
+	e.str(path)
+	_, err := c.rpc(typ, e.b)
+	return err
+}
+
+// Mkdir implements fsapi.FS.
+func (c *Client) Mkdir(path string, perm uint16) error {
+	e := &enc{}
+	e.str(path)
+	e.u16(perm)
+	_, err := c.rpc(tMkdir, e.b)
+	return err
+}
+
+// Rmdir implements fsapi.FS.
+func (c *Client) Rmdir(path string) error { return c.pathReq(tRmdir, path) }
+
+// Create implements fsapi.FS.
+func (c *Client) Create(path string, perm uint16) (fsapi.FD, error) {
+	fid := c.allocFID()
+	e := &enc{}
+	e.u32(fid)
+	e.str(path)
+	e.u16(perm)
+	if _, err := c.rpc(tCreate, e.b); err != nil {
+		c.releaseFID(fid)
+		return -1, err
+	}
+	return fsapi.FD(fid), nil
+}
+
+// Open implements fsapi.FS.
+func (c *Client) Open(path string) (fsapi.FD, error) {
+	fid := c.allocFID()
+	e := &enc{}
+	e.u32(fid)
+	e.str(path)
+	if _, err := c.rpc(tOpen, e.b); err != nil {
+		c.releaseFID(fid)
+		return -1, err
+	}
+	return fsapi.FD(fid), nil
+}
+
+// Close implements fsapi.FS (descriptor close, not connection close).
+func (c *Client) Close(fd fsapi.FD) error {
+	e := &enc{}
+	e.u32(uint32(fd))
+	if _, err := c.rpc(tClose, e.b); err != nil {
+		return err
+	}
+	if fd >= 0 {
+		c.releaseFID(uint32(fd))
+	}
+	return nil
+}
+
+// ReadAt implements fsapi.FS.
+func (c *Client) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	e := &enc{}
+	e.u32(uint32(fd))
+	e.u64(uint64(off))
+	e.u32(uint32(n))
+	d, err := c.rpc(tRead, e.b)
+	if err != nil {
+		return nil, err
+	}
+	data := d.bytes()
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// WriteAt implements fsapi.FS.
+func (c *Client) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
+	e := &enc{}
+	e.u32(uint32(fd))
+	e.u64(uint64(off))
+	e.bytes(data)
+	d, err := c.rpc(tWrite, e.b)
+	if err != nil {
+		return 0, err
+	}
+	n := int(d.u32())
+	if err := d.err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Truncate implements fsapi.FS.
+func (c *Client) Truncate(path string, size int64) error {
+	e := &enc{}
+	e.str(path)
+	e.u64(uint64(size))
+	_, err := c.rpc(tTrunc, e.b)
+	return err
+}
+
+// Unlink implements fsapi.FS.
+func (c *Client) Unlink(path string) error { return c.pathReq(tUnlink, path) }
+
+// Rename implements fsapi.FS.
+func (c *Client) Rename(oldPath, newPath string) error {
+	e := &enc{}
+	e.str(oldPath)
+	e.str(newPath)
+	_, err := c.rpc(tRename, e.b)
+	return err
+}
+
+// Link implements fsapi.FS.
+func (c *Client) Link(oldPath, newPath string) error {
+	e := &enc{}
+	e.str(oldPath)
+	e.str(newPath)
+	_, err := c.rpc(tLink, e.b)
+	return err
+}
+
+// Symlink implements fsapi.FS.
+func (c *Client) Symlink(target, linkPath string) error {
+	e := &enc{}
+	e.str(target)
+	e.str(linkPath)
+	_, err := c.rpc(tSymlink, e.b)
+	return err
+}
+
+// Readlink implements fsapi.FS.
+func (c *Client) Readlink(path string) (string, error) {
+	e := &enc{}
+	e.str(path)
+	d, err := c.rpc(tReadlink, e.b)
+	if err != nil {
+		return "", err
+	}
+	target := d.str()
+	if err := d.err(); err != nil {
+		return "", err
+	}
+	return target, nil
+}
+
+// Stat implements fsapi.FS.
+func (c *Client) Stat(path string) (fsapi.Stat, error) {
+	e := &enc{}
+	e.str(path)
+	d, err := c.rpc(tStat, e.b)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	st := d.stat()
+	if err := d.err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return st, nil
+}
+
+// Fstat implements fsapi.FS.
+func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	e := &enc{}
+	e.u32(uint32(fd))
+	d, err := c.rpc(tFstat, e.b)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	st := d.stat()
+	if err := d.err(); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return st, nil
+}
+
+// Readdir implements fsapi.FS.
+func (c *Client) Readdir(path string) ([]fsapi.DirEntry, error) {
+	e := &enc{}
+	e.str(path)
+	d, err := c.rpc(tReaddir, e.b)
+	if err != nil {
+		return nil, err
+	}
+	count := d.u32()
+	if count > maxFrame {
+		return nil, fmt.Errorf("fswire: oversized listing: %w", fserr.ErrIO)
+	}
+	ents := make([]fsapi.DirEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		ents = append(ents, fsapi.DirEntry{Name: d.str(), Ino: d.u32(), Type: d.u16()})
+	}
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	return ents, nil
+}
+
+// SetPerm implements fsapi.FS.
+func (c *Client) SetPerm(path string, perm uint16) error {
+	e := &enc{}
+	e.str(path)
+	e.u16(perm)
+	_, err := c.rpc(tSetPerm, e.b)
+	return err
+}
+
+// Fsync implements fsapi.FS.
+func (c *Client) Fsync(fd fsapi.FD) error {
+	e := &enc{}
+	e.u32(uint32(fd))
+	_, err := c.rpc(tFsync, e.b)
+	return err
+}
+
+// Sync implements fsapi.FS.
+func (c *Client) Sync() error {
+	_, err := c.rpc(tSync, nil)
+	return err
+}

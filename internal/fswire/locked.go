@@ -1,0 +1,134 @@
+package fswire
+
+import (
+	"sync"
+
+	"repro/internal/fsapi"
+)
+
+// Locked wraps a single-threaded fsapi.FS (the shadow, the model, a bare
+// base filesystem) with one big mutex so it can be served to concurrent
+// connections. Supervised filesystems and volmgr tenants don't need it —
+// their gates already serialize what must be serialized.
+func Locked(fs fsapi.FS) fsapi.FS { return &lockedFS{inner: fs} }
+
+type lockedFS struct {
+	mu    sync.Mutex
+	inner fsapi.FS
+}
+
+var _ fsapi.FS = (*lockedFS)(nil)
+
+func (l *lockedFS) Mkdir(path string, perm uint16) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Mkdir(path, perm)
+}
+
+func (l *lockedFS) Rmdir(path string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Rmdir(path)
+}
+
+func (l *lockedFS) Create(path string, perm uint16) (fsapi.FD, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Create(path, perm)
+}
+
+func (l *lockedFS) Open(path string) (fsapi.FD, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Open(path)
+}
+
+func (l *lockedFS) Close(fd fsapi.FD) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Close(fd)
+}
+
+func (l *lockedFS) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.ReadAt(fd, off, n)
+}
+
+func (l *lockedFS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.WriteAt(fd, off, data)
+}
+
+func (l *lockedFS) Truncate(path string, size int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Truncate(path, size)
+}
+
+func (l *lockedFS) Unlink(path string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Unlink(path)
+}
+
+func (l *lockedFS) Rename(oldPath, newPath string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Rename(oldPath, newPath)
+}
+
+func (l *lockedFS) Link(oldPath, newPath string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Link(oldPath, newPath)
+}
+
+func (l *lockedFS) Symlink(target, linkPath string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Symlink(target, linkPath)
+}
+
+func (l *lockedFS) Readlink(path string) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Readlink(path)
+}
+
+func (l *lockedFS) Stat(path string) (fsapi.Stat, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Stat(path)
+}
+
+func (l *lockedFS) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Fstat(fd)
+}
+
+func (l *lockedFS) Readdir(path string) ([]fsapi.DirEntry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Readdir(path)
+}
+
+func (l *lockedFS) SetPerm(path string, perm uint16) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.SetPerm(path, perm)
+}
+
+func (l *lockedFS) Fsync(fd fsapi.FD) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Fsync(fd)
+}
+
+func (l *lockedFS) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Sync()
+}

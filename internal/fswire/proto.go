@@ -1,0 +1,203 @@
+// Package fswire is the networked file service: a length-prefixed binary RPC
+// protocol (9P-flavored — tagged requests, a per-connection FID table) that
+// carries the complete fsapi.FS operation set over a byte stream, plus the
+// server and a client that itself implements fsapi.FS.
+//
+// The point is transparency in the paper's sense: the client is just another
+// fsapi.FS, so everything built on that interface — the vfs adapter, the
+// workload driver, the differential tester — runs unchanged against a remote
+// supervised volume, and a recovery masked on the server stays masked on the
+// wire (the operation simply takes longer; ErrOverloaded sheds round-trip as
+// themselves).
+//
+// Wire format (all integers little-endian):
+//
+//	frame   = size:u32 type:u8 tag:u16 payload
+//	string  = len:u16 bytes
+//	bytes   = len:u32 bytes
+//	stat    = ino:u32 mode:u16 nlink:u16 size:u64 mtime:u64 ctime:u64
+//
+// size counts everything after the size field. Each request type T has a
+// response of the same type echoing the tag; every response payload begins
+// with errno:u32 (two's-complement fserr.Errno, 0 = success) followed by the
+// result fields. Tags let a client keep many requests in flight on one
+// connection; the server responds in completion order.
+//
+// FIDs are client-allocated, lowest-free-first, and are the fsapi.FD values
+// the client returns — so a trace run against a remote volume yields
+// descriptor numbers identical to a local run, and differential checks hold
+// across the wire.
+package fswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// Message types. tAttach binds the connection to a named volume; the rest map
+// one-to-one onto fsapi.FS methods.
+const (
+	tAttach uint8 = iota + 1
+	tMkdir
+	tRmdir
+	tCreate
+	tOpen
+	tClose
+	tRead
+	tWrite
+	tTrunc
+	tUnlink
+	tRename
+	tLink
+	tSymlink
+	tReadlink
+	tStat
+	tFstat
+	tReaddir
+	tSetPerm
+	tFsync
+	tSync
+)
+
+// maxFrame bounds a frame's encoded size: a malformed or hostile peer cannot
+// make the other side allocate more than this. Large writes must be split by
+// the application (the workload generator's writes are far smaller).
+const maxFrame = 1 << 24
+
+// frameHeader is type+tag, the fixed part counted by the size prefix.
+const frameHeader = 3
+
+// enc is an append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *enc) stat(st fsapi.Stat) {
+	e.u32(st.Ino)
+	e.u16(st.Mode)
+	e.u16(st.Nlink)
+	e.u64(uint64(st.Size))
+	e.u64(st.Mtime)
+	e.u64(st.Ctime)
+}
+
+// dec is an error-sticky little-endian decoder; after the first short read
+// every subsequent call returns zero values and err() reports the failure.
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) take(n int) []byte {
+	if d.bad || len(d.b) < n {
+		d.bad = true
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+func (d *dec) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+func (d *dec) u16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+func (d *dec) str() string { return string(d.take(int(d.u16()))) }
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if n > maxFrame {
+		d.bad = true
+		return nil
+	}
+	return d.take(int(n))
+}
+func (d *dec) stat() fsapi.Stat {
+	return fsapi.Stat{
+		Ino:   d.u32(),
+		Mode:  d.u16(),
+		Nlink: d.u16(),
+		Size:  int64(d.u64()),
+		Mtime: d.u64(),
+		Ctime: d.u64(),
+	}
+}
+func (d *dec) err() error {
+	if d.bad {
+		return fmt.Errorf("fswire: truncated message: %w", fserr.ErrInvalid)
+	}
+	return nil
+}
+
+// errnoWord encodes an operation error for the response prefix.
+func errnoWord(err error) uint32 { return uint32(int32(fserr.Errno(err))) }
+
+// errnoErr decodes the response prefix back into the taxonomy sentinel.
+func errnoErr(w uint32) error { return fserr.FromErrno(int(int32(w))) }
+
+// writeFrame sends one frame. Callers serialize access to w themselves.
+func writeFrame(w io.Writer, typ uint8, tag uint16, payload []byte) (int, error) {
+	if len(payload)+frameHeader > maxFrame {
+		return 0, fmt.Errorf("fswire: frame too large (%d bytes): %w", len(payload), fserr.ErrTooBig)
+	}
+	hdr := make([]byte, 0, 4+frameHeader+len(payload))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(frameHeader+len(payload)))
+	hdr = append(hdr, typ)
+	hdr = binary.LittleEndian.AppendUint16(hdr, tag)
+	hdr = append(hdr, payload...)
+	n, err := w.Write(hdr)
+	return n, err
+}
+
+// readFrame reads one frame, enforcing the size bound before allocating.
+func readFrame(r io.Reader) (typ uint8, tag uint16, payload []byte, n int, err error) {
+	var szb [4]byte
+	if _, err = io.ReadFull(r, szb[:]); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	size := binary.LittleEndian.Uint32(szb[:])
+	if size < frameHeader || size > maxFrame {
+		return 0, 0, nil, 4, fmt.Errorf("fswire: bad frame size %d: %w", size, fserr.ErrInvalid)
+	}
+	body := make([]byte, size)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, 4, err
+	}
+	return body[0], binary.LittleEndian.Uint16(body[1:3]), body[3:], 4 + int(size), nil
+}

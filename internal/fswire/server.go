@@ -1,0 +1,438 @@
+package fswire
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/telemetry"
+	"repro/internal/volmgr"
+)
+
+// Backend resolves an attach-time volume name to the filesystem that will
+// serve the connection. The returned filesystem must be safe for concurrent
+// use (a supervised core.FS or a volmgr tenant is; wrap single-threaded
+// implementations like the shadow or the model with Locked).
+type Backend func(volume string) (fsapi.FS, error)
+
+// Single serves one filesystem under every volume name, including "".
+func Single(fs fsapi.FS) Backend {
+	return func(string) (fsapi.FS, error) { return fs, nil }
+}
+
+// Volumes serves a volmgr fleet: the attach name selects the tenant. Unknown
+// or unmounted volumes fail the attach with the manager's error
+// (fserr.ErrNotExist / fserr.ErrInvalid), which travels back as the attach
+// errno.
+func Volumes(m *volmgr.Manager) Backend {
+	return func(name string) (fsapi.FS, error) { return m.Get(name) }
+}
+
+// Server serves the fswire protocol over any net.Listener.
+type Server struct {
+	backend Backend
+
+	conns *telemetry.Gauge   // fswire.conns: connections currently attached
+	ops   *telemetry.Counter // fswire.ops: requests served
+	bytes *telemetry.Counter // fswire.bytes: frame bytes in + out
+	errs  *telemetry.Counter // fswire.errs: responses carrying a nonzero errno
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	open      map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithTelemetry installs the sink carrying the fswire.* instruments.
+func WithTelemetry(s *telemetry.Sink) ServerOption {
+	return func(srv *Server) {
+		if s != nil {
+			srv.conns = s.Gauge("fswire.conns")
+			srv.ops = s.Counter("fswire.ops")
+			srv.bytes = s.Counter("fswire.bytes")
+			srv.errs = s.Counter("fswire.errs")
+		}
+	}
+}
+
+// NewServer builds a server over backend.
+func NewServer(backend Backend, opts ...ServerOption) *Server {
+	s := &Server{
+		backend:   backend,
+		listeners: make(map[net.Listener]struct{}),
+		open:      make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until the listener fails or Close is
+// called; Close makes Serve return nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("fswire: server closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.open[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops every listener, hangs up every connection, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.open {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// srvConn is one connection's state: the attached filesystem and the FID
+// table mapping client-chosen FIDs to server-side descriptors.
+type srvConn struct {
+	s *Server
+	c net.Conn
+
+	wmu sync.Mutex // serializes response frames
+
+	mu   sync.Mutex
+	fs   fsapi.FS
+	fids map[uint32]fsapi.FD
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
+	sc := &srvConn{s: s, c: c, fids: make(map[uint32]fsapi.FD)}
+	var reqs sync.WaitGroup
+	defer func() {
+		reqs.Wait() // in-flight handlers may still touch the fid table
+		sc.mu.Lock()
+		fs, fids := sc.fs, sc.fids
+		sc.fids = make(map[uint32]fsapi.FD)
+		sc.mu.Unlock()
+		if fs != nil {
+			for _, fd := range fids {
+				_ = fs.Close(fd)
+			}
+		}
+		c.Close()
+		s.mu.Lock()
+		delete(s.open, c)
+		s.mu.Unlock()
+	}()
+	for {
+		typ, tag, payload, nr, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		s.bytes.Add(int64(nr))
+		if typ == tAttach {
+			// Attach runs inline: it installs the filesystem every later
+			// request reads, and a client awaits the response before sending
+			// operations.
+			sc.respond(typ, tag, sc.attach(payload))
+			continue
+		}
+		reqs.Add(1)
+		go func(typ uint8, tag uint16, payload []byte) {
+			defer reqs.Done()
+			sc.respond(typ, tag, sc.handle(typ, payload))
+		}(typ, tag, payload)
+	}
+}
+
+// respond sends one response frame and maintains the op/byte/err counters.
+func (sc *srvConn) respond(typ uint8, tag uint16, payload []byte) {
+	sc.s.ops.Inc()
+	if len(payload) >= 4 && errnoErr(uint32(payload[0])|uint32(payload[1])<<8|uint32(payload[2])<<16|uint32(payload[3])<<24) != nil {
+		sc.s.errs.Inc()
+	}
+	sc.wmu.Lock()
+	n, err := writeFrame(sc.c, typ, tag, payload)
+	sc.wmu.Unlock()
+	if err == nil {
+		sc.s.bytes.Add(int64(n))
+	}
+}
+
+// respErr builds an errno-only response payload.
+func respErr(err error) []byte {
+	e := &enc{}
+	e.u32(errnoWord(err))
+	return e.b
+}
+
+// attach resolves the volume name and binds the connection to it.
+func (sc *srvConn) attach(body []byte) []byte {
+	d := &dec{b: body}
+	name := d.str()
+	if d.err() != nil {
+		return respErr(fserr.ErrInvalid)
+	}
+	fs, err := sc.s.backend(name)
+	if err != nil {
+		return respErr(err)
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.fs != nil {
+		return respErr(fserr.ErrBusy) // one attach per connection
+	}
+	sc.fs = fs
+	return respErr(nil)
+}
+
+// lookupFID resolves a client FID to the server-side descriptor.
+func (sc *srvConn) lookupFID(fid uint32) (fsapi.FD, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fd, ok := sc.fids[fid]
+	return fd, ok
+}
+
+// handle executes one non-attach request and returns the response payload.
+func (sc *srvConn) handle(typ uint8, body []byte) []byte {
+	sc.mu.Lock()
+	fs := sc.fs
+	sc.mu.Unlock()
+	if fs == nil {
+		return respErr(fserr.ErrInvalid) // operation before attach
+	}
+	d := &dec{b: body}
+	e := &enc{}
+	switch typ {
+	case tMkdir:
+		path, perm := d.str(), d.u16()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Mkdir(path, perm)))
+	case tRmdir:
+		path := d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Rmdir(path)))
+	case tCreate, tOpen:
+		fid, path := d.u32(), d.str()
+		perm := uint16(0)
+		if typ == tCreate {
+			perm = d.u16()
+		}
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		var fd fsapi.FD
+		var err error
+		if typ == tCreate {
+			fd, err = fs.Create(path, perm)
+		} else {
+			fd, err = fs.Open(path)
+		}
+		if err != nil {
+			return respErr(err)
+		}
+		sc.mu.Lock()
+		_, dup := sc.fids[fid]
+		if !dup {
+			sc.fids[fid] = fd
+		}
+		sc.mu.Unlock()
+		if dup {
+			_ = fs.Close(fd)
+			return respErr(fserr.ErrInvalid) // protocol violation: FID in use
+		}
+		e.u32(errnoWord(nil))
+	case tClose:
+		fid := d.u32()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		err := fs.Close(fd)
+		if err == nil {
+			sc.mu.Lock()
+			delete(sc.fids, fid)
+			sc.mu.Unlock()
+		}
+		e.u32(errnoWord(err))
+	case tRead:
+		fid, off, n := d.u32(), int64(d.u64()), d.u32()
+		if d.err() != nil || n > maxFrame-64 {
+			return respErr(fserr.ErrInvalid)
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		data, err := fs.ReadAt(fd, off, int(n))
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.bytes(data)
+	case tWrite:
+		fid, off, data := d.u32(), int64(d.u64()), d.bytes()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		n, err := fs.WriteAt(fd, off, data)
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.u32(uint32(n))
+	case tTrunc:
+		path, size := d.str(), int64(d.u64())
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Truncate(path, size)))
+	case tUnlink:
+		path := d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Unlink(path)))
+	case tRename:
+		oldPath, newPath := d.str(), d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Rename(oldPath, newPath)))
+	case tLink:
+		oldPath, newPath := d.str(), d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Link(oldPath, newPath)))
+	case tSymlink:
+		target, linkPath := d.str(), d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.Symlink(target, linkPath)))
+	case tReadlink:
+		path := d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		target, err := fs.Readlink(path)
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.str(target)
+	case tStat:
+		path := d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		st, err := fs.Stat(path)
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.stat(st)
+	case tFstat:
+		fid := d.u32()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		st, err := fs.Fstat(fd)
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.stat(st)
+	case tReaddir:
+		path := d.str()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		ents, err := fs.Readdir(path)
+		if err != nil {
+			return respErr(err)
+		}
+		e.u32(errnoWord(nil))
+		e.u32(uint32(len(ents)))
+		for _, de := range ents {
+			e.str(de.Name)
+			e.u32(de.Ino)
+			e.u16(de.Type)
+		}
+	case tSetPerm:
+		path, perm := d.str(), d.u16()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		e.u32(errnoWord(fs.SetPerm(path, perm)))
+	case tFsync:
+		fid := d.u32()
+		if d.err() != nil {
+			return respErr(fserr.ErrInvalid)
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		e.u32(errnoWord(fs.Fsync(fd)))
+	case tSync:
+		e.u32(errnoWord(fs.Sync()))
+	default:
+		return respErr(fserr.ErrInvalid)
+	}
+	return e.b
+}

@@ -1,0 +1,607 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sync"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+)
+
+// readChunk bounds one fsapi.ReadAt call made on behalf of a streaming read.
+const readChunk = 1 << 16
+
+// File is an open regular file with per-handle offset state — the stateful
+// handle fsapi's positional-only ReadAt/WriteAt don't provide. It implements
+// fs.File, io.Reader, io.ReaderAt, io.Writer, io.WriterAt, io.Seeker,
+// io.Closer. A File is safe for concurrent use; the offset is advanced under
+// an internal mutex exactly as os.File serializes its descriptor offset.
+type File struct {
+	v    *FS
+	name string // io/fs name, for error reporting and path-based fallbacks
+	base string // base name for Stat
+	fd   fsapi.FD
+
+	mu     sync.Mutex
+	off    int64
+	closed bool
+	append bool
+	rdonly bool
+}
+
+var (
+	_ fs.File     = (*File)(nil)
+	_ io.ReaderAt = (*File)(nil)
+	_ io.WriterAt = (*File)(nil)
+	_ io.Seeker   = (*File)(nil)
+	_ io.Writer   = (*File)(nil)
+)
+
+// Name returns the io/fs name the file was opened as.
+func (f *File) Name() string { return f.name }
+
+// FD exposes the wrapped filesystem's descriptor (for tests and tools that
+// drop down to the fsapi layer).
+func (f *File) FD() fsapi.FD { return f.fd }
+
+// guard returns an error if the handle is closed.
+func (f *File) guardLocked(op string) error {
+	if f.closed {
+		return pathErr(op, f.name, fserr.ErrBadFD)
+	}
+	return nil
+}
+
+// Stat implements fs.File.
+func (f *File) Stat() (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.guardLocked("stat"); err != nil {
+		return nil, err
+	}
+	st, err := f.v.inner.Fstat(f.fd)
+	if err != nil {
+		return nil, pathErr("stat", f.name, err)
+	}
+	return fileInfo{f.base, st}, nil
+}
+
+// Read implements io.Reader: reads from the handle offset and advances it.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.guardLocked("read"); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	b, err := f.v.inner.ReadAt(f.fd, f.off, len(p))
+	if err != nil {
+		return 0, pathErr("read", f.name, err)
+	}
+	n := copy(p, b)
+	f.off += int64(n)
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt: positional, does not move the offset, and
+// returns io.EOF alongside a short read as the interface requires.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if err := f.guardLocked("read"); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	fd := f.fd
+	f.mu.Unlock()
+	if off < 0 {
+		return 0, pathErr("read", f.name, fserr.ErrInvalid)
+	}
+	b, err := f.v.inner.ReadAt(fd, off, len(p))
+	if err != nil {
+		return 0, pathErr("read", f.name, err)
+	}
+	n := copy(p, b)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements io.Writer: writes at the handle offset (or at EOF in
+// append mode) and advances it.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.guardLocked("write"); err != nil {
+		return 0, err
+	}
+	if f.rdonly {
+		return 0, pathErr("write", f.name, fserr.ErrBadFD)
+	}
+	off := f.off
+	if f.append {
+		st, err := f.v.inner.Fstat(f.fd)
+		if err != nil {
+			return 0, pathErr("write", f.name, err)
+		}
+		off = st.Size
+	}
+	n, err := f.v.inner.WriteAt(f.fd, off, p)
+	f.off = off + int64(n)
+	if err != nil {
+		return n, pathErr("write", f.name, err)
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt: positional, does not move the offset.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if err := f.guardLocked("write"); err != nil {
+		f.mu.Unlock()
+		return 0, err
+	}
+	if f.rdonly {
+		f.mu.Unlock()
+		return 0, pathErr("write", f.name, fserr.ErrBadFD)
+	}
+	fd := f.fd
+	f.mu.Unlock()
+	if off < 0 {
+		return 0, pathErr("write", f.name, fserr.ErrInvalid)
+	}
+	n, err := f.v.inner.WriteAt(fd, off, p)
+	if err != nil {
+		return n, pathErr("write", f.name, err)
+	}
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.guardLocked("seek"); err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		st, err := f.v.inner.Fstat(f.fd)
+		if err != nil {
+			return 0, pathErr("seek", f.name, err)
+		}
+		base = st.Size
+	default:
+		return 0, pathErr("seek", f.name, fserr.ErrInvalid)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, pathErr("seek", f.name, fserr.ErrInvalid)
+	}
+	f.off = pos
+	return pos, nil
+}
+
+// Sync persists the file's data and metadata (fsapi.Fsync).
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.guardLocked("sync"); err != nil {
+		return err
+	}
+	return pathErr("sync", f.name, f.v.inner.Fsync(f.fd))
+}
+
+// Close implements io.Closer. Closing twice returns fs.ErrClosed.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return pathErr("close", f.name, fserr.ErrBadFD)
+	}
+	f.closed = true
+	f.v.handles.Add(-1)
+	return pathErr("close", f.name, f.v.inner.Close(f.fd))
+}
+
+// dirFile is an open directory handle: an fs.ReadDirFile serving a sorted
+// snapshot taken at Open time, so chunked ReadDir reads are stable even if
+// the directory changes underneath.
+type dirFile struct {
+	info    fileInfo
+	entries []fsapi.DirEntry
+	v       *FS
+	name    string // io/fs name of the directory, for child Info lookups
+
+	mu     sync.Mutex
+	pos    int
+	closed bool
+}
+
+var _ fs.ReadDirFile = (*dirFile)(nil)
+
+func (d *dirFile) Stat() (fs.FileInfo, error) { return d.info, nil }
+
+func (d *dirFile) Read([]byte) (int, error) {
+	return 0, pathErr("read", d.info.name, fserr.ErrIsDir)
+}
+
+func (d *dirFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return pathErr("close", d.info.name, fserr.ErrBadFD)
+	}
+	d.closed = true
+	return nil
+}
+
+// ReadDir implements fs.ReadDirFile: n > 0 returns at most n entries and
+// io.EOF at exhaustion; n <= 0 returns all remaining entries and no error.
+func (d *dirFile) ReadDir(n int) ([]fs.DirEntry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, pathErr("readdir", d.info.name, fserr.ErrBadFD)
+	}
+	remaining := len(d.entries) - d.pos
+	if n <= 0 {
+		n = remaining
+	} else if remaining == 0 {
+		return nil, io.EOF
+	} else if n > remaining {
+		n = remaining
+	}
+	out := make([]fs.DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		de := d.entries[d.pos]
+		child := de.Name
+		if d.name != "." && d.name != "" {
+			child = d.name + "/" + de.Name
+		}
+		out = append(out, dirEntry{v: d.v, name: child, de: de})
+		d.pos++
+	}
+	return out, nil
+}
+
+// linkFile is an open symlink: a read-only file whose content is the target
+// text (see the package comment for why Open doesn't fail on symlinks).
+type linkFile struct {
+	info fileInfo
+	data []byte
+
+	mu     sync.Mutex
+	off    int
+	closed bool
+}
+
+var (
+	_ fs.File     = (*linkFile)(nil)
+	_ io.ReaderAt = (*linkFile)(nil)
+	_ io.Seeker   = (*linkFile)(nil)
+)
+
+func (l *linkFile) Stat() (fs.FileInfo, error) { return l.info, nil }
+
+func (l *linkFile) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, pathErr("read", l.info.name, fserr.ErrBadFD)
+	}
+	if l.off >= len(l.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+func (l *linkFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, pathErr("read", l.info.name, fserr.ErrInvalid)
+	}
+	if off >= int64(len(l.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, l.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (l *linkFile) Seek(offset int64, whence int) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(l.off)
+	case io.SeekEnd:
+		base = int64(len(l.data))
+	default:
+		return 0, pathErr("seek", l.info.name, fserr.ErrInvalid)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, pathErr("seek", l.info.name, fserr.ErrInvalid)
+	}
+	l.off = int(pos)
+	return pos, nil
+}
+
+func (l *linkFile) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return pathErr("close", l.info.name, fserr.ErrBadFD)
+	}
+	l.closed = true
+	return nil
+}
+
+// --- write-side extension ---
+
+// OpenFile opens a regular file with os.OpenFile-style flags (O_RDONLY,
+// O_WRONLY, O_RDWR, O_CREATE, O_EXCL, O_TRUNC, O_APPEND). perm's permission
+// bits apply only when the call creates the file. Directories and symlinks
+// are not openable through OpenFile — use Open for a read-side handle.
+func (v *FS) OpenFile(name string, flag int, perm fs.FileMode) (*File, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if flag&(os.O_TRUNC|os.O_APPEND|os.O_CREATE) != 0 && !writable {
+		return nil, pathErr("open", name, fserr.ErrInvalid)
+	}
+
+	var fd fsapi.FD
+	created := false
+	if flag&os.O_CREATE != 0 {
+		fd, err = v.inner.Create(p, uint16(perm.Perm()))
+		switch {
+		case err == nil:
+			created = true
+		case errors.Is(err, fserr.ErrExist) && flag&os.O_EXCL == 0:
+			// Fall through to plain open below.
+		default:
+			return nil, pathErr("open", name, err)
+		}
+	}
+	if !created {
+		st, serr := v.inner.Stat(p)
+		if serr != nil {
+			return nil, pathErr("open", name, serr)
+		}
+		switch disklayout.ModeType(st.Mode) {
+		case disklayout.TypeDir:
+			return nil, pathErr("open", name, fserr.ErrIsDir)
+		case disklayout.TypeSym:
+			return nil, pathErr("open", name, fserr.ErrInvalid)
+		}
+		fd, err = v.inner.Open(p)
+		if err != nil {
+			return nil, pathErr("open", name, err)
+		}
+		if flag&os.O_TRUNC != 0 {
+			if err := v.inner.Truncate(p, 0); err != nil {
+				_ = v.inner.Close(fd)
+				return nil, pathErr("open", name, err)
+			}
+		}
+	}
+	v.opens.Inc()
+	v.handles.Add(1)
+	return &File{
+		v: v, name: name, base: path.Base(name), fd: fd,
+		append: flag&os.O_APPEND != 0,
+		rdonly: !writable,
+	}, nil
+}
+
+// Create creates or truncates the named file and opens it read-write,
+// matching os.Create.
+func (v *FS) Create(name string) (*File, error) {
+	return v.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+}
+
+// Mkdir creates a directory.
+func (v *FS) Mkdir(name string, perm fs.FileMode) error {
+	p, err := toPath(name)
+	if err != nil {
+		return pathErr("mkdir", name, err)
+	}
+	return pathErr("mkdir", name, v.inner.Mkdir(p, uint16(perm.Perm())))
+}
+
+// MkdirAll creates a directory and any missing parents; it succeeds if the
+// directory already exists, matching os.MkdirAll.
+func (v *FS) MkdirAll(name string, perm fs.FileMode) error {
+	if !fs.ValidPath(name) {
+		return pathErr("mkdir", name, fserr.ErrInvalid)
+	}
+	if name == "." {
+		return nil
+	}
+	prefix := ""
+	for {
+		rest := name[len(prefix):]
+		i := 0
+		for i < len(rest) && rest[i] != '/' {
+			i++
+		}
+		prefix += rest[:i]
+		err := v.inner.Mkdir("/"+prefix, uint16(perm.Perm()))
+		if err != nil && !errors.Is(err, fserr.ErrExist) {
+			return pathErr("mkdir", prefix, err)
+		}
+		if err != nil {
+			// Exists: fine for a parent or the target only if it's a directory.
+			st, serr := v.inner.Stat("/" + prefix)
+			if serr != nil {
+				return pathErr("mkdir", prefix, serr)
+			}
+			if disklayout.ModeType(st.Mode) != disklayout.TypeDir {
+				return pathErr("mkdir", prefix, fserr.ErrNotDir)
+			}
+		}
+		if len(prefix) == len(name) {
+			return nil
+		}
+		prefix += "/"
+	}
+}
+
+// Remove removes a file, symlink, or empty directory, matching os.Remove.
+func (v *FS) Remove(name string) error {
+	p, err := toPath(name)
+	if err != nil {
+		return pathErr("remove", name, err)
+	}
+	err = v.inner.Unlink(p)
+	if errors.Is(err, fserr.ErrIsDir) {
+		err = v.inner.Rmdir(p)
+	}
+	return pathErr("remove", name, err)
+}
+
+// RemoveAll removes name and everything below it; a missing target is not an
+// error, matching os.RemoveAll.
+func (v *FS) RemoveAll(name string) error {
+	p, err := toPath(name)
+	if err != nil {
+		return pathErr("removeall", name, err)
+	}
+	if err := v.removeTree(p); err != nil {
+		if errors.Is(err, fserr.ErrNotExist) {
+			return nil
+		}
+		return pathErr("removeall", name, err)
+	}
+	return nil
+}
+
+// removeTree removes the fsapi path p recursively.
+func (v *FS) removeTree(p string) error {
+	st, err := v.inner.Stat(p)
+	if err != nil {
+		return err
+	}
+	if disklayout.ModeType(st.Mode) != disklayout.TypeDir {
+		return v.inner.Unlink(p)
+	}
+	ents, err := v.inner.Readdir(p)
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		child := p + "/" + de.Name
+		if p == "/" {
+			child = "/" + de.Name
+		}
+		if err := v.removeTree(child); err != nil {
+			return err
+		}
+	}
+	if p == "/" {
+		return nil // emptied the root; the root itself stays
+	}
+	return v.inner.Rmdir(p)
+}
+
+// Rename atomically moves oldname to newname.
+func (v *FS) Rename(oldname, newname string) error {
+	po, err := toPath(oldname)
+	if err != nil {
+		return pathErr("rename", oldname, err)
+	}
+	pn, err := toPath(newname)
+	if err != nil {
+		return pathErr("rename", newname, err)
+	}
+	return pathErr("rename", oldname, v.inner.Rename(po, pn))
+}
+
+// WriteFile writes data to the named file, creating it with perm if needed
+// and truncating it otherwise, matching os.WriteFile.
+func (v *FS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f, err := v.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteAt(data, 0)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Truncate sets the named file's size.
+func (v *FS) Truncate(name string, size int64) error {
+	p, err := toPath(name)
+	if err != nil {
+		return pathErr("truncate", name, err)
+	}
+	return pathErr("truncate", name, v.inner.Truncate(p, size))
+}
+
+// Symlink creates newname as a symbolic link holding oldname, matching
+// os.Symlink's argument order. The target text is stored verbatim.
+func (v *FS) Symlink(oldname, newname string) error {
+	p, err := toPath(newname)
+	if err != nil {
+		return pathErr("symlink", newname, err)
+	}
+	return pathErr("symlink", newname, v.inner.Symlink(oldname, p))
+}
+
+// Link creates newname as a hard link to oldname.
+func (v *FS) Link(oldname, newname string) error {
+	po, err := toPath(oldname)
+	if err != nil {
+		return pathErr("link", oldname, err)
+	}
+	pn, err := toPath(newname)
+	if err != nil {
+		return pathErr("link", newname, err)
+	}
+	return pathErr("link", oldname, v.inner.Link(po, pn))
+}
+
+// Chmod replaces the named file's permission bits.
+func (v *FS) Chmod(name string, mode fs.FileMode) error {
+	p, err := toPath(name)
+	if err != nil {
+		return pathErr("chmod", name, err)
+	}
+	return pathErr("chmod", name, v.inner.SetPerm(p, uint16(mode.Perm())))
+}
+
+// Sync persists everything (fsapi.Sync).
+func (v *FS) Sync() error {
+	if err := v.inner.Sync(); err != nil {
+		return pathErr("sync", ".", err)
+	}
+	return nil
+}

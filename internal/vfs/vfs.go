@@ -1,0 +1,369 @@
+// Package vfs adapts any fsapi.FS — the raw base filesystem, the shadow, the
+// executable specification model, an RAE-supervised core.FS, or a volmgr
+// tenant — to Go's standard io/fs interfaces, plus a write-side extension the
+// standard library doesn't define.
+//
+// The paper's contract is stated "at the API level" (§3.3); this package is
+// where that API stops being bespoke. Anything written against io/fs —
+// fs.WalkDir, fs.ReadFile, testing/fstest.TestFS, template loaders, zip
+// writers — runs unchanged over a supervised volume, and fstest.TestFS
+// becomes a free differential check across all four implementations.
+//
+// Read side: FS implements fs.FS, fs.ReadDirFS, fs.StatFS, fs.ReadFileFS,
+// and the ReadLinkFS shape (ReadLink + Lstat) that newer Go standardizes.
+// Write side: OpenFile/Create/Mkdir/Remove/Rename/WriteFile and friends,
+// with *File handles carrying per-handle offset state (Read/Write/Seek)
+// that fsapi's positional-only calls don't have.
+//
+// Name mapping and semantics:
+//
+//   - io/fs names are unrooted and slash-separated ("." is the root); the
+//     adapter maps name → "/" + name. Invalid names (per fs.ValidPath) fail
+//     with fs.ErrInvalid before touching the wrapped filesystem.
+//   - Every error is returned as *fs.PathError wrapping the fserr sentinel,
+//     which itself unwraps to the io/fs sentinel where one exists — so
+//     errors.Is(err, fs.ErrNotExist) holds end to end.
+//   - fsapi lookup is lexical and never follows symlinks. ReadLink/Lstat
+//     expose them faithfully; Open on a symlink returns a read-only file
+//     whose content is the target text (the pre-ReadLinkFS io/fs convention,
+//     e.g. fstest.MapFS), sized consistently with Stat.
+//   - ModTime is the deterministic logical clock rendered as seconds since
+//     the epoch: ordering is meaningful, wall-clock time is not.
+package vfs
+
+import (
+	"io/fs"
+	"path"
+	"time"
+
+	"repro/internal/disklayout"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/telemetry"
+)
+
+// ReadLinkFS mirrors the fs.ReadLinkFS interface added to io/fs in newer Go
+// releases (ReadLink + Lstat). Declared here so the adapter compiles on
+// toolchains that predate it; when the repo's minimum Go version has
+// fs.ReadLinkFS, *FS satisfies it with no changes.
+type ReadLinkFS interface {
+	fs.FS
+	// ReadLink returns the destination of the named symbolic link.
+	ReadLink(name string) (string, error)
+	// Lstat returns a FileInfo describing the named file without following
+	// symbolic links.
+	Lstat(name string) (fs.FileInfo, error)
+}
+
+// WriteFS is the write-side extension contract *FS provides over io/fs: the
+// mutating surface of fsapi.FS expressed in standard-library idiom. It exists
+// as an interface so code can be written against "any writable standard
+// filesystem" the way read-only code is written against fs.FS.
+type WriteFS interface {
+	fs.FS
+	OpenFile(name string, flag int, perm fs.FileMode) (*File, error)
+	Create(name string) (*File, error)
+	Mkdir(name string, perm fs.FileMode) error
+	MkdirAll(name string, perm fs.FileMode) error
+	Remove(name string) error
+	RemoveAll(name string) error
+	Rename(oldname, newname string) error
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Truncate(name string, size int64) error
+	Symlink(oldname, newname string) error
+	Link(oldname, newname string) error
+	Chmod(name string, mode fs.FileMode) error
+	Sync() error
+}
+
+// FS wraps an fsapi.FS as a standard filesystem.
+type FS struct {
+	inner fsapi.FS
+
+	// handles is the vfs.handles gauge: open *File handles (dir handles and
+	// symlink readers are self-contained and don't hold an fsapi.FD).
+	handles *telemetry.Gauge
+	opens   *telemetry.Counter
+}
+
+// Statically bind the adapter to every interface it promises.
+var (
+	_ fs.FS         = (*FS)(nil)
+	_ fs.ReadDirFS  = (*FS)(nil)
+	_ fs.StatFS     = (*FS)(nil)
+	_ fs.ReadFileFS = (*FS)(nil)
+	_ ReadLinkFS    = (*FS)(nil)
+	_ WriteFS       = (*FS)(nil)
+)
+
+// Option configures the adapter.
+type Option func(*FS)
+
+// WithTelemetry installs the sink carrying the vfs.handles gauge and
+// vfs.opens counter. Without it the adapter records nothing (nil instruments
+// are valid no-ops).
+func WithTelemetry(s *telemetry.Sink) Option {
+	return func(v *FS) {
+		if s != nil {
+			v.handles = s.Gauge("vfs.handles")
+			v.opens = s.Counter("vfs.opens")
+		}
+	}
+}
+
+// New wraps inner as a standard filesystem. The wrapped filesystem's
+// concurrency contract carries through unchanged: a supervised core.FS or a
+// volmgr tenant is safe for concurrent use through the adapter, the shadow
+// and the model are not.
+func New(inner fsapi.FS, opts ...Option) *FS {
+	v := &FS{inner: inner}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Inner returns the wrapped fsapi.FS.
+func (v *FS) Inner() fsapi.FS { return v.inner }
+
+// toPath maps an io/fs name to an fsapi absolute path.
+func toPath(name string) (string, error) {
+	if !fs.ValidPath(name) {
+		return "", fserr.ErrInvalid
+	}
+	if name == "." {
+		return "/", nil
+	}
+	return "/" + name, nil
+}
+
+// pathErr wraps an operation failure in the standard *fs.PathError shape.
+// The wrapped error keeps the fserr sentinel in the chain, so both
+// errors.Is(err, fserr.ErrNotExist) and errors.Is(err, fs.ErrNotExist) hold.
+func pathErr(op, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// FileMode converts an fsapi/disklayout mode word to a fs.FileMode.
+func FileMode(mode uint16) fs.FileMode {
+	m := fs.FileMode(disklayout.ModePerm(mode) & 0o777)
+	switch disklayout.ModeType(mode) {
+	case disklayout.TypeDir:
+		m |= fs.ModeDir
+	case disklayout.TypeSym:
+		m |= fs.ModeSymlink
+	}
+	return m
+}
+
+// fileInfo implements fs.FileInfo over an fsapi.Stat.
+type fileInfo struct {
+	name string
+	st   fsapi.Stat
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return fi.st.Size }
+func (fi fileInfo) Mode() fs.FileMode {
+	return FileMode(fi.st.Mode)
+}
+func (fi fileInfo) ModTime() time.Time { return time.Unix(int64(fi.st.Mtime), 0).UTC() }
+func (fi fileInfo) IsDir() bool        { return fi.Mode().IsDir() }
+
+// Sys returns the underlying fsapi.Stat (by value).
+func (fi fileInfo) Sys() any { return fi.st }
+
+// dirEntry implements fs.DirEntry over an fsapi.DirEntry; Info stats the
+// child through the wrapped filesystem on demand.
+type dirEntry struct {
+	v    *FS
+	name string // io/fs name of the entry itself (for Info)
+	de   fsapi.DirEntry
+}
+
+func (d dirEntry) Name() string { return d.de.Name }
+func (d dirEntry) IsDir() bool  { return d.de.Type == disklayout.TypeDir }
+func (d dirEntry) Type() fs.FileMode {
+	switch d.de.Type {
+	case disklayout.TypeDir:
+		return fs.ModeDir
+	case disklayout.TypeSym:
+		return fs.ModeSymlink
+	}
+	return 0
+}
+func (d dirEntry) Info() (fs.FileInfo, error) { return d.v.Stat(d.name) }
+
+// Open implements fs.FS. Directories come back as fs.ReadDirFile handles
+// serving a sorted snapshot; symlinks come back as read-only files whose
+// content is the target text; regular files come back as *File handles
+// opened read-write (the fsapi layer has no open mode — writability is a
+// property of the wrapped filesystem, and read-only wrappers like the shadow
+// enforce theirs on the write call).
+func (v *FS) Open(name string) (fs.File, error) {
+	f, err := v.open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// open is Open with a concrete return type, shared by OpenFile.
+func (v *FS) open(name string) (fs.File, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	st, err := v.inner.Stat(p)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	base := path.Base(name) // "." for the root, matching fs.FileInfo convention
+	switch disklayout.ModeType(st.Mode) {
+	case disklayout.TypeDir:
+		ents, err := v.readDirSorted(p)
+		if err != nil {
+			return nil, pathErr("open", name, err)
+		}
+		v.opens.Inc()
+		return &dirFile{info: fileInfo{base, st}, entries: ents, v: v, name: name}, nil
+	case disklayout.TypeSym:
+		target, err := v.inner.Readlink(p)
+		if err != nil {
+			return nil, pathErr("open", name, err)
+		}
+		v.opens.Inc()
+		return &linkFile{info: fileInfo{base, st}, data: []byte(target)}, nil
+	}
+	fd, err := v.inner.Open(p)
+	if err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	v.opens.Inc()
+	v.handles.Add(1)
+	return &File{v: v, name: name, base: base, fd: fd}, nil
+}
+
+// readDirSorted lists a directory and sorts entries by name, as the
+// fs.ReadDirFS contract requires (fsapi.Readdir returns on-disk order).
+func (v *FS) readDirSorted(p string) ([]fsapi.DirEntry, error) {
+	ents, err := v.inner.Readdir(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fsapi.DirEntry, len(ents))
+	copy(out, ents)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// ReadDir implements fs.ReadDirFS: entries sorted by name.
+func (v *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return nil, pathErr("readdir", name, err)
+	}
+	ents, err := v.readDirSorted(p)
+	if err != nil {
+		return nil, pathErr("readdir", name, err)
+	}
+	out := make([]fs.DirEntry, len(ents))
+	for i, de := range ents {
+		child := de.Name
+		if name != "." {
+			child = name + "/" + de.Name
+		}
+		out[i] = dirEntry{v: v, name: child, de: de}
+	}
+	return out, nil
+}
+
+// Stat implements fs.StatFS.
+func (v *FS) Stat(name string) (fs.FileInfo, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return nil, pathErr("stat", name, err)
+	}
+	st, err := v.inner.Stat(p)
+	if err != nil {
+		return nil, pathErr("stat", name, err)
+	}
+	return fileInfo{path.Base(name), st}, nil
+}
+
+// Lstat implements the ReadLinkFS shape. fsapi lookup never follows
+// symlinks, so Lstat and Stat agree; both are provided so io/fs-conventional
+// code finds the method it reaches for.
+func (v *FS) Lstat(name string) (fs.FileInfo, error) {
+	fi, err := v.Stat(name)
+	if err != nil {
+		return nil, pathErr("lstat", name, unwrapPathErr(err))
+	}
+	return fi, nil
+}
+
+// ReadLink implements the ReadLinkFS shape.
+func (v *FS) ReadLink(name string) (string, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return "", pathErr("readlink", name, err)
+	}
+	target, err := v.inner.Readlink(p)
+	if err != nil {
+		return "", pathErr("readlink", name, err)
+	}
+	return target, nil
+}
+
+// ReadFile implements fs.ReadFileFS.
+func (v *FS) ReadFile(name string) ([]byte, error) {
+	p, err := toPath(name)
+	if err != nil {
+		return nil, pathErr("readfile", name, err)
+	}
+	st, err := v.inner.Stat(p)
+	if err != nil {
+		return nil, pathErr("readfile", name, err)
+	}
+	if disklayout.ModeType(st.Mode) == disklayout.TypeSym {
+		target, err := v.inner.Readlink(p)
+		if err != nil {
+			return nil, pathErr("readfile", name, err)
+		}
+		return []byte(target), nil
+	}
+	fd, err := v.inner.Open(p)
+	if err != nil {
+		return nil, pathErr("readfile", name, err)
+	}
+	defer v.inner.Close(fd)
+	var out []byte
+	for off := int64(0); off < st.Size; {
+		chunk, err := v.inner.ReadAt(fd, off, readChunk)
+		if err != nil {
+			return nil, pathErr("readfile", name, err)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		out = append(out, chunk...)
+		off += int64(len(chunk))
+	}
+	return out, nil
+}
+
+// unwrapPathErr strips one *fs.PathError layer so re-wrapping under a
+// different op doesn't nest PathErrors.
+func unwrapPathErr(err error) error {
+	if pe, ok := err.(*fs.PathError); ok {
+		return pe.Err
+	}
+	return err
+}

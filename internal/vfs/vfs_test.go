@@ -1,0 +1,427 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/shadowfs"
+	"repro/internal/telemetry"
+)
+
+// seedContent is the file set every implementation is seeded with. The deep
+// file spans several blocks so chunked reads are exercised.
+var seedContent = map[string][]byte{
+	"/hello.txt":      []byte("hello, world\n"),
+	"/empty":          nil,
+	"/a/b/deep.bin":   bytes.Repeat([]byte("0123456789abcdef"), 500),
+	"/docs/readme.md": []byte("# readme\n"),
+}
+
+// seedExpected is what fstest.TestFS must find, in io/fs names.
+var seedExpected = []string{
+	"a", "a/b", "a/b/deep.bin", "docs", "docs/readme.md",
+	"empty", "hello.link", "hello.txt",
+}
+
+// seedTree populates ifs through the raw fsapi surface so the same tree
+// exists regardless of which implementation is underneath.
+func seedTree(t *testing.T, ifs fsapi.FS) {
+	t.Helper()
+	for _, dir := range []string{"/a", "/a/b", "/docs"} {
+		if err := ifs.Mkdir(dir, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", dir, err)
+		}
+	}
+	for _, p := range []string{"/hello.txt", "/empty", "/a/b/deep.bin", "/docs/readme.md"} {
+		fd, err := ifs.Create(p, 0o644)
+		if err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		if data := seedContent[p]; len(data) > 0 {
+			if _, err := ifs.WriteAt(fd, 0, data); err != nil {
+				t.Fatalf("write %s: %v", p, err)
+			}
+		}
+		if err := ifs.Close(fd); err != nil {
+			t.Fatalf("close %s: %v", p, err)
+		}
+	}
+	if err := ifs.Symlink("hello.txt", "/hello.link"); err != nil {
+		t.Fatalf("symlink: %v", err)
+	}
+}
+
+// implementations returns a named constructor for each fsapi.FS the adapter
+// must serve: raw base, shadow, specification model, and supervised core.
+func implementations() map[string]func(t *testing.T) fsapi.FS {
+	format := func(t *testing.T, blocks uint32) (blockdev.Device, *mkfs.Options) {
+		t.Helper()
+		dev := blockdev.NewMem(blocks)
+		opts := mkfs.Options{NumInodes: 1024, JournalBlocks: 64}
+		if _, err := mkfs.Format(dev, opts); err != nil {
+			t.Fatal(err)
+		}
+		return dev, &opts
+	}
+	return map[string]func(t *testing.T) fsapi.FS{
+		"base": func(t *testing.T) fsapi.FS {
+			dev, _ := format(t, 4096)
+			ifs, err := basefs.Mount(dev, basefs.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(ifs.Kill)
+			return ifs
+		},
+		"shadow": func(t *testing.T) fsapi.FS {
+			dev, _ := format(t, 4096)
+			sh, err := shadowfs.New(dev, shadowfs.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sh
+		},
+		"model": func(t *testing.T) fsapi.FS {
+			dev := blockdev.NewMem(4096)
+			sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return model.New(sb)
+		},
+		"supervised": func(t *testing.T) fsapi.FS {
+			dev, _ := format(t, 4096)
+			sup, err := core.Mount(dev, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(sup.Kill)
+			return sup
+		},
+	}
+}
+
+// TestFSConformance runs the standard library's fs.FS conformance checker
+// over the adapter wrapping every implementation — a free differential check
+// that all four expose the identical io/fs view of the identical tree.
+func TestFSConformance(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			ifs := mk(t)
+			seedTree(t, ifs)
+			if err := fstest.TestFS(New(ifs), seedExpected...); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReadFileAndWalk exercises the fs.ReadFileFS fast path and fs.WalkDir
+// over a supervised volume.
+func TestReadFileAndWalk(t *testing.T) {
+	ifs := implementations()["supervised"](t)
+	seedTree(t, ifs)
+	v := New(ifs)
+
+	got, err := fs.ReadFile(v, "a/b/deep.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seedContent["/a/b/deep.bin"]) {
+		t.Fatalf("ReadFile content mismatch: got %d bytes", len(got))
+	}
+
+	var walked []string
+	err = fs.WalkDir(v, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if p != "." {
+			walked = append(walked, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != len(seedExpected) {
+		t.Fatalf("WalkDir visited %v, want %v", walked, seedExpected)
+	}
+	for i, p := range seedExpected {
+		if walked[i] != p {
+			t.Fatalf("WalkDir visited %v, want %v", walked, seedExpected)
+		}
+	}
+}
+
+// TestSymlinkSurface pins the two views of a symlink: ReadLink/Lstat see the
+// link, Open/ReadFile see the target text (sized consistently with Stat).
+func TestSymlinkSurface(t *testing.T) {
+	ifs := implementations()["base"](t)
+	seedTree(t, ifs)
+	v := New(ifs)
+
+	target, err := v.ReadLink("hello.link")
+	if err != nil || target != "hello.txt" {
+		t.Fatalf("ReadLink = %q, %v", target, err)
+	}
+	fi, err := v.Lstat("hello.link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode()&fs.ModeSymlink == 0 {
+		t.Fatalf("Lstat mode %v lacks ModeSymlink", fi.Mode())
+	}
+	if fi.Size() != int64(len(target)) {
+		t.Fatalf("Lstat size %d, want %d", fi.Size(), len(target))
+	}
+	data, err := fs.ReadFile(v, "hello.link")
+	if err != nil || string(data) != target {
+		t.Fatalf("ReadFile(link) = %q, %v", data, err)
+	}
+	if _, err := v.ReadLink("hello.txt"); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("ReadLink on regular file: %v", err)
+	}
+}
+
+// TestErrorTranslation pins the error contract: *fs.PathError wrapping the
+// fserr sentinel, which itself satisfies the io/fs sentinel.
+func TestErrorTranslation(t *testing.T) {
+	ifs := implementations()["base"](t)
+	seedTree(t, ifs)
+	v := New(ifs)
+
+	_, err := v.Open("no/such/file")
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Open error %T, want *fs.PathError", err)
+	}
+	if pe.Op != "open" || pe.Path != "no/such/file" {
+		t.Fatalf("PathError = %q %q", pe.Op, pe.Path)
+	}
+	if !errors.Is(err, fs.ErrNotExist) || !errors.Is(err, fserr.ErrNotExist) {
+		t.Fatalf("Open error %v does not satisfy both sentinels", err)
+	}
+
+	for _, bad := range []string{"", "/abs", "a/../b", "./x", "a//b"} {
+		if _, err := v.Open(bad); !errors.Is(err, fs.ErrInvalid) {
+			t.Errorf("Open(%q) = %v, want ErrInvalid", bad, err)
+		}
+	}
+	if _, err := v.Open("hello.txt/x"); !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, fserr.ErrNotDir) {
+		t.Errorf("Open through file = %v", err)
+	}
+	if err := v.Mkdir("a", 0o755); !errors.Is(err, fs.ErrExist) {
+		t.Errorf("Mkdir existing = %v, want ErrExist", err)
+	}
+}
+
+// TestWriteSide drives the WriteFS extension end to end over the base
+// filesystem and checks results through the read side.
+func TestWriteSide(t *testing.T) {
+	ifs := implementations()["base"](t)
+	v := New(ifs)
+
+	if err := v.MkdirAll("x/y/z", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MkdirAll("x/y/z", 0o755); err != nil {
+		t.Fatalf("MkdirAll idempotent: %v", err)
+	}
+	if err := v.WriteFile("x/y/z/f.txt", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(v, "x/y/z/f.txt")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("readback = %q, %v", got, err)
+	}
+	if err := v.WriteFile("x/y/z/f.txt", []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = fs.ReadFile(v, "x/y/z/f.txt"); string(got) != "v2" {
+		t.Fatalf("WriteFile did not truncate: %q", got)
+	}
+
+	if _, err := v.OpenFile("x/y/z/f.txt", os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644); !errors.Is(err, fs.ErrExist) {
+		t.Fatalf("O_EXCL on existing = %v", err)
+	}
+	if _, err := v.OpenFile("x/y/z", os.O_RDWR, 0); !errors.Is(err, fserr.ErrIsDir) {
+		t.Fatalf("OpenFile on dir = %v", err)
+	}
+
+	f, err := v.OpenFile("x/y/z/f.txt", os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("double close = %v, want fs.ErrClosed", err)
+	}
+	if got, _ = fs.ReadFile(v, "x/y/z/f.txt"); string(got) != "v2+more" {
+		t.Fatalf("append result = %q", got)
+	}
+
+	if err := v.Rename("x/y/z/f.txt", "x/moved.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Stat("x/y/z/f.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name after rename: %v", err)
+	}
+	if err := v.Truncate("x/moved.txt", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = fs.ReadFile(v, "x/moved.txt"); string(got) != "v2" {
+		t.Fatalf("truncate result = %q", got)
+	}
+	if err := v.Chmod("x/moved.txt", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := v.Stat("x/moved.txt"); fi.Mode().Perm() != 0o600 {
+		t.Fatalf("chmod perm = %v", fi.Mode())
+	}
+	if err := v.Link("x/moved.txt", "x/hard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Symlink("moved.txt", "x/soft"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := v.Remove("x/hard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove("x/y/z"); err != nil {
+		t.Fatalf("Remove empty dir: %v", err)
+	}
+	if err := v.RemoveAll("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RemoveAll("x"); err != nil {
+		t.Fatalf("RemoveAll missing: %v", err)
+	}
+	if _, err := v.Stat("x"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("x survives RemoveAll: %v", err)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileHandleOffsets pins the per-handle offset semantics layered over
+// fsapi's positional-only calls.
+func TestFileHandleOffsets(t *testing.T) {
+	ifs := implementations()["base"](t)
+	v := New(ifs)
+	if err := v.WriteFile("f", []byte("abcdefghij"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := v.OpenFile("f", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	buf := make([]byte, 4)
+	if n, err := f.Read(buf); n != 4 || err != nil || string(buf) != "abcd" {
+		t.Fatalf("Read = %d %v %q", n, err, buf)
+	}
+	if n, err := f.Read(buf); n != 4 || err != nil || string(buf) != "efgh" {
+		t.Fatalf("second Read = %d %v %q", n, err, buf)
+	}
+	// ReadAt must not disturb the handle offset and must return io.EOF on a
+	// short read, per io.ReaderAt.
+	if n, err := f.ReadAt(buf, 8); n != 2 || err != io.EOF {
+		t.Fatalf("ReadAt = %d %v", n, err)
+	}
+	if n, err := f.Read(buf); n != 2 || err != nil || string(buf[:n]) != "ij" {
+		t.Fatalf("Read after ReadAt = %d %v %q", n, err, buf[:n])
+	}
+	if _, err := f.Read(buf); err != io.EOF {
+		t.Fatalf("Read at EOF = %v", err)
+	}
+
+	if pos, err := f.Seek(-4, io.SeekEnd); pos != 6 || err != nil {
+		t.Fatalf("SeekEnd = %d %v", pos, err)
+	}
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(0, io.SeekCurrent); pos != 8 || err != nil {
+		t.Fatalf("offset after write = %d %v", pos, err)
+	}
+	if got, _ := fs.ReadFile(v, "f"); string(got) != "abcdefXYij" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := f.Seek(-1, io.SeekStart); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("negative seek = %v", err)
+	}
+
+	ro, err := v.OpenFile("f", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Write([]byte("no")); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("write on O_RDONLY handle = %v", err)
+	}
+}
+
+// TestTelemetryHandles checks the vfs.handles gauge tracks open *File
+// handles and vfs.opens counts every successful open.
+func TestTelemetryHandles(t *testing.T) {
+	ifs := implementations()["base"](t)
+	seedTree(t, ifs)
+	sink := telemetry.New()
+	v := New(ifs, WithTelemetry(sink))
+
+	f1, err := v.Open("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := v.OpenFile("empty", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Gauge("vfs.handles").Value(); got != 2 {
+		t.Fatalf("handles = %d, want 2", got)
+	}
+	// Directory and symlink opens count as opens but hold no fsapi FD.
+	if _, err := v.Open("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Gauge("vfs.handles").Value(); got != 2 {
+		t.Fatalf("handles after dir open = %d, want 2", got)
+	}
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Gauge("vfs.handles").Value(); got != 0 {
+		t.Fatalf("handles after close = %d, want 0", got)
+	}
+	if got := sink.Counter("vfs.opens").Value(); got != 3 {
+		t.Fatalf("opens = %d, want 3", got)
+	}
+}

@@ -36,8 +36,10 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fsapi"
 	"repro/internal/fsck"
+	"repro/internal/fswire"
 	"repro/internal/mkfs"
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 // FileSystem is the operation interface shared by every implementation in
@@ -166,3 +168,17 @@ func Check(dev Device) *fsck.Report { return fsck.Check(dev) }
 
 // BlockSize is the filesystem's block size in bytes.
 const BlockSize = disklayout.BlockSize
+
+// StdFS wraps any FileSystem — supervised, base, shadow, model, a volmgr
+// tenant, or a remote fswire client — as Go's standard io/fs filesystem
+// (fs.FS, fs.ReadDirFS, fs.StatFS, fs.ReadFileFS) with a write-side
+// extension (OpenFile, Create, Mkdir, WriteFile, ...). Code written against
+// the standard library — fs.WalkDir, testing/fstest, template loaders — runs
+// unchanged over a supervised volume; errors satisfy errors.Is against both
+// this repository's taxonomy and the io/fs sentinels.
+func StdFS(fs FileSystem) *vfs.FS { return vfs.New(fs) }
+
+// DialFS connects to an fsserve/volserve endpoint and attaches to a volume,
+// returning a remote FileSystem that speaks the fswire protocol. Combine
+// with StdFS for a standard-library view of a served volume.
+func DialFS(addr, volume string) (*fswire.Client, error) { return fswire.Dial(addr, volume) }
