@@ -44,8 +44,15 @@ func main() {
 	ops := flag.Int("ops", 400, "smoke mode: operations per client")
 	clients := flag.Int("clients", 8, "smoke mode: concurrent remote clients")
 	seed := flag.Int64("seed", 1, "workload and fault seed")
+	window := flag.Int("window", 16, "smoke mode: per-connection in-flight window (1 = sequential RPCs)")
+	batch := flag.Int("batch", 8, "smoke mode: write-coalescing cap in ops (0 or 1 disables)")
 	smoke := flag.Bool("smoke", false, "run the self-contained loopback smoke check and exit")
 	flag.Parse()
+
+	if *window < 1 {
+		fmt.Fprintln(os.Stderr, "fsserve: -window must be >= 1")
+		os.Exit(2)
+	}
 
 	if *volumes < 1 {
 		fmt.Fprintln(os.Stderr, "fsserve: need at least one volume")
@@ -95,7 +102,7 @@ func main() {
 		return
 	}
 
-	bad := runSmoke(m, vols, ln.Addr().String(), *clients, *ops, *seed)
+	bad := runSmoke(m, vols, ln.Addr().String(), *clients, *ops, *seed, *window, *batch)
 	check(srv.Close())
 	<-done
 	check(m.Shutdown())
@@ -106,7 +113,9 @@ func main() {
 
 // runSmoke drives the fleet from concurrent remote clients and checks the
 // serving-layer invariants hold across the wire. Returns true on violation.
-func runSmoke(m *volmgr.Manager, vols []*volmgr.Volume, addr string, clients, ops int, seed int64) bool {
+// window > 1 drives the clients through the pipelined path (async submission,
+// write coalescing); window == 1 keeps the sequential one-RPC-per-op driver.
+func runSmoke(m *volmgr.Manager, vols []*volmgr.Volume, addr string, clients, ops int, seed int64, window, batch int) bool {
 	// The geometry is deterministic for a given device size, so one throwaway
 	// format yields the superblock every client's workload generator needs.
 	sb, err := mkfs.Format(blockdev.NewMem(experiments.MultiTenantVolumeBlocks), mkfs.Options{})
@@ -125,7 +134,15 @@ func runSmoke(m *volmgr.Manager, vols []*volmgr.Volume, addr string, clients, op
 		go func(ci int) {
 			defer wg.Done()
 			volume := fmt.Sprintf("vol%d", ci%len(vols))
-			c, err := fswire.Dial(addr, volume)
+			var c *fswire.Client
+			var err error
+			if window > 1 {
+				c, err = fswire.DialConfig(addr, volume, fswire.ClientConfig{
+					Window: window, BatchMaxOps: batch,
+				})
+			} else {
+				c, err = fswire.Dial(addr, volume)
+			}
 			if err != nil {
 				results[ci].err = fmt.Errorf("dial %s: %w", volume, err)
 				return
@@ -138,13 +155,22 @@ func runSmoke(m *volmgr.Manager, vols []*volmgr.Volume, addr string, clients, op
 				Profile: workload.MetaHeavy, Seed: seed + int64(ci)*101,
 				NumOps: ops, Superblock: sb, SyncEvery: 100,
 			})
-			results[ci].stats = workload.DriveObserved(c, trace, func(_, got *oplog.Op, _ time.Duration) {
-				// A fault-class errno at the client is a recovery that
-				// leaked through the wire — exactly what must not happen.
+			// A fault-class errno at the client is a recovery that leaked
+			// through the wire — exactly what must not happen.
+			countFault := func(got *oplog.Op) {
 				if opErr := fserr.FromErrno(got.Errno); got.Errno != 0 && fserr.IsFault(opErr) {
 					results[ci].faults++
 				}
-			})
+			}
+			if window > 1 {
+				results[ci].stats = workload.DrivePipelined(c, trace, func(_, got *oplog.Op) {
+					countFault(got)
+				})
+			} else {
+				results[ci].stats = workload.DriveObserved(c, trace, func(_, got *oplog.Op, _ time.Duration) {
+					countFault(got)
+				})
+			}
 		}(ci)
 	}
 	wg.Wait()
@@ -186,10 +212,11 @@ func runSmoke(m *volmgr.Manager, vols []*volmgr.Volume, addr string, clients, op
 		}
 	}
 	snap := m.Telemetry().Snapshot()
-	fmt.Printf("fsserve smoke: %d clients x %d ops in %v (%.0f op/s), wire ops=%d bytes=%d errs=%d\n",
-		len(results), totalOps/max(1, len(results)), elapsed.Round(time.Millisecond),
+	fmt.Printf("fsserve smoke: %d clients x %d ops (window=%d batch=%d) in %v (%.0f op/s), wire ops=%d bytes=%d errs=%d batched=%d\n",
+		len(results), totalOps/max(1, len(results)), window, batch, elapsed.Round(time.Millisecond),
 		float64(totalOps)/elapsed.Seconds(),
-		snap.Counters["fswire.ops"], snap.Counters["fswire.bytes"], snap.Counters["fswire.errs"])
+		snap.Counters["fswire.ops"], snap.Counters["fswire.bytes"], snap.Counters["fswire.errs"],
+		snap.Counters["fswire.batch.writes"])
 	if !bad {
 		fmt.Println("fsserve smoke: OK — recoveries masked, tenants isolated, zero app-visible failures")
 	}

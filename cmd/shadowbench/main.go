@@ -44,6 +44,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	stats := flag.Bool("stats", true, "print a telemetry snapshot after each series")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<series>.json per series")
+	window := flag.Int("window", 16, "server series: pipelined client in-flight window")
+	batch := flag.Int("batch", 8, "server series: write-coalescing cap in ops (<=1 disables)")
+	minSpeedup := flag.Float64("minspeedup", 0, "server series: fail unless E18 pipelined op/s >= this x the E17 baseline op/s (0 = no gate)")
 	flag.Parse()
 	run := func(name string, f func()) {
 		if *series != "all" && *series != name {
@@ -76,7 +79,7 @@ func main() {
 	run("fsck", func() { fsckScale(*seed) })
 	run("multitenant", func() { multiTenant(*ops, *seed) })
 	run("extent", func() { extent(*seed) })
-	run("server", func() { server(*ops, *seed) })
+	run("server", func() { server(*ops, *seed, *window, *batch, *minSpeedup) })
 }
 
 // server prints the E17 series: a volmgr fleet served over TCP loopback via
@@ -84,7 +87,7 @@ func main() {
 // storm on vol0. The claims: recoveries stay behind the wire (zero client-
 // visible fault-class errors), healthy tenants never recover, and the wire
 // counters quantify serving cost.
-func server(ops int, seed int64) {
+func server(ops int, seed int64, window, batch int, minSpeedup float64) {
 	const volumes, clients = 4, 8
 	fmt.Println("== E17: networked serving — remote clients vs a fleet under a fault storm ==")
 	fmt.Printf("(%d fswire clients over TCP loopback, %d volumes, %d ops/client, metaheavy; storm = recurring crash on vol0)\n",
@@ -107,6 +110,46 @@ func server(ops int, seed int64) {
 	record("server.wire_ops", float64(r.WireOps))
 	record("server.wire_bytes_per_sec", r.WireBytesPerSec)
 	record("server.wire_errs", float64(r.WireErrs))
+	fmt.Println()
+
+	fmt.Println("== E18: wire-protocol pipelining — sequential vs pipelined clients ==")
+	fmt.Printf("(window %d, batch cap %d ops; each fleet phase a fresh healthy fleet, then the storm, then the wire floor)\n", window, batch)
+	p, err := experiments.ServerPipelined(volumes, clients, ops, seed, window, batch)
+	check(err)
+	fmt.Printf("healthy fleet:  sequential %.0f op/s (%v)   pipelined %.0f op/s (%v)   speedup %.2fx\n",
+		p.BaselineOpsPerSec, p.BaselineElapsed.Round(time.Millisecond),
+		p.PipelinedOpsPerSec, p.PipelinedElapsed.Round(time.Millisecond), p.Speedup)
+	fmt.Printf("storm fleet:    %.0f op/s pipelined, %d recoveries masked, %d app failures, %d healthy recoveries\n",
+		p.StormOpsPerSec, p.StormRecoveries, p.StormAppFailures, p.HealthyRecoveries)
+	fmt.Printf("wire floor:     sequential %.0f op/s   pipelined %.0f op/s   speedup %.2fx (served in-memory model)\n",
+		p.FloorSeqOpsPerSec, p.FloorPipeOpsPerSec, p.FloorSpeedup)
+	fmt.Printf("fault-class errors across all phases: %d (must be 0)\n", p.ClientFaults)
+	fmt.Printf("wire: %d ops, %d writes coalesced into batches, %d stream chunks\n",
+		p.WireOps, p.BatchedWrites, p.StreamChunks)
+	vsE17 := 0.0
+	if r.OpsPerSec > 0 {
+		vsE17 = p.PipelinedOpsPerSec / r.OpsPerSec
+	}
+	fmt.Printf("pipelined fleet vs E17 baseline (PR 9 driver, storm included): %.0f vs %.0f op/s = %.1fx\n",
+		p.PipelinedOpsPerSec, r.OpsPerSec, vsE17)
+	record("server.pipelined_ops_per_sec", p.PipelinedOpsPerSec)
+	record("server.sequential_ops_per_sec", p.BaselineOpsPerSec)
+	record("server.pipeline_speedup", p.Speedup)
+	record("server.pipeline_vs_e17", vsE17)
+	record("server.pipelined_storm_ops_per_sec", p.StormOpsPerSec)
+	record("server.floor_sequential_ops_per_sec", p.FloorSeqOpsPerSec)
+	record("server.floor_pipelined_ops_per_sec", p.FloorPipeOpsPerSec)
+	record("server.floor_speedup", p.FloorSpeedup)
+	record("server.pipelined_client_faults", float64(p.ClientFaults))
+	record("server.pipelined_storm_recoveries", float64(p.StormRecoveries))
+	record("server.batched_writes", float64(p.BatchedWrites))
+	record("server.stream_chunks", float64(p.StreamChunks))
+	record("server.pipeline_window", float64(p.Window))
+	record("server.pipeline_batch", float64(p.Batch))
+	if minSpeedup > 0 && vsE17 < minSpeedup {
+		fmt.Fprintf(os.Stderr, "shadowbench: pipelined fleet %.1fx the E17 baseline, below required %.1fx\n", vsE17, minSpeedup)
+		os.Exit(1)
+	}
 	fmt.Println()
 }
 

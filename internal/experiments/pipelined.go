@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/faultinject"
+	"repro/internal/fserr"
+	"repro/internal/fswire"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+	"repro/internal/volmgr"
+	"repro/internal/workload"
+)
+
+// E18: wire-protocol pipelining. E17 drives the served fleet with one
+// synchronous RPC per operation, so every op pays a full loopback round trip
+// plus the per-request scheduling cost. E18 isolates that wire cost with
+// three fleet runs, each from fresh volumes:
+//
+//  1. baseline — healthy fleet, sequential clients (the E17 driver);
+//  2. pipelined — same healthy fleet, pipelined clients (deep submission
+//     window, small-write coalescing into tWriteBatch, chunked tReadStream
+//     for large reads); speedup = phase 2 / phase 1;
+//  3. storm — pipelined clients with the E17 crash storm armed on vol0,
+//     proving the masking property survives pipelining: recoveries stay
+//     behind the wire (zero client-visible fault-class errnos) and healthy
+//     tenants never recover;
+//  4. wire floor — one client against a served in-memory model volume
+//     (backend cost ~1µs/op), sequential vs pipelined. With the backend out
+//     of the picture this isolates the protocol's own per-op cost, which is
+//     what pipelining actually attacks.
+//
+// The healthy phases carry the fleet throughput claim, but their speedup is
+// modest by design: a supervised volume costs far more per op than a
+// loopback round trip, so the fleet is backend-bound and overlapping RTTs
+// barely shows. The floor phase is where the wire is the bottleneck and the
+// pipelined win is visible. The storm phase is recovery-bound — E14/E17
+// already showed contained reboots dominate a storming tenant's wall clock,
+// and no client-side protocol change can hide server-side recovery work.
+
+// WirePipelineResult is the E18 table.
+type WirePipelineResult struct {
+	Volumes      int
+	Clients      int
+	OpsPerClient int
+	Window       int
+	Batch        int
+
+	// Phase throughput and the headline ratio.
+	BaselineElapsed    time.Duration
+	BaselineOpsPerSec  float64
+	PipelinedElapsed   time.Duration
+	PipelinedOpsPerSec float64
+	Speedup            float64
+
+	// Correctness accounting, summed over all phases.
+	TotalOps     int
+	ClientFaults int // must be 0
+
+	// Storm-phase outcome: pipelined clients with the recurring crash
+	// specimen armed on vol0.
+	StormOpsPerSec    float64
+	StormRecoveries   int64
+	StormAppFailures  int64
+	HealthyRecoveries int64 // across all phases; must be 0
+
+	// Pipelined-phase wire instruments.
+	WireOps       int64
+	BatchedWrites int64
+	StreamChunks  int64
+
+	// Wire-floor phase: one client, served in-memory model volume.
+	FloorSeqOpsPerSec  float64
+	FloorPipeOpsPerSec float64
+	FloorSpeedup       float64
+}
+
+// wirePhase is one fleet run: either sequential (cfg == nil) or pipelined.
+type wirePhase struct {
+	elapsed     time.Duration
+	ops         int
+	faults      int
+	stormRec    int64
+	stormFail   int64
+	healthyRec  int64
+	wireOps     int64
+	batchWrites int64
+	chunks      int64
+}
+
+// ServerPipelined runs E18. window >= 1 is the per-connection in-flight
+// budget (1 degenerates to sequential RPCs through the async path); batch is
+// the write-coalescing cap in ops (0 or 1 disables coalescing).
+func ServerPipelined(volumes, clients, opsPerClient int, seed int64, window, batch int) (WirePipelineResult, error) {
+	res := WirePipelineResult{
+		Volumes: volumes, Clients: clients, OpsPerClient: opsPerClient,
+		Window: window, Batch: batch,
+	}
+	if volumes < 2 {
+		return res, fmt.Errorf("experiments: pipelined server needs >= 2 volumes, got %d", volumes)
+	}
+	if clients < 1 {
+		return res, fmt.Errorf("experiments: pipelined server needs >= 1 client, got %d", clients)
+	}
+	if window < 1 {
+		return res, fmt.Errorf("experiments: window must be >= 1, got %d", window)
+	}
+
+	base, err := runServerPhase(volumes, clients, opsPerClient, seed, nil, false)
+	if err != nil {
+		return res, fmt.Errorf("baseline phase: %w", err)
+	}
+	cfg := &fswire.ClientConfig{Window: window, BatchMaxOps: batch}
+	pipe, err := runServerPhase(volumes, clients, opsPerClient, seed, cfg, false)
+	if err != nil {
+		return res, fmt.Errorf("pipelined phase: %w", err)
+	}
+	storm, err := runServerPhase(volumes, clients, opsPerClient, seed, cfg, true)
+	if err != nil {
+		return res, fmt.Errorf("storm phase: %w", err)
+	}
+	floorSeq, floorPipe, err := runWireFloor(clients*opsPerClient, seed, *cfg)
+	if err != nil {
+		return res, fmt.Errorf("wire-floor phase: %w", err)
+	}
+
+	res.BaselineElapsed = base.elapsed
+	res.BaselineOpsPerSec = float64(base.ops) / base.elapsed.Seconds()
+	res.PipelinedElapsed = pipe.elapsed
+	res.PipelinedOpsPerSec = float64(pipe.ops) / pipe.elapsed.Seconds()
+	if res.BaselineOpsPerSec > 0 {
+		res.Speedup = res.PipelinedOpsPerSec / res.BaselineOpsPerSec
+	}
+	res.StormOpsPerSec = float64(storm.ops) / storm.elapsed.Seconds()
+	res.TotalOps = base.ops + pipe.ops + storm.ops
+	res.ClientFaults = base.faults + pipe.faults + storm.faults
+	res.StormRecoveries = storm.stormRec
+	res.StormAppFailures = storm.stormFail
+	res.HealthyRecoveries = base.healthyRec + base.stormRec + pipe.healthyRec + pipe.stormRec + storm.healthyRec
+	res.WireOps = pipe.wireOps
+	res.BatchedWrites = pipe.batchWrites
+	res.StreamChunks = pipe.chunks
+	res.FloorSeqOpsPerSec = floorSeq
+	res.FloorPipeOpsPerSec = floorPipe
+	if floorSeq > 0 {
+		res.FloorSpeedup = floorPipe / floorSeq
+	}
+	return res, nil
+}
+
+// runWireFloor serves an in-memory model volume over loopback and drives the
+// same trace through a sequential and then a pipelined client, each against a
+// fresh model. The backend costs ~1µs/op, so the rates measure the wire
+// stack itself: framing, syscalls, scheduling, and — pipelined — how well
+// round trips overlap.
+func runWireFloor(numOps int, seed int64, cfg fswire.ClientConfig) (seqRate, pipeRate float64, err error) {
+	sb, err := mkfs.Format(blockdev.NewMem(MultiTenantVolumeBlocks), mkfs.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	trace := workload.Generate(workload.Config{
+		Profile: workload.MetaHeavy, Seed: seed, NumOps: numOps, Superblock: sb, SyncEvery: 100,
+	})
+	run := func(pcfg *fswire.ClientConfig) (float64, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		srv := fswire.NewServer(fswire.Single(fswire.Locked(model.New(sb))))
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
+		defer func() {
+			srv.Close()
+			<-serveDone
+		}()
+		var c *fswire.Client
+		if pcfg != nil {
+			c, err = fswire.DialConfig(ln.Addr().String(), "floor", *pcfg)
+		} else {
+			c, err = fswire.Dial(ln.Addr().String(), "floor")
+		}
+		if err != nil {
+			return 0, err
+		}
+		defer c.Hangup()
+		start := time.Now()
+		if pcfg != nil {
+			workload.DrivePipelined(c, trace, nil)
+		} else {
+			workload.Drive(c, trace)
+		}
+		return float64(len(trace)) / time.Since(start).Seconds(), nil
+	}
+	if seqRate, err = run(nil); err != nil {
+		return 0, 0, err
+	}
+	if pipeRate, err = run(&cfg); err != nil {
+		return 0, 0, err
+	}
+	return seqRate, pipeRate, nil
+}
+
+// runServerPhase builds a fresh fleet (same geometry and storm specimen as
+// E17), serves it over loopback, and drives it with clients — sequentially
+// when cfg is nil, pipelined otherwise. Fresh state per phase keeps the two
+// runs comparable: each starts from empty volumes and an unfired storm.
+func runServerPhase(volumes, clients, opsPerClient int, seed int64, cfg *fswire.ClientConfig, storm bool) (wirePhase, error) {
+	var out wirePhase
+
+	m, err := volmgr.New(volmgr.Config{
+		PoolBlocks:        uint32(volumes) * MultiTenantVolumeBlocks,
+		CacheBudgetBlocks: 96 * volumes,
+		CacheMinPerVolume: 32,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer m.Shutdown()
+
+	vols := make([]*volmgr.Volume, volumes)
+	for i := range vols {
+		vc := volmgr.VolumeConfig{Blocks: MultiTenantVolumeBlocks}
+		if storm && i == 0 {
+			reg := faultinject.NewRegistry(seed)
+			reg.Arm(&faultinject.Specimen{
+				ID: "e18-storm", Class: faultinject.Crash,
+				Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "box",
+			})
+			vc.Core.Base.Injector = reg
+		}
+		if vols[i], err = m.Create(fmt.Sprintf("vol%d", i), vc); err != nil {
+			return out, err
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	srv := fswire.NewServer(fswire.Volumes(m), fswire.WithTelemetry(m.Telemetry()))
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+
+	sb, err := mkfs.Format(blockdev.NewMem(MultiTenantVolumeBlocks), mkfs.Options{})
+	if err != nil {
+		return out, err
+	}
+
+	type clientOutcome struct {
+		applied int
+		faults  int
+		err     error
+	}
+	outcomes := make([]clientOutcome, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			volume := fmt.Sprintf("vol%d", ci%volumes)
+			var c *fswire.Client
+			var err error
+			if cfg != nil {
+				c, err = fswire.DialConfig(ln.Addr().String(), volume, *cfg)
+			} else {
+				c, err = fswire.Dial(ln.Addr().String(), volume)
+			}
+			if err != nil {
+				outcomes[ci].err = fmt.Errorf("client %d: dial %s: %w", ci, volume, err)
+				return
+			}
+			defer c.Hangup()
+			trace := workload.Generate(workload.Config{
+				Profile: workload.MetaHeavy, Seed: seed + int64(ci)*101,
+				NumOps: opsPerClient, Superblock: sb, SyncEvery: 100,
+			})
+			countFault := func(got *oplog.Op) {
+				if got.Errno != 0 && fserr.IsFault(fserr.FromErrno(got.Errno)) {
+					outcomes[ci].faults++
+				}
+			}
+			var st workload.DriveStats
+			if cfg != nil {
+				st = workload.DrivePipelined(c, trace, func(_, got *oplog.Op) { countFault(got) })
+			} else {
+				st = workload.DriveObserved(c, trace, func(_, got *oplog.Op, _ time.Duration) { countFault(got) })
+			}
+			outcomes[ci].applied = st.Applied
+		}(ci)
+	}
+	wg.Wait()
+	out.elapsed = time.Since(start)
+
+	for _, o := range outcomes {
+		if o.err != nil {
+			return out, o.err
+		}
+		out.ops += o.applied
+		out.faults += o.faults
+	}
+	for i, v := range vols {
+		st := v.Stats()
+		if i == 0 {
+			out.stormRec = st.Recoveries
+			out.stormFail = st.AppFailures
+		} else {
+			out.healthyRec += st.Recoveries
+		}
+	}
+	snap := m.Telemetry().Snapshot()
+	out.wireOps = snap.Counters["fswire.ops"]
+	out.batchWrites = snap.Counters["fswire.batch.writes"]
+	out.chunks = snap.Counters["fswire.stream.chunks"]
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestServerPipelined(t *testing.T) {
+	res, err := ServerPipelined(2, 4, 150, 1, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps < 3*4*150 {
+		t.Errorf("TotalOps = %d, want >= %d (three fleet phases)", res.TotalOps, 3*4*150)
+	}
+	if res.ClientFaults != 0 {
+		t.Errorf("clients observed %d fault-class errors over the wire, want 0", res.ClientFaults)
+	}
+	if res.StormRecoveries == 0 {
+		t.Error("storm volume never recovered in the pipelined phase — masking untested")
+	}
+	if res.StormAppFailures != 0 {
+		t.Errorf("storm volume surfaced %d app failures, want 0", res.StormAppFailures)
+	}
+	if res.HealthyRecoveries != 0 {
+		t.Errorf("healthy volumes recovered %d times, want 0", res.HealthyRecoveries)
+	}
+	if res.BatchedWrites == 0 {
+		t.Error("no writes were coalesced — batching path never engaged")
+	}
+	if res.BaselineOpsPerSec <= 0 || res.PipelinedOpsPerSec <= 0 {
+		t.Errorf("rates not positive: baseline=%f pipelined=%f", res.BaselineOpsPerSec, res.PipelinedOpsPerSec)
+	}
+	// The fleet phases are backend-bound, so at test scale we only insist
+	// pipelining isn't a regression within noise; the real margins are
+	// asserted at benchmark scale by shadowbench -minspeedup.
+	if res.Speedup < 0.5 {
+		t.Errorf("fleet speedup = %.2f, pipelining catastrophically slower", res.Speedup)
+	}
+	if res.FloorSeqOpsPerSec <= 0 || res.FloorPipeOpsPerSec <= 0 {
+		t.Errorf("wire floor rates not positive: seq=%f pipe=%f",
+			res.FloorSeqOpsPerSec, res.FloorPipeOpsPerSec)
+	}
+	// The wire floor is where overlap must show even at small scale: the
+	// backend is ~1µs/op, so a pipelined client that fails to beat one
+	// round trip per op means the machinery is broken, not noisy.
+	if res.FloorSpeedup < 1.0 {
+		t.Errorf("wire-floor speedup = %.2f, pipelined client lost to sequential", res.FloorSpeedup)
+	}
+}
+
+func TestServerPipelinedRejectsBadConfig(t *testing.T) {
+	if _, err := ServerPipelined(1, 4, 10, 1, 16, 8); err == nil {
+		t.Error("volumes=1 should fail")
+	}
+	if _, err := ServerPipelined(2, 0, 10, 1, 16, 8); err == nil {
+		t.Error("clients=0 should fail")
+	}
+	if _, err := ServerPipelined(2, 2, 10, 1, 0, 8); err == nil {
+		t.Error("window=0 should fail")
+	}
+}

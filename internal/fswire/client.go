@@ -1,35 +1,138 @@
 package fswire
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/fsapi"
 	"repro/internal/fserr"
 )
 
+// ClientConfig tunes the client's pipelining machinery. The zero value means
+// defaults; every field is clamped into a sane range by normalize.
+type ClientConfig struct {
+	// Window is the per-connection in-flight request cap: submitting past it
+	// blocks until a response retires a slot. 1 degenerates to one-at-a-time
+	// (the pre-pipelining behavior).
+	Window int
+	// TagLimit bounds the tag space the client will allocate from. Requests
+	// beyond the window never reach tag allocation, so exhaustion is only
+	// possible if Window exceeds TagLimit; then the excess is shed with
+	// fserr.ErrOverloaded rather than spinning.
+	TagLimit int
+	// BatchMaxOps caps the entries coalesced into one tWriteBatch frame by
+	// the pipelined submit path. <= 1 disables write coalescing.
+	BatchMaxOps int
+	// BatchMaxBytes caps the total payload coalesced into one batch; a write
+	// larger than this goes out as a plain tWrite.
+	BatchMaxBytes int
+	// StreamChunk is the chunk size for tReadStream; reads larger than one
+	// chunk are streamed. <= 0 picks the default; reads never stream when
+	// they fit in a single chunk.
+	StreamChunk int
+}
+
+// Defaults for ClientConfig fields.
+const (
+	DefaultWindow        = 64
+	DefaultTagLimit      = 4096
+	DefaultBatchMaxOps   = 32
+	DefaultBatchMaxBytes = 256 << 10
+	DefaultStreamChunk   = 256 << 10
+)
+
+func (cfg ClientConfig) normalize() ClientConfig {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.TagLimit <= 0 {
+		cfg.TagLimit = DefaultTagLimit
+	}
+	if cfg.TagLimit > 1<<16 {
+		cfg.TagLimit = 1 << 16
+	}
+	if cfg.BatchMaxOps <= 0 {
+		cfg.BatchMaxOps = DefaultBatchMaxOps
+	}
+	if cfg.BatchMaxBytes <= 0 {
+		cfg.BatchMaxBytes = DefaultBatchMaxBytes
+	}
+	if cfg.BatchMaxBytes > maxFrame/2 {
+		cfg.BatchMaxBytes = maxFrame / 2
+	}
+	if cfg.StreamChunk <= 0 {
+		cfg.StreamChunk = DefaultStreamChunk
+	}
+	if cfg.StreamChunk > maxFrame-64 {
+		cfg.StreamChunk = maxFrame - 64
+	}
+	return cfg
+}
+
 // Client is a remote filesystem: it speaks the fswire protocol over one
 // connection and implements fsapi.FS, so everything written against that
 // interface — the vfs adapter, the workload driver, the differential tester —
 // runs unchanged against a served volume.
 //
-// FIDs (the fsapi.FD values Create and Open return) are allocated here,
-// lowest-free-first, mirroring the local implementations' POSIX descriptor
-// discipline: a sequential trace run remotely yields the same descriptor
-// numbers as a local run. The client is safe for concurrent use — requests
-// are tagged and may complete out of order — but concurrent callers forfeit
+// FIDs (the fsapi.FD values Create and Open return) are assigned by the
+// server, lowest-free-first per connection at execution time, mirroring the
+// local implementations' POSIX descriptor discipline: a sequential trace run
+// remotely yields the same descriptor numbers as a local run, and pipelined
+// submissions need no descriptor barrier because the number is decided where
+// the outcome is known. The client is safe for concurrent use — requests are
+// tagged and may complete out of order — but concurrent callers forfeit
 // descriptor determinism exactly as they would against a local filesystem.
+//
+// Beyond the synchronous fsapi.FS surface the client pipelines: SubmitOp
+// (pipeline.go) fires operations without waiting, small writes coalesce into
+// tWriteBatch frames, and large reads stream via tReadStream. Because the
+// server executes a connection's requests strictly in arrival order, a
+// pipelined run is outcome-identical to a sequential one.
 type Client struct {
-	c net.Conn
+	c   net.Conn
+	cfg ClientConfig
 
-	wmu sync.Mutex // serializes request frames
+	// Request frames queue to a single writer goroutine that packs them into
+	// a buffered stream and issues one write syscall per drain, not per
+	// frame: a pipelining submitter enqueues faster than the kernel round
+	// trip, so bursts coalesce, while a lone synchronous caller still gets
+	// an immediate flush (the queue runs dry right after its frame).
+	wq chan outFrame
 
-	mu      sync.Mutex
-	pending map[uint16]chan []byte
-	fids    map[uint32]bool
-	closed  bool
-	readErr error
+	window chan struct{} // in-flight slots; acquire on submit, release on final response
+	dead   chan struct{} // closed by fail: unblocks window waiters on a poisoned client
+
+	mu       sync.Mutex
+	idle     *sync.Cond // broadcast when pending drains to empty (Flush barrier)
+	pending  map[uint16]*call
+	freeTags []uint16 // retired tags, reused LIFO — O(1) allocation
+	nextTag  uint32   // low-water mark: tags never yet handed out
+	fids     map[uint32]bool
+	closed   bool
+	readErr  error
+
+	pmu sync.Mutex // pipeline submit state (pipeline.go)
+	wb  *writeBatch
+}
+
+// call is one in-flight request's completion future. Unary requests get
+// exactly one payload on ch; tReadStream gets one per chunk. A closed ch
+// means the connection was poisoned.
+type call struct {
+	tag    uint16
+	stream bool
+	ch     chan []byte
+}
+
+// outFrame is one request frame queued for the writer goroutine.
+type outFrame struct {
+	typ     uint8
+	tag     uint16
+	payload []byte
 }
 
 var _ fsapi.FS = (*Client)(nil)
@@ -37,22 +140,39 @@ var _ fsapi.FS = (*Client)(nil)
 // Dial connects to an fswire server and attaches to the named volume
 // (servers backed by Single accept any name, "" by convention).
 func Dial(addr, volume string) (*Client, error) {
+	return DialConfig(addr, volume, ClientConfig{})
+}
+
+// DialConfig is Dial with explicit pipelining configuration.
+func DialConfig(addr, volume string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, volume)
+	return NewClientConfig(conn, volume, cfg)
 }
 
 // NewClient attaches to a volume over an existing connection, taking
 // ownership of it. On error the connection is closed.
 func NewClient(conn net.Conn, volume string) (*Client, error) {
+	return NewClientConfig(conn, volume, ClientConfig{})
+}
+
+// NewClientConfig is NewClient with explicit pipelining configuration.
+func NewClientConfig(conn net.Conn, volume string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.normalize()
 	c := &Client{
 		c:       conn,
-		pending: make(map[uint16]chan []byte),
+		cfg:     cfg,
+		wq:      make(chan outFrame, cfg.Window),
+		window:  make(chan struct{}, cfg.Window),
+		dead:    make(chan struct{}),
+		pending: make(map[uint16]*call),
 		fids:    make(map[uint32]bool),
 	}
+	c.idle = sync.NewCond(&c.mu)
 	go c.readLoop()
+	go c.writeLoop()
 	e := &enc{}
 	e.str(volume)
 	d, err := c.rpc(tAttach, e.b)
@@ -75,43 +195,131 @@ func (c *Client) Hangup() error {
 	return err
 }
 
-// fail poisons the client: every pending and future rpc returns err.
-func (c *Client) fail(err error) {
+// fail poisons the client: every pending and future rpc returns the
+// poisoning error. It returns that error (the first poisoner wins), so
+// error paths can report it without re-reading c.readErr unlocked.
+func (c *Client) fail(err error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return
+		return c.readErr
 	}
 	c.closed = true
 	c.readErr = err
+	close(c.dead)
 	for tag, ch := range c.pending {
-		close(ch)
+		close(ch.ch)
 		delete(c.pending, tag)
+	}
+	c.idle.Broadcast()
+	return err
+}
+
+// deadErr reports the poisoning error under the lock.
+func (c *Client) deadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return fmt.Errorf("fswire: connection closed: %w", fserr.ErrIO)
+}
+
+// writeLoop is the connection's only writer: it drains queued request frames
+// into a buffered stream and flushes when the queue runs dry, so a pipelined
+// burst of n frames costs ~1 write syscall, not n. A write or flush failure
+// poisons the client; anything still queued is covered by fail closing every
+// pending call.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriterSize(c.c, 64<<10)
+	for {
+		var f outFrame
+		select {
+		case f = <-c.wq:
+		case <-c.dead:
+			return
+		}
+	drain:
+		for {
+			if _, err := writeFrame(bw, f.typ, f.tag, f.payload); err != nil {
+				c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
+				return
+			}
+			select {
+			case f = <-c.wq:
+				continue
+			default:
+			}
+			// An empty queue here is often lock-step, not idleness: a
+			// pipelining submitter is one enqueue behind. Yield once before
+			// paying a flush syscall; if the queue is still empty, flush.
+			runtime.Gosched()
+			select {
+			case f = <-c.wq:
+				continue
+			default:
+				break drain
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
+			return
+		}
 	}
 }
 
-// readLoop dispatches response frames to their tag's waiter.
+// readLoop dispatches response frames to their tag's waiter and retires
+// window slots as requests complete.
 func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.c, 64<<10)
 	for {
-		_, tag, payload, _, err := readFrame(c.c)
+		_, tag, payload, _, err := readFrame(br)
 		if err != nil {
 			c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
 			return
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[tag]
-		delete(c.pending, tag)
+		cl, ok := c.pending[tag]
+		final := false
+		if ok {
+			// A stream stays pending until its final chunk (more-flag 0 at
+			// payload[4]); anything malformed also terminates it.
+			final = !cl.stream || len(payload) < 5 || payload[4] == 0
+			if final {
+				delete(c.pending, tag)
+				c.freeTags = append(c.freeTags, tag)
+				if len(c.pending) == 0 {
+					c.idle.Broadcast()
+				}
+			}
+		}
 		c.mu.Unlock()
 		if ok {
-			ch <- payload
+			// Never blocks: unary calls have cap 1 and exactly one response;
+			// stream calls have cap for every chunk the server can send.
+			cl.ch <- payload
+		}
+		if ok && final {
+			<-c.window
 		}
 	}
 }
 
-// rpc performs one tagged round trip and returns a decoder positioned after
-// the errno word, or the operation's error.
-func (c *Client) rpc(typ uint8, payload []byte) (*dec, error) {
-	ch := make(chan []byte, 1)
+// submit acquires a window slot and a tag, queues one request frame for the
+// writer, and returns the completion future. chunks > 0 marks a stream
+// request expecting up to that many response frames.
+func (c *Client) submit(typ uint8, payload []byte, chunks int) (*call, error) {
+	// Oversize frames fail just this operation, synchronously — the writer
+	// goroutine must never see one, because there it could only poison the
+	// whole connection.
+	if len(payload)+frameHeader > maxFrame {
+		return nil, fmt.Errorf("fswire: frame too large (%d bytes): %w", len(payload), fserr.ErrTooBig)
+	}
+	select {
+	case c.window <- struct{}{}:
+	case <-c.dead:
+		return nil, c.deadErr()
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -119,32 +327,52 @@ func (c *Client) rpc(typ uint8, payload []byte) (*dec, error) {
 		return nil, err
 	}
 	var tag uint16
-	for {
-		if _, used := c.pending[tag]; !used {
-			break
-		}
-		tag++
+	if k := len(c.freeTags); k > 0 {
+		tag = c.freeTags[k-1]
+		c.freeTags = c.freeTags[:k-1]
+	} else if c.nextTag < uint32(c.cfg.TagLimit) {
+		tag = uint16(c.nextTag)
+		c.nextTag++
+	} else {
+		c.mu.Unlock()
+		<-c.window
+		return nil, fmt.Errorf("fswire: tag space exhausted (%d in flight): %w",
+			c.cfg.TagLimit, fserr.ErrOverloaded)
 	}
-	c.pending[tag] = ch
+	depth := 1
+	if chunks > depth {
+		depth = chunks
+	}
+	cl := &call{tag: tag, stream: chunks > 0, ch: make(chan []byte, depth)}
+	c.pending[tag] = cl
 	c.mu.Unlock()
 
-	c.wmu.Lock()
-	_, err := writeFrame(c.c, typ, tag, payload)
-	c.wmu.Unlock()
-	if err != nil {
+	select {
+	case c.wq <- outFrame{typ: typ, tag: tag, payload: payload}:
+		return cl, nil
+	case <-c.dead:
+		// The writer died with the frame unsent. fail may already have
+		// retired this call; clean up whatever is left and report the poison.
 		c.mu.Lock()
-		delete(c.pending, tag)
+		if _, still := c.pending[tag]; still {
+			delete(c.pending, tag)
+			c.freeTags = append(c.freeTags, tag)
+			if len(c.pending) == 0 {
+				c.idle.Broadcast()
+			}
+		}
 		c.mu.Unlock()
-		c.fail(fmt.Errorf("fswire: connection lost: %w", fserr.ErrIO))
-		return nil, c.readErr
+		<-c.window
+		return nil, c.deadErr()
 	}
+}
 
-	resp, ok := <-ch
+// wait blocks for a unary call's response and returns a decoder positioned
+// after the errno word, or the operation's error.
+func (c *Client) wait(cl *call) (*dec, error) {
+	resp, ok := <-cl.ch
 	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
+		return nil, c.deadErr()
 	}
 	d := &dec{b: resp}
 	if opErr := errnoErr(d.u32()); opErr != nil {
@@ -156,23 +384,73 @@ func (c *Client) rpc(typ uint8, payload []byte) (*dec, error) {
 	return d, nil
 }
 
-// allocFID reserves the lowest free FID.
-func (c *Client) allocFID() uint32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var fid uint32
-	for c.fids[fid] {
-		fid++
+// rpc performs one tagged round trip. It first flushes any coalescing write
+// batch so synchronous calls keep their place in the pipeline's order.
+func (c *Client) rpc(typ uint8, payload []byte) (*dec, error) {
+	c.pmu.Lock()
+	ferr := c.flushBatchLocked()
+	c.pmu.Unlock()
+	if ferr != nil {
+		return nil, ferr
 	}
-	c.fids[fid] = true
-	return fid
+	cl, err := c.submit(typ, payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(cl)
 }
 
-// releaseFID returns a FID to the free pool.
-func (c *Client) releaseFID(fid uint32) {
+// Flush is the pipeline barrier: it submits any coalescing write batch and
+// blocks until every in-flight request has completed (or the connection
+// dies). The vfs adapter calls it from Sync/Fsync/Close so standard-library
+// callers get write-behind ordering for free.
+func (c *Client) Flush() error {
+	c.pmu.Lock()
+	ferr := c.flushBatchLocked()
+	c.pmu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) > 0 && !c.closed {
+		c.idle.Wait()
+	}
+	if c.closed {
+		return c.readErr
+	}
+	return nil
+}
+
+// trackFID and untrackFID maintain the client's mirror of the server's FID
+// table. The server owns allocation; the mirror exists for introspection and
+// leak detection only.
+func (c *Client) trackFID(fid uint32) {
+	c.mu.Lock()
+	c.fids[fid] = true
+	c.mu.Unlock()
+}
+
+func (c *Client) untrackFID(fid uint32) {
 	c.mu.Lock()
 	delete(c.fids, fid)
 	c.mu.Unlock()
+}
+
+// closeReleasesFID reports whether a Close outcome is terminal for the FID:
+// the server no longer holds (or never held) the binding, so the mirror must
+// drop it too. Success and ErrBadFD mean the server-side mapping is gone
+// (the server drops the binding on EBADF, keeping the two tables coherent);
+// a poisoned connection means the server's whole FID table died with it. Any
+// other error — a shed (ErrOverloaded), a degradation errno — means the
+// server still holds the FID: keep it so a retry stays coherent.
+func (c *Client) closeReleasesFID(err error) bool {
+	if err == nil || errors.Is(err, fserr.ErrBadFD) {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // pathReq runs an op whose request is a single path and whose response is
@@ -196,48 +474,68 @@ func (c *Client) Mkdir(path string, perm uint16) error {
 // Rmdir implements fsapi.FS.
 func (c *Client) Rmdir(path string) error { return c.pathReq(tRmdir, path) }
 
-// Create implements fsapi.FS.
+// Create implements fsapi.FS. The FID is server-assigned (lowest-free per
+// connection, allocated in execution order) and arrives in the response
+// along with the new file's inode number.
 func (c *Client) Create(path string, perm uint16) (fsapi.FD, error) {
-	fid := c.allocFID()
 	e := &enc{}
-	e.u32(fid)
 	e.str(path)
 	e.u16(perm)
-	if _, err := c.rpc(tCreate, e.b); err != nil {
-		c.releaseFID(fid)
+	d, err := c.rpc(tCreate, e.b)
+	if err != nil {
 		return -1, err
 	}
+	fid := d.u32()
+	if err := d.err(); err != nil {
+		return -1, err
+	}
+	c.trackFID(fid)
 	return fsapi.FD(fid), nil
 }
 
 // Open implements fsapi.FS.
 func (c *Client) Open(path string) (fsapi.FD, error) {
-	fid := c.allocFID()
 	e := &enc{}
-	e.u32(fid)
 	e.str(path)
-	if _, err := c.rpc(tOpen, e.b); err != nil {
-		c.releaseFID(fid)
+	d, err := c.rpc(tOpen, e.b)
+	if err != nil {
 		return -1, err
 	}
+	fid := d.u32()
+	if err := d.err(); err != nil {
+		return -1, err
+	}
+	c.trackFID(fid)
 	return fsapi.FD(fid), nil
 }
 
-// Close implements fsapi.FS (descriptor close, not connection close).
+// Close implements fsapi.FS (descriptor close, not connection close). The
+// mirror entry is dropped on every terminal outcome — success, ErrBadFD (the
+// server holds no such binding), or a dead connection — and kept only when
+// the server still holds it (e.g. the op was shed with ErrOverloaded), so a
+// flaky link cannot leak low FIDs and skew descriptor determinism.
 func (c *Client) Close(fd fsapi.FD) error {
 	e := &enc{}
 	e.u32(uint32(fd))
-	if _, err := c.rpc(tClose, e.b); err != nil {
-		return err
+	_, err := c.rpc(tClose, e.b)
+	if fd >= 0 && c.closeReleasesFID(err) {
+		c.untrackFID(uint32(fd))
 	}
-	if fd >= 0 {
-		c.releaseFID(uint32(fd))
-	}
-	return nil
+	return err
 }
 
-// ReadAt implements fsapi.FS.
+// ReadAt implements fsapi.FS. Reads larger than one stream chunk use
+// tReadStream: the server answers with a sequence of bounded chunk frames
+// keyed by the request's tag and the client reassembles, so a single read
+// is no longer capped by (or buffered at) the frame bound.
 func (c *Client) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
+	if n > c.cfg.StreamChunk {
+		cl, err := c.submitReadStream(fd, off, n)
+		if err != nil {
+			return nil, err
+		}
+		return c.collectStream(cl, n)
+	}
 	e := &enc{}
 	e.u32(uint32(fd))
 	e.u64(uint64(off))
@@ -251,6 +549,54 @@ func (c *Client) ReadAt(fd fsapi.FD, off int64, n int) ([]byte, error) {
 		return nil, err
 	}
 	return data, nil
+}
+
+// submitReadStream fires a tReadStream request (flushing the write batch
+// first to keep order) and returns its multi-chunk call.
+func (c *Client) submitReadStream(fd fsapi.FD, off int64, n int) (*call, error) {
+	c.pmu.Lock()
+	ferr := c.flushBatchLocked()
+	c.pmu.Unlock()
+	if ferr != nil {
+		return nil, ferr
+	}
+	e := &enc{}
+	e.u32(uint32(fd))
+	e.u64(uint64(off))
+	e.u32(uint32(n))
+	e.u32(uint32(c.cfg.StreamChunk))
+	chunks := (n + c.cfg.StreamChunk - 1) / c.cfg.StreamChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	return c.submit(tReadStream, e.b, chunks)
+}
+
+// collectStream reassembles a tReadStream response. A chunk-level error
+// surfaces as the operation's error with no data, matching the
+// all-or-nothing contract of a single ReadAt.
+func (c *Client) collectStream(cl *call, n int) ([]byte, error) {
+	buf := make([]byte, 0, n)
+	for {
+		resp, ok := <-cl.ch
+		if !ok {
+			return nil, c.deadErr()
+		}
+		d := &dec{b: resp}
+		errno := d.u32()
+		more := d.u8()
+		data := d.bytes()
+		if opErr := errnoErr(errno); opErr != nil {
+			return nil, opErr
+		}
+		if d.bad {
+			return nil, fmt.Errorf("fswire: truncated stream chunk: %w", fserr.ErrIO)
+		}
+		buf = append(buf, data...)
+		if more == 0 {
+			return buf, nil
+		}
+	}
 }
 
 // WriteAt implements fsapi.FS.

@@ -61,6 +61,15 @@ func (l *lockedFS) WriteAt(fd fsapi.FD, off int64, data []byte) (int, error) {
 	return l.inner.WriteAt(fd, off, data)
 }
 
+// WriteAtBatch implements BatchWriter: the whole batch runs under one lock
+// hold, so for a single-threaded backend a tWriteBatch really is atomic per
+// FID — no op from another connection can interleave mid-batch.
+func (l *lockedFS) WriteAtBatch(fd fsapi.FD, entries []BatchEntry) []BatchWriteResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return applyBatchSeq(l.inner, fd, entries)
+}
+
 func (l *lockedFS) Truncate(path string, size int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

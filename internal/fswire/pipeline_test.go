@@ -1,0 +1,411 @@
+package fswire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/basefs"
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/faultinject"
+	"repro/internal/fsapi"
+	"repro/internal/fserr"
+	"repro/internal/mkfs"
+	"repro/internal/model"
+	"repro/internal/oplog"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// dialCfg attaches a client with explicit pipelining configuration.
+func dialCfg(t *testing.T, addr, volume string, cfg ClientConfig) *Client {
+	t.Helper()
+	c, err := DialConfig(addr, volume, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Hangup() })
+	return c
+}
+
+// TestPipelinedDriveMatchesModel is the pipelining acceptance check: a trace
+// submitted through SubmitOp with a deep window and write coalescing must
+// produce per-op outcomes (errno, fd, ino, byte counts) and a final state
+// dump identical to the same trace applied sequentially to the specification
+// model — i.e. pipelining must be invisible except in wall-clock time.
+func TestPipelinedDriveMatchesModel(t *testing.T) {
+	for _, profile := range workload.Profiles() {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s-%d", profile, seed), func(t *testing.T) {
+				base, sb := newBase(t, 16384)
+				addr := serve(t, Single(Locked(base)))
+				client := dialCfg(t, addr, "", ClientConfig{Window: 16, BatchMaxOps: 8})
+				trace := workload.Generate(workload.Config{
+					Profile:    profile,
+					Seed:       seed,
+					NumOps:     500,
+					Superblock: sb,
+				})
+
+				oracle := model.New(sb)
+				oracleOps := make([]*oplog.Op, 0, len(trace))
+				for _, rec := range trace {
+					op := rec.Clone()
+					op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+					_ = oplog.Apply(oracle, op)
+					oracleOps = append(oracleOps, op)
+				}
+
+				i := 0
+				mismatches := 0
+				workload.DrivePipelined(client, trace, func(_, got *oplog.Op) {
+					want := oracleOps[i]
+					if got.Errno != want.Errno || got.RetFD != want.RetFD ||
+						got.RetIno != want.RetIno || got.RetN != want.RetN {
+						if mismatches < 10 {
+							t.Errorf("op %d %s: got (errno=%d fd=%d ino=%d n=%d) want (errno=%d fd=%d ino=%d n=%d)",
+								i, want, got.Errno, got.RetFD, got.RetIno, got.RetN,
+								want.Errno, want.RetFD, want.RetIno, want.RetN)
+						}
+						mismatches++
+					}
+					i++
+				})
+				if mismatches > 10 {
+					t.Errorf("... and %d more mismatches", mismatches-10)
+				}
+
+				remote, err := difftest.DumpState(client)
+				if err != nil {
+					t.Fatal(err)
+				}
+				local, err := difftest.DumpState(oracle)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range difftest.CompareStates(remote, local) {
+					t.Errorf("state mismatch: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyEquivalenceOverPipelinedClient runs the literal §4.3 acceptance
+// check through a client configured for pipelining: the synchronous fsapi
+// surface must be untouched by the window/batch machinery underneath.
+func TestVerifyEquivalenceOverPipelinedClient(t *testing.T) {
+	base, sb := newBase(t, 16384)
+	addr := serve(t, Single(Locked(base)))
+	client := dialCfg(t, addr, "", ClientConfig{Window: 32, BatchMaxOps: 16})
+	trace := workload.Generate(workload.Config{
+		Profile:    workload.MetaHeavy,
+		Seed:       5,
+		NumOps:     400,
+		Superblock: sb,
+	})
+	disc, err := difftest.VerifyEquivalence(client, model.New(sb), trace)
+	if err != nil {
+		t.Fatalf("equivalence run failed: %v", err)
+	}
+	for _, d := range disc {
+		t.Errorf("discrepancy: %s", d)
+	}
+}
+
+// TestWriteBatchCoalescing checks small consecutive writes coalesce into
+// tWriteBatch frames (the server-side counter moves), each original write
+// still reports its own outcome, and the data lands where it should.
+func TestWriteBatchCoalescing(t *testing.T) {
+	base, _ := newBase(t, 8192)
+	sink := telemetry.New()
+	addr := serve(t, Single(Locked(base)), WithTelemetry(sink))
+	c := dialCfg(t, addr, "", ClientConfig{Window: 16, BatchMaxOps: 8})
+
+	fd, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 6
+	ops := make([]*oplog.Op, writes)
+	waits := make([]interface{ Wait() }, writes)
+	var want bytes.Buffer
+	for i := range ops {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 100)
+		want.Write(chunk)
+		ops[i] = &oplog.Op{Kind: oplog.KWrite, FD: fd, Off: int64(i * 100), Data: chunk}
+		waits[i] = c.SubmitOp(ops[i])
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range waits {
+		w.Wait()
+		if ops[i].Errno != 0 || ops[i].RetN != 100 {
+			t.Errorf("write %d: errno=%d n=%d", i, ops[i].Errno, ops[i].RetN)
+		}
+	}
+	got, err := c.ReadAt(fd, 0, writes*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("read back %d bytes, mismatch", len(got))
+	}
+	if n := sink.Counter("fswire.batch.writes").Value(); n < writes {
+		t.Errorf("fswire.batch.writes = %d, want >= %d", n, writes)
+	}
+}
+
+// TestReadStream checks large reads stream in bounded chunks: the data round
+// trips intact, short reads end the stream at EOF, and the chunk counter
+// moves.
+func TestReadStream(t *testing.T) {
+	base, _ := newBase(t, 8192)
+	sink := telemetry.New()
+	addr := serve(t, Single(Locked(base)), WithTelemetry(sink))
+	c := dialCfg(t, addr, "", ClientConfig{StreamChunk: 1024})
+
+	fd, err := c.Create("/big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if _, err := c.WriteAt(fd, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.ReadAt(fd, 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("streamed read mismatch: %d bytes", len(got))
+	}
+	if n := sink.Counter("fswire.stream.chunks").Value(); n < 9 {
+		t.Errorf("fswire.stream.chunks = %d, want >= 9", n)
+	}
+
+	// Ask far past EOF: the stream must stop at the short read and return
+	// exactly the file contents, like a single ReadAt would.
+	got, err = c.ReadAt(fd, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("over-EOF streamed read = %d bytes, want %d", len(got), len(payload))
+	}
+
+	// Errors surface as the operation's error with no data.
+	if _, err := c.ReadAt(99, 0, 50_000); !errors.Is(err, fserr.ErrBadFD) {
+		t.Errorf("stream read on bad fd = %v, want ErrBadFD", err)
+	}
+}
+
+// blockingFS stalls every Unlink until released, pinning requests in flight.
+type blockingFS struct {
+	fsapi.FS
+	gate chan struct{}
+}
+
+func (b *blockingFS) Unlink(path string) error {
+	<-b.gate
+	return b.FS.Unlink(path)
+}
+
+// TestTagExhaustionSheds is the regression test for the unbounded tag scan:
+// with the tag space bounded and full, the next submission must shed with
+// ErrOverloaded in O(1) — not spin under the client mutex — and tags must
+// recycle once responses retire.
+func TestTagExhaustionSheds(t *testing.T) {
+	base, _ := newBase(t, 4096)
+	gate := make(chan struct{})
+	bfs := &blockingFS{FS: Locked(base), gate: gate}
+	addr := serve(t, Single(bfs))
+	c := dialCfg(t, addr, "", ClientConfig{Window: 8, TagLimit: 4})
+
+	ops := make([]*oplog.Op, 4)
+	waits := make([]interface{ Wait() }, 4)
+	for i := range ops {
+		ops[i] = &oplog.Op{Kind: oplog.KUnlink, Path: fmt.Sprintf("/missing%d", i)}
+		waits[i] = c.SubmitOp(ops[i])
+	}
+	shed := &oplog.Op{Kind: oplog.KUnlink, Path: "/shed"}
+	c.SubmitOp(shed).Wait()
+	if !errors.Is(fserr.FromErrno(shed.Errno), fserr.ErrOverloaded) {
+		t.Fatalf("5th in-flight op with TagLimit=4: errno=%d, want ErrOverloaded", shed.Errno)
+	}
+
+	close(gate)
+	for i, w := range waits {
+		w.Wait()
+		if !errors.Is(fserr.FromErrno(ops[i].Errno), fserr.ErrNotExist) {
+			t.Errorf("unlink %d errno = %d, want ENOENT", i, ops[i].Errno)
+		}
+	}
+	// Tags recycled: the client is fully usable again.
+	if err := c.Mkdir("/after", 0o755); err != nil {
+		t.Fatalf("post-exhaustion op failed: %v", err)
+	}
+}
+
+// TestFIDReuseAfterFailedClose is the FID-leak regression test: when the
+// server-side descriptor is already gone (Close comes back EBADF), both
+// sides must drop the binding so the low FID is reused — descriptor
+// determinism depends on it. Before the fix the client kept the FID forever
+// and every subsequent Create drifted one descriptor higher.
+func TestFIDReuseAfterFailedClose(t *testing.T) {
+	base, _ := newBase(t, 4096)
+	addr := serve(t, Single(Locked(base)))
+	c := dial(t, addr, "")
+
+	fd, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd != 0 {
+		t.Fatalf("first create fd = %d, want 0", fd)
+	}
+	// Yank the server-side descriptor out from under the connection: the
+	// server's FID 0 now maps to a dead fsapi.FD.
+	if err := base.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(fd); !errors.Is(err, fserr.ErrBadFD) {
+		t.Fatalf("close of dead descriptor = %v, want ErrBadFD", err)
+	}
+	// The terminal outcome must have released FID 0 on both sides.
+	fd2, err := c.Create("/g", 0o644)
+	if err != nil {
+		t.Fatalf("create after failed close: %v", err)
+	}
+	if fd2 != 0 {
+		t.Fatalf("create after failed close fd = %d, want 0 (FID leaked)", fd2)
+	}
+}
+
+// TestFIDReleasedOnPoisonedClose: a Close that dies with the connection must
+// still release the FID locally — the server's table died too, so keeping
+// the reservation only leaks.
+func TestFIDReleasedOnPoisonedClose(t *testing.T) {
+	base, _ := newBase(t, 4096)
+	addr := serve(t, Single(Locked(base)))
+	c := dial(t, addr, "")
+	fd, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Hangup()
+	if err := c.Close(fd); err == nil {
+		t.Fatal("close over dead connection succeeded")
+	}
+	c.mu.Lock()
+	leaked := len(c.fids)
+	c.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d FIDs still reserved after terminal close on a dead connection", leaked)
+	}
+}
+
+// TestConcurrentClientHammerUnderStorm shares one pipelined client between
+// many goroutines while the served filesystem crashes and recovers on a
+// recurring deterministic specimen. Run under -race in CI: it exercises the
+// tag table, window slots, FID table, batch path, and stream path
+// concurrently through repeated recoveries; no goroutine may ever observe a
+// fault-class errno.
+func TestConcurrentClientHammerUnderStorm(t *testing.T) {
+	dev := blockdev.NewMem(16384)
+	if _, err := mkfs.Format(dev, mkfs.Options{NumInodes: 2048, JournalBlocks: 64}); err != nil {
+		t.Fatal(err)
+	}
+	reg := faultinject.NewRegistry(11)
+	reg.Arm(&faultinject.Specimen{
+		ID: "hammer-storm", Class: faultinject.Crash,
+		Deterministic: true, Op: "mkdir", Point: "entry", PathSubstr: "box",
+	})
+	sup, err := core.Mount(dev, core.Config{Base: basefs.Options{Injector: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+	addr := serve(t, Single(sup))
+	c := dialCfg(t, addr, "", ClientConfig{Window: 32, BatchMaxOps: 8, StreamChunk: 2048})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*4)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/w%d", wi)
+			if err := c.Mkdir(dir, 0o755); err != nil {
+				errc <- fmt.Errorf("mkdir %s: %w", dir, err)
+				return
+			}
+			for round := 0; round < 6; round++ {
+				// Trip the storm: every box mkdir crashes the base and rides
+				// a recovery; the op must still succeed.
+				if err := c.Mkdir(fmt.Sprintf("%s/box%d", dir, round), 0o755); err != nil {
+					errc <- fmt.Errorf("storm mkdir w%d r%d: %w", wi, round, err)
+					return
+				}
+				p := fmt.Sprintf("%s/f%d", dir, round)
+				fd, err := c.Create(p, 0o644)
+				if err != nil {
+					errc <- fmt.Errorf("create %s: %w", p, err)
+					return
+				}
+				// Pipelined batched writes from this worker's own ops.
+				payload := bytes.Repeat([]byte{byte(wi)}, 512)
+				ops := make([]*oplog.Op, 8)
+				waits := make([]interface{ Wait() }, len(ops))
+				for i := range ops {
+					ops[i] = &oplog.Op{Kind: oplog.KWrite, FD: fd, Off: int64(i * 512), Data: payload}
+					waits[i] = c.SubmitOp(ops[i])
+				}
+				for i, w := range waits {
+					w.Wait()
+					if ops[i].Errno != 0 {
+						if fserr.IsFault(fserr.FromErrno(ops[i].Errno)) {
+							errc <- fmt.Errorf("fault-class errno %d on pipelined write", ops[i].Errno)
+							return
+						}
+					}
+				}
+				got, err := c.ReadAt(fd, 0, len(ops)*512)
+				if err != nil {
+					errc <- fmt.Errorf("stream read %s: %w", p, err)
+					return
+				}
+				if len(got) != len(ops)*512 {
+					errc <- fmt.Errorf("read %s = %d bytes, want %d", p, len(got), len(ops)*512)
+					return
+				}
+				if err := c.Close(fd); err != nil {
+					errc <- fmt.Errorf("close %s: %w", p, err)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := sup.Stats()
+	if st.Recoveries == 0 {
+		t.Error("storm never fired — hammer exercised nothing")
+	}
+	if st.AppFailures != 0 {
+		t.Errorf("app-visible failures = %d, want 0", st.AppFailures)
+	}
+}

@@ -21,12 +21,23 @@
 // response of the same type echoing the tag; every response payload begins
 // with errno:u32 (two's-complement fserr.Errno, 0 = success) followed by the
 // result fields. Tags let a client keep many requests in flight on one
-// connection; the server responds in completion order.
+// connection. The server executes a connection's requests strictly in
+// arrival order (one executor per connection), so a pipelined stream of
+// operations observes exactly the semantics of issuing them sequentially —
+// inode and descriptor allocation order included — while the round trips
+// overlap. tReadStream is the one request answered by multiple frames
+// (chunked, all carrying the request's tag, a more-flag marking continuation);
+// tWriteBatch carries many small writes to one FID in a single frame with
+// per-entry results in the response.
 //
-// FIDs are client-allocated, lowest-free-first, and are the fsapi.FD values
-// the client returns — so a trace run against a remote volume yields
-// descriptor numbers identical to a local run, and differential checks hold
-// across the wire.
+// FIDs are server-assigned at execution time, lowest-free-first per
+// connection, and are the fsapi.FD values the client returns: tCreate/tOpen
+// responses carry errno fid:u32 ino:u32 (ino 0 when the inode probe failed)
+// and tMkdir responses carry errno ino:u32, so a trace run against a remote
+// volume yields descriptor numbers identical to a local run, differential
+// checks hold across the wire, and a pipelined client needs no
+// descriptor-table barrier — the numbers are decided where the outcomes are
+// known, in execution order.
 package fswire
 
 import (
@@ -38,8 +49,12 @@ import (
 	"repro/internal/fserr"
 )
 
-// Message types. tAttach binds the connection to a named volume; the rest map
-// one-to-one onto fsapi.FS methods.
+// Message types. tAttach binds the connection to a named volume; most of the
+// rest map one-to-one onto fsapi.FS methods. tWriteBatch carries several
+// WriteAt payloads for one FID in a single frame (per-entry results come
+// back); tReadStream answers one request with a sequence of chunked response
+// frames sharing the request's tag, so reads larger than a frame stream
+// instead of buffering.
 const (
 	tAttach uint8 = iota + 1
 	tMkdir
@@ -61,15 +76,22 @@ const (
 	tSetPerm
 	tFsync
 	tSync
+	tWriteBatch
+	tReadStream
 )
 
 // maxFrame bounds a frame's encoded size: a malformed or hostile peer cannot
 // make the other side allocate more than this. Large writes must be split by
-// the application (the workload generator's writes are far smaller).
+// the application (the workload generator's writes are far smaller); large
+// reads stream under the bound via tReadStream.
 const maxFrame = 1 << 24
 
 // frameHeader is type+tag, the fixed part counted by the size prefix.
 const frameHeader = 3
+
+// maxBatchOps bounds the entry count of one tWriteBatch frame on the server
+// side, independent of the frame-size bound.
+const maxBatchOps = 4096
 
 // enc is an append-only little-endian encoder.
 type enc struct{ b []byte }
@@ -163,6 +185,40 @@ func (d *dec) err() error {
 		return fmt.Errorf("fswire: truncated message: %w", fserr.ErrInvalid)
 	}
 	return nil
+}
+
+// BatchEntry is one write inside a tWriteBatch frame.
+type BatchEntry struct {
+	Off  int64
+	Data []byte
+}
+
+// BatchWriteResult is the per-entry outcome of a batched write. Entries are
+// applied in order and each records its own result, so a batch's outcomes are
+// exactly those of the same WriteAts issued one at a time.
+type BatchWriteResult struct {
+	N   int
+	Err error
+}
+
+// BatchWriter is an optional backend capability: apply a write batch as one
+// uninterrupted critical section. Locked implements it (one lock hold for the
+// whole batch), giving single-threaded backends per-FID atomicity; backends
+// without it fall back to sequential WriteAt calls, which under the server's
+// in-order request executor are still contiguous with respect to the
+// connection's own operation stream.
+type BatchWriter interface {
+	WriteAtBatch(fd fsapi.FD, entries []BatchEntry) []BatchWriteResult
+}
+
+// applyBatchSeq applies batch entries in order via plain WriteAt calls.
+func applyBatchSeq(fs fsapi.FS, fd fsapi.FD, entries []BatchEntry) []BatchWriteResult {
+	results := make([]BatchWriteResult, len(entries))
+	for i, be := range entries {
+		n, err := fs.WriteAt(fd, be.Off, be.Data)
+		results[i] = BatchWriteResult{N: n, Err: err}
+	}
+	return results
 }
 
 // errnoWord encodes an operation error for the response prefix.

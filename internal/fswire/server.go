@@ -1,8 +1,10 @@
 package fswire
 
 import (
+	"bufio"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/fsapi"
@@ -34,10 +36,12 @@ func Volumes(m *volmgr.Manager) Backend {
 type Server struct {
 	backend Backend
 
-	conns *telemetry.Gauge   // fswire.conns: connections currently attached
-	ops   *telemetry.Counter // fswire.ops: requests served
-	bytes *telemetry.Counter // fswire.bytes: frame bytes in + out
-	errs  *telemetry.Counter // fswire.errs: responses carrying a nonzero errno
+	conns   *telemetry.Gauge   // fswire.conns: connections currently attached
+	ops     *telemetry.Counter // fswire.ops: requests served
+	bytes   *telemetry.Counter // fswire.bytes: frame bytes in + out
+	errs    *telemetry.Counter // fswire.errs: responses carrying a nonzero errno
+	batched *telemetry.Counter // fswire.batch.writes: writes carried inside tWriteBatch frames
+	chunks  *telemetry.Counter // fswire.stream.chunks: tReadStream chunk frames sent
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -57,6 +61,8 @@ func WithTelemetry(s *telemetry.Sink) ServerOption {
 			srv.ops = s.Counter("fswire.ops")
 			srv.bytes = s.Counter("fswire.bytes")
 			srv.errs = s.Counter("fswire.errs")
+			srv.batched = s.Counter("fswire.batch.writes")
+			srv.chunks = s.Counter("fswire.stream.chunks")
 		}
 	}
 }
@@ -127,59 +133,96 @@ func (s *Server) Close() error {
 }
 
 // srvConn is one connection's state: the attached filesystem and the FID
-// table mapping client-chosen FIDs to server-side descriptors.
+// table mapping server-assigned FIDs to server-side descriptors.
 type srvConn struct {
 	s *Server
 	c net.Conn
 
-	wmu sync.Mutex // serializes response frames
+	wmu sync.Mutex    // serializes response frames
+	bw  *bufio.Writer // response stream; the executor flushes when idle
 
-	mu   sync.Mutex
-	fs   fsapi.FS
-	fids map[uint32]fsapi.FD
+	mu      sync.Mutex
+	fs      fsapi.FS
+	fids    map[uint32]fsapi.FD
+	fidScan uint32 // low-water mark: every FID below it is bound
+}
+
+// wireReq is one decoded request frame queued for the connection's executor.
+type wireReq struct {
+	typ     uint8
+	tag     uint16
+	payload []byte
 }
 
 func (s *Server) handleConn(c net.Conn) {
 	defer s.wg.Done()
 	s.conns.Add(1)
 	defer s.conns.Add(-1)
-	sc := &srvConn{s: s, c: c, fids: make(map[uint32]fsapi.FD)}
-	var reqs sync.WaitGroup
-	defer func() {
-		reqs.Wait() // in-flight handlers may still touch the fid table
-		sc.mu.Lock()
-		fs, fids := sc.fs, sc.fids
-		sc.fids = make(map[uint32]fsapi.FD)
-		sc.mu.Unlock()
-		if fs != nil {
-			for _, fd := range fids {
-				_ = fs.Close(fd)
+	sc := &srvConn{s: s, c: c, bw: bufio.NewWriterSize(c, 64<<10), fids: make(map[uint32]fsapi.FD)}
+
+	// One executor per connection runs requests strictly in arrival order:
+	// this is the ordering contract pipelined clients rely on — a submitted
+	// stream of operations executes exactly as if issued sequentially
+	// (inode and descriptor allocation order included), while the reader
+	// keeps draining frames so round trips overlap. Responses still carry
+	// tags, so completion can be awaited out of order on the client.
+	//
+	// Responses accumulate in a buffered stream, flushed only when the
+	// request queue runs dry: a pipelined burst answers in ~1 write syscall,
+	// while a lone synchronous request still flushes immediately (the queue
+	// is empty the moment it's handled). The executor always drains the
+	// queue before blocking, so no response can sit unflushed while the
+	// client waits.
+	reqs := make(chan wireReq, 128)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range reqs {
+			switch r.typ {
+			case tAttach:
+				sc.respond(r.typ, r.tag, sc.attach(r.payload))
+			case tReadStream:
+				sc.streamRead(r.tag, r.payload)
+			default:
+				sc.respond(r.typ, r.tag, sc.handle(r.typ, r.payload))
+			}
+			if len(reqs) == 0 {
+				// Often lock-step rather than idleness: the reader is one
+				// enqueue behind. Yield once before paying a flush syscall.
+				runtime.Gosched()
+				if len(reqs) == 0 {
+					sc.flushOut()
+				}
 			}
 		}
-		c.Close()
-		s.mu.Lock()
-		delete(s.open, c)
-		s.mu.Unlock()
+		sc.flushOut()
 	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
 	for {
-		typ, tag, payload, nr, err := readFrame(c)
+		typ, tag, payload, nr, err := readFrame(br)
 		if err != nil {
-			return
+			break
 		}
 		s.bytes.Add(int64(nr))
-		if typ == tAttach {
-			// Attach runs inline: it installs the filesystem every later
-			// request reads, and a client awaits the response before sending
-			// operations.
-			sc.respond(typ, tag, sc.attach(payload))
-			continue
-		}
-		reqs.Add(1)
-		go func(typ uint8, tag uint16, payload []byte) {
-			defer reqs.Done()
-			sc.respond(typ, tag, sc.handle(typ, payload))
-		}(typ, tag, payload)
+		reqs <- wireReq{typ: typ, tag: tag, payload: payload}
 	}
+	close(reqs)
+	<-done // the executor may still touch the fid table
+
+	sc.mu.Lock()
+	fs, fids := sc.fs, sc.fids
+	sc.fids = make(map[uint32]fsapi.FD)
+	sc.mu.Unlock()
+	if fs != nil {
+		for _, fd := range fids {
+			_ = fs.Close(fd)
+		}
+	}
+	c.Close()
+	s.mu.Lock()
+	delete(s.open, c)
+	s.mu.Unlock()
 }
 
 // respond sends one response frame and maintains the op/byte/err counters.
@@ -188,12 +231,7 @@ func (sc *srvConn) respond(typ uint8, tag uint16, payload []byte) {
 	if len(payload) >= 4 && errnoErr(uint32(payload[0])|uint32(payload[1])<<8|uint32(payload[2])<<16|uint32(payload[3])<<24) != nil {
 		sc.s.errs.Inc()
 	}
-	sc.wmu.Lock()
-	n, err := writeFrame(sc.c, typ, tag, payload)
-	sc.wmu.Unlock()
-	if err == nil {
-		sc.s.bytes.Add(int64(n))
-	}
+	sc.writeRaw(typ, tag, payload)
 }
 
 // respErr builds an errno-only response payload.
@@ -201,6 +239,95 @@ func respErr(err error) []byte {
 	e := &enc{}
 	e.u32(errnoWord(err))
 	return e.b
+}
+
+// streamRead serves one tReadStream request: the read is decomposed into
+// chunk-bounded ReadAts and each chunk goes back as its own frame carrying
+// the request's tag, an errno word, and a more-flag — so a read of any size
+// streams under the frame bound instead of buffering. The window sliding is
+// the transport's: the client sizes its reassembly buffer for every chunk
+// the request can produce, and TCP flow control paces the server. A short
+// read ends the stream (EOF); a chunk-level error ends it with the errno and
+// the client discards the prefix, matching a single ReadAt's all-or-nothing
+// contract.
+func (sc *srvConn) streamRead(tag uint16, body []byte) {
+	sc.s.ops.Inc()
+	sc.mu.Lock()
+	fs := sc.fs
+	sc.mu.Unlock()
+	fail := func(err error) {
+		sc.s.errs.Inc()
+		e := &enc{}
+		e.u32(errnoWord(err))
+		e.u8(0) // more = false
+		e.bytes(nil)
+		sc.writeRaw(tReadStream, tag, e.b)
+	}
+	if fs == nil {
+		fail(fserr.ErrInvalid)
+		return
+	}
+	d := &dec{b: body}
+	fid, off, n, chunk := d.u32(), int64(d.u64()), d.u32(), d.u32()
+	if d.err() != nil || chunk == 0 || chunk > maxFrame-64 {
+		fail(fserr.ErrInvalid)
+		return
+	}
+	fd, ok := sc.lookupFID(fid)
+	if !ok {
+		fail(fserr.ErrBadFD)
+		return
+	}
+	remaining := int(n)
+	for {
+		want := remaining
+		if want > int(chunk) {
+			want = int(chunk)
+		}
+		data, err := fs.ReadAt(fd, off, want)
+		if err != nil {
+			fail(err)
+			return
+		}
+		remaining -= len(data)
+		final := len(data) < want || remaining == 0
+		e := &enc{}
+		e.u32(errnoWord(nil))
+		if final {
+			e.u8(0)
+		} else {
+			e.u8(1)
+		}
+		e.bytes(data)
+		sc.s.chunks.Inc()
+		if !sc.writeRaw(tReadStream, tag, e.b) || final {
+			return
+		}
+		off += int64(len(data))
+	}
+}
+
+// writeRaw queues one frame on the buffered response stream, maintaining the
+// byte counter; it reports whether the write succeeded so a stream can stop
+// flooding a dead connection. (With buffering, a failure may only surface at
+// the next flush or once the buffer spills — the connection teardown path
+// covers whatever a stream sends in the meantime.)
+func (sc *srvConn) writeRaw(typ uint8, tag uint16, payload []byte) bool {
+	sc.wmu.Lock()
+	n, err := writeFrame(sc.bw, typ, tag, payload)
+	sc.wmu.Unlock()
+	if err == nil {
+		sc.s.bytes.Add(int64(n))
+		return true
+	}
+	return false
+}
+
+// flushOut pushes buffered responses to the socket.
+func (sc *srvConn) flushOut() {
+	sc.wmu.Lock()
+	_ = sc.bw.Flush()
+	sc.wmu.Unlock()
 }
 
 // attach resolves the volume name and binds the connection to it.
@@ -231,6 +358,38 @@ func (sc *srvConn) lookupFID(fid uint32) (fsapi.FD, bool) {
 	return fd, ok
 }
 
+// allocFID binds fd to the lowest free FID of this connection and returns
+// it. Lowest-free-first on success, freed on terminal close: exactly the
+// POSIX descriptor discipline of a local run, so a sequential trace served
+// remotely yields the same descriptor numbers a local application would see.
+func (sc *srvConn) allocFID(fd fsapi.FD) uint32 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	// Scan from the low-water mark: every FID below it is bound, and
+	// releaseFID drops the mark when a lower number frees — lowest-free
+	// results at amortized O(1) instead of O(open descriptors).
+	fid := sc.fidScan
+	for {
+		if _, used := sc.fids[fid]; !used {
+			break
+		}
+		fid++
+	}
+	sc.fids[fid] = fd
+	sc.fidScan = fid + 1
+	return fid
+}
+
+// releaseFID unbinds a FID and lowers the allocation mark.
+func (sc *srvConn) releaseFID(fid uint32) {
+	sc.mu.Lock()
+	delete(sc.fids, fid)
+	if fid < sc.fidScan {
+		sc.fidScan = fid
+	}
+	sc.mu.Unlock()
+}
+
 // handle executes one non-attach request and returns the response payload.
 func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 	sc.mu.Lock()
@@ -247,7 +406,17 @@ func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 		if d.err() != nil {
 			return respErr(fserr.ErrInvalid)
 		}
-		e.u32(errnoWord(fs.Mkdir(path, perm)))
+		err := fs.Mkdir(path, perm)
+		e.u32(errnoWord(err))
+		// On success the response carries the new directory's inode (the
+		// Stat probe oplog.Apply performs), 0 if the probe failed.
+		var ino uint32
+		if err == nil {
+			if st, perr := fs.Stat(path); perr == nil {
+				ino = st.Ino
+			}
+		}
+		e.u32(ino)
 	case tRmdir:
 		path := d.str()
 		if d.err() != nil {
@@ -255,7 +424,7 @@ func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 		}
 		e.u32(errnoWord(fs.Rmdir(path)))
 	case tCreate, tOpen:
-		fid, path := d.u32(), d.str()
+		path := d.str()
 		perm := uint16(0)
 		if typ == tCreate {
 			perm = d.u16()
@@ -273,17 +442,21 @@ func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 		if err != nil {
 			return respErr(err)
 		}
-		sc.mu.Lock()
-		_, dup := sc.fids[fid]
-		if !dup {
-			sc.fids[fid] = fd
-		}
-		sc.mu.Unlock()
-		if dup {
-			_ = fs.Close(fd)
-			return respErr(fserr.ErrInvalid) // protocol violation: FID in use
+		// The server assigns the FID, lowest-free-first per connection,
+		// mirroring the descriptor discipline a local run would have. Because
+		// the executor runs requests in arrival order, allocation happens at
+		// the moment the outcome is known — so pipelined clients need no
+		// descriptor barrier at all: they learn the number from the response.
+		fid := sc.allocFID(fd)
+		// The inode probe oplog.Apply would issue rides in the response,
+		// saving pipelined clients a frame; 0 means the probe failed.
+		var ino uint32
+		if st, perr := fs.Fstat(fd); perr == nil {
+			ino = st.Ino
 		}
 		e.u32(errnoWord(nil))
+		e.u32(fid)
+		e.u32(ino)
 	case tClose:
 		fid := d.u32()
 		if d.err() != nil {
@@ -294,10 +467,11 @@ func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 			return respErr(fserr.ErrBadFD)
 		}
 		err := fs.Close(fd)
-		if err == nil {
-			sc.mu.Lock()
-			delete(sc.fids, fid)
-			sc.mu.Unlock()
+		// Drop the binding on success or EBADF (the server-side descriptor
+		// is gone either way); keep it for retryable outcomes like a shed,
+		// mirroring the client's release rule so the two tables agree.
+		if err == nil || errors.Is(err, fserr.ErrBadFD) {
+			sc.releaseFID(fid)
 		}
 		e.u32(errnoWord(err))
 	case tRead:
@@ -330,6 +504,40 @@ func (sc *srvConn) handle(typ uint8, body []byte) []byte {
 		}
 		e.u32(errnoWord(nil))
 		e.u32(uint32(n))
+	case tWriteBatch:
+		fid, count := d.u32(), d.u32()
+		if d.err() != nil || count == 0 || count > maxBatchOps {
+			return respErr(fserr.ErrInvalid)
+		}
+		entries := make([]BatchEntry, 0, count)
+		for i := uint32(0); i < count; i++ {
+			off := int64(d.u64())
+			data := d.bytes()
+			if d.err() != nil {
+				return respErr(fserr.ErrInvalid)
+			}
+			entries = append(entries, BatchEntry{Off: off, Data: data})
+		}
+		fd, ok := sc.lookupFID(fid)
+		if !ok {
+			return respErr(fserr.ErrBadFD)
+		}
+		// Entries execute in order, each recording its own result — the
+		// outcomes are exactly those of the same WriteAts issued one at a
+		// time. A BatchWriter backend applies them in one critical section.
+		var results []BatchWriteResult
+		if bw, ok := fs.(BatchWriter); ok {
+			results = bw.WriteAtBatch(fd, entries)
+		} else {
+			results = applyBatchSeq(fs, fd, entries)
+		}
+		sc.s.batched.Add(int64(len(entries)))
+		e.u32(errnoWord(nil))
+		e.u32(uint32(len(results)))
+		for _, r := range results {
+			e.u32(errnoWord(r.Err))
+			e.u32(uint32(r.N))
+		}
 	case tTrunc:
 		path, size := d.str(), int64(d.u64())
 		if d.err() != nil {

@@ -50,8 +50,10 @@ type dirSlot struct {
 type Model struct {
 	nodes      map[uint32]*node
 	fds        map[fsapi.FD]*node
+	fdScan     fsapi.FD
 	clock      fsapi.Clock
 	numInodes  uint32 // inode number space, mirroring the image geometry
+	inoScan    uint32 // low-water mark: every ino below it is in use
 	dataBlocks int64  // data-region capacity in blocks
 	usedBlocks int64
 }
@@ -71,25 +73,52 @@ func New(sb *disklayout.Superblock) *Model {
 	}
 	root := &node{ino: disklayout.RootIno, typ: disklayout.TypeDir, perm: 0o755, nlink: 2}
 	m.nodes[disklayout.RootIno] = root
+	m.inoScan = 1
 	return m
 }
 
 // --- allocation policies (must mirror the disk implementations) ---
 
+// allocIno picks the lowest free inode number. The scan starts at the
+// low-water mark rather than 1: every number below the mark is in use, the
+// mark only drops when freeIno releases a lower number, so the result is
+// identical to a full lowest-free scan at amortized O(1) instead of O(live
+// inodes) per allocation.
 func (m *Model) allocIno() (uint32, error) {
-	for ino := uint32(1); ino < m.numInodes; ino++ {
+	for ino := m.inoScan; ino < m.numInodes; ino++ {
 		if _, used := m.nodes[ino]; !used {
+			m.inoScan = ino + 1
 			return ino, nil
 		}
 	}
 	return 0, fserr.ErrNoSpace
 }
 
+// freeIno releases an inode number back to the allocator.
+func (m *Model) freeIno(ino uint32) {
+	delete(m.nodes, ino)
+	if ino < m.inoScan {
+		m.inoScan = ino
+	}
+}
+
+// allocFD picks the lowest free descriptor, with the same low-water-mark
+// amortization as allocIno: everything below fdScan is in use, and freeFD
+// drops the mark when a lower number is released.
 func (m *Model) allocFD() fsapi.FD {
-	for fd := fsapi.FD(0); ; fd++ {
+	for fd := m.fdScan; ; fd++ {
 		if _, used := m.fds[fd]; !used {
+			m.fdScan = fd + 1
 			return fd
 		}
+	}
+}
+
+// freeFD releases a descriptor back to the allocator.
+func (m *Model) freeFD(fd fsapi.FD) {
+	delete(m.fds, fd)
+	if fd < m.fdScan {
+		m.fdScan = fd
 	}
 }
 
@@ -290,7 +319,7 @@ func (m *Model) dropNode(nd *node) {
 	case disklayout.TypeDir:
 		m.usedBlocks -= dirBlockCost(len(nd.slots))
 	}
-	delete(m.nodes, nd.ino)
+	m.freeIno(nd.ino)
 }
 
 // --- fsapi.FS implementation ---
@@ -311,7 +340,7 @@ func (m *Model) Mkdir(path string, perm uint16) error {
 	nd := &node{ino: ino, typ: disklayout.TypeDir, perm: perm & disklayout.ModePermMask, nlink: 2}
 	m.nodes[ino] = nd
 	if err := m.insertSlot(parent, name, ino); err != nil {
-		delete(m.nodes, ino)
+		m.freeIno(ino)
 		return err
 	}
 	parent.nlink++
@@ -368,7 +397,7 @@ func (m *Model) Create(path string, perm uint16) (fsapi.FD, error) {
 	}
 	m.nodes[ino] = nd
 	if err := m.insertSlot(parent, name, ino); err != nil {
-		delete(m.nodes, ino)
+		m.freeIno(ino)
 		return -1, err
 	}
 	t := m.clock.Tick()
@@ -404,7 +433,7 @@ func (m *Model) Close(fd fsapi.FD) error {
 	if !ok {
 		return fserr.ErrBadFD
 	}
-	delete(m.fds, fd)
+	m.freeFD(fd)
 	nd.opens--
 	m.dropNode(nd)
 	return nil
@@ -687,7 +716,7 @@ func (m *Model) Symlink(target, linkPath string) error {
 	nd := &node{ino: ino, typ: disklayout.TypeSym, perm: 0o777, nlink: 1, target: target}
 	m.nodes[ino] = nd
 	if err := m.insertSlot(parent, name, ino); err != nil {
-		delete(m.nodes, ino)
+		m.freeIno(ino)
 		return err
 	}
 	m.usedBlocks++

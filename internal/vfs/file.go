@@ -197,17 +197,34 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return pos, nil
 }
 
-// Sync persists the file's data and metadata (fsapi.Fsync).
+// flushInner is the pipeline barrier: when the inner filesystem pipelines
+// operations (the fswire client does), durability and close points must not
+// outrun submitted-but-unacknowledged work. Any inner FS exposing
+// Flush() error gets drained first; everything else is a no-op.
+func flushInner(inner fsapi.FS) error {
+	if p, ok := inner.(interface{ Flush() error }); ok {
+		return p.Flush()
+	}
+	return nil
+}
+
+// Sync persists the file's data and metadata (fsapi.Fsync). It is a pipeline
+// barrier: pending pipelined operations drain before the fsync is issued.
 func (f *File) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if err := f.guardLocked("sync"); err != nil {
 		return err
 	}
+	if err := flushInner(f.v.inner); err != nil {
+		return pathErr("sync", f.name, err)
+	}
 	return pathErr("sync", f.name, f.v.inner.Fsync(f.fd))
 }
 
-// Close implements io.Closer. Closing twice returns fs.ErrClosed.
+// Close implements io.Closer. Closing twice returns fs.ErrClosed. Like Sync
+// it is a pipeline barrier, so writes issued through a pipelined inner FS
+// are acknowledged before the descriptor goes away.
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -216,6 +233,9 @@ func (f *File) Close() error {
 	}
 	f.closed = true
 	f.v.handles.Add(-1)
+	if err := flushInner(f.v.inner); err != nil {
+		return pathErr("close", f.name, err)
+	}
 	return pathErr("close", f.name, f.v.inner.Close(f.fd))
 }
 
@@ -598,8 +618,12 @@ func (v *FS) Chmod(name string, mode fs.FileMode) error {
 	return pathErr("chmod", name, v.inner.SetPerm(p, uint16(mode.Perm())))
 }
 
-// Sync persists everything (fsapi.Sync).
+// Sync persists everything (fsapi.Sync), draining any pipelined inner FS
+// first so the sync point covers all submitted work.
 func (v *FS) Sync() error {
+	if err := flushInner(v.inner); err != nil {
+		return pathErr("sync", ".", err)
+	}
 	if err := v.inner.Sync(); err != nil {
 		return pathErr("sync", ".", err)
 	}

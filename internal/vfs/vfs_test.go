@@ -425,3 +425,55 @@ func TestTelemetryHandles(t *testing.T) {
 		t.Fatalf("opens = %d, want 3", got)
 	}
 }
+
+// flushCountingFS wraps an fsapi.FS and exposes Flush() error the way a
+// pipelined inner filesystem (the fswire client) does, counting calls.
+type flushCountingFS struct {
+	fsapi.FS
+	flushes int
+}
+
+func (f *flushCountingFS) Flush() error {
+	f.flushes++
+	return nil
+}
+
+// TestSyncAndCloseArePipelineBarriers: File.Sync, File.Close, and FS.Sync
+// must drain a pipelined inner filesystem before issuing the durability or
+// close operation — otherwise an fsync could be acknowledged while batched
+// writes are still in flight behind it.
+func TestSyncAndCloseArePipelineBarriers(t *testing.T) {
+	dev := blockdev.NewMem(4096)
+	sb, err := mkfs.Format(dev, mkfs.Options{NumInodes: 1024, JournalBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &flushCountingFS{FS: model.New(sb)}
+	v := New(inner)
+
+	f, err := v.Create("f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.flushes != 1 {
+		t.Errorf("after File.Sync: flushes = %d, want 1", inner.flushes)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.flushes != 2 {
+		t.Errorf("after File.Close: flushes = %d, want 2", inner.flushes)
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.flushes != 3 {
+		t.Errorf("after FS.Sync: flushes = %d, want 3", inner.flushes)
+	}
+}

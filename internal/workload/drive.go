@@ -35,6 +35,52 @@ func Drive(fs fsapi.FS, trace []*oplog.Op) DriveStats {
 // observe receives the oracle record, the executed op (outcome fields
 // filled), and the operation's wall-clock latency. A nil observe skips the
 // per-op timing entirely.
+// AsyncFS is a filesystem whose operations can be pipelined: SubmitOp fires
+// an operation without waiting and returns a wait function that records the
+// outcome into the op; Flush is the pipeline barrier. The fswire client
+// implements it; DrivePipelined is written against the interface so the
+// driver stays free of wire-level dependencies.
+type AsyncFS interface {
+	fsapi.FS
+	SubmitOp(op *oplog.Op) interface{ Wait() }
+	Flush() error
+}
+
+// DrivePipelined is Drive over an AsyncFS: the whole trace is submitted in
+// order without waiting for responses, then outcomes are collected. Against
+// a backend that executes a connection's requests in submission order (the
+// fswire contract), the per-op outcomes and final state are identical to a
+// sequential Drive — only the round trips overlap. observe (optional) runs
+// per op after its outcome lands, in trace order.
+func DrivePipelined(fs AsyncFS, trace []*oplog.Op, observe func(rec, got *oplog.Op)) DriveStats {
+	type slot struct {
+		rec, got *oplog.Op
+		wait     interface{ Wait() }
+	}
+	slots := make([]slot, 0, len(trace))
+	for _, rec := range trace {
+		op := rec.Clone()
+		op.Errno, op.RetFD, op.RetIno, op.RetN = 0, 0, 0, 0
+		slots = append(slots, slot{rec: rec, got: op, wait: fs.SubmitOp(op)})
+	}
+	var st DriveStats
+	for _, s := range slots {
+		s.wait.Wait()
+		st.Applied++
+		if s.got.Errno != 0 {
+			st.Errors++
+		}
+		if s.got.Errno == s.rec.Errno && s.got.RetFD == s.rec.RetFD &&
+			s.got.RetIno == s.rec.RetIno && s.got.RetN == s.rec.RetN {
+			st.Matched++
+		}
+		if observe != nil {
+			observe(s.rec, s.got)
+		}
+	}
+	return st
+}
+
 func DriveObserved(fs fsapi.FS, trace []*oplog.Op, observe func(rec, got *oplog.Op, d time.Duration)) DriveStats {
 	var st DriveStats
 	for _, rec := range trace {
